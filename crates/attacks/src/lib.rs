@@ -1,0 +1,35 @@
+//! # bft-sim-attacks
+//!
+//! Attack implementations for the BFT simulator's global-adversary model
+//! (the paper's Table II plus fail-stop):
+//!
+//! | Attack | Capability | Module |
+//! |---|---|---|
+//! | Fail-stop | crash | [`fail_stop`] |
+//! | Network partition | packet filtering | [`partition`] |
+//! | ADD+ static attack | static corruption | [`add_attacks`] |
+//! | ADD+ adaptive attack | rushing + adaptive corruption | [`add_attacks`] |
+//! | Equivocation (extension) | corruption + injection | [`equivocation`] |
+//! | Slow primary (extension) | targeted delay | [`slow_primary`] |
+//! | Synchrony violation (extension) | corruption + injection + delay | [`sync_violation`] |
+//!
+//! Because every message traverses the attacker module before delivery, all
+//! attacks here are rushing-capable by construction; the adaptive attack
+//! additionally corrupts nodes mid-run within the fault budget `f`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod add_attacks;
+pub mod equivocation;
+pub mod fail_stop;
+pub mod partition;
+pub mod slow_primary;
+pub mod sync_violation;
+
+pub use add_attacks::{AddAdaptiveRushingAttack, AddStaticAttack};
+pub use equivocation::EquivocationAttack;
+pub use fail_stop::FailStop;
+pub use partition::PartitionAttack;
+pub use slow_primary::SlowPrimary;
+pub use sync_violation::SyncViolationAttack;

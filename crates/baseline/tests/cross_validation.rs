@@ -1,0 +1,95 @@
+//! Cross-validation between the event-level engine and the packet-level
+//! baseline — our analogue of the paper's validation against BFTSim traces
+//! (§III-D): both simulators run the same PBFT implementation and must
+//! produce the same decisions.
+
+use bft_sim_baseline::{BaselineConfig, BaselineError, BaselineSim};
+use bft_sim_core::config::RunConfig;
+use bft_sim_core::dist::Dist;
+use bft_sim_core::engine::SimulationBuilder;
+use bft_sim_core::network::ConstantNetwork;
+use bft_sim_core::time::SimDuration;
+use bft_sim_protocols::{pbft, ProtocolParams};
+
+#[test]
+fn baseline_and_core_agree_on_pbft_decisions() {
+    let n = 7;
+    // Constant sub-λ delay: no view changes, so both simulators must land
+    // on identical decided values (timings legitimately differ).
+    let core_cfg = RunConfig::new(n)
+        .with_seed(5)
+        .with_target_decisions(3)
+        .with_time_cap(SimDuration::from_secs(120.0));
+    let params = ProtocolParams::new(core_cfg.n, core_cfg.f, 11);
+    let core_result = SimulationBuilder::new(core_cfg)
+        .network(ConstantNetwork::new(SimDuration::from_millis(100.0)))
+        .protocols(pbft::factory(params))
+        .build()
+        .unwrap()
+        .run();
+    assert!(core_result.is_clean());
+
+    let base_cfg = BaselineConfig::new(n)
+        .with_seed(5)
+        .with_delay(Dist::constant(100.0))
+        .with_target_decisions(3);
+    let base_result = BaselineSim::new(base_cfg, pbft::factory(params))
+        .unwrap()
+        .run()
+        .unwrap();
+    assert!(!base_result.timed_out);
+
+    for (node, (a, b)) in core_result
+        .decided
+        .iter()
+        .zip(&base_result.decided)
+        .enumerate()
+    {
+        let av: Vec<_> = a.iter().map(|&(_, v)| v).collect();
+        let bv: Vec<_> = b.iter().take(av.len()).map(|&(_, v)| v).collect();
+        assert_eq!(av, bv, "node {node} decided differently across simulators");
+    }
+}
+
+#[test]
+fn baseline_processes_many_more_events_than_core() {
+    let n = 8;
+    let core_cfg = RunConfig::new(n)
+        .with_seed(2)
+        .with_time_cap(SimDuration::from_secs(120.0));
+    let params = ProtocolParams::new(core_cfg.n, core_cfg.f, 11);
+    let core_result = SimulationBuilder::new(core_cfg)
+        .network(ConstantNetwork::new(SimDuration::from_millis(100.0)))
+        .protocols(pbft::factory(params))
+        .build()
+        .unwrap()
+        .run();
+
+    let base_cfg = BaselineConfig::new(n)
+        .with_seed(2)
+        .with_delay(Dist::constant(100.0));
+    let base_result = BaselineSim::new(base_cfg, pbft::factory(params))
+        .unwrap()
+        .run()
+        .unwrap();
+
+    assert!(
+        base_result.events_processed > 5 * core_result.events_processed,
+        "packet-level granularity should dominate: {} vs {}",
+        base_result.events_processed,
+        core_result.events_processed
+    );
+    assert!(base_result.packets_sent > base_result.messages_sent);
+}
+
+#[test]
+fn baseline_ooms_beyond_32_nodes() {
+    let params = ProtocolParams::new(33, 10, 1);
+    let err = BaselineSim::new(BaselineConfig::new(33), pbft::factory(params))
+        .err()
+        .expect("33 nodes must exceed the memory model");
+    assert!(matches!(err, BaselineError::OutOfMemory { .. }));
+
+    let params = ProtocolParams::new(32, 10, 1);
+    assert!(BaselineSim::new(BaselineConfig::new(32), pbft::factory(params)).is_ok());
+}

@@ -1,0 +1,75 @@
+//! Criterion micro-benchmarks of the simulation engine: full PBFT and
+//! HotStuff+NS runs at several sizes, event-queue throughput, and delay
+//! sampling — the hot paths behind Fig. 2's headline numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use bft_sim_core::config::RunConfig;
+use bft_sim_core::dist::Dist;
+use bft_sim_core::engine::SimulationBuilder;
+use bft_sim_core::network::SampledNetwork;
+use bft_sim_core::time::SimDuration;
+use bft_sim_protocols::registry::ProtocolKind;
+
+fn run_protocol(kind: ProtocolKind, n: usize, seed: u64) -> u64 {
+    let cfg = kind.configure(
+        RunConfig::new(n)
+            .with_seed(seed)
+            .with_lambda_ms(1000.0)
+            .with_time_cap(SimDuration::from_secs(600.0)),
+    );
+    let factory = kind.factory(&cfg, 7);
+    let result = SimulationBuilder::new(cfg)
+        .network(SampledNetwork::new(Dist::normal(250.0, 50.0)))
+        .protocols(factory)
+        .build()
+        .unwrap()
+        .run();
+    assert!(result.is_clean());
+    result.events_processed
+}
+
+fn bench_full_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_run");
+    group.sample_size(10);
+    for n in [4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("pbft", n), &n, |b, &n| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                run_protocol(ProtocolKind::Pbft, n, seed)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("hotstuff-ns", n), &n, |b, &n| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                run_protocol(ProtocolKind::HotStuffNs, n, seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_delay_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dist_sample");
+    let dists = [
+        ("constant", Dist::constant(250.0)),
+        ("uniform", Dist::uniform(200.0, 300.0)),
+        ("normal", Dist::normal(250.0, 50.0)),
+        ("exponential", Dist::exponential(250.0)),
+        ("poisson", Dist::poisson(250.0)),
+    ];
+    for (name, dist) in dists {
+        group.bench_function(name, |b| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            b.iter(|| dist.sample_delay(&mut rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_runs, bench_delay_sampling);
+criterion_main!(benches);

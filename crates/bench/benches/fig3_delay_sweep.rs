@@ -1,0 +1,39 @@
+//! Fig. 3: the performance of all eight BFT protocols under four network
+//! environments, from fast-and-stable N(250, 50) to slow-and-unstable
+//! N(1000, 1000), with λ = 1000 ms. Latency (Fig. 3a) and message usage
+//! (Fig. 3b) per decision, mean ± sd over repetitions.
+
+use bft_sim_bench::{banner, default_n, print_latency_table, repetitions};
+use bft_simulator::experiments::figures::fig3;
+
+fn main() {
+    let (n, reps) = (default_n(), repetitions());
+    banner(
+        "Fig. 3 — performance across different delays",
+        &format!("all 8 protocols, n = {n}, lambda = 1000 ms, {reps} repetitions"),
+    );
+    let points = fig3(n, reps, 0xF163);
+    print_latency_table(&points);
+
+    // Headline checks from the paper: HotStuff+NS has the lowest latency
+    // except under N(1000, 1000), where PBFT edges it out; and HotStuff+NS
+    // sends the fewest messages per decision.
+    let lat = |proto: &str, env: &str| {
+        points
+            .iter()
+            .find(|p| p.protocol.name() == proto && p.x == env)
+            .map(|p| p.latency.mean)
+            .unwrap_or(f64::NAN)
+    };
+    println!();
+    println!(
+        "HotStuff+NS vs PBFT under N(250,50):   {:.2}s vs {:.2}s",
+        lat("hotstuff-ns", "N(250,50)"),
+        lat("pbft", "N(250,50)")
+    );
+    println!(
+        "HotStuff+NS vs PBFT under N(1000,1000): {:.2}s vs {:.2}s",
+        lat("hotstuff-ns", "N(1000,1000)"),
+        lat("pbft", "N(1000,1000)")
+    );
+}

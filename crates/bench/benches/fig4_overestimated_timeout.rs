@@ -1,0 +1,38 @@
+//! Fig. 4: latency when the timeout is overestimated — λ raised from
+//! 1000 ms to 3000 ms while the network stays at N(250, 50). Only the
+//! synchronous (non-responsive) protocols slow down; the responsive ones
+//! (async BA, PBFT, HotStuff+NS, LibraBFT) are unaffected.
+
+use bft_sim_bench::{banner, default_n, print_latency_table, repetitions};
+use bft_simulator::experiments::figures::fig4;
+use bft_simulator::prelude::ProtocolKind;
+
+fn main() {
+    let (n, reps) = (default_n(), repetitions());
+    banner(
+        "Fig. 4 — latency with an overestimated timeout",
+        &format!("n = {n}, delays N(250, 50), {reps} repetitions"),
+    );
+    let lambdas = [1000.0, 1500.0, 2000.0, 2500.0, 3000.0];
+    let points = fig4(n, reps, 0xF164, &lambdas);
+    print_latency_table(&points);
+
+    println!();
+    for kind in ProtocolKind::all() {
+        let series: Vec<f64> = points
+            .iter()
+            .filter(|p| p.protocol == kind)
+            .map(|p| p.latency.mean)
+            .collect();
+        let growth = series.last().unwrap_or(&0.0) / series.first().unwrap_or(&1.0).max(1e-9);
+        println!(
+            "{:<12} latency growth 1000->3000 ms: {growth:5.2}x ({})",
+            kind.name(),
+            if kind.responsive() {
+                "responsive: expected ~1x"
+            } else {
+                "timer-paced: expected ~3x"
+            }
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Fig. 6: time usage under a network-partition attack that splits the
+//! nodes in half and resolves after 20 s (the dotted line in the paper's
+//! figure). Most protocols terminate a few seconds after the partition
+//! resolves; HotStuff+NS needs on the order of an extra hundred seconds
+//! because its naive synchronizer's doubled timeouts overshoot.
+
+use bft_sim_bench::{banner, default_n, print_latency_table, repetitions};
+use bft_simulator::experiments::figures::fig6;
+
+fn main() {
+    let (n, reps) = (default_n(), repetitions());
+    let resolve_s = 20.0;
+    banner(
+        "Fig. 6 — time usage under a network partition attack",
+        &format!(
+            "halved network, resolves at {resolve_s} s; n = {n}, lambda = 1000 ms, {reps} repetitions"
+        ),
+    );
+    let points = fig6(n, reps, 0xF166, resolve_s);
+    print_latency_table(&points);
+
+    println!();
+    for p in &points {
+        let extra = p.latency.mean - resolve_s;
+        println!(
+            "{:<12} terminates {extra:7.1} s after the partition resolves",
+            p.protocol.name()
+        );
+    }
+}

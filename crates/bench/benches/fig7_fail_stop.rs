@@ -1,0 +1,19 @@
+//! Fig. 7: time usage across different numbers of fail-stop nodes
+//! (λ = 1000 ms, delays N(1000, 300)). The paper's finding: the partially
+//! synchronous protocols are *less* resilient to fail-stop nodes because
+//! they wait on messages from a quorum of live nodes, and HotStuff+NS
+//! degrades drastically (crashed round-robin leaders stall its chain).
+
+use bft_sim_bench::{banner, default_n, print_latency_table, repetitions};
+use bft_simulator::experiments::figures::fig7;
+
+fn main() {
+    let (n, reps) = (default_n(), repetitions());
+    banner(
+        "Fig. 7 — time usage vs number of fail-stop nodes",
+        &format!("n = {n}, lambda = 1000 ms, delays N(1000, 300), {reps} repetitions"),
+    );
+    let counts = [0, 1, 2, 3, 4, 5];
+    let points = fig7(n, reps, 0xF167, &counts);
+    print_latency_table(&points);
+}

@@ -1,0 +1,65 @@
+//! Fig. 9: each node's view over time during a HotStuff+NS execution with
+//! an underestimated timeout (λ = 150 ms, N(250, 50)).
+//!
+//! The paper's visualisation shows the nodes' views diverging after a few
+//! seconds and re-converging only much later (up to ~80 s in extreme
+//! cases). This harness prints each node's view timeline plus an ASCII
+//! divergence strip (number of distinct views across nodes per second).
+
+use bft_sim_bench::{banner, default_n};
+use bft_simulator::experiments::figures::fig9;
+
+fn main() {
+    let n = default_n();
+    // Default to a seed that exhibits the view-divergence pathology — the
+    // paper's Fig. 9 likewise shows one extreme execution, not a typical
+    // one. Override with BFT_SIM_SEED.
+    let seed: u64 = std::env::var("BFT_SIM_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(167);
+    banner(
+        "Fig. 9 — per-node views during HotStuff+NS execution",
+        &format!("n = {n}, lambda = 150 ms, delays N(250, 50), seed {seed}"),
+    );
+    let timelines = fig9(n, seed);
+
+    let end = timelines
+        .iter()
+        .flat_map(|(_, t)| t.last().map(|&(s, _)| s))
+        .fold(0.0f64, f64::max);
+    println!("run spanned {end:.1} s of simulated time");
+    println!();
+
+    for (node, timeline) in &timelines {
+        let compact: Vec<String> = timeline
+            .iter()
+            .map(|(t, v)| format!("{t:.1}s->v{v}"))
+            .collect();
+        println!("{node}: {}", compact.join(" "));
+    }
+
+    // Divergence strip: distinct views held across nodes, sampled per second.
+    println!();
+    println!("view divergence per second (1 = synchronized):");
+    let horizon = end.ceil() as u64 + 1;
+    let mut strip = String::new();
+    for sec in 0..horizon {
+        let t = sec as f64;
+        let mut views = std::collections::HashSet::new();
+        for (_, timeline) in &timelines {
+            let v = timeline
+                .iter()
+                .take_while(|&&(ts, _)| ts <= t)
+                .last()
+                .map(|&(_, v)| v)
+                .unwrap_or(0);
+            views.insert(v);
+        }
+        strip.push(char::from_digit(views.len().min(9) as u32, 10).unwrap_or('9'));
+        if sec % 80 == 79 {
+            strip.push('\n');
+        }
+    }
+    println!("{strip}");
+}

@@ -1,0 +1,591 @@
+//! # bft-sim-cli
+//!
+//! Command-line front end for the BFT simulator. The paper's workflow —
+//! "write a configuration specifying the network model and parameters, the
+//! BFT protocol, and optionally the attack scenario" — maps to flags or a
+//! JSON config file:
+//!
+//! ```text
+//! bft-sim run --protocol pbft --nodes 16 --lambda 1000 \
+//!             --delay-mu 250 --delay-sigma 50 --reps 100
+//! bft-sim run --config experiment.json
+//! bft-sim compare --nodes 16 --reps 20
+//! bft-sim fig 5
+//! bft-sim table 1
+//! bft-sim list
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use bft_sim_core::dist::Dist;
+use bft_simulator::experiments::{figures, loc, AttackSpec, Scenario};
+use bft_simulator::prelude::ProtocolKind;
+use serde::{Deserialize, Serialize};
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run one scenario (repeatedly) and print its metrics.
+    Run(RunSpec),
+    /// Run every protocol under one network condition.
+    Compare(RunSpec),
+    /// Regenerate one of the paper's figures.
+    Fig(u8),
+    /// Regenerate one of the paper's tables.
+    Table(u8),
+    /// List available protocols.
+    List,
+    /// Print usage.
+    Help,
+}
+
+/// Scenario parameters shared by `run` and `compare` (JSON-compatible, so
+/// `--config file.json` loads the same structure).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSpec {
+    /// Protocol short name (ignored by `compare`).
+    #[serde(default = "default_protocol")]
+    pub protocol: String,
+    /// Number of nodes.
+    #[serde(default = "default_nodes")]
+    pub nodes: usize,
+    /// Timeout parameter λ in ms.
+    #[serde(default = "default_lambda")]
+    pub lambda_ms: f64,
+    /// Mean network delay (ms).
+    #[serde(default = "default_mu")]
+    pub delay_mu: f64,
+    /// Network delay standard deviation (ms).
+    #[serde(default = "default_sigma")]
+    pub delay_sigma: f64,
+    /// Repetitions.
+    #[serde(default = "default_reps")]
+    pub reps: usize,
+    /// Base RNG seed.
+    #[serde(default)]
+    pub seed: u64,
+    /// Attack: `none`, `failstop:K`, `partition:START_MS:END_MS`,
+    /// `add-static:K`, `add-adaptive`.
+    #[serde(default = "default_attack")]
+    pub attack: String,
+    /// Emit JSON instead of a table.
+    #[serde(default)]
+    pub json: bool,
+    /// Computation-cost model for throughput estimation:
+    /// `none`, `ed25519`, `rsa2048` or `mac`.
+    #[serde(default = "default_cost")]
+    pub cost: String,
+}
+
+fn default_protocol() -> String {
+    "pbft".into()
+}
+fn default_nodes() -> usize {
+    16
+}
+fn default_lambda() -> f64 {
+    1000.0
+}
+fn default_mu() -> f64 {
+    250.0
+}
+fn default_sigma() -> f64 {
+    50.0
+}
+fn default_reps() -> usize {
+    10
+}
+fn default_attack() -> String {
+    "none".into()
+}
+fn default_cost() -> String {
+    "none".into()
+}
+
+impl Default for RunSpec {
+    fn default() -> Self {
+        RunSpec {
+            protocol: default_protocol(),
+            nodes: default_nodes(),
+            lambda_ms: default_lambda(),
+            delay_mu: default_mu(),
+            delay_sigma: default_sigma(),
+            reps: default_reps(),
+            seed: 0,
+            attack: default_attack(),
+            json: false,
+            cost: default_cost(),
+        }
+    }
+}
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl core::fmt::Display for CliError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parses the attack flag syntax.
+pub fn parse_attack(s: &str) -> Result<AttackSpec, CliError> {
+    let parts: Vec<&str> = s.split(':').collect();
+    match parts.as_slice() {
+        ["none"] => Ok(AttackSpec::None),
+        ["failstop", k] => k
+            .parse()
+            .map(AttackSpec::FailStopLast)
+            .map_err(|_| CliError(format!("bad failstop count: {k}"))),
+        ["partition", start, end] => {
+            let start_ms = start
+                .parse()
+                .map_err(|_| CliError(format!("bad partition start: {start}")))?;
+            let end_ms = end
+                .parse()
+                .map_err(|_| CliError(format!("bad partition end: {end}")))?;
+            Ok(AttackSpec::Partition {
+                start_ms,
+                end_ms,
+                drop: false,
+            })
+        }
+        ["add-static", k] => k
+            .parse()
+            .map(AttackSpec::AddStatic)
+            .map_err(|_| CliError(format!("bad add-static count: {k}"))),
+        ["add-adaptive"] => Ok(AttackSpec::AddAdaptive),
+        _ => Err(CliError(format!(
+            "unknown attack '{s}' (try none, failstop:K, partition:S:E, add-static:K, add-adaptive)"
+        ))),
+    }
+}
+
+/// Parses argv (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "list" => Ok(Command::List),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "fig" => {
+            let n = it
+                .next()
+                .ok_or_else(|| CliError("fig needs a number 2..=9".into()))?;
+            let n: u8 = n.parse().map_err(|_| CliError(format!("bad figure: {n}")))?;
+            if !(2..=9).contains(&n) {
+                return Err(CliError(format!("no figure {n} (valid: 2..=9)")));
+            }
+            Ok(Command::Fig(n))
+        }
+        "table" => {
+            let n = it
+                .next()
+                .ok_or_else(|| CliError("table needs 1 or 2".into()))?;
+            let n: u8 = n.parse().map_err(|_| CliError(format!("bad table: {n}")))?;
+            if !(1..=2).contains(&n) {
+                return Err(CliError(format!("no table {n} (valid: 1, 2)")));
+            }
+            Ok(Command::Table(n))
+        }
+        "run" | "compare" => {
+            let spec = parse_run_spec(&args[1..])?;
+            if cmd == "run" {
+                Ok(Command::Run(spec))
+            } else {
+                Ok(Command::Compare(spec))
+            }
+        }
+        other => Err(CliError(format!("unknown command '{other}'"))),
+    }
+}
+
+fn parse_run_spec(args: &[String]) -> Result<RunSpec, CliError> {
+    let mut spec = RunSpec::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError(format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--config" => {
+                let path = value("--config")?;
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+                spec = serde_json::from_str(&text)
+                    .map_err(|e| CliError(format!("bad config {path}: {e}")))?;
+            }
+            "--protocol" => spec.protocol = value("--protocol")?,
+            "--nodes" => {
+                spec.nodes = value("--nodes")?
+                    .parse()
+                    .map_err(|_| CliError("bad --nodes".into()))?
+            }
+            "--lambda" => {
+                spec.lambda_ms = value("--lambda")?
+                    .parse()
+                    .map_err(|_| CliError("bad --lambda".into()))?
+            }
+            "--delay-mu" => {
+                spec.delay_mu = value("--delay-mu")?
+                    .parse()
+                    .map_err(|_| CliError("bad --delay-mu".into()))?
+            }
+            "--delay-sigma" => {
+                spec.delay_sigma = value("--delay-sigma")?
+                    .parse()
+                    .map_err(|_| CliError("bad --delay-sigma".into()))?
+            }
+            "--reps" => {
+                spec.reps = value("--reps")?
+                    .parse()
+                    .map_err(|_| CliError("bad --reps".into()))?
+            }
+            "--seed" => {
+                spec.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| CliError("bad --seed".into()))?
+            }
+            "--attack" => spec.attack = value("--attack")?,
+            "--cost" => spec.cost = value("--cost")?,
+            "--json" => spec.json = true,
+            other => return Err(CliError(format!("unknown flag '{other}'"))),
+        }
+    }
+    Ok(spec)
+}
+
+/// One protocol's aggregated results, as printed / serialised by `run` and
+/// `compare`.
+#[derive(Debug, Serialize)]
+pub struct Report {
+    /// Protocol short name.
+    pub protocol: String,
+    /// Mean latency (s).
+    pub latency_mean_s: f64,
+    /// Latency standard deviation (s).
+    pub latency_sd_s: f64,
+    /// Mean messages per decision.
+    pub messages_mean: f64,
+    /// Message standard deviation.
+    pub messages_sd: f64,
+    /// Fraction of repetitions that timed out.
+    pub timeout_rate: f64,
+    /// Repetitions run.
+    pub reps: usize,
+    /// Estimated sustainable decisions/second under the chosen cost model
+    /// (`None` when `--cost none`).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub est_max_decisions_per_sec: Option<f64>,
+}
+
+/// Runs one protocol per the spec and returns its report.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown attacks or if any repetition reports a
+/// safety violation.
+pub fn run_one(kind: ProtocolKind, spec: &RunSpec) -> Result<Report, CliError> {
+    use bft_simulator::experiments::cost::CostModel;
+    let cost_model = match spec.cost.as_str() {
+        "none" => None,
+        "ed25519" => Some(CostModel::ed25519()),
+        "rsa2048" => Some(CostModel::rsa2048()),
+        "mac" => Some(CostModel::mac()),
+        other => return Err(CliError(format!("unknown cost model '{other}'"))),
+    };
+    let attack = parse_attack(&spec.attack)?;
+    let scenario = Scenario::new(kind, spec.nodes)
+        .with_lambda(spec.lambda_ms)
+        .with_delay(Dist::normal(spec.delay_mu, spec.delay_sigma))
+        .with_attack(attack);
+    let results = scenario.run_many(spec.reps, spec.seed);
+    for r in &results {
+        if let Some(v) = &r.safety_violation {
+            return Err(CliError(format!("safety violation: {v}")));
+        }
+    }
+    let lat = scenario.latency_summary(&results);
+    let msg = scenario.message_summary(&results);
+    let timeouts = results.iter().filter(|r| r.timed_out).count();
+    let est_max_decisions_per_sec = cost_model.and_then(|model| {
+        results
+            .first()
+            .map(|r| model.estimate(r).max_decisions_per_sec)
+    });
+    Ok(Report {
+        protocol: kind.name().to_string(),
+        latency_mean_s: lat.mean,
+        latency_sd_s: lat.std_dev,
+        messages_mean: msg.mean,
+        messages_sd: msg.std_dev,
+        timeout_rate: timeouts as f64 / spec.reps.max(1) as f64,
+        reps: spec.reps,
+        est_max_decisions_per_sec,
+    })
+}
+
+/// Executes a parsed command, writing human or JSON output to stdout.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown protocols/attacks and simulation-level
+/// failures; parse errors are reported by [`parse_args`].
+pub fn execute(cmd: Command) -> Result<(), CliError> {
+    match cmd {
+        Command::Help => {
+            println!("{}", usage());
+        }
+        Command::List => {
+            println!(
+                "{:<14} {:<24} {:<10} {}",
+                "protocol", "network model", "measured", "responsive"
+            );
+            for kind in ProtocolKind::extended() {
+                println!(
+                    "{:<14} {:<24} {:<10} {}",
+                    kind.name(),
+                    kind.network_assumption().to_string(),
+                    format!("{} dec.", kind.measured_decisions()),
+                    kind.responsive()
+                );
+            }
+        }
+        Command::Run(spec) => {
+            let kind = ProtocolKind::parse(&spec.protocol)
+                .ok_or_else(|| CliError(format!("unknown protocol '{}'", spec.protocol)))?;
+            let report = run_one(kind, &spec)?;
+            emit(&[report], spec.json);
+        }
+        Command::Compare(spec) => {
+            let mut reports = Vec::new();
+            for kind in ProtocolKind::all() {
+                reports.push(run_one(kind, &spec)?);
+            }
+            emit(&reports, spec.json);
+        }
+        Command::Fig(which) => run_figure(which),
+        Command::Table(which) => match which {
+            1 => {
+                for row in loc::table1() {
+                    println!("{:<14} {:<24} {:>6}", row.name, row.network, row.loc);
+                }
+            }
+            _ => {
+                for row in loc::table2() {
+                    println!("{:<20} {:<22} {:>6}", row.name, row.capability, row.loc);
+                }
+            }
+        },
+    }
+    Ok(())
+}
+
+fn emit(reports: &[Report], json: bool) {
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(reports).expect("reports serialise")
+        );
+        return;
+    }
+    println!(
+        "{:<14} {:>10} {:>10} {:>12} {:>12} {:>9} {:>14}",
+        "protocol", "lat (s)", "±sd", "msgs/dec", "±sd", "timeouts", "est. dec/s"
+    );
+    for r in reports {
+        let throughput = r
+            .est_max_decisions_per_sec
+            .map(|t| format!("{t:.1}"))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:<14} {:>10.3} {:>10.3} {:>12.1} {:>12.1} {:>8.0}% {:>14}",
+            r.protocol,
+            r.latency_mean_s,
+            r.latency_sd_s,
+            r.messages_mean,
+            r.messages_sd,
+            r.timeout_rate * 100.0,
+            throughput
+        );
+    }
+}
+
+fn run_figure(which: u8) {
+    // Small interactive defaults; the bench harnesses run the full sweeps.
+    let (n, reps, seed) = (16, 10, 0xC11);
+    match which {
+        2 => {
+            for row in figures::fig2(&[4, 8, 16, 32, 64], 1, seed) {
+                println!(
+                    "n={:<4} ours {:8.2} ms   baseline {}",
+                    row.n,
+                    row.core_wall_ms.mean,
+                    match (&row.baseline_wall_ms, row.baseline_oom) {
+                        (Some(s), _) => format!("{:10.2} ms", s.mean),
+                        _ => "OUT OF MEMORY".into(),
+                    }
+                );
+            }
+        }
+        3 => print_points(&figures::fig3(n, reps, seed)),
+        4 => print_points(&figures::fig4(n, reps, seed, &[1000.0, 2000.0, 3000.0])),
+        5 => print_points(&figures::fig5(n, reps, seed, &[150.0, 500.0, 1000.0])),
+        6 => print_points(&figures::fig6(n, reps, seed, 20.0)),
+        7 => print_points(&figures::fig7(n, reps, seed, &[0, 2, 4])),
+        8 => print_points(&figures::fig8(n, reps, seed)),
+        _ => {
+            for (node, timeline) in figures::fig9(n, seed) {
+                let s: Vec<String> = timeline
+                    .iter()
+                    .map(|(t, v)| format!("{t:.1}s->v{v}"))
+                    .collect();
+                println!("{node}: {}", s.join(" "));
+            }
+        }
+    }
+}
+
+fn print_points(points: &[figures::Point]) {
+    for p in points {
+        println!(
+            "{:<14} {:<16} lat {:8.3} ± {:7.3} s   msgs {:10.1}   timeouts {:3.0}%",
+            p.protocol.name(),
+            p.x,
+            p.latency.mean,
+            p.latency.std_dev,
+            p.messages.mean,
+            p.timeout_rate * 100.0
+        );
+    }
+}
+
+/// The usage string.
+pub fn usage() -> &'static str {
+    "bft-sim — discrete-event simulator for BFT protocols
+
+USAGE:
+    bft-sim run      --protocol NAME [--nodes N] [--lambda MS] [--delay-mu MS]
+                     [--delay-sigma MS] [--reps K] [--seed S] [--attack SPEC]
+                     [--cost none|ed25519|rsa2048|mac] [--json] [--config FILE.json]
+    bft-sim compare  [same flags; runs all eight protocols]
+    bft-sim fig N    regenerate figure N (2..=9) with small defaults
+    bft-sim table N  regenerate table N (1 or 2)
+    bft-sim list     list protocols
+
+ATTACK SPECS:
+    none | failstop:K | partition:START_MS:END_MS | add-static:K | add-adaptive"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_commands() {
+        assert_eq!(parse_args(&args(&["list"])).unwrap(), Command::List);
+        assert_eq!(parse_args(&args(&["fig", "5"])).unwrap(), Command::Fig(5));
+        assert_eq!(parse_args(&args(&["table", "1"])).unwrap(), Command::Table(1));
+        assert!(parse_args(&args(&["fig", "12"])).is_err());
+        assert!(parse_args(&args(&["bogus"])).is_err());
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parses_run_flags() {
+        let cmd = parse_args(&args(&[
+            "run",
+            "--protocol",
+            "librabft",
+            "--nodes",
+            "7",
+            "--lambda",
+            "500",
+            "--reps",
+            "3",
+            "--attack",
+            "failstop:2",
+            "--json",
+        ]))
+        .unwrap();
+        let Command::Run(spec) = cmd else {
+            panic!("expected run");
+        };
+        assert_eq!(spec.protocol, "librabft");
+        assert_eq!(spec.nodes, 7);
+        assert_eq!(spec.lambda_ms, 500.0);
+        assert_eq!(spec.reps, 3);
+        assert!(spec.json);
+        assert_eq!(
+            parse_attack(&spec.attack).unwrap(),
+            AttackSpec::FailStopLast(2)
+        );
+    }
+
+    #[test]
+    fn parses_attacks() {
+        assert_eq!(parse_attack("none").unwrap(), AttackSpec::None);
+        assert_eq!(
+            parse_attack("partition:100:2000").unwrap(),
+            AttackSpec::Partition {
+                start_ms: 100,
+                end_ms: 2000,
+                drop: false
+            }
+        );
+        assert_eq!(parse_attack("add-adaptive").unwrap(), AttackSpec::AddAdaptive);
+        assert!(parse_attack("meteor").is_err());
+    }
+
+    #[test]
+    fn run_one_produces_a_report() {
+        let spec = RunSpec {
+            nodes: 4,
+            reps: 2,
+            ..RunSpec::default()
+        };
+        let report = run_one(ProtocolKind::Pbft, &spec).unwrap();
+        assert_eq!(report.protocol, "pbft");
+        assert!(report.latency_mean_s > 0.0);
+        assert_eq!(report.timeout_rate, 0.0);
+    }
+
+    #[test]
+    fn unknown_protocol_is_an_error() {
+        let spec = RunSpec {
+            protocol: "raft".into(),
+            ..RunSpec::default()
+        };
+        assert!(execute(Command::Run(spec)).is_err());
+    }
+
+    #[test]
+    fn config_file_round_trip() {
+        let spec = RunSpec {
+            protocol: "algorand".into(),
+            nodes: 10,
+            ..RunSpec::default()
+        };
+        let json = serde_json::to_string(&spec).unwrap();
+        let path = std::env::temp_dir().join("bft_sim_cli_test_config.json");
+        std::fs::write(&path, &json).unwrap();
+        let cmd = parse_args(&args(&["run", "--config", path.to_str().unwrap()])).unwrap();
+        let Command::Run(loaded) = cmd else {
+            panic!("expected run");
+        };
+        assert_eq!(loaded, spec);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,331 @@
+//! The attacker module: a global abstracted adversary.
+//!
+//! Instead of instantiating individual Byzantine nodes, the simulator routes
+//! **every** message through one global [`Adversary`] (§III-A5). Because the
+//! adversary observes each message before it is delivered, it is *rushing by
+//! construction*; because it can corrupt nodes mid-run (up to the fault
+//! budget `f`), it can be *adaptive*; and because it can drop, delay, modify
+//! and inject messages, corrupting a node's message stream is equivalent to
+//! controlling the node itself.
+
+use std::collections::HashSet;
+
+use rand::rngs::SmallRng;
+
+use crate::ids::NodeId;
+use crate::message::Message;
+use crate::payload::Payload;
+use crate::time::{SimDuration, SimTime};
+
+/// What the adversary decided to do with an intercepted message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fate {
+    /// Deliver after the given delay (possibly different from the network's
+    /// proposed delay).
+    Deliver(SimDuration),
+    /// Silently drop the message.
+    Drop,
+}
+
+/// Buffered adversary effects, applied by the engine after the callback.
+#[derive(Debug)]
+pub(crate) enum AdvAction {
+    Inject {
+        src: NodeId,
+        dst: NodeId,
+        delay: SimDuration,
+        payload: Box<dyn Payload>,
+    },
+    Corrupt(NodeId),
+    Crash(NodeId),
+    SetTimer {
+        tag: u64,
+        delay: SimDuration,
+    },
+}
+
+/// Capabilities handed to adversary callbacks.
+///
+/// Inject/corrupt/crash requests are buffered and applied by the controller
+/// after the callback returns; corruption beyond the fault budget is refused.
+#[derive(Debug)]
+pub struct AdversaryApi<'a> {
+    now: SimTime,
+    n: usize,
+    f: usize,
+    lambda: SimDuration,
+    corrupted: &'a HashSet<NodeId>,
+    crashed: &'a HashSet<NodeId>,
+    budget_left: usize,
+    rng: &'a mut SmallRng,
+    actions: &'a mut Vec<AdvAction>,
+}
+
+impl<'a> AdversaryApi<'a> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        now: SimTime,
+        n: usize,
+        f: usize,
+        lambda: SimDuration,
+        corrupted: &'a HashSet<NodeId>,
+        crashed: &'a HashSet<NodeId>,
+        rng: &'a mut SmallRng,
+        actions: &'a mut Vec<AdvAction>,
+    ) -> Self {
+        let budget_left = f.saturating_sub(corrupted.len());
+        AdversaryApi {
+            now,
+            n,
+            f,
+            lambda,
+            corrupted,
+            crashed,
+            budget_left,
+            rng,
+            actions,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The fault budget `f`.
+    pub fn f(&self) -> usize {
+        self.f
+    }
+
+    /// The protocols' configured timeout parameter λ — an adversary that
+    /// knows the victim's configuration can time its attack.
+    pub fn lambda(&self) -> SimDuration {
+        self.lambda
+    }
+
+    /// Nodes corrupted so far.
+    pub fn corrupted(&self) -> &HashSet<NodeId> {
+        self.corrupted
+    }
+
+    /// Whether `node` is currently corrupted.
+    pub fn is_corrupted(&self, node: NodeId) -> bool {
+        self.corrupted.contains(&node)
+    }
+
+    /// Nodes crashed (fail-stopped) so far.
+    pub fn crashed(&self) -> &HashSet<NodeId> {
+        self.crashed
+    }
+
+    /// How many more nodes may still be corrupted.
+    pub fn remaining_budget(&self) -> usize {
+        self.budget_left
+    }
+
+    /// The run RNG (the adversary's randomness is part of the seeded run).
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    /// Adaptively corrupts `node`, counting against the fault budget.
+    /// Returns `false` (and does nothing) if the budget is exhausted.
+    /// Corrupting an already-corrupted node is a free no-op.
+    pub fn corrupt(&mut self, node: NodeId) -> bool {
+        if self.is_corrupted(node) {
+            return true;
+        }
+        if self.budget_left == 0 {
+            return false;
+        }
+        self.budget_left -= 1;
+        self.actions.push(AdvAction::Corrupt(node));
+        true
+    }
+
+    /// Fail-stops `node`: it stops processing events entirely. Counts
+    /// against the fault budget like corruption (a crash is the weakest
+    /// Byzantine behaviour). Returns `false` if the budget is exhausted.
+    pub fn crash(&mut self, node: NodeId) -> bool {
+        if self.crashed.contains(&node) {
+            return true;
+        }
+        if self.budget_left == 0 {
+            return false;
+        }
+        self.budget_left -= 1;
+        self.actions.push(AdvAction::Crash(node));
+        true
+    }
+
+    /// Injects a forged message claiming to be from `src`, delivered to
+    /// `dst` after `delay`.
+    pub fn inject<P: Payload + 'static>(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        delay: SimDuration,
+        payload: P,
+    ) {
+        self.actions.push(AdvAction::Inject {
+            src,
+            dst,
+            delay,
+            payload: Box::new(payload),
+        });
+    }
+
+    /// Registers an adversary time event; `on_timer` fires with `tag` after
+    /// `delay`.
+    pub fn set_timer(&mut self, tag: u64, delay: SimDuration) {
+        self.actions.push(AdvAction::SetTimer { tag, delay });
+    }
+}
+
+/// A global attacker. Implement [`attack`](Adversary::attack) (the paper's
+/// message-interception callback) and optionally
+/// [`on_timer`](Adversary::on_timer) for time-triggered behaviour.
+pub trait Adversary: Send {
+    /// Called once at simulation start.
+    fn init(&mut self, api: &mut AdversaryApi<'_>) {
+        let _ = api;
+    }
+
+    /// Called for every message after the network proposed a delay and
+    /// before the message event is scheduled. The default is to deliver
+    /// unmodified with the proposed delay.
+    fn attack(&mut self, msg: &mut Message, proposed: SimDuration, api: &mut AdversaryApi<'_>) -> Fate {
+        let _ = (msg, api);
+        Fate::Deliver(proposed)
+    }
+
+    /// Called when an adversary time event registered via
+    /// [`AdversaryApi::set_timer`] fires.
+    fn on_timer(&mut self, tag: u64, api: &mut AdversaryApi<'_>) {
+        let _ = (tag, api);
+    }
+
+    /// Human-readable attacker name for results and traces.
+    fn name(&self) -> &'static str {
+        "adversary"
+    }
+}
+
+/// The benign adversary: delivers everything untouched.
+#[derive(Debug, Clone, Default)]
+pub struct NullAdversary;
+
+impl NullAdversary {
+    /// Creates the benign adversary.
+    pub fn new() -> Self {
+        NullAdversary
+    }
+}
+
+impl Adversary for NullAdversary {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn corruption_budget_is_enforced() {
+        let corrupted = HashSet::new();
+        let crashed = HashSet::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut actions = Vec::new();
+        let mut api = AdversaryApi::new(
+            SimTime::ZERO,
+            4,
+            1,
+            SimDuration::from_millis(1000.0),
+            &corrupted,
+            &crashed,
+            &mut rng,
+            &mut actions,
+        );
+        assert_eq!(api.remaining_budget(), 1);
+        assert!(api.corrupt(NodeId::new(0)));
+        assert!(!api.corrupt(NodeId::new(1)), "budget exhausted");
+        assert_eq!(actions.len(), 1);
+    }
+
+    #[test]
+    fn recorrupting_is_free() {
+        let corrupted: HashSet<NodeId> = [NodeId::new(2)].into_iter().collect();
+        let crashed = HashSet::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut actions = Vec::new();
+        let mut api = AdversaryApi::new(
+            SimTime::ZERO,
+            4,
+            1,
+            SimDuration::ZERO,
+            &corrupted,
+            &crashed,
+            &mut rng,
+            &mut actions,
+        );
+        assert_eq!(api.remaining_budget(), 0);
+        assert!(api.corrupt(NodeId::new(2)), "already corrupted: no-op ok");
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn crash_shares_the_budget() {
+        let corrupted = HashSet::new();
+        let crashed = HashSet::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut actions = Vec::new();
+        let mut api = AdversaryApi::new(
+            SimTime::ZERO,
+            7,
+            2,
+            SimDuration::ZERO,
+            &corrupted,
+            &crashed,
+            &mut rng,
+            &mut actions,
+        );
+        assert!(api.crash(NodeId::new(0)));
+        assert!(api.corrupt(NodeId::new(1)));
+        assert!(!api.crash(NodeId::new(2)));
+    }
+
+    #[test]
+    fn null_adversary_delivers() {
+        let corrupted = HashSet::new();
+        let crashed = HashSet::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut actions = Vec::new();
+        let mut api = AdversaryApi::new(
+            SimTime::ZERO,
+            4,
+            1,
+            SimDuration::ZERO,
+            &corrupted,
+            &crashed,
+            &mut rng,
+            &mut actions,
+        );
+        let mut adv = NullAdversary::new();
+        let mut msg = Message::new(
+            NodeId::new(0),
+            NodeId::new(1),
+            SimTime::ZERO,
+            crate::payload::boxed(7u8),
+        );
+        let fate = adv.attack(&mut msg, SimDuration::from_millis(5.0), &mut api);
+        assert_eq!(fate, Fate::Deliver(SimDuration::from_millis(5.0)));
+    }
+}

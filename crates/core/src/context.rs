@@ -1,0 +1,257 @@
+//! The interface a protocol uses to interact with the simulation — sending
+//! messages, registering time events, and reporting results (the paper's
+//! `reportToSystem`).
+
+use rand::rngs::SmallRng;
+
+use crate::ids::{NodeId, TimerId};
+use crate::payload::Payload;
+use crate::time::{SimDuration, SimTime};
+use crate::value::Value;
+
+/// Buffered effects of one protocol callback; the engine applies them after
+/// the callback returns (which keeps the callback free of engine borrows).
+#[derive(Debug)]
+pub(crate) enum Action {
+    Send {
+        dst: NodeId,
+        payload: Box<dyn Payload>,
+    },
+    Broadcast {
+        payload: Box<dyn Payload>,
+        include_self: bool,
+    },
+    SendSelf {
+        payload: Box<dyn Payload>,
+        delay: SimDuration,
+    },
+    SetTimer {
+        id: TimerId,
+        delay: SimDuration,
+        payload: Box<dyn Payload>,
+    },
+    CancelTimer(TimerId),
+    Decide(Value),
+    EnterView(u64),
+    Custom {
+        label: String,
+        detail: String,
+    },
+}
+
+/// Handle passed to every [`Protocol`](crate::protocol::Protocol) callback.
+///
+/// Mirrors the consensus-module interface of §III-A3: messages go out through
+/// the network module, time events are registered with the controller, and
+/// decisions are reported back to the system.
+#[derive(Debug)]
+pub struct Context<'a> {
+    node: NodeId,
+    now: SimTime,
+    n: usize,
+    f: usize,
+    lambda: SimDuration,
+    rng: &'a mut SmallRng,
+    actions: &'a mut Vec<Action>,
+    next_timer_id: &'a mut u64,
+}
+
+impl<'a> Context<'a> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        node: NodeId,
+        now: SimTime,
+        n: usize,
+        f: usize,
+        lambda: SimDuration,
+        rng: &'a mut SmallRng,
+        actions: &'a mut Vec<Action>,
+        next_timer_id: &'a mut u64,
+    ) -> Self {
+        Context {
+            node,
+            now,
+            n,
+            f,
+            lambda,
+            rng,
+            actions,
+            next_timer_id,
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of nodes `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Fault budget `f`.
+    pub fn f(&self) -> usize {
+        self.f
+    }
+
+    /// The configured network-delay estimate λ (the protocol timeout
+    /// parameter from the paper's evaluation).
+    pub fn lambda(&self) -> SimDuration {
+        self.lambda
+    }
+
+    /// The run's deterministic RNG. All protocol randomness must come from
+    /// here to keep runs reproducible.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    /// Sends `payload` to `dst` through the network module. The message is
+    /// assigned a delay by the network model and passes through the attacker
+    /// module before delivery.
+    pub fn send<P: Payload + 'static>(&mut self, dst: NodeId, payload: P) {
+        self.actions.push(Action::Send {
+            dst,
+            payload: Box::new(payload),
+        });
+    }
+
+    /// Sends `payload` to every *other* node (n − 1 transmissions).
+    pub fn broadcast<P: Payload + 'static>(&mut self, payload: P) {
+        self.actions.push(Action::Broadcast {
+            payload: Box::new(payload),
+            include_self: false,
+        });
+    }
+
+    /// Sends `payload` to every node including itself. The self-copy is
+    /// delivered locally at the current time without traversing the network
+    /// (and is not counted as a transmitted message).
+    pub fn broadcast_all<P: Payload + 'static>(&mut self, payload: P) {
+        self.actions.push(Action::Broadcast {
+            payload: Box::new(payload),
+            include_self: true,
+        });
+    }
+
+    /// Delivers `payload` back to this node at the current time. Useful for
+    /// protocol-internal state transitions expressed as messages.
+    pub fn send_self<P: Payload + 'static>(&mut self, payload: P) {
+        self.actions.push(Action::SendSelf {
+            payload: Box::new(payload),
+            delay: SimDuration::ZERO,
+        });
+    }
+
+    /// Registers a time event `delay` from now; the controller will call
+    /// `on_timer` with the given payload. Returns an id usable with
+    /// [`cancel_timer`](Context::cancel_timer).
+    pub fn set_timer<P: Payload + 'static>(&mut self, delay: SimDuration, payload: P) -> TimerId {
+        let id = TimerId(*self.next_timer_id);
+        *self.next_timer_id += 1;
+        self.actions.push(Action::SetTimer {
+            id,
+            delay,
+            payload: Box::new(payload),
+        });
+        id
+    }
+
+    /// Cancels a pending timer. Cancelling an already-fired or unknown timer
+    /// is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.actions.push(Action::CancelTimer(id));
+    }
+
+    /// Reports that this node decided `value` for its next consensus slot
+    /// (slots are decided in order; the controller assigns the index).
+    pub fn decide(&mut self, value: Value) {
+        self.actions.push(Action::Decide(value));
+    }
+
+    /// Reports that this node entered view/round `view` — recorded in the
+    /// trace and used for the paper's view-synchronisation analysis (Fig. 9).
+    pub fn enter_view(&mut self, view: u64) {
+        self.actions.push(Action::EnterView(view));
+    }
+
+    /// Records a protocol-defined trace event (e.g. `"pre-prepare"`), the
+    /// hook used for cross-validation against ground-truth traces.
+    pub fn report(&mut self, label: impl Into<String>, detail: impl Into<String>) {
+        self.actions.push(Action::Custom {
+            label: label.into(),
+            detail: detail.into(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct P(u8);
+
+    fn with_ctx<R>(f: impl FnOnce(&mut Context<'_>) -> R) -> (R, Vec<Action>) {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut actions = Vec::new();
+        let mut next_timer = 0;
+        let mut ctx = Context::new(
+            NodeId::new(2),
+            SimTime::from_millis(7),
+            16,
+            5,
+            SimDuration::from_millis(1000.0),
+            &mut rng,
+            &mut actions,
+            &mut next_timer,
+        );
+        let r = f(&mut ctx);
+        (r, actions)
+    }
+
+    #[test]
+    fn identity_accessors() {
+        let ((), _) = with_ctx(|ctx| {
+            assert_eq!(ctx.id(), NodeId::new(2));
+            assert_eq!(ctx.now(), SimTime::from_millis(7));
+            assert_eq!(ctx.n(), 16);
+            assert_eq!(ctx.f(), 5);
+            assert_eq!(ctx.lambda().as_millis_f64(), 1000.0);
+        });
+    }
+
+    #[test]
+    fn actions_are_buffered_in_order() {
+        let ((), actions) = with_ctx(|ctx| {
+            ctx.send(NodeId::new(1), P(1));
+            ctx.broadcast(P(2));
+            ctx.decide(Value::ONE);
+            ctx.enter_view(3);
+        });
+        assert_eq!(actions.len(), 4);
+        assert!(matches!(actions[0], Action::Send { .. }));
+        assert!(matches!(actions[1], Action::Broadcast { include_self: false, .. }));
+        assert!(matches!(actions[2], Action::Decide(Value::ONE)));
+        assert!(matches!(actions[3], Action::EnterView(3)));
+    }
+
+    #[test]
+    fn timer_ids_are_unique_and_sequential() {
+        let ((a, b), actions) = with_ctx(|ctx| {
+            let a = ctx.set_timer(SimDuration::from_millis(10.0), P(0));
+            let b = ctx.set_timer(SimDuration::from_millis(20.0), P(1));
+            ctx.cancel_timer(a);
+            (a, b)
+        });
+        assert_ne!(a, b);
+        assert!(matches!(actions[2], Action::CancelTimer(id) if id == a));
+    }
+}

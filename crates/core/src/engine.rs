@@ -1,0 +1,508 @@
+//! The simulation controller (§III-A1).
+//!
+//! [`Simulation`] owns the event queue, the simulation clock, the consensus
+//! module instances (one [`Protocol`] per node), the network model and the
+//! global adversary. [`Simulation::run`] pops events in timestamp order,
+//! dispatches them, applies the resulting actions, and stops once the target
+//! number of decisions completed (or the time cap is hit).
+
+use std::collections::HashSet;
+use std::mem;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::adversary::{AdvAction, Adversary, AdversaryApi, Fate, NullAdversary};
+use crate::config::RunConfig;
+use crate::context::{Action, Context};
+use crate::error::SimError;
+use crate::event::{EventKind, EventQueue, Timer};
+use crate::ids::{NodeId, TimerId};
+use crate::message::Message;
+use crate::metrics::{MetricsCollector, RunResult};
+use crate::network::NetworkModel;
+use crate::protocol::{Protocol, ProtocolFactory, Vacant};
+use crate::trace::{Trace, TraceKind};
+use crate::validator::DeliverySchedule;
+
+/// Builder for a [`Simulation`].
+///
+/// # Examples
+///
+/// ```
+/// use bft_sim_core::prelude::*;
+/// use bft_sim_core::network::ConstantNetwork;
+///
+/// #[derive(Debug)]
+/// struct Trivial;
+/// impl Protocol for Trivial {
+///     fn init(&mut self, ctx: &mut Context<'_>) { ctx.decide(Value::new(1)); }
+///     fn on_message(&mut self, _m: &Message, _c: &mut Context<'_>) {}
+///     fn on_timer(&mut self, _t: &Timer, _c: &mut Context<'_>) {}
+/// }
+///
+/// let result = SimulationBuilder::new(RunConfig::new(4))
+///     .network(ConstantNetwork::new(SimDuration::from_millis(100.0)))
+///     .protocols(|_id: NodeId| -> Box<dyn Protocol> { Box::new(Trivial) })
+///     .build()
+///     .expect("valid configuration")
+///     .run();
+/// assert_eq!(result.decisions_completed(), 1);
+/// ```
+pub struct SimulationBuilder {
+    cfg: RunConfig,
+    network: Option<Box<dyn NetworkModel>>,
+    adversary: Box<dyn Adversary>,
+    factory: Option<Box<dyn ProtocolFactory>>,
+    record_schedule: bool,
+    replay: Option<DeliverySchedule>,
+}
+
+impl SimulationBuilder {
+    /// Starts a builder for the given run configuration.
+    pub fn new(cfg: RunConfig) -> Self {
+        SimulationBuilder {
+            cfg,
+            network: None,
+            adversary: Box::new(NullAdversary::new()),
+            factory: None,
+            record_schedule: false,
+            replay: None,
+        }
+    }
+
+    /// Sets the network model (required).
+    pub fn network<N: NetworkModel + 'static>(mut self, network: N) -> Self {
+        self.network = Some(Box::new(network));
+        self
+    }
+
+    /// Sets the global adversary (defaults to the benign [`NullAdversary`]).
+    pub fn adversary<A: Adversary + 'static>(mut self, adversary: A) -> Self {
+        self.adversary = Box::new(adversary);
+        self
+    }
+
+    /// Sets the protocol factory (required). A closure
+    /// `|id: NodeId| -> Box<dyn Protocol>` works.
+    pub fn protocols<F: ProtocolFactory + 'static>(mut self, factory: F) -> Self {
+        self.factory = Some(Box::new(factory));
+        self
+    }
+
+    /// Records the per-message delivery schedule for later validator replay.
+    pub fn record_schedule(mut self, on: bool) -> Self {
+        self.record_schedule = on;
+        self
+    }
+
+    /// Replays a previously recorded delivery schedule instead of sampling
+    /// the network and consulting the adversary (validator mode, §III-A6).
+    pub fn replay_schedule(mut self, schedule: DeliverySchedule) -> Self {
+        self.replay = Some(schedule);
+        self
+    }
+
+    /// Validates the configuration and constructs the simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for inconsistent configurations
+    /// and [`SimError::MissingComponent`] if the network model or protocol
+    /// factory is missing.
+    pub fn build(self) -> Result<Simulation, SimError> {
+        self.cfg.validate()?;
+        let network = self.network.ok_or(SimError::MissingComponent("network model"))?;
+        let factory = self.factory.ok_or(SimError::MissingComponent("protocol factory"))?;
+        let nodes: Vec<Box<dyn Protocol>> = NodeId::all(self.cfg.n).map(|id| factory.create(id)).collect();
+        let seed = self.cfg.seed;
+        Ok(Simulation {
+            rng: SmallRng::seed_from_u64(seed),
+            queue: EventQueue::new(),
+            clock: crate::time::SimTime::ZERO,
+            nodes,
+            network,
+            adversary: self.adversary,
+            metrics: MetricsCollector::new(self.cfg.n),
+            trace: Trace::new(),
+            cancelled: HashSet::new(),
+            crashed: HashSet::new(),
+            corrupted: HashSet::new(),
+            excluded: HashSet::new(),
+            next_timer_id: 0,
+            node_actions: Vec::new(),
+            adv_actions: Vec::new(),
+            recorder: if self.record_schedule {
+                Some(DeliverySchedule::new())
+            } else {
+                None
+            },
+            replay: self.replay,
+            replay_diverged: false,
+            completed: 0,
+            queue_high_water: 0,
+            cfg: self.cfg,
+        })
+    }
+}
+
+impl core::fmt::Debug for SimulationBuilder {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SimulationBuilder")
+            .field("cfg", &self.cfg)
+            .field("has_network", &self.network.is_some())
+            .field("has_factory", &self.factory.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A fully-configured simulation, ready to [`run`](Simulation::run).
+pub struct Simulation {
+    cfg: RunConfig,
+    rng: SmallRng,
+    queue: EventQueue,
+    clock: crate::time::SimTime,
+    nodes: Vec<Box<dyn Protocol>>,
+    network: Box<dyn NetworkModel>,
+    adversary: Box<dyn Adversary>,
+    metrics: MetricsCollector,
+    trace: Trace,
+    cancelled: HashSet<TimerId>,
+    crashed: HashSet<NodeId>,
+    corrupted: HashSet<NodeId>,
+    /// `crashed ∪ corrupted`, maintained incrementally.
+    excluded: HashSet<NodeId>,
+    next_timer_id: u64,
+    node_actions: Vec<Action>,
+    adv_actions: Vec<AdvAction>,
+    recorder: Option<DeliverySchedule>,
+    replay: Option<DeliverySchedule>,
+    replay_diverged: bool,
+    completed: u64,
+    queue_high_water: usize,
+}
+
+impl core::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("cfg", &self.cfg)
+            .field("clock", &self.clock)
+            .field("queue_len", &self.queue.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Simulation {
+    /// Runs the simulation to completion and returns its metrics.
+    ///
+    /// The run stops when (a) every live honest node has decided the target
+    /// number of slots, (b) the simulated time cap is reached, or (c) the
+    /// event queue drains (a stalled protocol) — the latter two are reported
+    /// with [`RunResult::timed_out`] set.
+    pub fn run(self) -> RunResult {
+        let mut discard = None;
+        self.run_internal(&mut discard)
+    }
+
+    /// Runs the simulation and also returns the recorded delivery schedule
+    /// for validator replay (implies [`SimulationBuilder::record_schedule`]).
+    pub fn run_recorded(mut self) -> (RunResult, DeliverySchedule) {
+        if self.recorder.is_none() {
+            self.recorder = Some(DeliverySchedule::new());
+        }
+        let mut out = None;
+        let result = self.run_internal(&mut out);
+        (result, out.unwrap_or_default())
+    }
+
+    fn run_internal(mut self, recorder_out: &mut Option<DeliverySchedule>) -> RunResult {
+        // Adversary goes first so attacks like fail-stop-from-start take
+        // effect before any node initialises.
+        self.run_adversary(|adv, api| adv.init(api));
+        self.apply_adv_actions();
+
+        for id in NodeId::all(self.cfg.n) {
+            if self.excluded.contains(&id) {
+                continue;
+            }
+            self.dispatch_node(id, |node, ctx| node.init(ctx));
+            if self.stop_reached() {
+                break;
+            }
+        }
+
+        let timed_out = self.run_loop();
+        *recorder_out = self.recorder.take();
+
+        let end_time = self.clock;
+        let mut result =
+            self.metrics
+                .into_result(end_time, timed_out, self.trace, self.queue_high_water);
+        if self.replay_diverged {
+            result.safety_violation = result
+                .safety_violation
+                .or_else(|| Some("replay diverged from recorded schedule".to_string()));
+        }
+        result
+    }
+
+    fn run_loop(&mut self) -> bool {
+        while !self.stop_reached() {
+            self.queue_high_water = self.queue_high_water.max(self.queue.len());
+            let Some(ev) = self.queue.pop() else {
+                return true;
+            };
+            if ev.at.saturating_since(crate::time::SimTime::ZERO) > self.cfg.time_cap {
+                self.clock = crate::time::SimTime::ZERO + self.cfg.time_cap;
+                return true;
+            }
+            self.clock = ev.at;
+            self.metrics.count_event();
+            match ev.kind {
+                EventKind::Deliver(msg) => {
+                    let dst = msg.dst();
+                    if self.excluded.contains(&dst) {
+                        continue;
+                    }
+                    self.metrics.count_delivery(dst);
+                    if self.cfg.record_messages {
+                        self.trace.record(
+                            self.clock,
+                            dst,
+                            TraceKind::Delivered {
+                                src: msg.src(),
+                                payload_type: msg.payload().payload_type().to_string(),
+                            },
+                        );
+                    }
+                    self.dispatch_node(dst, |node, ctx| node.on_message(&msg, ctx));
+                }
+                EventKind::NodeTimer { node, timer } => {
+                    if self.cancelled.remove(&timer.id) || self.excluded.contains(&node) {
+                        continue;
+                    }
+                    self.dispatch_node(node, |n, ctx| n.on_timer(&timer, ctx));
+                }
+                EventKind::AdversaryTimer { tag } => {
+                    self.run_adversary(|adv, api| adv.on_timer(tag, api));
+                    self.apply_adv_actions();
+                }
+            }
+        }
+        false
+    }
+
+    fn stop_reached(&self) -> bool {
+        self.completed >= self.cfg.target_decisions
+    }
+
+    /// Checks a node's protocol instance out of its slot, runs `f` with a
+    /// fresh [`Context`], checks it back in, then applies buffered actions.
+    fn dispatch_node<F>(&mut self, id: NodeId, f: F)
+    where
+        F: FnOnce(&mut Box<dyn Protocol>, &mut Context<'_>),
+    {
+        let mut node = mem::replace(&mut self.nodes[id.index()], Box::new(Vacant));
+        let mut actions = mem::take(&mut self.node_actions);
+        {
+            let mut ctx = Context::new(
+                id,
+                self.clock,
+                self.cfg.n,
+                self.cfg.f,
+                self.cfg.lambda,
+                &mut self.rng,
+                &mut actions,
+                &mut self.next_timer_id,
+            );
+            f(&mut node, &mut ctx);
+        }
+        self.nodes[id.index()] = node;
+        self.apply_node_actions(id, &mut actions);
+        actions.clear();
+        self.node_actions = actions;
+        self.apply_adv_actions();
+    }
+
+    fn apply_node_actions(&mut self, src: NodeId, actions: &mut Vec<Action>) {
+        for action in actions.drain(..) {
+            match action {
+                Action::Send { dst, payload } => {
+                    self.route(Message::new(src, dst, self.clock, payload));
+                }
+                Action::Broadcast {
+                    payload,
+                    include_self,
+                } => {
+                    for dst in NodeId::all(self.cfg.n) {
+                        if dst == src {
+                            continue;
+                        }
+                        self.route(Message::new(src, dst, self.clock, payload.clone_box()));
+                    }
+                    if include_self {
+                        self.queue.push(
+                            self.clock,
+                            EventKind::Deliver(Message::new(src, src, self.clock, payload)),
+                        );
+                    }
+                }
+                Action::SendSelf { payload, delay } => {
+                    self.queue.push(
+                        self.clock + delay,
+                        EventKind::Deliver(Message::new(src, src, self.clock, payload)),
+                    );
+                }
+                Action::SetTimer { id, delay, payload } => {
+                    self.queue.push(
+                        self.clock + delay,
+                        EventKind::NodeTimer {
+                            node: src,
+                            timer: Timer::new(id, payload),
+                        },
+                    );
+                }
+                Action::CancelTimer(id) => {
+                    self.cancelled.insert(id);
+                }
+                Action::Decide(value) => {
+                    let slot = self.metrics.record_decision(src, self.clock, value);
+                    self.trace
+                        .record(self.clock, src, TraceKind::Decided { slot, value });
+                    self.metrics.check_safety(src, &self.excluded);
+                    self.completed = self.metrics.update_completions(self.clock, &self.excluded);
+                }
+                Action::EnterView(view) => {
+                    self.trace.record(self.clock, src, TraceKind::View { view });
+                }
+                Action::Custom { label, detail } => {
+                    self.trace
+                        .record(self.clock, src, TraceKind::Custom { label, detail });
+                }
+            }
+        }
+    }
+
+    /// Sends one honest message through network + adversary (or the replay
+    /// schedule in validator mode) and schedules its delivery.
+    fn route(&mut self, mut msg: Message) {
+        self.metrics.count_honest_message(msg.src());
+        if self.cfg.record_messages {
+            self.trace.record(
+                self.clock,
+                msg.src(),
+                TraceKind::Sent {
+                    dst: msg.dst(),
+                    payload_type: msg.payload().payload_type().to_string(),
+                },
+            );
+        }
+
+        let fate = if let Some(replay) = &mut self.replay {
+            match replay.next_fate() {
+                Some(f) => f,
+                None => {
+                    self.replay_diverged = true;
+                    Fate::Deliver(self.cfg.lambda)
+                }
+            }
+        } else {
+            let proposed = self
+                .network
+                .delay(msg.src(), msg.dst(), self.clock, &mut self.rng);
+            let mut adv_actions = mem::take(&mut self.adv_actions);
+            let fate = {
+                let mut api = AdversaryApi::new(
+                    self.clock,
+                    self.cfg.n,
+                    self.cfg.f,
+                    self.cfg.lambda,
+                    &self.corrupted,
+                    &self.crashed,
+                    &mut self.rng,
+                    &mut adv_actions,
+                );
+                self.adversary.attack(&mut msg, proposed, &mut api)
+            };
+            self.adv_actions = adv_actions;
+            fate
+        };
+
+        if let Some(rec) = &mut self.recorder {
+            rec.push(fate);
+        }
+        match fate {
+            Fate::Deliver(delay) => {
+                self.queue.push(self.clock + delay, EventKind::Deliver(msg));
+            }
+            Fate::Drop => {
+                self.metrics.count_dropped_message();
+            }
+        }
+    }
+
+    fn run_adversary<F>(&mut self, f: F)
+    where
+        F: FnOnce(&mut Box<dyn Adversary>, &mut AdversaryApi<'_>),
+    {
+        if self.replay.is_some() {
+            return; // validator mode: the schedule already embodies the attack
+        }
+        let mut adv_actions = mem::take(&mut self.adv_actions);
+        {
+            let mut api = AdversaryApi::new(
+                self.clock,
+                self.cfg.n,
+                self.cfg.f,
+                self.cfg.lambda,
+                &self.corrupted,
+                &self.crashed,
+                &mut self.rng,
+                &mut adv_actions,
+            );
+            f(&mut self.adversary, &mut api);
+        }
+        self.adv_actions = adv_actions;
+    }
+
+    fn apply_adv_actions(&mut self) {
+        let mut actions = mem::take(&mut self.adv_actions);
+        for action in actions.drain(..) {
+            match action {
+                AdvAction::Inject {
+                    src,
+                    dst,
+                    delay,
+                    payload,
+                } => {
+                    self.metrics.count_adversary_message();
+                    self.queue.push(
+                        self.clock + delay,
+                        EventKind::Deliver(Message::injected(src, dst, self.clock, payload)),
+                    );
+                }
+                AdvAction::Corrupt(node) => {
+                    if self.corrupted.insert(node) {
+                        self.excluded.insert(node);
+                        self.trace.record(self.clock, node, TraceKind::Corrupted);
+                        self.completed =
+                            self.metrics.update_completions(self.clock, &self.excluded);
+                    }
+                }
+                AdvAction::Crash(node) => {
+                    if self.crashed.insert(node) {
+                        self.excluded.insert(node);
+                        self.trace.record(self.clock, node, TraceKind::Crashed);
+                        self.completed =
+                            self.metrics.update_completions(self.clock, &self.excluded);
+                    }
+                }
+                AdvAction::SetTimer { tag, delay } => {
+                    self.queue
+                        .push(self.clock + delay, EventKind::AdversaryTimer { tag });
+                }
+            }
+        }
+        self.adv_actions = actions;
+    }
+}

@@ -1,0 +1,59 @@
+//! Error types.
+
+use core::fmt;
+
+/// Errors produced by the simulation engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The run configuration is internally inconsistent.
+    InvalidConfig(String),
+    /// A required component (protocol factory, network model, …) was not
+    /// supplied to the builder.
+    MissingComponent(&'static str),
+    /// Honest nodes decided conflicting values — the protocol (or the
+    /// simulation of it) violated safety.
+    SafetyViolation(String),
+    /// Validator replay diverged from the recorded ground truth.
+    ValidationMismatch(String),
+}
+
+impl SimError {
+    pub(crate) fn invalid_config(msg: impl Into<String>) -> Self {
+        SimError::InvalidConfig(msg.into())
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::MissingComponent(what) => {
+                write!(f, "simulation builder is missing a component: {what}")
+            }
+            SimError::SafetyViolation(msg) => write!(f, "safety violation: {msg}"),
+            SimError::ValidationMismatch(msg) => write!(f, "validation mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let e = SimError::invalid_config("n must be positive");
+        assert_eq!(e.to_string(), "invalid configuration: n must be positive");
+        let e = SimError::MissingComponent("protocol factory");
+        assert!(e.to_string().contains("protocol factory"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

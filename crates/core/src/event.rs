@@ -1,0 +1,175 @@
+//! The event queue driving the simulation.
+//!
+//! Following standard discrete-event simulation practice (and §III-A2 of the
+//! paper), the controller keeps a priority queue of timestamped events and
+//! advances the simulation clock to each popped event's timestamp. Two event
+//! classes exist: **message events** (a node receives a message) and **time
+//! events** (a registered timer fires). Adversary timers are a third,
+//! internal variant.
+//!
+//! Events with equal timestamps are ordered by a global insertion sequence
+//! number, which makes the execution order total and runs reproducible.
+
+use std::collections::BinaryHeap;
+
+use crate::ids::{NodeId, TimerId};
+use crate::message::Message;
+use crate::payload::Payload;
+use crate::time::SimTime;
+
+/// A timer registered by a node, waiting in the queue.
+#[derive(Debug)]
+pub struct Timer {
+    /// Unique id, used for cancellation.
+    pub id: TimerId,
+    /// The protocol-defined payload attached at registration.
+    payload: Box<dyn Payload>,
+}
+
+impl Timer {
+    pub(crate) fn new(id: TimerId, payload: Box<dyn Payload>) -> Self {
+        Timer { id, payload }
+    }
+
+    /// Borrows the type-erased payload.
+    pub fn payload(&self) -> &dyn Payload {
+        self.payload.as_ref()
+    }
+
+    /// Attempts to view the payload as concrete type `T`.
+    pub fn downcast_ref<T: core::any::Any>(&self) -> Option<&T> {
+        self.payload.as_any().downcast_ref::<T>()
+    }
+}
+
+/// What happens when an event is popped.
+#[derive(Debug)]
+pub(crate) enum EventKind {
+    /// Deliver a message to its destination node.
+    Deliver(Message),
+    /// Fire a node timer.
+    NodeTimer { node: NodeId, timer: Timer },
+    /// Fire an adversary timer with an attacker-chosen tag.
+    AdversaryTimer { tag: u64 },
+}
+
+#[derive(Debug)]
+pub(crate) struct ScheduledEvent {
+    pub at: SimTime,
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+impl PartialEq for ScheduledEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for ScheduledEvent {}
+
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        // BinaryHeap is a max-heap; reverse to pop the earliest (time, seq).
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Min-heap of scheduled events ordered by `(time, insertion sequence)`.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<ScheduledEvent>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `kind` at absolute time `at`.
+    pub fn push(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { at, seq, kind });
+    }
+
+    /// Pops the earliest event, if any.
+    pub fn pop(&mut self) -> Option<ScheduledEvent> {
+        self.heap.pop()
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::boxed;
+
+    fn timer_event(n: u32) -> EventKind {
+        EventKind::NodeTimer {
+            node: NodeId::new(n),
+            timer: Timer::new(TimerId(n as u64), boxed(())),
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(30), timer_event(0));
+        q.push(SimTime::from_millis(10), timer_event(1));
+        q.push(SimTime::from_millis(20), timer_event(2));
+        let times: Vec<u64> = core::iter::from_fn(|| q.pop())
+            .map(|e| e.at.as_micros() / 1000)
+            .collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..10 {
+            q.push(t, timer_event(i));
+        }
+        let seqs: Vec<u64> = core::iter::from_fn(|| q.pop()).map(|e| e.seq).collect();
+        assert_eq!(seqs, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert!(q.pop().is_none());
+        q.push(SimTime::ZERO, timer_event(0));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn timer_payload_downcast() {
+        #[derive(Debug, Clone, PartialEq)]
+        struct ViewTimeout(u64);
+        let t = Timer::new(TimerId(1), boxed(ViewTimeout(4)));
+        assert_eq!(t.downcast_ref::<ViewTimeout>(), Some(&ViewTimeout(4)));
+        assert!(t.downcast_ref::<u8>().is_none());
+    }
+}

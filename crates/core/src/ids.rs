@@ -1,0 +1,104 @@
+//! Identifier newtypes used throughout the simulator.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies one replica (node) in the simulated system.
+///
+/// Node ids are dense: a run with `n` nodes uses ids `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use bft_sim_core::ids::NodeId;
+///
+/// let id = NodeId::new(3);
+/// assert_eq!(id.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from its dense index.
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the dense index of this node, usable for array indexing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw id value.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Iterates over all node ids of a system of `n` nodes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bft_sim_core::ids::NodeId;
+    ///
+    /// let ids: Vec<NodeId> = NodeId::all(3).collect();
+    /// assert_eq!(ids, vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+    /// ```
+    pub fn all(n: usize) -> impl Iterator<Item = NodeId> {
+        (0..n as u32).map(NodeId)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Identifies a timer registered with the simulation controller.
+///
+/// Timer ids are unique within a run; cancelling an id that already fired is
+/// a no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TimerId(pub(crate) u64);
+
+impl TimerId {
+    /// Returns the raw id value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TimerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trip() {
+        let id = NodeId::new(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.as_u32(), 7);
+        assert_eq!(NodeId::from(7u32), id);
+        assert_eq!(id.to_string(), "n7");
+    }
+
+    #[test]
+    fn all_enumerates_dense_ids() {
+        assert_eq!(NodeId::all(0).count(), 0);
+        let ids: Vec<_> = NodeId::all(4).map(|i| i.index()).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+}

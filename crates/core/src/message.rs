@@ -1,0 +1,173 @@
+//! Network messages exchanged between simulated nodes.
+
+use core::any::Any;
+use core::fmt;
+
+use crate::ids::NodeId;
+use crate::payload::Payload;
+use crate::time::SimTime;
+
+/// A point-to-point message in flight between two nodes.
+///
+/// Every message carries its claimed *source*, its *destination*, the time it
+/// was sent, and a type-erased protocol payload. All messages traverse the
+/// network module (which assigns a delay) and then the attacker module (which
+/// may observe, drop, delay, modify or replace them) before delivery — see
+/// §III-A of the paper.
+#[derive(Debug)]
+pub struct Message {
+    src: NodeId,
+    dst: NodeId,
+    sent_at: SimTime,
+    injected: bool,
+    payload: Box<dyn Payload>,
+}
+
+impl Message {
+    /// Creates a new honest message. Library users normally go through
+    /// [`Context::send`](crate::context::Context::send) instead.
+    pub fn new(src: NodeId, dst: NodeId, sent_at: SimTime, payload: Box<dyn Payload>) -> Self {
+        Message {
+            src,
+            dst,
+            sent_at,
+            injected: false,
+            payload,
+        }
+    }
+
+    /// Creates an adversary-injected message. The `src` field is the node the
+    /// adversary *impersonates*; honest receivers cannot tell the difference
+    /// (the paper's attacker "inserts new messages").
+    pub fn injected(src: NodeId, dst: NodeId, sent_at: SimTime, payload: Box<dyn Payload>) -> Self {
+        Message {
+            src,
+            dst,
+            sent_at,
+            injected: true,
+            payload,
+        }
+    }
+
+    /// The (claimed) sender.
+    pub fn src(&self) -> NodeId {
+        self.src
+    }
+
+    /// The destination node.
+    pub fn dst(&self) -> NodeId {
+        self.dst
+    }
+
+    /// Simulation time at which the message entered the network.
+    pub fn sent_at(&self) -> SimTime {
+        self.sent_at
+    }
+
+    /// Whether the adversary inserted this message (as opposed to an honest
+    /// node sending it). Honest protocol logic must not read this — it exists
+    /// for metrics and traces.
+    pub fn is_injected(&self) -> bool {
+        self.injected
+    }
+
+    /// Borrows the type-erased payload.
+    pub fn payload(&self) -> &dyn Payload {
+        self.payload.as_ref()
+    }
+
+    /// Attempts to view the payload as concrete type `T`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bft_sim_core::{ids::NodeId, message::Message, payload::boxed, time::SimTime};
+    ///
+    /// #[derive(Debug, Clone, PartialEq)]
+    /// struct Vote(u64);
+    ///
+    /// let m = Message::new(NodeId::new(0), NodeId::new(1), SimTime::ZERO, boxed(Vote(3)));
+    /// assert_eq!(m.downcast_ref::<Vote>(), Some(&Vote(3)));
+    /// ```
+    pub fn downcast_ref<T: Any>(&self) -> Option<&T> {
+        self.payload.as_any().downcast_ref::<T>()
+    }
+
+    /// Attempts to view the payload mutably as concrete type `T`. Used by
+    /// attackers that tamper with messages in flight.
+    pub fn downcast_mut<T: Any>(&mut self) -> Option<&mut T> {
+        self.payload.as_any_mut().downcast_mut::<T>()
+    }
+
+    /// Replaces the payload wholesale (attacker capability).
+    pub fn replace_payload(&mut self, payload: Box<dyn Payload>) {
+        self.payload = payload;
+    }
+
+    /// Rewrites the claimed source (attacker capability: forgery in systems
+    /// without authenticated channels).
+    pub fn forge_src(&mut self, src: NodeId) {
+        self.src = src;
+    }
+}
+
+impl Clone for Message {
+    fn clone(&self) -> Self {
+        Message {
+            src: self.src,
+            dst: self.dst,
+            sent_at: self.sent_at,
+            injected: self.injected,
+            payload: self.payload.clone_box(),
+        }
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} -> {} @ {} [{}]",
+            self.src,
+            self.dst,
+            self.sent_at,
+            self.payload.payload_type()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::boxed;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct P(u8);
+
+    #[test]
+    fn accessors() {
+        let m = Message::new(NodeId::new(1), NodeId::new(2), SimTime::from_millis(5), boxed(P(9)));
+        assert_eq!(m.src(), NodeId::new(1));
+        assert_eq!(m.dst(), NodeId::new(2));
+        assert_eq!(m.sent_at(), SimTime::from_millis(5));
+        assert!(!m.is_injected());
+        assert_eq!(m.downcast_ref::<P>(), Some(&P(9)));
+    }
+
+    #[test]
+    fn tampering() {
+        let mut m = Message::new(NodeId::new(0), NodeId::new(1), SimTime::ZERO, boxed(P(1)));
+        m.downcast_mut::<P>().unwrap().0 = 7;
+        assert_eq!(m.downcast_ref::<P>(), Some(&P(7)));
+        m.replace_payload(boxed(P(42)));
+        assert_eq!(m.downcast_ref::<P>(), Some(&P(42)));
+        m.forge_src(NodeId::new(3));
+        assert_eq!(m.src(), NodeId::new(3));
+    }
+
+    #[test]
+    fn injected_flag() {
+        let m = Message::injected(NodeId::new(0), NodeId::new(1), SimTime::ZERO, boxed(P(0)));
+        assert!(m.is_injected());
+    }
+}

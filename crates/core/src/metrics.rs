@@ -1,0 +1,340 @@
+//! Performance metrics: time usage and message usage (§II-C), decision
+//! tracking and the safety checker.
+
+use std::collections::HashSet;
+
+use crate::ids::NodeId;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::Trace;
+use crate::value::Value;
+
+/// Live decision/message bookkeeping inside the engine.
+#[derive(Debug)]
+pub(crate) struct MetricsCollector {
+    /// Per-node decided `(time, value)` sequences, in slot order.
+    decided: Vec<Vec<(SimTime, Value)>>,
+    /// Completion time of slot `k` (all live honest nodes decided `k`).
+    completions: Vec<SimTime>,
+    honest_messages: u64,
+    adversary_messages: u64,
+    dropped_messages: u64,
+    events_processed: u64,
+    /// Messages sent per node (signing work proxy).
+    sent_per_node: Vec<u64>,
+    /// Messages delivered per node (verification work proxy).
+    delivered_per_node: Vec<u64>,
+    safety_violation: Option<String>,
+}
+
+impl MetricsCollector {
+    pub fn new(n: usize) -> Self {
+        MetricsCollector {
+            decided: vec![Vec::new(); n],
+            completions: Vec::new(),
+            honest_messages: 0,
+            adversary_messages: 0,
+            dropped_messages: 0,
+            events_processed: 0,
+            sent_per_node: vec![0; n],
+            delivered_per_node: vec![0; n],
+            safety_violation: None,
+        }
+    }
+
+    pub fn count_honest_message(&mut self, src: NodeId) {
+        self.honest_messages += 1;
+        self.sent_per_node[src.index()] += 1;
+    }
+
+    pub fn count_delivery(&mut self, dst: NodeId) {
+        self.delivered_per_node[dst.index()] += 1;
+    }
+
+    pub fn count_adversary_message(&mut self) {
+        self.adversary_messages += 1;
+    }
+
+    pub fn count_dropped_message(&mut self) {
+        self.dropped_messages += 1;
+    }
+
+    pub fn count_event(&mut self) {
+        self.events_processed += 1;
+    }
+
+    /// Records a decision; returns the slot index it filled.
+    pub fn record_decision(&mut self, node: NodeId, time: SimTime, value: Value) -> u64 {
+        let seq = &mut self.decided[node.index()];
+        seq.push((time, value));
+        (seq.len() - 1) as u64
+    }
+
+    /// Cross-checks `node`'s newest decision against every other honest
+    /// node's decision for the same slot; records the first violation.
+    pub fn check_safety(&mut self, node: NodeId, excluded: &HashSet<NodeId>) {
+        if self.safety_violation.is_some() {
+            return;
+        }
+        let seq = &self.decided[node.index()];
+        let slot = seq.len() - 1;
+        let (_, value) = seq[slot];
+        for (other_idx, other_seq) in self.decided.iter().enumerate() {
+            let other = NodeId::new(other_idx as u32);
+            if other == node || excluded.contains(&other) {
+                continue;
+            }
+            if let Some(&(_, other_value)) = other_seq.get(slot) {
+                if other_value != value {
+                    self.safety_violation = Some(format!(
+                        "slot {slot}: {node} decided {value} but {other} decided {other_value}"
+                    ));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Re-derives completion times given the current live-honest set; returns
+    /// the number of fully completed slots. Called after every decision and
+    /// after crash/corruption changes.
+    pub fn update_completions(&mut self, now: SimTime, excluded: &HashSet<NodeId>) -> u64 {
+        loop {
+            let k = self.completions.len();
+            let mut all = true;
+            let mut any_live = false;
+            for (idx, seq) in self.decided.iter().enumerate() {
+                if excluded.contains(&NodeId::new(idx as u32)) {
+                    continue;
+                }
+                any_live = true;
+                if seq.len() <= k {
+                    all = false;
+                    break;
+                }
+            }
+            if all && any_live {
+                self.completions.push(now);
+            } else {
+                return self.completions.len() as u64;
+            }
+        }
+    }
+
+    pub fn into_result(
+        self,
+        end_time: SimTime,
+        timed_out: bool,
+        trace: Trace,
+        queue_high_water: usize,
+    ) -> RunResult {
+        RunResult {
+            end_time,
+            timed_out,
+            completions: self.completions,
+            honest_messages: self.honest_messages,
+            adversary_messages: self.adversary_messages,
+            dropped_messages: self.dropped_messages,
+            events_processed: self.events_processed,
+            sent_per_node: self.sent_per_node,
+            delivered_per_node: self.delivered_per_node,
+            safety_violation: self.safety_violation,
+            decided: self.decided,
+            trace,
+            queue_high_water,
+        }
+    }
+}
+
+/// The outcome of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Simulation time at which the run stopped.
+    pub end_time: SimTime,
+    /// `true` if the run hit the configured time cap before reaching the
+    /// target number of decisions — a liveness failure under the tested
+    /// conditions.
+    pub timed_out: bool,
+    /// Completion time of each consensus slot: `completions[k]` is when every
+    /// live honest node had decided slot `k`.
+    pub completions: Vec<SimTime>,
+    /// Messages transmitted by honest nodes (message usage, §II-C).
+    pub honest_messages: u64,
+    /// Messages injected by the adversary.
+    pub adversary_messages: u64,
+    /// Messages dropped by the adversary.
+    pub dropped_messages: u64,
+    /// Number of events dispatched (simulator work, not a protocol metric).
+    pub events_processed: u64,
+    /// Messages sent per node — a proxy for per-node signing work, used by
+    /// computation-cost estimation (the paper's §III-A3 suggestion).
+    pub sent_per_node: Vec<u64>,
+    /// Messages delivered per node — a proxy for verification work.
+    pub delivered_per_node: Vec<u64>,
+    /// `Some(description)` if honest nodes decided conflicting values.
+    pub safety_violation: Option<String>,
+    /// Per-node decided `(time, value)` sequences.
+    pub decided: Vec<Vec<(SimTime, Value)>>,
+    /// Recorded trace (decisions, views, corruptions; messages if enabled).
+    pub trace: Trace,
+    /// Maximum event-queue length observed (memory proxy for Fig. 2).
+    pub queue_high_water: usize,
+}
+
+impl RunResult {
+    /// Number of fully completed consensus slots.
+    pub fn decisions_completed(&self) -> u64 {
+        self.completions.len() as u64
+    }
+
+    /// Time usage until the first consensus completed (the paper's latency
+    /// metric for non-pipelined protocols). `None` if no consensus completed.
+    pub fn latency(&self) -> Option<SimDuration> {
+        self.completions.first().map(|&t| t - SimTime::ZERO)
+    }
+
+    /// Mean latency per decision over the first `k` decisions (the paper's
+    /// metric for pipelined protocols, with `k = 10`). `None` if fewer than
+    /// `k` decisions completed.
+    pub fn avg_latency_per_decision(&self, k: usize) -> Option<SimDuration> {
+        if k == 0 || self.completions.len() < k {
+            return None;
+        }
+        let total = self.completions[k - 1] - SimTime::ZERO;
+        Some(SimDuration::from_micros(total.as_micros() / k as u64))
+    }
+
+    /// Honest messages per completed decision. `None` if nothing completed.
+    pub fn messages_per_decision(&self) -> Option<f64> {
+        let k = self.decisions_completed();
+        if k == 0 {
+            None
+        } else {
+            Some(self.honest_messages as f64 / k as f64)
+        }
+    }
+
+    /// Convenience: `true` when the run completed its target without safety
+    /// violations or timeout.
+    pub fn is_clean(&self) -> bool {
+        !self.timed_out && self.safety_violation.is_none()
+    }
+}
+
+/// Aggregate statistics over repeated runs (the paper reports mean and
+/// standard deviation over 100 repetitions).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    /// Number of samples aggregated.
+    pub count: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarises a slice of samples. Returns the default (all zeros) for an
+    /// empty slice.
+    pub fn of(samples: &[f64]) -> Summary {
+        if samples.is_empty() {
+            return Summary::default();
+        }
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / count as f64;
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Summary {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        }
+    }
+}
+
+impl core::fmt::Display for Summary {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.1} ± {:.1}", self.mean, self.std_dev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completions_require_all_live_honest_nodes() {
+        let mut m = MetricsCollector::new(3);
+        let excluded = HashSet::new();
+        m.record_decision(NodeId::new(0), SimTime::from_millis(10), Value::ONE);
+        assert_eq!(m.update_completions(SimTime::from_millis(10), &excluded), 0);
+        m.record_decision(NodeId::new(1), SimTime::from_millis(12), Value::ONE);
+        assert_eq!(m.update_completions(SimTime::from_millis(12), &excluded), 0);
+        m.record_decision(NodeId::new(2), SimTime::from_millis(15), Value::ONE);
+        assert_eq!(m.update_completions(SimTime::from_millis(15), &excluded), 1);
+    }
+
+    #[test]
+    fn excluded_nodes_do_not_block_completion() {
+        let mut m = MetricsCollector::new(3);
+        let excluded: HashSet<NodeId> = [NodeId::new(2)].into_iter().collect();
+        m.record_decision(NodeId::new(0), SimTime::from_millis(10), Value::ONE);
+        m.record_decision(NodeId::new(1), SimTime::from_millis(11), Value::ONE);
+        assert_eq!(m.update_completions(SimTime::from_millis(11), &excluded), 1);
+    }
+
+    #[test]
+    fn safety_checker_flags_conflicts() {
+        let mut m = MetricsCollector::new(2);
+        let excluded = HashSet::new();
+        m.record_decision(NodeId::new(0), SimTime::from_millis(1), Value::ZERO);
+        m.check_safety(NodeId::new(0), &excluded);
+        assert!(m.safety_violation.is_none());
+        m.record_decision(NodeId::new(1), SimTime::from_millis(2), Value::ONE);
+        m.check_safety(NodeId::new(1), &excluded);
+        assert!(m.safety_violation.is_some());
+    }
+
+    #[test]
+    fn safety_checker_ignores_excluded_nodes() {
+        let mut m = MetricsCollector::new(2);
+        let excluded: HashSet<NodeId> = [NodeId::new(0)].into_iter().collect();
+        m.record_decision(NodeId::new(0), SimTime::from_millis(1), Value::ZERO);
+        m.record_decision(NodeId::new(1), SimTime::from_millis(2), Value::ONE);
+        m.check_safety(NodeId::new(1), &excluded);
+        assert!(m.safety_violation.is_none());
+    }
+
+    #[test]
+    fn latency_metrics() {
+        let mut m = MetricsCollector::new(1);
+        let excluded = HashSet::new();
+        for k in 0..10u64 {
+            m.record_decision(NodeId::new(0), SimTime::from_millis((k + 1) * 100), Value::ONE);
+            m.update_completions(SimTime::from_millis((k + 1) * 100), &excluded);
+        }
+        let r = m.into_result(SimTime::from_millis(1000), false, Trace::new(), 0);
+        assert_eq!(r.decisions_completed(), 10);
+        assert_eq!(r.latency().unwrap().as_millis_f64(), 100.0);
+        assert_eq!(r.avg_latency_per_decision(10).unwrap().as_millis_f64(), 100.0);
+        assert!(r.avg_latency_per_decision(11).is_none());
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.mean, 2.5);
+        assert!((s.std_dev - 1.118).abs() < 1e-3);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(Summary::of(&[]), Summary::default());
+    }
+}

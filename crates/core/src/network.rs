@@ -1,0 +1,136 @@
+//! The network-model interface.
+//!
+//! The network module simulates a peer-to-peer network: for every message it
+//! assigns a `delay` sampled from a configurable distribution (§III-A4). By
+//! choosing how delays are sampled and bounded, the same interface models
+//! synchronous, partially-synchronous and asynchronous networks. Rich models
+//! (GST, partitions, per-link matrices) live in the `bft-sim-net` crate; this
+//! module defines the trait plus the trivial models the engine tests need.
+
+use rand::rngs::SmallRng;
+
+use crate::dist::Dist;
+use crate::ids::NodeId;
+use crate::time::{SimDuration, SimTime};
+
+/// Assigns a network delay to each message.
+///
+/// Implementations may be stateful (e.g. a partition schedule) and may use
+/// the run RNG; they must be deterministic given the RNG stream.
+pub trait NetworkModel: Send {
+    /// The delay for a message sent from `src` to `dst` at time `now`.
+    fn delay(&mut self, src: NodeId, dst: NodeId, now: SimTime, rng: &mut SmallRng)
+        -> SimDuration;
+
+    /// Human-readable model name for results and traces.
+    fn name(&self) -> &'static str {
+        "network"
+    }
+}
+
+/// Every message takes exactly the same time. The simplest synchronous
+/// network; handy for unit tests and worked examples.
+///
+/// # Examples
+///
+/// ```
+/// use bft_sim_core::network::{ConstantNetwork, NetworkModel};
+/// use bft_sim_core::{ids::NodeId, time::{SimDuration, SimTime}};
+/// use rand::SeedableRng;
+///
+/// let mut net = ConstantNetwork::new(SimDuration::from_millis(100.0));
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+/// let d = net.delay(NodeId::new(0), NodeId::new(1), SimTime::ZERO, &mut rng);
+/// assert_eq!(d, SimDuration::from_millis(100.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConstantNetwork {
+    delay: SimDuration,
+}
+
+impl ConstantNetwork {
+    /// Creates a network with the given fixed delay.
+    pub fn new(delay: SimDuration) -> Self {
+        ConstantNetwork { delay }
+    }
+}
+
+impl NetworkModel for ConstantNetwork {
+    fn delay(
+        &mut self,
+        _src: NodeId,
+        _dst: NodeId,
+        _now: SimTime,
+        _rng: &mut SmallRng,
+    ) -> SimDuration {
+        self.delay
+    }
+
+    fn name(&self) -> &'static str {
+        "constant"
+    }
+}
+
+/// Samples every delay i.i.d. from a distribution, unbounded — the basic
+/// asynchronous-style model; the richer bounded/GST variants live in
+/// `bft-sim-net`.
+#[derive(Debug, Clone)]
+pub struct SampledNetwork {
+    dist: Dist,
+}
+
+impl SampledNetwork {
+    /// Creates a network sampling delays from `dist`.
+    pub fn new(dist: Dist) -> Self {
+        SampledNetwork { dist }
+    }
+
+    /// The underlying distribution.
+    pub fn dist(&self) -> Dist {
+        self.dist
+    }
+}
+
+impl NetworkModel for SampledNetwork {
+    fn delay(
+        &mut self,
+        _src: NodeId,
+        _dst: NodeId,
+        _now: SimTime,
+        rng: &mut SmallRng,
+    ) -> SimDuration {
+        self.dist.sample_delay(rng)
+    }
+
+    fn name(&self) -> &'static str {
+        "sampled"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_network_is_constant() {
+        let mut net = ConstantNetwork::new(SimDuration::from_millis(250.0));
+        let mut rng = SmallRng::seed_from_u64(0);
+        for i in 0..10 {
+            let d = net.delay(NodeId::new(i), NodeId::new(i + 1), SimTime::ZERO, &mut rng);
+            assert_eq!(d, SimDuration::from_millis(250.0));
+        }
+    }
+
+    #[test]
+    fn sampled_network_uses_distribution() {
+        let mut net = SampledNetwork::new(Dist::uniform(10.0, 20.0));
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let d = net
+                .delay(NodeId::new(0), NodeId::new(1), SimTime::ZERO, &mut rng)
+                .as_millis_f64();
+            assert!((10.0..20.0).contains(&d), "delay {d}");
+        }
+    }
+}

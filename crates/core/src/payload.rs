@@ -1,0 +1,106 @@
+//! Type-erased protocol message payloads.
+//!
+//! Each protocol defines its own message enum; the engine moves payloads
+//! around as `Box<dyn Payload>` trait objects. The global attacker can
+//! [`downcast`](crate::message::Message::downcast_ref) payloads of protocols
+//! it understands in order to observe or tamper with them — this is what
+//! makes rushing and adaptive attacks expressible (§III-C of the paper).
+
+use core::any::Any;
+use core::fmt;
+
+/// A protocol message or timer payload.
+///
+/// This trait is blanket-implemented for every `'static` type that is
+/// `Debug + Send + Clone`, so protocols never implement it by hand:
+///
+/// ```
+/// use bft_sim_core::payload::{Payload, boxed};
+///
+/// #[derive(Debug, Clone, PartialEq)]
+/// enum PingMsg { Ping(u64), Pong(u64) }
+///
+/// let b = boxed(PingMsg::Ping(7));
+/// assert_eq!(b.as_any().downcast_ref::<PingMsg>(), Some(&PingMsg::Ping(7)));
+/// ```
+pub trait Payload: fmt::Debug + Send {
+    /// Upcasts to [`Any`] for downcasting to the concrete message type.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable upcast, used by attackers that modify messages in flight.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+
+    /// Clones the payload behind the trait object.
+    fn clone_box(&self) -> Box<dyn Payload>;
+
+    /// Name of the concrete payload type, for traces and debugging.
+    fn payload_type(&self) -> &'static str;
+}
+
+impl<T> Payload for T
+where
+    T: Any + fmt::Debug + Send + Clone,
+{
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn clone_box(&self) -> Box<dyn Payload> {
+        Box::new(self.clone())
+    }
+
+    fn payload_type(&self) -> &'static str {
+        core::any::type_name::<T>()
+    }
+}
+
+// NOTE: do NOT implement `Clone for Box<dyn Payload>`. Doing so would make
+// `Box<dyn Payload>` itself satisfy the blanket impl above (it would be
+// `Any + Debug + Send + Clone`), so method resolution on a boxed payload
+// would pick the *box's* `as_any`/`clone_box` instead of the inner value's —
+// breaking downcasts and recursing infinitely on clone. Callers clone via
+// `payload.clone_box()`, which auto-derefs to the inner trait object.
+
+/// Boxes a concrete payload as a trait object.
+pub fn boxed<P: Payload + 'static>(payload: P) -> Box<dyn Payload> {
+    Box::new(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Dummy(u32);
+
+    #[test]
+    fn downcast_round_trip() {
+        let b = boxed(Dummy(5));
+        assert_eq!(b.as_any().downcast_ref::<Dummy>(), Some(&Dummy(5)));
+        assert!(b.as_any().downcast_ref::<String>().is_none());
+    }
+
+    #[test]
+    fn clone_preserves_value() {
+        let b = boxed(Dummy(9));
+        let c = b.clone_box();
+        assert_eq!(c.as_any().downcast_ref::<Dummy>(), Some(&Dummy(9)));
+    }
+
+    #[test]
+    fn mutation_through_any_mut() {
+        let mut b = boxed(Dummy(1));
+        b.as_any_mut().downcast_mut::<Dummy>().unwrap().0 = 2;
+        assert_eq!(b.as_any().downcast_ref::<Dummy>(), Some(&Dummy(2)));
+    }
+
+    #[test]
+    fn payload_type_names_concrete_type() {
+        let b = boxed(Dummy(0));
+        assert!(b.payload_type().contains("Dummy"));
+    }
+}

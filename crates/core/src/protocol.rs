@@ -1,0 +1,117 @@
+//! The consensus-module interface.
+//!
+//! To simulate a custom protocol, implement [`Protocol`]: the engine calls
+//! [`on_message`](Protocol::on_message) when a message event for this node is
+//! dispatched and [`on_timer`](Protocol::on_timer) when a registered time
+//! event fires — exactly the `onMsgEvent` / `onTimeEvent` pair of §III-A3.
+//! Results are reported through the [`Context`] (the paper's
+//! `reportToSystem`).
+
+use crate::context::Context;
+use crate::event::Timer;
+use crate::ids::NodeId;
+use crate::message::Message;
+
+/// The core logic of one honest node.
+///
+/// All adversarial behaviour lives in the attacker module
+/// ([`Adversary`](crate::adversary::Adversary)); a `Protocol` implementation
+/// only ever describes honest behaviour.
+///
+/// # Examples
+///
+/// A protocol that decides a constant immediately:
+///
+/// ```
+/// use bft_sim_core::prelude::*;
+///
+/// #[derive(Debug)]
+/// struct Trivial;
+///
+/// impl Protocol for Trivial {
+///     fn init(&mut self, ctx: &mut Context<'_>) {
+///         ctx.decide(Value::new(7));
+///     }
+///     fn on_message(&mut self, _msg: &Message, _ctx: &mut Context<'_>) {}
+///     fn on_timer(&mut self, _timer: &Timer, _ctx: &mut Context<'_>) {}
+/// }
+/// ```
+pub trait Protocol: core::fmt::Debug + Send {
+    /// Called once at simulation start (time 0) before any event dispatch.
+    fn init(&mut self, ctx: &mut Context<'_>);
+
+    /// Called when a message event addressed to this node is dispatched.
+    fn on_message(&mut self, msg: &Message, ctx: &mut Context<'_>);
+
+    /// Called when a time event registered by this node fires.
+    fn on_timer(&mut self, timer: &Timer, ctx: &mut Context<'_>);
+
+    /// Human-readable protocol name, used in results and traces.
+    fn name(&self) -> &'static str {
+        "protocol"
+    }
+}
+
+/// Builds one protocol instance per node. A plain closure works:
+///
+/// ```
+/// use bft_sim_core::prelude::*;
+///
+/// #[derive(Debug)]
+/// struct Trivial;
+/// # impl Protocol for Trivial {
+/// #     fn init(&mut self, ctx: &mut Context<'_>) {}
+/// #     fn on_message(&mut self, _m: &Message, _c: &mut Context<'_>) {}
+/// #     fn on_timer(&mut self, _t: &Timer, _c: &mut Context<'_>) {}
+/// # }
+///
+/// let factory = |_id: NodeId| -> Box<dyn Protocol> { Box::new(Trivial) };
+/// ```
+pub trait ProtocolFactory {
+    /// Creates the protocol instance for node `id`.
+    fn create(&self, id: NodeId) -> Box<dyn Protocol>;
+}
+
+impl<F> ProtocolFactory for F
+where
+    F: Fn(NodeId) -> Box<dyn Protocol>,
+{
+    fn create(&self, id: NodeId) -> Box<dyn Protocol> {
+        self(id)
+    }
+}
+
+impl ProtocolFactory for Box<dyn ProtocolFactory> {
+    fn create(&self, id: NodeId) -> Box<dyn Protocol> {
+        (**self).create(id)
+    }
+}
+
+impl ProtocolFactory for Box<dyn ProtocolFactory + Send> {
+    fn create(&self, id: NodeId) -> Box<dyn Protocol> {
+        (**self).create(id)
+    }
+}
+
+/// Placeholder protocol used internally while a node's real instance is
+/// checked out for dispatch; it must never observe events.
+#[derive(Debug)]
+pub(crate) struct Vacant;
+
+impl Protocol for Vacant {
+    fn init(&mut self, _ctx: &mut Context<'_>) {
+        unreachable!("vacant slot dispatched");
+    }
+
+    fn on_message(&mut self, _msg: &Message, _ctx: &mut Context<'_>) {
+        unreachable!("vacant slot dispatched");
+    }
+
+    fn on_timer(&mut self, _timer: &Timer, _ctx: &mut Context<'_>) {
+        unreachable!("vacant slot dispatched");
+    }
+
+    fn name(&self) -> &'static str {
+        "vacant"
+    }
+}

@@ -1,0 +1,184 @@
+//! Execution traces.
+//!
+//! The controller records structured events (decisions, view changes,
+//! corruptions, optionally every message) into a [`Trace`]. Traces power the
+//! validator module, the per-node view visualisation of Fig. 9, and data
+//! logging in general.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::NodeId;
+use crate::time::SimTime;
+use crate::value::Value;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Simulation time of the event.
+    pub time: SimTime,
+    /// The node the event concerns (the destination for deliveries).
+    pub node: NodeId,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// The kind of a recorded event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A node decided `value` for consensus slot `slot`.
+    Decided {
+        /// Zero-based consensus slot (height).
+        slot: u64,
+        /// The decided value.
+        value: Value,
+    },
+    /// A node entered a view/round (Fig. 9's per-node view timeline).
+    View {
+        /// The new view number.
+        view: u64,
+    },
+    /// A node sent a message (recorded only with message recording on).
+    Sent {
+        /// Destination node.
+        dst: NodeId,
+        /// Payload type name.
+        payload_type: String,
+    },
+    /// A node received a message (recorded only with message recording on).
+    Delivered {
+        /// Claimed source node.
+        src: NodeId,
+        /// Payload type name.
+        payload_type: String,
+    },
+    /// The adversary corrupted this node.
+    Corrupted,
+    /// The node crashed (fail-stop).
+    Crashed,
+    /// Protocol-defined event, e.g. `commit` / `pre-prepare` markers used for
+    /// cross-validation against ground-truth traces.
+    Custom {
+        /// Event label, e.g. `"pre-prepare"`.
+        label: String,
+        /// Free-form detail.
+        detail: String,
+    },
+}
+
+/// A time-ordered sequence of [`TraceEvent`]s.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    pub(crate) fn record(&mut self, time: SimTime, node: NodeId, kind: TraceKind) {
+        self.events.push(TraceEvent { time, node, kind });
+    }
+
+    /// All recorded events, in recording (= time) order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates over decision events as `(time, node, slot, value)`.
+    pub fn decisions(&self) -> impl Iterator<Item = (SimTime, NodeId, u64, Value)> + '_ {
+        self.events.iter().filter_map(|e| match e.kind {
+            TraceKind::Decided { slot, value } => Some((e.time, e.node, slot, value)),
+            _ => None,
+        })
+    }
+
+    /// Per-node view timeline: for node `node`, the list of `(time, view)`
+    /// transitions — the data series behind Fig. 9.
+    pub fn view_timeline(&self, node: NodeId) -> Vec<(SimTime, u64)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceKind::View { view } if e.node == node => Some((e.time, view)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Events with a given custom label, as `(time, node, detail)`.
+    pub fn custom(&self, label: &str) -> Vec<(SimTime, NodeId, &str)> {
+        self.events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                TraceKind::Custom { label: l, detail } if l == label => {
+                    Some((e.time, e.node, detail.as_str()))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_filters() {
+        let mut t = Trace::new();
+        t.record(
+            SimTime::from_millis(1),
+            NodeId::new(0),
+            TraceKind::View { view: 1 },
+        );
+        t.record(
+            SimTime::from_millis(2),
+            NodeId::new(1),
+            TraceKind::Decided {
+                slot: 0,
+                value: Value::ONE,
+            },
+        );
+        t.record(
+            SimTime::from_millis(3),
+            NodeId::new(0),
+            TraceKind::View { view: 2 },
+        );
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.decisions().count(), 1);
+        assert_eq!(
+            t.view_timeline(NodeId::new(0)),
+            vec![
+                (SimTime::from_millis(1), 1),
+                (SimTime::from_millis(3), 2)
+            ]
+        );
+        assert!(t.view_timeline(NodeId::new(2)).is_empty());
+    }
+
+    #[test]
+    fn custom_events_by_label() {
+        let mut t = Trace::new();
+        t.record(
+            SimTime::ZERO,
+            NodeId::new(0),
+            TraceKind::Custom {
+                label: "pre-prepare".into(),
+                detail: "view=0".into(),
+            },
+        );
+        assert_eq!(t.custom("pre-prepare").len(), 1);
+        assert!(t.custom("commit").is_empty());
+    }
+}

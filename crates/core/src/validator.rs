@@ -1,0 +1,195 @@
+//! The validator module (§III-A6).
+//!
+//! Cross-validates simulation results against a ground truth. Two mechanisms
+//! are provided:
+//!
+//! 1. **Schedule replay** — a run can record its per-message
+//!    [`DeliverySchedule`] (the fate — delay or drop — the network and
+//!    adversary assigned to every transmission, in send order). Replaying the
+//!    schedule through a fresh simulation must reproduce the same decisions;
+//!    [`Validator::check_replay`] asserts this. This is the analogue of the
+//!    paper replaying BFTsim's event sequence.
+//! 2. **Decision comparison** — [`Validator::compare_decisions`] checks two
+//!    runs (e.g. the event-level engine and the packet-level baseline in
+//!    `bft-sim-baseline`) agreed on *which node decided what value*.
+
+use serde::{Deserialize, Serialize};
+
+use crate::adversary::Fate;
+use crate::error::SimError;
+use crate::metrics::RunResult;
+use crate::time::SimDuration;
+
+/// The recorded fate of every honest transmission of a run, in send order.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DeliverySchedule {
+    fates: Vec<RecordedFate>,
+    cursor: usize,
+}
+
+/// Serializable mirror of [`Fate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum RecordedFate {
+    Deliver { delay_micros: u64 },
+    Drop,
+}
+
+impl DeliverySchedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        DeliverySchedule::default()
+    }
+
+    /// Number of recorded transmissions.
+    pub fn len(&self) -> usize {
+        self.fates.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.fates.is_empty()
+    }
+
+    pub(crate) fn push(&mut self, fate: Fate) {
+        self.fates.push(match fate {
+            Fate::Deliver(d) => RecordedFate::Deliver {
+                delay_micros: d.as_micros(),
+            },
+            Fate::Drop => RecordedFate::Drop,
+        });
+    }
+
+    /// Consumes the next recorded fate, or `None` when the replayed run sends
+    /// more messages than the recorded one (a divergence).
+    pub(crate) fn next_fate(&mut self) -> Option<Fate> {
+        let fate = self.fates.get(self.cursor)?;
+        self.cursor += 1;
+        Some(match *fate {
+            RecordedFate::Deliver { delay_micros } => {
+                Fate::Deliver(SimDuration::from_micros(delay_micros))
+            }
+            RecordedFate::Drop => Fate::Drop,
+        })
+    }
+
+    /// Resets the replay cursor to the beginning.
+    pub fn rewind(&mut self) {
+        self.cursor = 0;
+    }
+}
+
+/// Cross-validation checks over [`RunResult`]s.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Validator;
+
+impl Validator {
+    /// Checks that two runs decided identically: same number of slots per
+    /// node, same values per `(node, slot)`. Decision *times* are not
+    /// compared (a packet-level and an event-level simulator legitimately
+    /// differ in timing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ValidationMismatch`] describing the first
+    /// difference found.
+    pub fn compare_decisions(a: &RunResult, b: &RunResult) -> Result<(), SimError> {
+        if a.decided.len() != b.decided.len() {
+            return Err(SimError::ValidationMismatch(format!(
+                "node counts differ: {} vs {}",
+                a.decided.len(),
+                b.decided.len()
+            )));
+        }
+        for (idx, (seq_a, seq_b)) in a.decided.iter().zip(&b.decided).enumerate() {
+            if seq_a.len() != seq_b.len() {
+                return Err(SimError::ValidationMismatch(format!(
+                    "node {idx} decided {} slots vs {}",
+                    seq_a.len(),
+                    seq_b.len()
+                )));
+            }
+            for (slot, ((_, va), (_, vb))) in seq_a.iter().zip(seq_b).enumerate() {
+                if va != vb {
+                    return Err(SimError::ValidationMismatch(format!(
+                        "node {idx} slot {slot}: {va} vs {vb}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks a run's decisions against a recorded ground-truth trace
+    /// (e.g. a golden trace committed to the repository, or one produced by
+    /// another simulator) — the paper's §III-A6 use-case of replay against
+    /// "the actual implementation of the BFT protocol".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ValidationMismatch`] describing the first
+    /// `(node, slot)` whose decided value differs or is missing.
+    pub fn check_against_trace(
+        result: &RunResult,
+        golden: &crate::trace::Trace,
+    ) -> Result<(), SimError> {
+        for (_, node, slot, value) in golden.decisions() {
+            let got = result
+                .decided
+                .get(node.index())
+                .and_then(|seq| seq.get(slot as usize))
+                .map(|&(_, v)| v);
+            match got {
+                Some(v) if v == value => {}
+                Some(v) => {
+                    return Err(SimError::ValidationMismatch(format!(
+                        "{node} slot {slot}: golden {value}, got {v}"
+                    )))
+                }
+                None => {
+                    return Err(SimError::ValidationMismatch(format!(
+                        "{node} slot {slot}: golden {value}, got nothing"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks a replayed run against the original: decisions must match and
+    /// the replay must not have diverged (sent a different number of
+    /// messages than the schedule recorded).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ValidationMismatch`] on any divergence.
+    pub fn check_replay(original: &RunResult, replayed: &RunResult) -> Result<(), SimError> {
+        if let Some(v) = &replayed.safety_violation {
+            return Err(SimError::ValidationMismatch(format!(
+                "replayed run reported: {v}"
+            )));
+        }
+        Self::compare_decisions(original, replayed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn schedule_round_trips_fates() {
+        let mut s = DeliverySchedule::new();
+        s.push(Fate::Deliver(SimDuration::from_millis(5.0)));
+        s.push(Fate::Drop);
+        assert_eq!(s.len(), 2);
+        assert_eq!(
+            s.next_fate(),
+            Some(Fate::Deliver(SimDuration::from_millis(5.0)))
+        );
+        assert_eq!(s.next_fate(), Some(Fate::Drop));
+        assert_eq!(s.next_fate(), None, "exhausted schedule signals divergence");
+        s.rewind();
+        assert!(s.next_fate().is_some());
+    }
+}

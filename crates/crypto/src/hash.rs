@@ -1,0 +1,138 @@
+//! Deterministic hashing.
+//!
+//! A simulator does not need collision resistance against real-world
+//! adversaries — only a deterministic, well-mixed digest so protocols can
+//! refer to proposals by hash. We use the 64-bit FNV-1a function with an
+//! additional avalanche finaliser (the `splitmix64` mixer), implemented from
+//! scratch to keep the simulator dependency-free.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A 64-bit message digest.
+///
+/// # Examples
+///
+/// ```
+/// use bft_sim_crypto::hash::Digest;
+///
+/// let a = Digest::of_bytes(b"block 1");
+/// let b = Digest::of_bytes(b"block 2");
+/// assert_ne!(a, b);
+/// assert_eq!(a, Digest::of_bytes(b"block 1"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Digest(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// `splitmix64` finaliser: full-avalanche mixing of a 64-bit word.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl Digest {
+    /// Hashes a byte string.
+    pub fn of_bytes(bytes: &[u8]) -> Digest {
+        let mut h = FNV_OFFSET;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        Digest(mix(h))
+    }
+
+    /// Hashes a sequence of 64-bit words — the common case for protocol
+    /// state (views, node ids, prior digests).
+    pub fn of_words(words: &[u64]) -> Digest {
+        let mut h = FNV_OFFSET;
+        for &w in words {
+            for i in 0..8 {
+                h ^= (w >> (i * 8)) & 0xff;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        }
+        Digest(mix(h))
+    }
+
+    /// Combines two digests (e.g. chaining a block onto its parent).
+    pub fn combine(self, other: Digest) -> Digest {
+        Digest::of_words(&[self.0, other.0])
+    }
+
+    /// The raw digest value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Constructs a digest from a raw value (e.g. deserialised state).
+    pub const fn from_u64(v: u64) -> Digest {
+        Digest(v)
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(Digest::of_bytes(b"abc"), Digest::of_bytes(b"abc"));
+        assert_eq!(Digest::of_words(&[1, 2, 3]), Digest::of_words(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_digests() {
+        assert_ne!(Digest::of_bytes(b""), Digest::of_bytes(b"\0"));
+        assert_ne!(Digest::of_words(&[1, 2]), Digest::of_words(&[2, 1]));
+        assert_ne!(Digest::of_words(&[0]), Digest::of_words(&[0, 0]));
+    }
+
+    #[test]
+    fn combine_is_order_sensitive() {
+        let a = Digest::of_bytes(b"a");
+        let b = Digest::of_bytes(b"b");
+        assert_ne!(a.combine(b), b.combine(a));
+    }
+
+    #[test]
+    fn words_and_bytes_agree_on_layout() {
+        // of_words hashes little-endian byte expansion; sanity-check one case.
+        let w = Digest::of_words(&[0x0102_0304_0506_0708]);
+        let b = Digest::of_bytes(&[0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01]);
+        assert_eq!(w, b);
+    }
+
+    #[test]
+    fn avalanche_smoke() {
+        // Flipping one input bit should flip roughly half the output bits.
+        let a = Digest::of_words(&[0]).as_u64();
+        let b = Digest::of_words(&[1]).as_u64();
+        let flipped = (a ^ b).count_ones();
+        assert!((16..=48).contains(&flipped), "weak avalanche: {flipped} bits");
+    }
+
+    #[test]
+    fn display_is_fixed_width_hex() {
+        let s = Digest::of_bytes(b"x").to_string();
+        assert_eq!(s.len(), 16);
+        assert!(s.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

@@ -1,0 +1,265 @@
+//! Vote collection and quorum certificates.
+//!
+//! PBFT, HotStuff and LibraBFT all aggregate `2f + 1` matching votes into a
+//! certificate. [`VoteTracker`] deduplicates signers per candidate and
+//! produces a [`QuorumCert`] once the threshold is met.
+
+use std::collections::HashMap;
+
+use bft_sim_core::ids::NodeId;
+use serde::{Deserialize, Serialize};
+
+use crate::hash::Digest;
+use crate::signature::Signature;
+
+/// A compact set of node ids, stored as a bitmap.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct SignerSet {
+    words: Vec<u64>,
+}
+
+impl SignerSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        SignerSet::default()
+    }
+
+    /// Inserts a node; returns `true` if it was not already present.
+    pub fn insert(&mut self, node: NodeId) -> bool {
+        let (word, bit) = (node.index() / 64, node.index() % 64);
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let mask = 1u64 << bit;
+        let newly = self.words[word] & mask == 0;
+        self.words[word] |= mask;
+        newly
+    }
+
+    /// Whether the set contains `node`.
+    pub fn contains(&self, node: NodeId) -> bool {
+        let (word, bit) = (node.index() / 64, node.index() % 64);
+        self.words.get(word).is_some_and(|w| w & (1 << bit) != 0)
+    }
+
+    /// Number of nodes in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates over the member node ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64)
+                .filter(move |b| w & (1 << b) != 0)
+                .map(move |b| NodeId::new((wi * 64 + b) as u32))
+        })
+    }
+}
+
+impl FromIterator<NodeId> for SignerSet {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        let mut s = SignerSet::new();
+        for id in iter {
+            s.insert(id);
+        }
+        s
+    }
+}
+
+/// A quorum certificate: proof that `signers` (≥ threshold) voted for
+/// `digest` in `view`. Models an aggregated/threshold signature.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuorumCert {
+    /// The view/round the votes were cast in.
+    pub view: u64,
+    /// The voted-for digest (block hash, proposal id, …).
+    pub digest: Digest,
+    /// Who signed.
+    pub signers: SignerSet,
+}
+
+impl QuorumCert {
+    /// Number of aggregated signatures.
+    pub fn weight(&self) -> usize {
+        self.signers.len()
+    }
+
+    /// Checks the certificate carries at least `threshold` signers.
+    pub fn is_valid(&self, threshold: usize) -> bool {
+        self.weight() >= threshold
+    }
+}
+
+/// Collects signed votes per `(view, digest)` candidate and forms a
+/// [`QuorumCert`] at the threshold.
+///
+/// # Examples
+///
+/// ```
+/// use bft_sim_core::ids::NodeId;
+/// use bft_sim_crypto::{hash::Digest, quorum::VoteTracker, signature::sign};
+///
+/// let mut votes = VoteTracker::new(3); // threshold 3 (n = 4, f = 1)
+/// let d = Digest::of_bytes(b"block");
+/// for i in 0..3 {
+///     let sig = sign(NodeId::new(i), d);
+///     if let Some(qc) = votes.add(7, d, sig) {
+///         assert_eq!(qc.view, 7);
+///         assert_eq!(qc.weight(), 3);
+///         return;
+///     }
+/// }
+/// panic!("threshold reached but no certificate formed");
+/// ```
+#[derive(Debug, Clone)]
+pub struct VoteTracker {
+    threshold: usize,
+    votes: HashMap<(u64, Digest), SignerSet>,
+    formed: HashMap<(u64, Digest), bool>,
+}
+
+impl VoteTracker {
+    /// Creates a tracker with the given quorum threshold.
+    pub fn new(threshold: usize) -> Self {
+        VoteTracker {
+            threshold,
+            votes: HashMap::new(),
+            formed: HashMap::new(),
+        }
+    }
+
+    /// The quorum threshold.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Adds a vote. Invalid signatures and duplicate signers are ignored.
+    /// Returns `Some(QuorumCert)` exactly once per candidate — at the moment
+    /// its threshold is first reached.
+    pub fn add(&mut self, view: u64, digest: Digest, sig: Signature) -> Option<QuorumCert> {
+        if !sig.verify(digest) {
+            return None;
+        }
+        let key = (view, digest);
+        let set = self.votes.entry(key).or_default();
+        if !set.insert(sig.signer()) {
+            return None;
+        }
+        if set.len() >= self.threshold && !self.formed.get(&key).copied().unwrap_or(false) {
+            self.formed.insert(key, true);
+            return Some(QuorumCert {
+                view,
+                digest,
+                signers: set.clone(),
+            });
+        }
+        None
+    }
+
+    /// Current vote count for a candidate.
+    pub fn count(&self, view: u64, digest: Digest) -> usize {
+        self.votes.get(&(view, digest)).map_or(0, SignerSet::len)
+    }
+
+    /// Drops all state for views older than `min_view` (garbage collection
+    /// for long SMR runs).
+    pub fn prune_below(&mut self, min_view: u64) {
+        self.votes.retain(|&(v, _), _| v >= min_view);
+        self.formed.retain(|&(v, _), _| v >= min_view);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::sign;
+
+    fn digest() -> Digest {
+        Digest::of_bytes(b"proposal")
+    }
+
+    #[test]
+    fn signer_set_basics() {
+        let mut s = SignerSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(NodeId::new(3)));
+        assert!(!s.insert(NodeId::new(3)), "duplicate rejected");
+        assert!(s.insert(NodeId::new(200)), "multi-word ids supported");
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(NodeId::new(3)));
+        assert!(!s.contains(NodeId::new(4)));
+        let members: Vec<NodeId> = s.iter().collect();
+        assert_eq!(members, vec![NodeId::new(3), NodeId::new(200)]);
+    }
+
+    #[test]
+    fn signer_set_from_iterator() {
+        let s: SignerSet = [NodeId::new(1), NodeId::new(2), NodeId::new(1)]
+            .into_iter()
+            .collect();
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn quorum_forms_exactly_once() {
+        let mut t = VoteTracker::new(3);
+        let d = digest();
+        assert!(t.add(0, d, sign(NodeId::new(0), d)).is_none());
+        assert!(t.add(0, d, sign(NodeId::new(1), d)).is_none());
+        let qc = t.add(0, d, sign(NodeId::new(2), d)).expect("quorum");
+        assert!(qc.is_valid(3));
+        assert_eq!(qc.weight(), 3);
+        // A fourth vote must not re-form the certificate.
+        assert!(t.add(0, d, sign(NodeId::new(3), d)).is_none());
+        assert_eq!(t.count(0, d), 4);
+    }
+
+    #[test]
+    fn duplicate_votes_do_not_count() {
+        let mut t = VoteTracker::new(2);
+        let d = digest();
+        assert!(t.add(0, d, sign(NodeId::new(0), d)).is_none());
+        assert!(t.add(0, d, sign(NodeId::new(0), d)).is_none());
+        assert_eq!(t.count(0, d), 1);
+    }
+
+    #[test]
+    fn invalid_signatures_are_rejected() {
+        let mut t = VoteTracker::new(1);
+        let d = digest();
+        let other = Digest::of_bytes(b"other");
+        let sig = sign(NodeId::new(0), other); // signs the wrong digest
+        assert!(t.add(0, d, sig).is_none());
+        assert_eq!(t.count(0, d), 0);
+    }
+
+    #[test]
+    fn candidates_are_isolated_by_view_and_digest() {
+        let mut t = VoteTracker::new(2);
+        let d = digest();
+        let e = Digest::of_bytes(b"other");
+        t.add(0, d, sign(NodeId::new(0), d));
+        t.add(1, d, sign(NodeId::new(1), d));
+        t.add(0, e, sign(NodeId::new(2), e));
+        assert_eq!(t.count(0, d), 1);
+        assert_eq!(t.count(1, d), 1);
+        assert_eq!(t.count(0, e), 1);
+    }
+
+    #[test]
+    fn pruning_drops_old_views() {
+        let mut t = VoteTracker::new(10);
+        let d = digest();
+        t.add(1, d, sign(NodeId::new(0), d));
+        t.add(5, d, sign(NodeId::new(1), d));
+        t.prune_below(5);
+        assert_eq!(t.count(1, d), 0);
+        assert_eq!(t.count(5, d), 1);
+    }
+}

@@ -1,0 +1,90 @@
+//! Simulated digital signatures.
+//!
+//! The simulator models the *information content* of signatures, not their
+//! computational cost or real unforgeability (the paper's simulator likewise
+//! ignores cryptographic computation, §III-A3). A [`Signature`] is a
+//! deterministic tag binding a signer to a digest; [`Signature::verify`]
+//! rejects tags that were not produced by [`sign`] for that `(signer,
+//! digest)` pair. The *security model* is enforced by construction: honest
+//! protocol code only ever signs for its own node id, and attack code is
+//! trusted to forge signatures only for nodes it has corrupted.
+
+use bft_sim_core::ids::NodeId;
+use serde::{Deserialize, Serialize};
+
+use crate::hash::Digest;
+
+/// Domain-separation constant so signature tags never collide with plain
+/// hashes of the same words.
+const SIG_DOMAIN: u64 = 0x5349_474e_4154_5552; // "SIGNATUR"
+
+/// A simulated signature by one node over one digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Signature {
+    signer: NodeId,
+    tag: u64,
+}
+
+impl Signature {
+    /// The node this signature claims to be from.
+    pub fn signer(&self) -> NodeId {
+        self.signer
+    }
+
+    /// Checks that this signature is a valid signature by
+    /// [`signer`](Signature::signer) over `digest`.
+    pub fn verify(&self, digest: Digest) -> bool {
+        self.tag == tag_for(self.signer, digest)
+    }
+}
+
+/// Signs `digest` as `signer`.
+///
+/// # Examples
+///
+/// ```
+/// use bft_sim_core::ids::NodeId;
+/// use bft_sim_crypto::{hash::Digest, signature::sign};
+///
+/// let d = Digest::of_bytes(b"proposal");
+/// let sig = sign(NodeId::new(3), d);
+/// assert!(sig.verify(d));
+/// assert!(!sig.verify(Digest::of_bytes(b"other")));
+/// ```
+pub fn sign(signer: NodeId, digest: Digest) -> Signature {
+    Signature {
+        signer,
+        tag: tag_for(signer, digest),
+    }
+}
+
+fn tag_for(signer: NodeId, digest: Digest) -> u64 {
+    Digest::of_words(&[SIG_DOMAIN, signer.as_u32() as u64, digest.as_u64()]).as_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let d = Digest::of_bytes(b"msg");
+        let s = sign(NodeId::new(0), d);
+        assert_eq!(s.signer(), NodeId::new(0));
+        assert!(s.verify(d));
+    }
+
+    #[test]
+    fn wrong_digest_rejected() {
+        let s = sign(NodeId::new(1), Digest::of_bytes(b"a"));
+        assert!(!s.verify(Digest::of_bytes(b"b")));
+    }
+
+    #[test]
+    fn signatures_bind_the_signer() {
+        let d = Digest::of_bytes(b"msg");
+        let a = sign(NodeId::new(1), d);
+        let b = sign(NodeId::new(2), d);
+        assert_ne!(a, b);
+    }
+}

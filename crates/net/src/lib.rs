@@ -1,0 +1,25 @@
+//! # bft-sim-net
+//!
+//! Network models for the BFT simulator: bounded (synchronous /
+//! partially-synchronous), GST-based partially-synchronous, per-link
+//! matrices, and timed partitions — the network module of §III-A4, factored
+//! into its own crate.
+//!
+//! ```
+//! use bft_sim_net::models::BoundedNetwork;
+//! use bft_sim_core::dist::Dist;
+//!
+//! // The paper's partially-synchronous default: N(250, 50), bounded.
+//! let net = BoundedNetwork::new(Dist::normal(250.0, 50.0), 2000.0);
+//! assert_eq!(net.bound().as_millis_f64(), 2000.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod models;
+pub mod partition;
+pub mod scenarios;
+
+pub use models::{BoundedNetwork, GstNetwork, LinkMatrixNetwork};
+pub use partition::{CrossTraffic, PartitionPlan, PartitionedNetwork};

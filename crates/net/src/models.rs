@@ -1,0 +1,282 @@
+//! Network models for the three classic timing assumptions (§II-B).
+//!
+//! * **Synchronous** — delays bounded by a *known* bound `b ≤ λ`:
+//!   [`BoundedNetwork`] with `bound ≤` the protocol's λ.
+//! * **Partially synchronous** — delays bounded by a bound *unknown* to the
+//!   protocol ([`BoundedNetwork`] with any bound), or a network that only
+//!   stabilises after a global stabilisation time ([`GstNetwork`]).
+//! * **Asynchronous** — no bound:
+//!   [`SampledNetwork`](bft_sim_core::network::SampledNetwork) from the core
+//!   crate.
+
+use bft_sim_core::dist::Dist;
+use bft_sim_core::ids::NodeId;
+use bft_sim_core::network::NetworkModel;
+use bft_sim_core::time::{SimDuration, SimTime};
+use rand::rngs::SmallRng;
+
+/// Samples delays from a distribution and clamps them to `[0, bound]`.
+///
+/// With `bound` known to the protocol (i.e. `bound ≤ λ`) this is the paper's
+/// synchronous model; with `bound` hidden from the protocol it is the
+/// partially-synchronous model (§III-A4).
+///
+/// # Examples
+///
+/// ```
+/// use bft_sim_net::models::BoundedNetwork;
+/// use bft_sim_core::{dist::Dist, ids::NodeId, network::NetworkModel,
+///                    time::SimTime};
+/// use rand::SeedableRng;
+///
+/// let mut net = BoundedNetwork::new(Dist::normal(250.0, 50.0), 1000.0);
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let d = net.delay(NodeId::new(0), NodeId::new(1), SimTime::ZERO, &mut rng);
+/// assert!(d.as_millis_f64() <= 1000.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BoundedNetwork {
+    dist: Dist,
+    bound: SimDuration,
+}
+
+impl BoundedNetwork {
+    /// Creates a network sampling from `dist`, clamped to `bound_ms`.
+    pub fn new(dist: Dist, bound_ms: f64) -> Self {
+        BoundedNetwork {
+            dist,
+            bound: SimDuration::from_millis(bound_ms),
+        }
+    }
+
+    /// The delay distribution.
+    pub fn dist(&self) -> Dist {
+        self.dist
+    }
+
+    /// The hard delay bound.
+    pub fn bound(&self) -> SimDuration {
+        self.bound
+    }
+}
+
+impl NetworkModel for BoundedNetwork {
+    fn delay(
+        &mut self,
+        _src: NodeId,
+        _dst: NodeId,
+        _now: SimTime,
+        rng: &mut SmallRng,
+    ) -> SimDuration {
+        self.dist.sample_delay(rng).min(self.bound)
+    }
+
+    fn name(&self) -> &'static str {
+        "bounded"
+    }
+}
+
+/// A partially-synchronous network with an explicit global stabilisation
+/// time (GST): before GST delays are sampled from `pre` (typically slow and
+/// erratic, or effectively unbounded); after GST they are sampled from
+/// `post` and clamped to `post_bound`. Messages in flight at GST are
+/// delivered no later than `GST + post_bound`, matching the classic
+/// Dwork–Lynch–Stockmeyer definition.
+#[derive(Debug, Clone)]
+pub struct GstNetwork {
+    pre: Dist,
+    post: Dist,
+    gst: SimTime,
+    post_bound: SimDuration,
+}
+
+impl GstNetwork {
+    /// Creates a GST network. `gst_ms` is the stabilisation time;
+    /// `post_bound_ms` is the (protocol-unknown) bound after GST.
+    pub fn new(pre: Dist, post: Dist, gst_ms: f64, post_bound_ms: f64) -> Self {
+        GstNetwork {
+            pre,
+            post,
+            gst: SimTime::from_micros((gst_ms.max(0.0) * 1_000.0).round() as u64),
+            post_bound: SimDuration::from_millis(post_bound_ms),
+        }
+    }
+
+    /// The stabilisation time.
+    pub fn gst(&self) -> SimTime {
+        self.gst
+    }
+}
+
+impl NetworkModel for GstNetwork {
+    fn delay(
+        &mut self,
+        _src: NodeId,
+        _dst: NodeId,
+        now: SimTime,
+        rng: &mut SmallRng,
+    ) -> SimDuration {
+        if now >= self.gst {
+            self.post.sample_delay(rng).min(self.post_bound)
+        } else {
+            // Pre-GST delay, but delivery may not exceed GST + post_bound.
+            let raw = self.pre.sample_delay(rng);
+            let latest = (self.gst + self.post_bound) - now;
+            raw.min(latest)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "gst"
+    }
+}
+
+/// Per-link delay matrix: every ordered `(src, dst)` pair has its own
+/// distribution, enabling heterogeneous topologies (e.g. two fast LANs
+/// joined by a slow WAN link).
+#[derive(Debug, Clone)]
+pub struct LinkMatrixNetwork {
+    n: usize,
+    /// Row-major `n × n` matrix; entry `src * n + dst`.
+    links: Vec<Dist>,
+}
+
+impl LinkMatrixNetwork {
+    /// Creates a matrix where every link uses `default` initially.
+    pub fn uniform(n: usize, default: Dist) -> Self {
+        LinkMatrixNetwork {
+            n,
+            links: vec![default; n * n],
+        }
+    }
+
+    /// Overrides the delay distribution of the directed link `src → dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is out of range.
+    pub fn set_link(&mut self, src: NodeId, dst: NodeId, dist: Dist) -> &mut Self {
+        assert!(src.index() < self.n && dst.index() < self.n, "link out of range");
+        self.links[src.index() * self.n + dst.index()] = dist;
+        self
+    }
+
+    /// Overrides both directions between `a` and `b`.
+    pub fn set_bidi(&mut self, a: NodeId, b: NodeId, dist: Dist) -> &mut Self {
+        self.set_link(a, b, dist);
+        self.set_link(b, a, dist);
+        self
+    }
+
+    /// The distribution currently assigned to `src → dst`.
+    pub fn link(&self, src: NodeId, dst: NodeId) -> Dist {
+        self.links[src.index() * self.n + dst.index()]
+    }
+}
+
+impl NetworkModel for LinkMatrixNetwork {
+    fn delay(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        _now: SimTime,
+        rng: &mut SmallRng,
+    ) -> SimDuration {
+        self.links[src.index() * self.n + dst.index()].sample_delay(rng)
+    }
+
+    fn name(&self) -> &'static str {
+        "link-matrix"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn bounded_clamps_to_bound() {
+        let mut net = BoundedNetwork::new(Dist::normal(1000.0, 1000.0), 500.0);
+        let mut rng = rng();
+        for _ in 0..1000 {
+            let d = net.delay(NodeId::new(0), NodeId::new(1), SimTime::ZERO, &mut rng);
+            assert!(d.as_millis_f64() <= 500.0);
+        }
+    }
+
+    #[test]
+    fn gst_switches_distributions() {
+        let mut net = GstNetwork::new(
+            Dist::constant(5000.0),
+            Dist::constant(100.0),
+            1000.0,
+            250.0,
+        );
+        let mut rng = rng();
+        // Before GST: raw 5000 ms but delivery capped at GST + bound.
+        let d = net.delay(NodeId::new(0), NodeId::new(1), SimTime::ZERO, &mut rng);
+        assert_eq!(d.as_millis_f64(), 1250.0);
+        // Just before GST the cap shrinks accordingly.
+        let d = net.delay(
+            NodeId::new(0),
+            NodeId::new(1),
+            SimTime::from_millis(900),
+            &mut rng,
+        );
+        assert_eq!(d.as_millis_f64(), 350.0);
+        // After GST: post distribution, clamped by post bound.
+        let d = net.delay(
+            NodeId::new(0),
+            NodeId::new(1),
+            SimTime::from_millis(1000),
+            &mut rng,
+        );
+        assert_eq!(d.as_millis_f64(), 100.0);
+    }
+
+    #[test]
+    fn gst_post_bound_clamps_post_samples() {
+        let mut net = GstNetwork::new(Dist::constant(0.0), Dist::constant(900.0), 0.0, 250.0);
+        let mut rng = rng();
+        let d = net.delay(
+            NodeId::new(0),
+            NodeId::new(1),
+            SimTime::from_millis(5),
+            &mut rng,
+        );
+        assert_eq!(d.as_millis_f64(), 250.0);
+    }
+
+    #[test]
+    fn link_matrix_routes_per_link() {
+        let mut net = LinkMatrixNetwork::uniform(3, Dist::constant(10.0));
+        net.set_link(NodeId::new(0), NodeId::new(2), Dist::constant(99.0));
+        let mut rng = rng();
+        let fast = net.delay(NodeId::new(0), NodeId::new(1), SimTime::ZERO, &mut rng);
+        let slow = net.delay(NodeId::new(0), NodeId::new(2), SimTime::ZERO, &mut rng);
+        let back = net.delay(NodeId::new(2), NodeId::new(0), SimTime::ZERO, &mut rng);
+        assert_eq!(fast.as_millis_f64(), 10.0);
+        assert_eq!(slow.as_millis_f64(), 99.0);
+        assert_eq!(back.as_millis_f64(), 10.0, "override is directional");
+    }
+
+    #[test]
+    fn link_matrix_bidi_override() {
+        let mut net = LinkMatrixNetwork::uniform(2, Dist::constant(1.0));
+        net.set_bidi(NodeId::new(0), NodeId::new(1), Dist::constant(7.0));
+        assert_eq!(net.link(NodeId::new(0), NodeId::new(1)), Dist::constant(7.0));
+        assert_eq!(net.link(NodeId::new(1), NodeId::new(0)), Dist::constant(7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn link_matrix_bounds_checked() {
+        let mut net = LinkMatrixNetwork::uniform(2, Dist::constant(1.0));
+        net.set_link(NodeId::new(0), NodeId::new(5), Dist::constant(7.0));
+    }
+}

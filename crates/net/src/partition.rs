@@ -1,0 +1,248 @@
+//! Network partitions.
+//!
+//! A [`PartitionPlan`] divides the nodes into subnets for a time window.
+//! While the partition is active, messages crossing subnet boundaries are
+//! either dropped or held back until the partition resolves (the two
+//! packet-filter behaviours described for the partition attack in §III-C).
+//!
+//! The plan is used in two places: [`PartitionedNetwork`] models a partition
+//! as a *network condition* (this module), and
+//! `bft_sim_attacks::PartitionAttack` models it as an *adversarial filter*
+//! sitting in the attacker module. Both produce the same delivery behaviour;
+//! the attack variant exists because the paper implements partitions there.
+
+use bft_sim_core::ids::NodeId;
+use bft_sim_core::network::NetworkModel;
+use bft_sim_core::time::{SimDuration, SimTime};
+use rand::rngs::SmallRng;
+use serde::{Deserialize, Serialize};
+
+/// What happens to messages that cross subnet boundaries while the
+/// partition is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrossTraffic {
+    /// Cross-partition messages are silently dropped.
+    Drop,
+    /// Cross-partition messages are held and delivered shortly after the
+    /// partition resolves (plus their normal network delay).
+    HoldUntilResolve,
+}
+
+/// A timed division of the nodes into disjoint subnets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionPlan {
+    /// `group[i]` is the subnet index of node `i`.
+    groups: Vec<u32>,
+    /// Partition becomes active at this time.
+    start: SimTime,
+    /// Partition resolves at this time.
+    end: SimTime,
+    /// Fate of cross-subnet messages while active.
+    cross: CrossTraffic,
+}
+
+impl PartitionPlan {
+    /// Creates a plan from an explicit group assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is empty or `end < start`.
+    pub fn new(groups: Vec<u32>, start: SimTime, end: SimTime, cross: CrossTraffic) -> Self {
+        assert!(!groups.is_empty(), "partition plan needs at least one node");
+        assert!(end >= start, "partition must resolve after it starts");
+        PartitionPlan {
+            groups,
+            start,
+            end,
+            cross,
+        }
+    }
+
+    /// Splits `n` nodes into two halves (`0..n/2` vs `n/2..n`) — the classic
+    /// Algorand partition scenario.
+    pub fn halves(n: usize, start: SimTime, end: SimTime, cross: CrossTraffic) -> Self {
+        let groups = (0..n).map(|i| if i < n / 2 { 0 } else { 1 }).collect();
+        Self::new(groups, start, end, cross)
+    }
+
+    /// Splits `n` nodes into `k` round-robin subnets.
+    pub fn round_robin(n: usize, k: u32, start: SimTime, end: SimTime, cross: CrossTraffic) -> Self {
+        assert!(k > 0, "need at least one subnet");
+        let groups = (0..n).map(|i| (i as u32) % k).collect();
+        Self::new(groups, start, end, cross)
+    }
+
+    /// When the partition starts.
+    pub fn start(&self) -> SimTime {
+        self.start
+    }
+
+    /// When the partition resolves.
+    pub fn end(&self) -> SimTime {
+        self.end
+    }
+
+    /// The configured cross-traffic behaviour.
+    pub fn cross_traffic(&self) -> CrossTraffic {
+        self.cross
+    }
+
+    /// The subnet of `node` (nodes beyond the plan length fall into
+    /// subnet 0).
+    pub fn group_of(&self, node: NodeId) -> u32 {
+        self.groups.get(node.index()).copied().unwrap_or(0)
+    }
+
+    /// Whether the partition is active at `now`.
+    pub fn is_active(&self, now: SimTime) -> bool {
+        now >= self.start && now < self.end
+    }
+
+    /// Whether a message from `src` to `dst` at `now` crosses an active
+    /// partition boundary.
+    pub fn severs(&self, src: NodeId, dst: NodeId, now: SimTime) -> bool {
+        self.is_active(now) && self.group_of(src) != self.group_of(dst)
+    }
+}
+
+/// Wraps an inner network model with a [`PartitionPlan`].
+///
+/// Cross-partition messages are dropped (modelled as a near-infinite delay
+/// pushed past the run's practical horizon is *not* used — the engine's drop
+/// accounting stays accurate by using `HoldUntilResolve` semantics instead;
+/// for true drops use the attack variant, which can return
+/// [`Fate::Drop`](bft_sim_core::adversary::Fate::Drop)). With
+/// [`CrossTraffic::HoldUntilResolve`] messages are delivered after the
+/// partition heals plus a fresh inner delay. With [`CrossTraffic::Drop`]
+/// they are delayed to [`SimTime::MAX`], which in practice never delivers
+/// within the run's time cap.
+#[derive(Debug, Clone)]
+pub struct PartitionedNetwork<N> {
+    inner: N,
+    plan: PartitionPlan,
+}
+
+impl<N: NetworkModel> PartitionedNetwork<N> {
+    /// Wraps `inner` with the given plan.
+    pub fn new(inner: N, plan: PartitionPlan) -> Self {
+        PartitionedNetwork { inner, plan }
+    }
+
+    /// The partition plan.
+    pub fn plan(&self) -> &PartitionPlan {
+        &self.plan
+    }
+}
+
+impl<N: NetworkModel> NetworkModel for PartitionedNetwork<N> {
+    fn delay(&mut self, src: NodeId, dst: NodeId, now: SimTime, rng: &mut SmallRng) -> SimDuration {
+        let base = self.inner.delay(src, dst, now, rng);
+        if !self.plan.severs(src, dst, now) {
+            return base;
+        }
+        match self.plan.cross_traffic() {
+            CrossTraffic::Drop => SimDuration::MAX, // never delivered within the cap
+            CrossTraffic::HoldUntilResolve => (self.plan.end() - now) + base,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "partitioned"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bft_sim_core::network::ConstantNetwork;
+    use rand::SeedableRng;
+
+    fn plan(cross: CrossTraffic) -> PartitionPlan {
+        PartitionPlan::halves(
+            4,
+            SimTime::from_millis(100),
+            SimTime::from_millis(500),
+            cross,
+        )
+    }
+
+    #[test]
+    fn groups_are_halved() {
+        let p = plan(CrossTraffic::Drop);
+        assert_eq!(p.group_of(NodeId::new(0)), 0);
+        assert_eq!(p.group_of(NodeId::new(1)), 0);
+        assert_eq!(p.group_of(NodeId::new(2)), 1);
+        assert_eq!(p.group_of(NodeId::new(3)), 1);
+    }
+
+    #[test]
+    fn severs_only_cross_traffic_during_window() {
+        let p = plan(CrossTraffic::Drop);
+        let (a, b, c) = (NodeId::new(0), NodeId::new(1), NodeId::new(2));
+        let during = SimTime::from_millis(200);
+        assert!(!p.severs(a, b, during), "same subnet unaffected");
+        assert!(p.severs(a, c, during));
+        assert!(!p.severs(a, c, SimTime::from_millis(50)), "before start");
+        assert!(!p.severs(a, c, SimTime::from_millis(500)), "at resolve");
+    }
+
+    #[test]
+    fn hold_until_resolve_delays_past_heal() {
+        let net = ConstantNetwork::new(SimDuration::from_millis(10.0));
+        let mut pn = PartitionedNetwork::new(net, plan(CrossTraffic::HoldUntilResolve));
+        let mut rng = SmallRng::seed_from_u64(0);
+        let d = pn.delay(
+            NodeId::new(0),
+            NodeId::new(2),
+            SimTime::from_millis(200),
+            &mut rng,
+        );
+        // Held for 300 ms (until 500 ms) plus the 10 ms base delay.
+        assert_eq!(d.as_millis_f64(), 310.0);
+        let d_same = pn.delay(
+            NodeId::new(0),
+            NodeId::new(1),
+            SimTime::from_millis(200),
+            &mut rng,
+        );
+        assert_eq!(d_same.as_millis_f64(), 10.0);
+    }
+
+    #[test]
+    fn drop_pushes_past_any_horizon() {
+        let net = ConstantNetwork::new(SimDuration::from_millis(10.0));
+        let mut pn = PartitionedNetwork::new(net, plan(CrossTraffic::Drop));
+        let mut rng = SmallRng::seed_from_u64(0);
+        let d = pn.delay(
+            NodeId::new(0),
+            NodeId::new(3),
+            SimTime::from_millis(200),
+            &mut rng,
+        );
+        assert_eq!(d, SimDuration::MAX);
+    }
+
+    #[test]
+    fn round_robin_groups() {
+        let p = PartitionPlan::round_robin(
+            5,
+            3,
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+            CrossTraffic::Drop,
+        );
+        let groups: Vec<u32> = (0..5).map(|i| p.group_of(NodeId::new(i))).collect();
+        assert_eq!(groups, vec![0, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "resolve after it starts")]
+    fn inverted_window_panics() {
+        let _ = PartitionPlan::halves(
+            4,
+            SimTime::from_millis(10),
+            SimTime::from_millis(5),
+            CrossTraffic::Drop,
+        );
+    }
+}

@@ -1,0 +1,8 @@
+//! The ADD+ synchronous BA family (three variants, §III-B1 of the paper).
+
+pub mod machine;
+pub mod v1;
+pub mod v2;
+pub mod v3;
+
+pub use machine::{AddBa, AddMsg, AddPhase, AddVariant};

@@ -1,0 +1,47 @@
+//! Compare all eight BFT protocols under two network environments — a
+//! miniature of the paper's Fig. 3 (latency and message usage per decision).
+//!
+//! ```text
+//! cargo run --release --example compare_protocols
+//! ```
+
+use bft_simulator::experiments::Scenario;
+use bft_simulator::prelude::*;
+
+fn main() {
+    let reps = 10;
+    let environments = [
+        ("fast & stable   N(250,50)", Dist::normal(250.0, 50.0)),
+        ("slow & unstable N(1000,1000)", Dist::normal(1000.0, 1000.0)),
+    ];
+
+    for (label, dist) in environments {
+        println!("== {label}, lambda = 1000 ms, {reps} repetitions ==");
+        println!(
+            "{:<14} {:>12} {:>12} {:>14}",
+            "protocol", "latency (s)", "±sd", "msgs/decision"
+        );
+        for kind in ProtocolKind::all() {
+            let scenario = Scenario::new(kind, 16).with_delay(dist);
+            let results = scenario.run_many(reps, 1000);
+            for r in &results {
+                assert!(
+                    r.safety_violation.is_none(),
+                    "{kind}: {:?}",
+                    r.safety_violation
+                );
+            }
+            let lat = scenario.latency_summary(&results);
+            let msg = scenario.message_summary(&results);
+            println!(
+                "{:<14} {:>12.3} {:>12.3} {:>14.1}",
+                kind.name(),
+                lat.mean,
+                lat.std_dev,
+                msg.mean
+            );
+        }
+        println!();
+    }
+    println!("(HotStuff+NS should be fastest and cheapest in messages, as in Fig. 3.)");
+}

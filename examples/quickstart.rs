@@ -1,0 +1,42 @@
+//! Quickstart: simulate PBFT with 16 nodes on the paper's default network
+//! and print the metrics the paper reports (time usage and message usage).
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use bft_simulator::prelude::*;
+
+fn main() {
+    // 16 nodes, λ = 1000 ms — the paper's evaluation defaults (§IV).
+    let cfg = ProtocolKind::Pbft.configure(
+        RunConfig::new(16)
+            .with_seed(42)
+            .with_lambda_ms(1000.0)
+            .with_time_cap(SimDuration::from_secs(600.0)),
+    );
+    let factory = ProtocolKind::Pbft.factory(&cfg, 7);
+
+    // The network module samples every message delay from N(250, 50) ms.
+    let result = SimulationBuilder::new(cfg)
+        .network(SampledNetwork::new(Dist::normal(250.0, 50.0)))
+        .protocols(factory)
+        .build()
+        .expect("configuration is valid")
+        .run();
+
+    assert!(result.is_clean(), "{:?}", result.safety_violation);
+    println!("protocol      : pbft (n = 16, f = 5)");
+    println!("network       : N(250, 50) ms");
+    println!(
+        "time usage    : {:.3} s until consensus",
+        result.latency().expect("decided").as_secs_f64()
+    );
+    println!("message usage : {} messages", result.honest_messages);
+    println!("events        : {}", result.events_processed);
+    println!(
+        "decisions     : {} (all {} honest nodes agreed)",
+        result.decisions_completed(),
+        result.decided.len()
+    );
+}

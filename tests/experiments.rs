@@ -1,0 +1,234 @@
+//! Miniature versions of every figure and table in the paper's evaluation,
+//! asserting the qualitative claims end-to-end. The full-size sweeps live
+//! in the `bft-sim-bench` harnesses; these run with few repetitions so the
+//! whole evaluation is exercised by `cargo test`.
+
+use bft_simulator::experiments::figures;
+use bft_simulator::experiments::loc;
+use bft_simulator::experiments::{AttackSpec, Scenario};
+use bft_simulator::prelude::*;
+
+fn mean(points: &[figures::Point], proto: ProtocolKind, x: &str) -> f64 {
+    points
+        .iter()
+        .find(|p| p.protocol == proto && p.x == x)
+        .unwrap_or_else(|| panic!("missing point {proto} {x}"))
+        .latency
+        .mean
+}
+
+#[test]
+fn fig2_event_simulator_is_faster_and_scales_beyond_baseline() {
+    let rows = figures::fig2(&[8, 32, 64], 1, 0x2222);
+    let at = |n: usize| rows.iter().find(|r| r.n == n).unwrap();
+
+    // The baseline runs out of (modelled) memory above 32 nodes; ours
+    // simulates 64 fine.
+    assert!(!at(32).baseline_oom, "baseline must handle 32 nodes");
+    assert!(at(64).baseline_oom, "baseline must OOM above 32 nodes");
+    assert!(at(64).core_events > 0, "ours must simulate 64 nodes");
+
+    // And the event-level simulator is at least an order of magnitude
+    // faster where both run (the full bench shows >500x at 32 nodes).
+    let ratio = at(32).baseline_wall_ms.as_ref().unwrap().min / at(32).core_wall_ms.min.max(1e-9);
+    assert!(ratio > 10.0, "speedup only {ratio:.1}x");
+}
+
+#[test]
+fn fig3_hotstuff_wins_latency_and_messages_on_the_default_network() {
+    let reps = 3;
+    let mut latencies = Vec::new();
+    let mut messages = Vec::new();
+    for kind in ProtocolKind::all() {
+        let s = Scenario::new(kind, 16);
+        let results = s.run_many(reps, 0x3333);
+        latencies.push((kind, s.latency_summary(&results).mean));
+        messages.push((kind, s.message_summary(&results).mean));
+    }
+    let best_latency = latencies
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap()
+        .0;
+    let best_messages = messages
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap()
+        .0;
+    assert_eq!(best_latency, ProtocolKind::HotStuffNs, "latency winner");
+    assert_eq!(best_messages, ProtocolKind::HotStuffNs, "message winner");
+}
+
+#[test]
+fn fig4_only_synchronous_protocols_pay_for_an_overestimated_timeout() {
+    let points = figures::fig4(16, 2, 0x4444, &[1000.0, 3000.0]);
+    for kind in ProtocolKind::all() {
+        let low = mean(&points, kind, "λ=1000");
+        let high = mean(&points, kind, "λ=3000");
+        let growth = high / low.max(1e-9);
+        if kind.responsive() {
+            assert!(
+                growth < 1.2,
+                "{kind} is responsive but grew {growth:.2}x with λ"
+            );
+        } else {
+            assert!(
+                growth > 2.0,
+                "{kind} is timer-paced but only grew {growth:.2}x with λ"
+            );
+        }
+    }
+}
+
+#[test]
+fn fig5_hotstuff_ns_destabilises_when_lambda_is_underestimated() {
+    // Aggregate several seeds: HotStuff+NS at λ=150 must be measurably
+    // slower and *much* noisier than at λ=1000, while LibraBFT stays flat.
+    let points = figures::fig5(16, 10, 0x5555, &[150.0, 1000.0]);
+    let hs_low = mean(&points, ProtocolKind::HotStuffNs, "λ=150");
+    let hs_ok = mean(&points, ProtocolKind::HotStuffNs, "λ=1000");
+    assert!(
+        hs_low > 1.15 * hs_ok,
+        "HotStuff+NS should degrade: {hs_low:.2} vs {hs_ok:.2}"
+    );
+    let hs_sd = points
+        .iter()
+        .find(|p| p.protocol == ProtocolKind::HotStuffNs && p.x == "λ=150")
+        .unwrap()
+        .latency
+        .std_dev;
+    assert!(hs_sd > 0.05, "instability should show as variance: {hs_sd}");
+
+    let libra_low = mean(&points, ProtocolKind::LibraBft, "λ=150");
+    let libra_ok = mean(&points, ProtocolKind::LibraBft, "λ=1000");
+    assert!(
+        libra_low < 1.15 * libra_ok,
+        "LibraBFT must stay flat: {libra_low:.2} vs {libra_ok:.2}"
+    );
+}
+
+#[test]
+fn fig6_partition_recovery_is_fast_except_for_hotstuff_ns() {
+    let resolve = 20.0;
+    let points = figures::fig6(16, 1, 0x6666, resolve);
+    for p in &points {
+        let extra = p.latency.mean - resolve;
+        assert!(
+            p.latency.mean >= resolve * 0.99,
+            "{}: decided during the partition?",
+            p.protocol
+        );
+        if p.protocol == ProtocolKind::HotStuffNs {
+            assert!(
+                extra > 30.0,
+                "HotStuff+NS should overshoot by ~100 s, got {extra:.1}"
+            );
+        } else {
+            assert!(
+                extra < 10.0,
+                "{} should recover within seconds, got {extra:.1}",
+                p.protocol
+            );
+        }
+    }
+}
+
+#[test]
+fn fig7_fail_stop_hurts_partially_synchronous_protocols_more() {
+    let points = figures::fig7(16, 2, 0x7777, &[0, 4]);
+    // Synchronous protocols barely notice; LibraBFT degrades noticeably.
+    let algo_growth =
+        mean(&points, ProtocolKind::Algorand, "crash=4") / mean(&points, ProtocolKind::Algorand, "crash=0");
+    let libra_growth =
+        mean(&points, ProtocolKind::LibraBft, "crash=4") / mean(&points, ProtocolKind::LibraBft, "crash=0");
+    assert!(algo_growth < 2.0, "algorand grew {algo_growth:.2}x");
+    assert!(libra_growth > 2.0, "librabft only grew {libra_growth:.2}x");
+}
+
+#[test]
+fn fig8_static_and_adaptive_attacks_separate_the_add_variants() {
+    let points = figures::fig8(16, 1, 0x8888);
+    let m = |proto, x| mean(&points, proto, x);
+
+    // Static: v1 pays ~f extra iterations; v2 and v3 are untouched.
+    assert!(m(ProtocolKind::AddV1, "static") > 3.0 * m(ProtocolKind::AddV1, "none"));
+    assert!(m(ProtocolKind::AddV2, "static") <= 1.01 * m(ProtocolKind::AddV2, "none"));
+    assert!(m(ProtocolKind::AddV3, "static") <= 1.01 * m(ProtocolKind::AddV3, "none"));
+
+    // Adaptive: v2 pays ~f extra iterations; v3 is untouched.
+    assert!(m(ProtocolKind::AddV2, "adaptive") > 3.0 * m(ProtocolKind::AddV2, "none"));
+    assert!(m(ProtocolKind::AddV3, "adaptive") <= 1.01 * m(ProtocolKind::AddV3, "none"));
+}
+
+#[test]
+fn fig9_view_timelines_cover_every_node_and_grow_monotonically() {
+    let lines = figures::fig9(16, 167);
+    assert_eq!(lines.len(), 16);
+    for (node, timeline) in &lines {
+        assert!(!timeline.is_empty(), "{node} has no view entries");
+        assert!(
+            timeline.windows(2).all(|w| w[0].1 < w[1].1),
+            "{node}: views must increase"
+        );
+        assert!(
+            timeline.windows(2).all(|w| w[0].0 <= w[1].0),
+            "{node}: time must be monotone"
+        );
+    }
+    // The chosen seed exhibits divergence: some node reaches a view far
+    // ahead of another at the same moment during the run.
+    let spread_seen = {
+        let end = lines
+            .iter()
+            .flat_map(|(_, t)| t.last().map(|&(s, _)| s))
+            .fold(0.0f64, f64::max);
+        (0..=(end as u64)).any(|sec| {
+            let views: Vec<u64> = lines
+                .iter()
+                .map(|(_, t)| {
+                    t.iter()
+                        .take_while(|&&(ts, _)| ts <= sec as f64)
+                        .last()
+                        .map(|&(_, v)| v)
+                        .unwrap_or(0)
+                })
+                .collect();
+            views.iter().max().unwrap() - views.iter().min().unwrap() >= 2
+        })
+    };
+    assert!(spread_seen, "expected view divergence in the fig9 seed");
+}
+
+#[test]
+fn table1_and_table2_report_compact_implementations() {
+    let t1 = loc::table1();
+    assert_eq!(t1.len(), 8);
+    // The paper's point: protocols are expressible in a few hundred lines.
+    for row in &t1 {
+        assert!(row.loc < 1500, "{} too large: {}", row.name, row.loc);
+    }
+    let t2 = loc::table2();
+    assert_eq!(t2.len(), 4);
+    for row in &t2 {
+        assert!(row.loc < 200, "{} too large: {}", row.name, row.loc);
+    }
+}
+
+#[test]
+fn intro_claim_partition_attack_denies_service_while_active() {
+    // The liveness half of the motivation: during an unresolved partition
+    // no partially-synchronous protocol can decide.
+    for kind in [ProtocolKind::Pbft, ProtocolKind::LibraBft] {
+        let scenario = Scenario::new(kind, 16)
+            .with_attack(AttackSpec::Partition {
+                start_ms: 0,
+                end_ms: 3_600_000, // never resolves within the cap
+                drop: true,
+            })
+            .with_decisions(1)
+            .with_time_cap_s(120.0);
+        let r = scenario.run(3);
+        assert!(r.timed_out, "{kind} decided through a partition?");
+        assert!(r.safety_violation.is_none());
+    }
+}

@@ -1,0 +1,85 @@
+//! Golden-trace validation: every protocol's decision trace for a pinned
+//! configuration is committed under `tests/golden/`; a fresh simulation of
+//! the same configuration must reproduce it exactly. This guards against
+//! silent behavioural regressions in the engine or the protocols — the
+//! repository's stand-in for the paper's cross-validation against BFTSim
+//! traces (§III-D).
+//!
+//! To regenerate after an *intentional* behaviour change:
+//! `BFT_SIM_BLESS=1 cargo test --test golden_traces`.
+
+use bft_simulator::prelude::*;
+
+fn golden_path(kind: ProtocolKind) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{}_n7_seed5.json", kind.name()))
+}
+
+fn run_pinned(kind: ProtocolKind) -> RunResult {
+    let cfg = kind.configure(
+        RunConfig::new(7)
+            .with_seed(5)
+            .with_lambda_ms(1000.0)
+            .with_time_cap(SimDuration::from_secs(900.0)),
+    );
+    let factory = kind.factory(&cfg, 23);
+    SimulationBuilder::new(cfg)
+        .network(SampledNetwork::new(Dist::normal(250.0, 50.0)))
+        .protocols(factory)
+        .build()
+        .unwrap()
+        .run()
+}
+
+#[test]
+fn decisions_match_committed_golden_traces() {
+    let bless = std::env::var("BFT_SIM_BLESS").is_ok();
+    for kind in ProtocolKind::extended() {
+        let result = run_pinned(kind);
+        assert!(result.is_clean(), "{kind}: {:?}", result.safety_violation);
+        let path = golden_path(kind);
+        if bless || !path.exists() {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            let json = serde_json::to_string_pretty(&result.trace).unwrap();
+            std::fs::write(&path, json).unwrap();
+            eprintln!("blessed {}", path.display());
+            continue;
+        }
+        let golden: Trace =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert!(
+            golden.decisions().count() > 0,
+            "{kind}: golden trace has no decisions"
+        );
+        Validator::check_against_trace(&result, &golden)
+            .unwrap_or_else(|e| panic!("{kind}: diverged from golden trace: {e}"));
+    }
+}
+
+#[test]
+fn tampered_golden_traces_are_rejected() {
+    let kind = ProtocolKind::Pbft;
+    let result = run_pinned(kind);
+    let path = golden_path(kind);
+    if !path.exists() {
+        return; // first run blesses in the other test
+    }
+    let mut golden: Trace =
+        serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    // Forge the golden trace by appending a bogus decision.
+    let mut events: Vec<TraceEvent> = golden.events().to_vec();
+    events.push(TraceEvent {
+        time: SimTime::from_millis(1),
+        node: NodeId::new(0),
+        kind: TraceKind::Decided {
+            slot: 999,
+            value: Value::new(0xBAD),
+        },
+    });
+    golden = serde_json::from_str(
+        &serde_json::to_string(&serde_json::json!({ "events": events })).unwrap(),
+    )
+    .unwrap();
+    assert!(Validator::check_against_trace(&result, &golden).is_err());
+}

@@ -1,0 +1,176 @@
+//! Property-based tests (proptest) over the simulator's core invariants:
+//! distribution bounds, clock monotonicity, safety under randomized
+//! adversaries within the fault budget, and quorum-certificate algebra.
+
+use bft_simulator::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Delay sampling never produces a negative duration, for any
+    /// distribution parameters.
+    #[test]
+    fn sampled_delays_are_never_negative(
+        mu in -2000.0..2000.0f64,
+        sigma in 0.0..2000.0f64,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let dist = Dist::normal(mu, sigma);
+        for _ in 0..64 {
+            let d = dist.sample_delay(&mut rng);
+            prop_assert!(d.as_millis_f64() >= 0.0);
+        }
+    }
+
+    /// Uniform sampling respects its bounds for arbitrary ranges.
+    #[test]
+    fn uniform_respects_bounds(lo in 0.0..1000.0f64, width in 0.0..1000.0f64, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let dist = Dist::uniform(lo, lo + width);
+        for _ in 0..64 {
+            let x = dist.sample(&mut rng);
+            prop_assert!(x >= lo && x <= lo + width.max(f64::EPSILON));
+        }
+    }
+
+    /// The simulation clock is monotone: trace events appear in
+    /// non-decreasing time order in every run.
+    #[test]
+    fn trace_times_are_monotone(seed in any::<u64>(), mu in 10.0..800.0f64) {
+        let cfg = ProtocolKind::Pbft.configure(
+            RunConfig::new(4)
+                .with_seed(seed)
+                .with_time_cap(SimDuration::from_secs(600.0)),
+        );
+        let factory = ProtocolKind::Pbft.factory(&cfg, 1);
+        let r = SimulationBuilder::new(cfg)
+            .network(SampledNetwork::new(Dist::normal(mu, mu / 4.0)))
+            .protocols(factory)
+            .build()
+            .unwrap()
+            .run();
+        let times: Vec<_> = r.trace.events().iter().map(|e| e.time).collect();
+        prop_assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// Safety holds for the quorum-based protocols under an adversary that
+    /// randomly drops and delays up to its budget of traffic.
+    #[test]
+    fn safety_under_random_drop_and_delay(
+        seed in any::<u64>(),
+        drop_pct in 0u32..25,
+        delay_ms in 0u32..2000,
+    ) {
+        struct Chaos {
+            drop_pct: u32,
+            delay: SimDuration,
+            counter: u64,
+        }
+        impl Adversary for Chaos {
+            fn attack(
+                &mut self,
+                msg: &mut Message,
+                proposed: SimDuration,
+                _api: &mut AdversaryApi<'_>,
+            ) -> Fate {
+                self.counter = self.counter.wrapping_mul(6364136223846793005).wrapping_add(
+                    msg.src().as_u32() as u64 + 1442695040888963407,
+                );
+                if (self.counter >> 33) % 100 < self.drop_pct as u64 {
+                    Fate::Drop
+                } else if (self.counter >> 13) & 1 == 1 {
+                    Fate::Deliver(proposed + self.delay)
+                } else {
+                    Fate::Deliver(proposed)
+                }
+            }
+        }
+        for kind in [ProtocolKind::Pbft, ProtocolKind::HotStuffNs, ProtocolKind::LibraBft] {
+            let cfg = kind.configure(
+                RunConfig::new(7)
+                    .with_seed(seed)
+                    .with_time_cap(SimDuration::from_secs(120.0)),
+            );
+            let factory = kind.factory(&cfg, 3);
+            let r = SimulationBuilder::new(cfg)
+                .network(SampledNetwork::new(Dist::normal(250.0, 50.0)))
+                .adversary(Chaos {
+                    drop_pct,
+                    delay: SimDuration::from_millis(delay_ms as f64),
+                    counter: seed,
+                })
+                .protocols(factory)
+                .build()
+                .unwrap()
+                .run();
+            // Liveness may legitimately fail under chaos; safety never may.
+            prop_assert!(
+                r.safety_violation.is_none(),
+                "{} violated safety: {:?}",
+                kind,
+                r.safety_violation
+            );
+        }
+    }
+
+    /// Quorum certificates form exactly once and only at the threshold.
+    #[test]
+    fn vote_tracker_threshold_property(threshold in 1usize..20, voters in 1usize..40) {
+        use bft_sim_crypto::{hash::Digest, quorum::VoteTracker, signature::sign};
+        let mut tracker = VoteTracker::new(threshold);
+        let digest = Digest::of_bytes(b"prop");
+        let mut formed = 0;
+        for v in 0..voters {
+            let sig = sign(NodeId::new(v as u32), digest);
+            if tracker.add(1, digest, sig).is_some() {
+                formed += 1;
+                prop_assert_eq!(v + 1, threshold, "formed at the wrong count");
+            }
+        }
+        prop_assert_eq!(formed, usize::from(voters >= threshold));
+        prop_assert_eq!(tracker.count(1, digest), voters);
+    }
+
+    /// SignerSet behaves like a set of node ids.
+    #[test]
+    fn signer_set_models_a_set(ids in proptest::collection::vec(0u32..500, 0..64)) {
+        use bft_sim_crypto::quorum::SignerSet;
+        use std::collections::BTreeSet;
+        let mut set = SignerSet::new();
+        let mut model = BTreeSet::new();
+        for &id in &ids {
+            let newly = set.insert(NodeId::new(id));
+            prop_assert_eq!(newly, model.insert(id));
+        }
+        prop_assert_eq!(set.len(), model.len());
+        let enumerated: Vec<u32> = set.iter().map(|n| n.as_u32()).collect();
+        let expected: Vec<u32> = model.iter().copied().collect();
+        prop_assert_eq!(enumerated, expected);
+    }
+
+    /// Message counting is conserved: every honest transmission is either
+    /// delivered within the run, dropped by the adversary, or still in
+    /// flight at the end — and replay schedules record exactly one fate
+    /// per transmission.
+    #[test]
+    fn schedule_records_one_fate_per_transmission(seed in any::<u64>()) {
+        let cfg = ProtocolKind::AsyncBa.configure(
+            RunConfig::new(4)
+                .with_seed(seed)
+                .with_time_cap(SimDuration::from_secs(300.0)),
+        );
+        let factory = ProtocolKind::AsyncBa.factory(&cfg, 2);
+        let (result, schedule) = SimulationBuilder::new(cfg)
+            .network(SampledNetwork::new(Dist::normal(100.0, 25.0)))
+            .protocols(factory)
+            .record_schedule(true)
+            .build()
+            .unwrap()
+            .run_recorded();
+        prop_assert_eq!(schedule.len() as u64, result.honest_messages);
+    }
+}
