@@ -133,8 +133,8 @@ mod tests {
         assert!(baseline.is_clean() && attacked.is_clean());
         // Baseline: iteration 0 succeeds. Attack: iterations 0..3 wasted.
         let base_iters = 1.0;
-        let ratio = attacked.latency().unwrap().as_secs_f64()
-            / baseline.latency().unwrap().as_secs_f64();
+        let ratio =
+            attacked.latency().unwrap().as_secs_f64() / baseline.latency().unwrap().as_secs_f64();
         assert!(
             ratio >= (3.0 + base_iters) / base_iters - 0.01,
             "static attack too weak: ratio {ratio}"
@@ -159,10 +159,17 @@ mod tests {
         let n = 8;
         let baseline = run_add(ProtocolKind::AddV2, n, NullAdversary::new());
         let attacked = run_add(ProtocolKind::AddV2, n, AddAdaptiveRushingAttack::new());
-        assert!(baseline.is_clean() && attacked.is_clean(), "{:?}", attacked.safety_violation);
-        let ratio = attacked.latency().unwrap().as_secs_f64()
-            / baseline.latency().unwrap().as_secs_f64();
-        assert!(ratio >= 3.5, "adaptive attack too weak on v2: ratio {ratio}");
+        assert!(
+            baseline.is_clean() && attacked.is_clean(),
+            "{:?}",
+            attacked.safety_violation
+        );
+        let ratio =
+            attacked.latency().unwrap().as_secs_f64() / baseline.latency().unwrap().as_secs_f64();
+        assert!(
+            ratio >= 3.5,
+            "adaptive attack too weak on v2: ratio {ratio}"
+        );
     }
 
     #[test]
@@ -170,7 +177,11 @@ mod tests {
         let n = 8;
         let baseline = run_add(ProtocolKind::AddV3, n, NullAdversary::new());
         let attacked = run_add(ProtocolKind::AddV3, n, AddAdaptiveRushingAttack::new());
-        assert!(baseline.is_clean() && attacked.is_clean(), "{:?}", attacked.safety_violation);
+        assert!(
+            baseline.is_clean() && attacked.is_clean(),
+            "{:?}",
+            attacked.safety_violation
+        );
         assert_eq!(
             baseline.latency().unwrap(),
             attacked.latency().unwrap(),

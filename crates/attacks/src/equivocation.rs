@@ -40,7 +40,11 @@ impl Adversary for EquivocationAttack {
         let value_a = Digest::of_bytes(b"equivocation-a");
         let value_b = Digest::of_bytes(b"equivocation-b");
         for i in 1..n as u32 {
-            let value = if (i as usize) < n / 2 { value_a } else { value_b };
+            let value = if (i as usize) < n / 2 {
+                value_a
+            } else {
+                value_b
+            };
             api.inject(
                 leader,
                 NodeId::new(i),

@@ -112,6 +112,9 @@ mod tests {
         // remain, but nothing close to the full per-phase delay.
         let slack = attacked.latency().unwrap().as_millis_f64()
             - baseline.latency().unwrap().as_millis_f64();
-        assert!(slack <= 650.0, "follower delay should not stack phases: {slack}");
+        assert!(
+            slack <= 650.0,
+            "follower delay should not stack phases: {slack}"
+        );
     }
 }

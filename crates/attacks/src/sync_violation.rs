@@ -67,7 +67,11 @@ impl Adversary for SyncViolationAttack {
             if dst == leader {
                 continue;
             }
-            let digest = if Self::half_of(dst, n) { value_a } else { value_b };
+            let digest = if Self::half_of(dst, n) {
+                value_a
+            } else {
+                value_b
+            };
             api.inject(
                 leader,
                 dst,

@@ -2,7 +2,6 @@
 
 use bft_sim_core::dist::Dist;
 use bft_sim_core::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of a packet-level baseline run.
 ///
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// Fig. 2: per-packet events at the physical/link layer, modelled crypto
 /// time per message, and a memory footprint that grows with `n²` and runs
 /// out just above 32 nodes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BaselineConfig {
     /// Number of nodes.
     pub n: usize,

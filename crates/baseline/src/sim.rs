@@ -9,6 +9,7 @@
 //! slowdown at 32 nodes and the out-of-memory failure beyond 32.
 
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 
 use bft_sim_core::exec::{Dispatcher, Effect};
 use bft_sim_core::ids::{NodeId, TimerId};
@@ -71,7 +72,11 @@ pub struct BaselineResult {
 impl BaselineResult {
     /// Number of slots every node decided.
     pub fn decisions_completed(&self) -> u64 {
-        self.decided.iter().map(|d| d.len() as u64).min().unwrap_or(0)
+        self.decided
+            .iter()
+            .map(|d| d.len() as u64)
+            .min()
+            .unwrap_or(0)
     }
 }
 
@@ -85,7 +90,7 @@ struct Packet {
     frag_total: usize,
     dst: NodeId,
     /// The protocol payload rides on the last fragment.
-    payload: Option<(NodeId, Box<dyn Payload>)>,
+    payload: Option<(NodeId, Arc<dyn Payload>)>,
     /// Per-hop residual delay.
     hop_delay: SimDuration,
     /// Simulated wire bytes, checksummed at each hop.
@@ -93,9 +98,20 @@ struct Packet {
 }
 
 enum Ev {
-    Hop { hop: u8, packet: Box<Packet> },
-    CpuDone { node: NodeId, src: NodeId, payload: Box<dyn Payload> },
-    Timer { node: NodeId, id: TimerId, payload: Box<dyn Payload> },
+    Hop {
+        hop: u8,
+        packet: Box<Packet>,
+    },
+    CpuDone {
+        node: NodeId,
+        src: NodeId,
+        payload: Arc<dyn Payload>,
+    },
+    Timer {
+        node: NodeId,
+        id: TimerId,
+        payload: Box<dyn Payload>,
+    },
 }
 
 struct Scheduled {
@@ -230,19 +246,21 @@ impl BaselineSim {
         &mut self,
         src: NodeId,
         dst: NodeId,
-        payload: Box<dyn Payload>,
+        payload: Arc<dyn Payload>,
     ) -> Result<(), BaselineError> {
         self.messages += 1;
         let msg_id = self.next_msg_id;
         self.next_msg_id += 1;
         let frag_total = self.cfg.packets_per_message();
         let end_to_end = self.cfg.delay.sample_delay(&mut self.rng);
-        let hop_delay =
-            SimDuration::from_micros(end_to_end.as_micros() / HOPS_PER_PACKET as u64);
+        let hop_delay = SimDuration::from_micros(end_to_end.as_micros() / HOPS_PER_PACKET as u64);
         self.reassembly.insert(msg_id, 0);
         let mut payload = Some((src, payload));
         for frag_idx in 0..frag_total {
-            let bytes = self.cfg.mtu.min(self.cfg.message_bytes - frag_idx * self.cfg.mtu);
+            let bytes = self
+                .cfg
+                .mtu
+                .min(self.cfg.message_bytes - frag_idx * self.cfg.mtu);
             let wire = vec![(msg_id as u8) ^ (frag_idx as u8); bytes];
             self.account((bytes as u64 + PACKET_HEADER_BYTES) as i64)?;
             self.packets += 1;
@@ -267,11 +285,7 @@ impl BaselineSim {
         Ok(())
     }
 
-    fn apply_effects(
-        &mut self,
-        node: NodeId,
-        effects: Vec<Effect>,
-    ) -> Result<(), BaselineError> {
+    fn apply_effects(&mut self, node: NodeId, effects: Vec<Effect>) -> Result<(), BaselineError> {
         for effect in effects {
             match effect {
                 Effect::Send { dst, payload } => self.send_message(node, dst, payload)?,
@@ -319,9 +333,7 @@ impl BaselineSim {
                 &mut self.nodes[id.index()],
                 Box::new(bft_sim_core::exec::NullProtocol),
             );
-            let effects = self
-                .dispatcher
-                .call(id, self.clock, |ctx| node.init(ctx));
+            let effects = self.dispatcher.call(id, self.clock, |ctx| node.init(ctx));
             self.nodes[id.index()] = node;
             self.apply_effects(id, effects)?;
         }
@@ -343,10 +355,7 @@ impl BaselineSim {
             // table on every event; fold a hash chain of the same length.
             let mut rule_state = self.events;
             for rule in 0..self.cfg.p2_rules as u64 {
-                rule_state = rule_state
-                    .wrapping_mul(0x9e3779b97f4a7c15)
-                    .rotate_left(17)
-                    ^ rule;
+                rule_state = rule_state.wrapping_mul(0x9e3779b97f4a7c15).rotate_left(17) ^ rule;
             }
             std::hint::black_box(rule_state);
             match ev {
@@ -357,7 +366,13 @@ impl BaselineSim {
                     packet.wire[0] ^= (sum & 1) as u8; // keep the work observable
                     if hop < HOPS_PER_PACKET {
                         let at = self.clock + packet.hop_delay;
-                        self.push(at, Ev::Hop { hop: hop + 1, packet });
+                        self.push(
+                            at,
+                            Ev::Hop {
+                                hop: hop + 1,
+                                packet,
+                            },
+                        );
                     } else {
                         // Final hop: free the wire bytes, try reassembly.
                         debug_assert!(packet.frag_idx < packet.frag_total);

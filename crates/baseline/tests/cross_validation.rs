@@ -86,8 +86,7 @@ fn baseline_processes_many_more_events_than_core() {
 fn baseline_ooms_beyond_32_nodes() {
     let params = ProtocolParams::new(33, 10, 1);
     let err = BaselineSim::new(BaselineConfig::new(33), pbft::factory(params))
-        .err()
-        .expect("33 nodes must exceed the memory model");
+        .expect_err("33 nodes must exceed the memory model");
     assert!(matches!(err, BaselineError::OutOfMemory { .. }));
 
     let params = ProtocolParams::new(32, 10, 1);

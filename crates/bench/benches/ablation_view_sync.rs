@@ -55,7 +55,11 @@ fn main() {
                 .with_time_cap_s(1800.0);
             let results = scenario.run_many(reps, 0xAB1A);
             for r in &results {
-                assert!(r.safety_violation.is_none(), "{kind}: {:?}", r.safety_violation);
+                assert!(
+                    r.safety_violation.is_none(),
+                    "{kind}: {:?}",
+                    r.safety_violation
+                );
             }
             let overhead = scenario.latency_summary(&results).mean - resolve_s;
             print!("{overhead:>12.1}");

@@ -1,17 +1,30 @@
-//! Criterion micro-benchmarks of the simulation engine: full PBFT and
-//! HotStuff+NS runs at several sizes, event-queue throughput, and delay
-//! sampling — the hot paths behind Fig. 2's headline numbers.
+//! Micro-benchmarks of the simulation engine: full PBFT and HotStuff+NS
+//! runs at several sizes, and delay sampling — the hot paths behind
+//! Fig. 2's headline numbers.
+//!
+//! Plain timing harness (`harness = false`): each case is warmed up once
+//! and then timed over `BFT_SIM_BENCH_ITERS` iterations (default 10),
+//! reporting min / mean wall time and events/s for the full runs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use bft_sim_bench::banner;
 use bft_sim_core::config::RunConfig;
 use bft_sim_core::dist::Dist;
 use bft_sim_core::engine::SimulationBuilder;
 use bft_sim_core::network::SampledNetwork;
 use bft_sim_core::time::SimDuration;
 use bft_sim_protocols::registry::ProtocolKind;
+
+fn iters() -> usize {
+    std::env::var("BFT_SIM_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10)
+}
 
 fn run_protocol(kind: ProtocolKind, n: usize, seed: u64) -> u64 {
     let cfg = kind.configure(
@@ -31,30 +44,44 @@ fn run_protocol(kind: ProtocolKind, n: usize, seed: u64) -> u64 {
     result.events_processed
 }
 
-fn bench_full_runs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("full_run");
-    group.sample_size(10);
-    for n in [4usize, 16, 64] {
-        group.bench_with_input(BenchmarkId::new("pbft", n), &n, |b, &n| {
+fn bench_full_runs(iters: usize) {
+    println!(
+        "{:<20} {:>6} {:>12} {:>12} {:>14}",
+        "full_run", "n", "min (ms)", "mean (ms)", "events/s"
+    );
+    for kind in [ProtocolKind::Pbft, ProtocolKind::HotStuffNs] {
+        for n in [4usize, 16, 64] {
             let mut seed = 0;
-            b.iter(|| {
+            run_protocol(kind, n, seed); // warm-up
+            let mut total_ms = 0.0;
+            let mut min_ms = f64::INFINITY;
+            let mut events = 0u64;
+            for _ in 0..iters {
                 seed += 1;
-                run_protocol(ProtocolKind::Pbft, n, seed)
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("hotstuff-ns", n), &n, |b, &n| {
-            let mut seed = 0;
-            b.iter(|| {
-                seed += 1;
-                run_protocol(ProtocolKind::HotStuffNs, n, seed)
-            });
-        });
+                let start = Instant::now();
+                events += run_protocol(kind, n, seed);
+                let ms = start.elapsed().as_secs_f64() * 1e3;
+                total_ms += ms;
+                min_ms = min_ms.min(ms);
+            }
+            let mean_ms = total_ms / iters as f64;
+            let events_per_sec = events as f64 / (total_ms / 1e3);
+            println!(
+                "{:<20} {:>6} {:>12.3} {:>12.3} {:>14.0}",
+                kind.name(),
+                n,
+                min_ms,
+                mean_ms,
+                events_per_sec
+            );
+        }
     }
-    group.finish();
 }
 
-fn bench_delay_sampling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dist_sample");
+fn bench_delay_sampling(iters: usize) {
+    const SAMPLES: usize = 1_000_000;
+    println!();
+    println!("{:<20} {:>18}", "dist_sample", "ns/sample (min)");
     let dists = [
         ("constant", Dist::constant(250.0)),
         ("uniform", Dist::uniform(200.0, 300.0)),
@@ -63,13 +90,28 @@ fn bench_delay_sampling(c: &mut Criterion) {
         ("poisson", Dist::poisson(250.0)),
     ];
     for (name, dist) in dists {
-        group.bench_function(name, |b| {
+        let mut min_ns = f64::INFINITY;
+        let mut sink = 0u64;
+        for _ in 0..iters {
             let mut rng = SmallRng::seed_from_u64(1);
-            b.iter(|| dist.sample_delay(&mut rng));
-        });
+            let start = Instant::now();
+            for _ in 0..SAMPLES {
+                sink = sink.wrapping_add(dist.sample_delay(&mut rng).as_micros());
+            }
+            min_ns = min_ns.min(start.elapsed().as_secs_f64() * 1e9 / SAMPLES as f64);
+        }
+        // Consume the sink so the sampling loop cannot be optimised away.
+        assert!(sink != 1);
+        println!("{name:<20} {min_ns:>18.2}");
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_full_runs, bench_delay_sampling);
-criterion_main!(benches);
+fn main() {
+    banner(
+        "Engine micro-benchmarks",
+        "full PBFT / HotStuff+NS runs and per-distribution delay sampling",
+    );
+    let iters = iters();
+    bench_full_runs(iters);
+    bench_delay_sampling(iters);
+}

@@ -37,7 +37,9 @@ fn main() {
             fmt_summary(&row.core_wall_ms, "ms"),
             row.core_events,
             baseline,
-            row.baseline_events.map(|e| e.to_string()).unwrap_or_default()
+            row.baseline_events
+                .map(|e| e.to_string())
+                .unwrap_or_default()
         );
         if row.n == 32 {
             if let Some(b) = &row.baseline_wall_ms {

@@ -10,7 +10,10 @@ fn main() {
         "Table II — implemented attacks",
         "implementation LoC (non-blank, non-comment, excluding unit tests)",
     );
-    println!("{:<20} {:<22} {:>6}", "attack", "attacker capability", "LoC");
+    println!(
+        "{:<20} {:<22} {:>6}",
+        "attack", "attacker capability", "LoC"
+    );
     for row in table2() {
         println!("{:<20} {:<22} {:>6}", row.name, row.capability, row.loc);
     }

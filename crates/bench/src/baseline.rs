@@ -1,0 +1,199 @@
+//! The persistent perf baseline behind `bft-sim bench-baseline`.
+//!
+//! Runs broadcast-heavy seeded workloads — PBFT and HotStuff+NS at
+//! n ∈ {16, 64} — and reports, per case: events/second, wall-clock
+//! milliseconds, peak event-queue depth and allocations per broadcast.
+//! The result is written to `BENCH_baseline.json` so perf changes show up
+//! as reviewable diffs, and CI archives the file per commit.
+//!
+//! Simulated behaviour (event counts, queue depth, broadcasts) is
+//! deterministic for a given seed; wall-clock figures vary with the host,
+//! so treat those fields as indicative, not exact.
+
+use std::time::Instant;
+
+use bft_sim_core::config::RunConfig;
+use bft_sim_core::dist::Dist;
+use bft_sim_core::engine::SimulationBuilder;
+use bft_sim_core::json::Json;
+use bft_sim_core::network::SampledNetwork;
+use bft_sim_core::time::SimDuration;
+use bft_sim_protocols::registry::ProtocolKind;
+
+use crate::alloc_counter;
+
+/// The fixed workload matrix: broadcast-heavy protocols at two sizes.
+pub fn cases() -> Vec<(ProtocolKind, usize)> {
+    let mut out = Vec::new();
+    for kind in [ProtocolKind::Pbft, ProtocolKind::HotStuffNs] {
+        for n in [16usize, 64] {
+            out.push((kind, n));
+        }
+    }
+    out
+}
+
+/// One case's measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseResult {
+    /// Protocol short name.
+    pub protocol: &'static str,
+    /// System size.
+    pub n: usize,
+    /// RNG seed the case ran with.
+    pub seed: u64,
+    /// Decisions reached (the workload target).
+    pub decisions: u64,
+    /// Events the engine processed.
+    pub events_processed: u64,
+    /// Wall-clock time for the run (host-dependent).
+    pub wall_ms: f64,
+    /// Events per wall-clock second (host-dependent).
+    pub events_per_sec: f64,
+    /// Peak event-queue depth during the run.
+    pub peak_queue_depth: usize,
+    /// Broadcast actions executed — each is exactly one payload allocation
+    /// on the zero-clone hot path.
+    pub broadcasts: u64,
+    /// Global allocations during the run, when the counting allocator is
+    /// installed (see [`crate::alloc_counter`]); `None` otherwise.
+    pub allocations: Option<u64>,
+    /// `allocations / broadcasts` — the regression tripwire for the
+    /// zero-clone hot path. `None` without the counting allocator.
+    pub allocs_per_broadcast: Option<f64>,
+}
+
+/// Runs one baseline case: `decisions` consensus decisions under the
+/// paper's default network, λ = 1000 ms, delays N(250, 50).
+pub fn run_case(kind: ProtocolKind, n: usize, seed: u64, decisions: u64) -> CaseResult {
+    let cfg = kind
+        .configure(
+            RunConfig::new(n)
+                .with_seed(seed)
+                .with_lambda_ms(1000.0)
+                .with_time_cap(SimDuration::from_secs(3600.0)),
+        )
+        .with_target_decisions(decisions);
+    let factory = kind.factory(&cfg, 7);
+    let sim = SimulationBuilder::new(cfg)
+        .network(SampledNetwork::new(Dist::normal(250.0, 50.0)))
+        .protocols(factory)
+        .build()
+        .expect("baseline configuration is valid");
+    let allocs_before = alloc_counter::allocations();
+    let start = Instant::now();
+    let result = sim.run();
+    let wall = start.elapsed().as_secs_f64();
+    let allocs = alloc_counter::allocations() - allocs_before;
+    assert!(result.is_clean(), "baseline run violated safety");
+    let counting = alloc_counter::is_counting();
+    CaseResult {
+        protocol: kind.name(),
+        n,
+        seed,
+        decisions: result.decisions_completed(),
+        events_processed: result.events_processed,
+        wall_ms: wall * 1e3,
+        events_per_sec: result.events_processed as f64 / wall.max(1e-9),
+        peak_queue_depth: result.queue_high_water,
+        broadcasts: result.broadcasts,
+        allocations: counting.then_some(allocs),
+        allocs_per_broadcast: (counting && result.broadcasts > 0)
+            .then(|| allocs as f64 / result.broadcasts as f64),
+    }
+}
+
+/// Runs the full matrix with a fixed seed per case.
+pub fn run_all(seed: u64, decisions: u64) -> Vec<CaseResult> {
+    cases()
+        .into_iter()
+        .map(|(kind, n)| run_case(kind, n, seed, decisions))
+        .collect()
+}
+
+/// Serialises case results as the `BENCH_baseline.json` document.
+pub fn to_json(results: &[CaseResult]) -> Json {
+    let cases = results
+        .iter()
+        .map(|r| {
+            let mut pairs = vec![
+                ("protocol".to_string(), Json::from(r.protocol)),
+                ("n".to_string(), Json::from(r.n)),
+                ("seed".to_string(), Json::from(r.seed)),
+                ("decisions".to_string(), Json::from(r.decisions)),
+                (
+                    "events_processed".to_string(),
+                    Json::from(r.events_processed),
+                ),
+                ("wall_ms".to_string(), Json::from(round3(r.wall_ms))),
+                (
+                    "events_per_sec".to_string(),
+                    Json::from(round3(r.events_per_sec)),
+                ),
+                (
+                    "peak_queue_depth".to_string(),
+                    Json::from(r.peak_queue_depth),
+                ),
+                ("broadcasts".to_string(), Json::from(r.broadcasts)),
+            ];
+            if let Some(a) = r.allocations {
+                pairs.push(("allocations".to_string(), Json::from(a)));
+            }
+            if let Some(a) = r.allocs_per_broadcast {
+                pairs.push(("allocs_per_broadcast".to_string(), Json::from(round3(a))));
+            }
+            Json::Obj(pairs)
+        })
+        .collect();
+    Json::obj([
+        ("generated_by", Json::from("bft-sim bench-baseline")),
+        (
+            "workload",
+            Json::from("lambda=1000ms, delays N(250,50), 10 decisions"),
+        ),
+        ("cases", Json::Arr(cases)),
+    ])
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1e3).round() / 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_case_is_deterministic_in_simulation() {
+        let a = run_case(ProtocolKind::Pbft, 16, 42, 3);
+        let b = run_case(ProtocolKind::Pbft, 16, 42, 3);
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.peak_queue_depth, b.peak_queue_depth);
+        assert_eq!(a.broadcasts, b.broadcasts);
+        assert!(a.decisions >= 3);
+        assert!(a.broadcasts > 0);
+    }
+
+    #[test]
+    fn baseline_json_has_the_expected_shape() {
+        let results = vec![run_case(ProtocolKind::Pbft, 16, 1, 1)];
+        let json = to_json(&results);
+        let cases = json.get("cases").and_then(Json::as_arr).unwrap();
+        assert_eq!(cases.len(), 1);
+        for key in [
+            "protocol",
+            "n",
+            "seed",
+            "decisions",
+            "events_processed",
+            "wall_ms",
+            "events_per_sec",
+            "peak_queue_depth",
+            "broadcasts",
+        ] {
+            assert!(cases[0].get(key).is_some(), "missing {key}");
+        }
+        // Parses back as valid JSON.
+        assert!(Json::parse(&json.dump_pretty()).is_ok());
+    }
+}

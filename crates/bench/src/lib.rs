@@ -2,13 +2,19 @@
 //!
 //! Benchmark harnesses that regenerate every table and figure of the
 //! paper's evaluation. Each `cargo bench --bench figN_*` target prints the
-//! corresponding data series; `engine_microbench` is a Criterion
+//! corresponding data series; `engine_microbench` is a plain timing
 //! micro-benchmark of the simulation engine itself.
 //!
-//! Shared table-printing helpers live here.
+//! Shared table-printing helpers live here, together with the persistent
+//! perf baseline ([`baseline`], driven by `bft-sim bench-baseline`) and the
+//! allocation counter behind its allocations-per-broadcast metric
+//! ([`alloc_counter`]).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+
+pub mod alloc_counter;
+pub mod baseline;
 
 use bft_sim_core::metrics::Summary;
 use bft_simulator::experiments::figures::Point;

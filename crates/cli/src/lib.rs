@@ -19,9 +19,9 @@
 #![warn(rust_2018_idioms)]
 
 use bft_sim_core::dist::Dist;
+use bft_sim_core::json::Json;
 use bft_simulator::experiments::{figures, loc, AttackSpec, Scenario};
 use bft_simulator::prelude::ProtocolKind;
-use serde::{Deserialize, Serialize};
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,6 +34,11 @@ pub enum Command {
     Fig(u8),
     /// Regenerate one of the paper's tables.
     Table(u8),
+    /// Run the perf-baseline workloads and write `BENCH_baseline.json`.
+    BenchBaseline {
+        /// Output path for the baseline document.
+        out: String,
+    },
     /// List available protocols.
     List,
     /// Print usage.
@@ -42,40 +47,80 @@ pub enum Command {
 
 /// Scenario parameters shared by `run` and `compare` (JSON-compatible, so
 /// `--config file.json` loads the same structure).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunSpec {
     /// Protocol short name (ignored by `compare`).
-    #[serde(default = "default_protocol")]
     pub protocol: String,
     /// Number of nodes.
-    #[serde(default = "default_nodes")]
     pub nodes: usize,
     /// Timeout parameter λ in ms.
-    #[serde(default = "default_lambda")]
     pub lambda_ms: f64,
     /// Mean network delay (ms).
-    #[serde(default = "default_mu")]
     pub delay_mu: f64,
     /// Network delay standard deviation (ms).
-    #[serde(default = "default_sigma")]
     pub delay_sigma: f64,
     /// Repetitions.
-    #[serde(default = "default_reps")]
     pub reps: usize,
     /// Base RNG seed.
-    #[serde(default)]
     pub seed: u64,
     /// Attack: `none`, `failstop:K`, `partition:START_MS:END_MS`,
     /// `add-static:K`, `add-adaptive`.
-    #[serde(default = "default_attack")]
     pub attack: String,
     /// Emit JSON instead of a table.
-    #[serde(default)]
     pub json: bool,
     /// Computation-cost model for throughput estimation:
     /// `none`, `ed25519`, `rsa2048` or `mac`.
-    #[serde(default = "default_cost")]
     pub cost: String,
+}
+
+impl RunSpec {
+    /// Parses a spec from a JSON config object; absent fields keep their
+    /// defaults, unknown fields are rejected (mirroring strict derive-style
+    /// deserialisation so typos in config files surface as errors).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed or unknown field.
+    pub fn from_json(json: &Json) -> Result<RunSpec, String> {
+        let Json::Obj(pairs) = json else {
+            return Err("config: expected a JSON object".into());
+        };
+        let mut spec = RunSpec::default();
+        for (key, value) in pairs {
+            let bad = || format!("config: bad value for \"{key}\"");
+            match key.as_str() {
+                "protocol" => spec.protocol = value.as_str().ok_or_else(bad)?.to_string(),
+                "nodes" => spec.nodes = value.as_u64().ok_or_else(bad)? as usize,
+                "lambda_ms" => spec.lambda_ms = value.as_f64().ok_or_else(bad)?,
+                "delay_mu" => spec.delay_mu = value.as_f64().ok_or_else(bad)?,
+                "delay_sigma" => spec.delay_sigma = value.as_f64().ok_or_else(bad)?,
+                "reps" => spec.reps = value.as_u64().ok_or_else(bad)? as usize,
+                "seed" => spec.seed = value.as_u64().ok_or_else(bad)?,
+                "attack" => spec.attack = value.as_str().ok_or_else(bad)?.to_string(),
+                "json" => spec.json = value.as_bool().ok_or_else(bad)?,
+                "cost" => spec.cost = value.as_str().ok_or_else(bad)?.to_string(),
+                other => return Err(format!("config: unknown field \"{other}\"")),
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Serialises the spec as a JSON config object (the format
+    /// [`RunSpec::from_json`] reads back).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("protocol", Json::from(self.protocol.as_str())),
+            ("nodes", Json::from(self.nodes)),
+            ("lambda_ms", Json::from(self.lambda_ms)),
+            ("delay_mu", Json::from(self.delay_mu)),
+            ("delay_sigma", Json::from(self.delay_sigma)),
+            ("reps", Json::from(self.reps)),
+            ("seed", Json::from(self.seed)),
+            ("attack", Json::from(self.attack.as_str())),
+            ("json", Json::from(self.json)),
+            ("cost", Json::from(self.cost.as_str())),
+        ])
+    }
 }
 
 fn default_protocol() -> String {
@@ -178,7 +223,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let n = it
                 .next()
                 .ok_or_else(|| CliError("fig needs a number 2..=9".into()))?;
-            let n: u8 = n.parse().map_err(|_| CliError(format!("bad figure: {n}")))?;
+            let n: u8 = n
+                .parse()
+                .map_err(|_| CliError(format!("bad figure: {n}")))?;
             if !(2..=9).contains(&n) {
                 return Err(CliError(format!("no figure {n} (valid: 2..=9)")));
             }
@@ -193,6 +240,21 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 return Err(CliError(format!("no table {n} (valid: 1, 2)")));
             }
             Ok(Command::Table(n))
+        }
+        "bench-baseline" => {
+            let mut out = "BENCH_baseline.json".to_string();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--out" => {
+                        out = it
+                            .next()
+                            .cloned()
+                            .ok_or_else(|| CliError("--out needs a value".into()))?;
+                    }
+                    other => return Err(CliError(format!("unknown flag '{other}'"))),
+                }
+            }
+            Ok(Command::BenchBaseline { out })
         }
         "run" | "compare" => {
             let spec = parse_run_spec(&args[1..])?;
@@ -220,7 +282,9 @@ fn parse_run_spec(args: &[String]) -> Result<RunSpec, CliError> {
                 let path = value("--config")?;
                 let text = std::fs::read_to_string(&path)
                     .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
-                spec = serde_json::from_str(&text)
+                let parsed =
+                    Json::parse(&text).map_err(|e| CliError(format!("bad config {path}: {e}")))?;
+                spec = RunSpec::from_json(&parsed)
                     .map_err(|e| CliError(format!("bad config {path}: {e}")))?;
             }
             "--protocol" => spec.protocol = value("--protocol")?,
@@ -265,7 +329,7 @@ fn parse_run_spec(args: &[String]) -> Result<RunSpec, CliError> {
 
 /// One protocol's aggregated results, as printed / serialised by `run` and
 /// `compare`.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Report {
     /// Protocol short name.
     pub protocol: String,
@@ -282,9 +346,31 @@ pub struct Report {
     /// Repetitions run.
     pub reps: usize,
     /// Estimated sustainable decisions/second under the chosen cost model
-    /// (`None` when `--cost none`).
-    #[serde(skip_serializing_if = "Option::is_none")]
+    /// (`None` when `--cost none`; omitted from JSON output in that case).
     pub est_max_decisions_per_sec: Option<f64>,
+}
+
+impl Report {
+    /// Serialises the report as a JSON object. `est_max_decisions_per_sec`
+    /// is omitted when absent.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("protocol".to_string(), Json::from(self.protocol.as_str())),
+            (
+                "latency_mean_s".to_string(),
+                Json::from(self.latency_mean_s),
+            ),
+            ("latency_sd_s".to_string(), Json::from(self.latency_sd_s)),
+            ("messages_mean".to_string(), Json::from(self.messages_mean)),
+            ("messages_sd".to_string(), Json::from(self.messages_sd)),
+            ("timeout_rate".to_string(), Json::from(self.timeout_rate)),
+            ("reps".to_string(), Json::from(self.reps)),
+        ];
+        if let Some(t) = self.est_max_decisions_per_sec {
+            pairs.push(("est_max_decisions_per_sec".to_string(), Json::from(t)));
+        }
+        Json::Obj(pairs)
+    }
 }
 
 /// Runs one protocol per the spec and returns its report.
@@ -346,8 +432,8 @@ pub fn execute(cmd: Command) -> Result<(), CliError> {
         }
         Command::List => {
             println!(
-                "{:<14} {:<24} {:<10} {}",
-                "protocol", "network model", "measured", "responsive"
+                "{:<14} {:<24} {:<10} responsive",
+                "protocol", "network model", "measured"
             );
             for kind in ProtocolKind::extended() {
                 println!(
@@ -372,6 +458,38 @@ pub fn execute(cmd: Command) -> Result<(), CliError> {
             }
             emit(&reports, spec.json);
         }
+        Command::BenchBaseline { out } => {
+            let results = bft_sim_bench::baseline::run_all(1, 10);
+            let json = bft_sim_bench::baseline::to_json(&results).dump_pretty();
+            std::fs::write(&out, &json)
+                .map_err(|e| CliError(format!("cannot write {out}: {e}")))?;
+            println!(
+                "{:<14} {:>4} {:>10} {:>12} {:>12} {:>12} {:>18}",
+                "protocol",
+                "n",
+                "wall (ms)",
+                "events",
+                "events/s",
+                "peak queue",
+                "allocs/broadcast"
+            );
+            for r in &results {
+                println!(
+                    "{:<14} {:>4} {:>10.1} {:>12} {:>12.0} {:>12} {:>18}",
+                    r.protocol,
+                    r.n,
+                    r.wall_ms,
+                    r.events_processed,
+                    r.events_per_sec,
+                    r.peak_queue_depth,
+                    r.allocs_per_broadcast
+                        .map(|a| format!("{a:.3}"))
+                        .unwrap_or_else(|| "- (no counter)".into()),
+                );
+            }
+            println!();
+            println!("wrote {out}");
+        }
         Command::Fig(which) => run_figure(which),
         Command::Table(which) => match which {
             1 => {
@@ -391,10 +509,8 @@ pub fn execute(cmd: Command) -> Result<(), CliError> {
 
 fn emit(reports: &[Report], json: bool) {
     if json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(reports).expect("reports serialise")
-        );
+        let arr = Json::Arr(reports.iter().map(Report::to_json).collect());
+        println!("{}", arr.dump_pretty());
         return;
     }
     println!(
@@ -479,6 +595,9 @@ USAGE:
     bft-sim compare  [same flags; runs all eight protocols]
     bft-sim fig N    regenerate figure N (2..=9) with small defaults
     bft-sim table N  regenerate table N (1 or 2)
+    bft-sim bench-baseline [--out FILE.json]
+                     run the perf-baseline workloads (PBFT / HotStuff+NS at
+                     n = 16, 64) and write BENCH_baseline.json
     bft-sim list     list protocols
 
 ATTACK SPECS:
@@ -497,7 +616,10 @@ mod tests {
     fn parses_commands() {
         assert_eq!(parse_args(&args(&["list"])).unwrap(), Command::List);
         assert_eq!(parse_args(&args(&["fig", "5"])).unwrap(), Command::Fig(5));
-        assert_eq!(parse_args(&args(&["table", "1"])).unwrap(), Command::Table(1));
+        assert_eq!(
+            parse_args(&args(&["table", "1"])).unwrap(),
+            Command::Table(1)
+        );
         assert!(parse_args(&args(&["fig", "12"])).is_err());
         assert!(parse_args(&args(&["bogus"])).is_err());
         assert_eq!(parse_args(&[]).unwrap(), Command::Help);
@@ -545,7 +667,10 @@ mod tests {
                 drop: false
             }
         );
-        assert_eq!(parse_attack("add-adaptive").unwrap(), AttackSpec::AddAdaptive);
+        assert_eq!(
+            parse_attack("add-adaptive").unwrap(),
+            AttackSpec::AddAdaptive
+        );
         assert!(parse_attack("meteor").is_err());
     }
 
@@ -578,7 +703,7 @@ mod tests {
             nodes: 10,
             ..RunSpec::default()
         };
-        let json = serde_json::to_string(&spec).unwrap();
+        let json = spec.to_json().dump_pretty();
         let path = std::env::temp_dir().join("bft_sim_cli_test_config.json");
         std::fs::write(&path, &json).unwrap();
         let cmd = parse_args(&args(&["run", "--config", path.to_str().unwrap()])).unwrap();

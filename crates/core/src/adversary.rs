@@ -199,7 +199,12 @@ pub trait Adversary: Send {
     /// Called for every message after the network proposed a delay and
     /// before the message event is scheduled. The default is to deliver
     /// unmodified with the proposed delay.
-    fn attack(&mut self, msg: &mut Message, proposed: SimDuration, api: &mut AdversaryApi<'_>) -> Fate {
+    fn attack(
+        &mut self,
+        msg: &mut Message,
+        proposed: SimDuration,
+        api: &mut AdversaryApi<'_>,
+    ) -> Fate {
         let _ = (msg, api);
         Fate::Deliver(proposed)
     }

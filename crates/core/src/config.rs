@@ -1,7 +1,5 @@
 //! Run configuration.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::SimError;
 use crate::time::SimDuration;
 
@@ -22,7 +20,7 @@ use crate::time::SimDuration;
 /// assert_eq!(cfg.n, 16);
 /// assert_eq!(cfg.f, 5); // floor((16 - 1) / 3)
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunConfig {
     /// Total number of nodes `n`.
     pub n: usize,
@@ -125,7 +123,9 @@ impl RunConfig {
             )));
         }
         if self.target_decisions == 0 {
-            return Err(SimError::invalid_config("target_decisions must be at least 1"));
+            return Err(SimError::invalid_config(
+                "target_decisions must be at least 1",
+            ));
         }
         if self.lambda == SimDuration::ZERO {
             return Err(SimError::invalid_config("lambda must be positive"));
@@ -158,7 +158,10 @@ mod tests {
     #[test]
     fn validation_catches_bad_configs() {
         assert!(RunConfig::new(4).with_f(4).validate().is_err());
-        assert!(RunConfig::new(4).with_target_decisions(0).validate().is_err());
+        assert!(RunConfig::new(4)
+            .with_target_decisions(0)
+            .validate()
+            .is_err());
         assert!(RunConfig::new(4)
             .with_lambda(SimDuration::ZERO)
             .validate()

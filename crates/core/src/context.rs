@@ -2,6 +2,8 @@
 //! messages, registering time events, and reporting results (the paper's
 //! `reportToSystem`).
 
+use std::sync::Arc;
+
 use rand::rngs::SmallRng;
 
 use crate::ids::{NodeId, TimerId};
@@ -15,14 +17,14 @@ use crate::value::Value;
 pub(crate) enum Action {
     Send {
         dst: NodeId,
-        payload: Box<dyn Payload>,
+        payload: Arc<dyn Payload>,
     },
     Broadcast {
-        payload: Box<dyn Payload>,
+        payload: Arc<dyn Payload>,
         include_self: bool,
     },
     SendSelf {
-        payload: Box<dyn Payload>,
+        payload: Arc<dyn Payload>,
         delay: SimDuration,
     },
     SetTimer {
@@ -118,14 +120,16 @@ impl<'a> Context<'a> {
     pub fn send<P: Payload + 'static>(&mut self, dst: NodeId, payload: P) {
         self.actions.push(Action::Send {
             dst,
-            payload: Box::new(payload),
+            payload: Arc::new(payload),
         });
     }
 
-    /// Sends `payload` to every *other* node (n − 1 transmissions).
+    /// Sends `payload` to every *other* node (n − 1 transmissions). The
+    /// payload is allocated once and shared by refcount across all
+    /// destinations — broadcasting performs no per-destination deep clone.
     pub fn broadcast<P: Payload + 'static>(&mut self, payload: P) {
         self.actions.push(Action::Broadcast {
-            payload: Box::new(payload),
+            payload: Arc::new(payload),
             include_self: false,
         });
     }
@@ -135,7 +139,7 @@ impl<'a> Context<'a> {
     /// (and is not counted as a transmitted message).
     pub fn broadcast_all<P: Payload + 'static>(&mut self, payload: P) {
         self.actions.push(Action::Broadcast {
-            payload: Box::new(payload),
+            payload: Arc::new(payload),
             include_self: true,
         });
     }
@@ -144,7 +148,7 @@ impl<'a> Context<'a> {
     /// protocol-internal state transitions expressed as messages.
     pub fn send_self<P: Payload + 'static>(&mut self, payload: P) {
         self.actions.push(Action::SendSelf {
-            payload: Box::new(payload),
+            payload: Arc::new(payload),
             delay: SimDuration::ZERO,
         });
     }
@@ -238,7 +242,13 @@ mod tests {
         });
         assert_eq!(actions.len(), 4);
         assert!(matches!(actions[0], Action::Send { .. }));
-        assert!(matches!(actions[1], Action::Broadcast { include_self: false, .. }));
+        assert!(matches!(
+            actions[1],
+            Action::Broadcast {
+                include_self: false,
+                ..
+            }
+        ));
         assert!(matches!(actions[2], Action::Decide(Value::ONE)));
         assert!(matches!(actions[3], Action::EnterView(3)));
     }

@@ -9,7 +9,6 @@
 //! a non-negative [`SimDuration`].
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::time::SimDuration;
 
@@ -26,7 +25,7 @@ use crate::time::SimDuration;
 /// let d = Dist::normal(250.0, 50.0).sample_delay(&mut rng);
 /// assert!(d.as_millis_f64() > 0.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Dist {
     /// Always returns the same value.
     Constant {

@@ -8,6 +8,7 @@
 
 use std::collections::HashSet;
 use std::mem;
+use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -112,9 +113,15 @@ impl SimulationBuilder {
     /// factory is missing.
     pub fn build(self) -> Result<Simulation, SimError> {
         self.cfg.validate()?;
-        let network = self.network.ok_or(SimError::MissingComponent("network model"))?;
-        let factory = self.factory.ok_or(SimError::MissingComponent("protocol factory"))?;
-        let nodes: Vec<Box<dyn Protocol>> = NodeId::all(self.cfg.n).map(|id| factory.create(id)).collect();
+        let network = self
+            .network
+            .ok_or(SimError::MissingComponent("network model"))?;
+        let factory = self
+            .factory
+            .ok_or(SimError::MissingComponent("protocol factory"))?;
+        let nodes: Vec<Box<dyn Protocol>> = NodeId::all(self.cfg.n)
+            .map(|id| factory.create(id))
+            .collect();
         let seed = self.cfg.seed;
         Ok(Simulation {
             rng: SmallRng::seed_from_u64(seed),
@@ -125,6 +132,7 @@ impl SimulationBuilder {
             adversary: self.adversary,
             metrics: MetricsCollector::new(self.cfg.n),
             trace: Trace::new(),
+            armed: HashSet::new(),
             cancelled: HashSet::new(),
             crashed: HashSet::new(),
             corrupted: HashSet::new(),
@@ -167,6 +175,12 @@ pub struct Simulation {
     adversary: Box<dyn Adversary>,
     metrics: MetricsCollector,
     trace: Trace,
+    /// Timer ids currently sitting in the event queue. Gates `cancelled` so
+    /// cancelling an already-fired (or never-armed) timer leaves no tombstone.
+    armed: HashSet<TimerId>,
+    /// Armed timer ids whose pop should be skipped. Always ⊆ `armed`, so the
+    /// set stays bounded by the number of in-flight timers regardless of how
+    /// many cancellations a long run issues.
     cancelled: HashSet<TimerId>,
     crashed: HashSet<NodeId>,
     corrupted: HashSet<NodeId>,
@@ -199,9 +213,9 @@ impl Simulation {
     /// number of slots, (b) the simulated time cap is reached, or (c) the
     /// event queue drains (a stalled protocol) — the latter two are reported
     /// with [`RunResult::timed_out`] set.
-    pub fn run(self) -> RunResult {
-        let mut discard = None;
-        self.run_internal(&mut discard)
+    pub fn run(mut self) -> RunResult {
+        let timed_out = self.drive();
+        self.finish(timed_out)
     }
 
     /// Runs the simulation and also returns the recorded delivery schedule
@@ -210,12 +224,15 @@ impl Simulation {
         if self.recorder.is_none() {
             self.recorder = Some(DeliverySchedule::new());
         }
-        let mut out = None;
-        let result = self.run_internal(&mut out);
-        (result, out.unwrap_or_default())
+        let timed_out = self.drive();
+        let schedule = self.recorder.take().unwrap_or_default();
+        (self.finish(timed_out), schedule)
     }
 
-    fn run_internal(mut self, recorder_out: &mut Option<DeliverySchedule>) -> RunResult {
+    /// Runs all events to the stop condition, returning whether the run
+    /// timed out. Split from [`finish`](Simulation::finish) so unit tests
+    /// can inspect engine internals after the event loop completes.
+    fn drive(&mut self) -> bool {
         // Adversary goes first so attacks like fail-stop-from-start take
         // effect before any node initialises.
         self.run_adversary(|adv, api| adv.init(api));
@@ -231,9 +248,11 @@ impl Simulation {
             }
         }
 
-        let timed_out = self.run_loop();
-        *recorder_out = self.recorder.take();
+        self.run_loop()
+    }
 
+    /// Consumes the driven simulation into its metrics.
+    fn finish(self, timed_out: bool) -> RunResult {
         let end_time = self.clock;
         let mut result =
             self.metrics
@@ -264,20 +283,25 @@ impl Simulation {
                     if self.excluded.contains(&dst) {
                         continue;
                     }
-                    self.metrics.count_delivery(dst);
+                    // Self-deliveries never touch the wire; keep them out of
+                    // the message accounting (see `RunResult`).
+                    if !Self::is_self_delivery(&msg) {
+                        self.metrics.count_delivery(dst);
+                    }
                     if self.cfg.record_messages {
                         self.trace.record(
                             self.clock,
                             dst,
                             TraceKind::Delivered {
                                 src: msg.src(),
-                                payload_type: msg.payload().payload_type().to_string(),
+                                payload_type: msg.payload().payload_type().into(),
                             },
                         );
                     }
                     self.dispatch_node(dst, |node, ctx| node.on_message(&msg, ctx));
                 }
                 EventKind::NodeTimer { node, timer } => {
+                    self.armed.remove(&timer.id);
                     if self.cancelled.remove(&timer.id) || self.excluded.contains(&node) {
                         continue;
                     }
@@ -334,11 +358,14 @@ impl Simulation {
                     payload,
                     include_self,
                 } => {
+                    self.metrics.count_broadcast();
                     for dst in NodeId::all(self.cfg.n) {
                         if dst == src {
                             continue;
                         }
-                        self.route(Message::new(src, dst, self.clock, payload.clone_box()));
+                        // O(1) per destination: bump the payload refcount
+                        // instead of deep-cloning it n−1 times.
+                        self.route(Message::new(src, dst, self.clock, Arc::clone(&payload)));
                     }
                     if include_self {
                         self.queue.push(
@@ -354,6 +381,7 @@ impl Simulation {
                     );
                 }
                 Action::SetTimer { id, delay, payload } => {
+                    self.armed.insert(id);
                     self.queue.push(
                         self.clock + delay,
                         EventKind::NodeTimer {
@@ -363,7 +391,11 @@ impl Simulation {
                     );
                 }
                 Action::CancelTimer(id) => {
-                    self.cancelled.insert(id);
+                    // Only armed timers need a tombstone; cancelling a timer
+                    // that already fired (or never existed) is a no-op.
+                    if self.armed.contains(&id) {
+                        self.cancelled.insert(id);
+                    }
                 }
                 Action::Decide(value) => {
                     let slot = self.metrics.record_decision(src, self.clock, value);
@@ -383,17 +415,28 @@ impl Simulation {
         }
     }
 
+    /// A message a node addressed to itself (`SendSelf`, the self-copy of
+    /// `Broadcast { include_self: true }`, or a literal `send` to self).
+    /// These never touch the wire, so — following the paper, which counts
+    /// wire messages only — they are excluded from both the sent and the
+    /// delivered counters. Adversary-injected messages always count.
+    fn is_self_delivery(msg: &Message) -> bool {
+        msg.src() == msg.dst() && !msg.is_injected()
+    }
+
     /// Sends one honest message through network + adversary (or the replay
     /// schedule in validator mode) and schedules its delivery.
     fn route(&mut self, mut msg: Message) {
-        self.metrics.count_honest_message(msg.src());
+        if !Self::is_self_delivery(&msg) {
+            self.metrics.count_honest_message(msg.src());
+        }
         if self.cfg.record_messages {
             self.trace.record(
                 self.clock,
                 msg.src(),
                 TraceKind::Sent {
                     dst: msg.dst(),
-                    payload_type: msg.payload().payload_type().to_string(),
+                    payload_type: msg.payload().payload_type().into(),
                 },
             );
         }
@@ -504,5 +547,141 @@ impl Simulation {
             }
         }
         self.adv_actions = actions;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::ConstantNetwork;
+    use crate::time::SimDuration;
+    use crate::value::Value;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tick {
+        Churn,
+        Short,
+        Long,
+        Probe,
+    }
+
+    fn constant_net() -> ConstantNetwork {
+        ConstantNetwork::new(SimDuration::from_millis(10.0))
+    }
+
+    /// Each round fires a timer, cancels the *already fired* id, and arms the
+    /// next one. Before the armed-gating fix every stale cancellation left a
+    /// tombstone in `cancelled` forever.
+    #[derive(Debug, Default)]
+    struct TimerChurn {
+        rounds: u64,
+    }
+
+    impl Protocol for TimerChurn {
+        fn init(&mut self, ctx: &mut Context<'_>) {
+            ctx.set_timer(SimDuration::from_millis(5.0), Tick::Churn);
+        }
+        fn on_message(&mut self, _m: &Message, _ctx: &mut Context<'_>) {}
+        fn on_timer(&mut self, t: &Timer, ctx: &mut Context<'_>) {
+            ctx.cancel_timer(t.id); // stale: this timer just fired
+            self.rounds += 1;
+            if self.rounds < 200 {
+                ctx.set_timer(SimDuration::from_millis(5.0), Tick::Churn);
+            } else {
+                ctx.decide(Value::new(1));
+            }
+        }
+    }
+
+    #[test]
+    fn stale_cancellations_leave_no_tombstones() {
+        let mut sim = SimulationBuilder::new(RunConfig::new(4).with_seed(1))
+            .network(constant_net())
+            .protocols(|_id: NodeId| -> Box<dyn Protocol> { Box::<TimerChurn>::default() })
+            .build()
+            .unwrap();
+        sim.drive();
+        assert!(
+            sim.cancelled.is_empty(),
+            "stale cancels must not accumulate: {} tombstones",
+            sim.cancelled.len()
+        );
+        // Whatever is still armed is still sitting in the queue, so the
+        // bookkeeping is bounded by in-flight timers.
+        assert!(sim.armed.len() <= sim.queue.len());
+    }
+
+    /// Cancelling a pending timer must still suppress its firing.
+    #[derive(Debug, Default)]
+    struct CancelBeforeFire {
+        long: Option<TimerId>,
+    }
+
+    impl Protocol for CancelBeforeFire {
+        fn init(&mut self, ctx: &mut Context<'_>) {
+            self.long = Some(ctx.set_timer(SimDuration::from_millis(100.0), Tick::Long));
+            ctx.set_timer(SimDuration::from_millis(10.0), Tick::Short);
+        }
+        fn on_message(&mut self, _m: &Message, _ctx: &mut Context<'_>) {}
+        fn on_timer(&mut self, t: &Timer, ctx: &mut Context<'_>) {
+            match t.downcast_ref::<Tick>() {
+                Some(Tick::Short) => {
+                    ctx.cancel_timer(self.long.take().unwrap());
+                    ctx.set_timer(SimDuration::from_millis(300.0), Tick::Probe);
+                }
+                Some(Tick::Long) => panic!("cancelled timer fired"),
+                Some(Tick::Probe) => ctx.decide(Value::new(1)),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_pending_timer_does_not_fire() {
+        let result = SimulationBuilder::new(RunConfig::new(4).with_seed(3))
+            .network(constant_net())
+            .protocols(|_id: NodeId| -> Box<dyn Protocol> { Box::<CancelBeforeFire>::default() })
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(result.decisions_completed(), 1);
+    }
+
+    /// One broadcast round per node, with self-inclusion and a send-to-self,
+    /// to pin down the wire-messages-only accounting convention.
+    #[derive(Debug)]
+    struct SelfTalk;
+
+    impl Protocol for SelfTalk {
+        fn init(&mut self, ctx: &mut Context<'_>) {
+            ctx.broadcast_all(Tick::Probe);
+            ctx.send_self(Tick::Short);
+            let me = ctx.id();
+            ctx.send(me, Tick::Long);
+        }
+        fn on_message(&mut self, m: &Message, ctx: &mut Context<'_>) {
+            if m.downcast_ref::<Tick>() == Some(&Tick::Long) {
+                ctx.decide(Value::new(7));
+            }
+        }
+        fn on_timer(&mut self, _t: &Timer, _ctx: &mut Context<'_>) {}
+    }
+
+    #[test]
+    fn self_deliveries_are_excluded_from_both_counters() {
+        let n = 4;
+        let result = SimulationBuilder::new(RunConfig::new(n).with_seed(5))
+            .network(constant_net())
+            .protocols(|_id: NodeId| -> Box<dyn Protocol> { Box::new(SelfTalk) })
+            .build()
+            .unwrap()
+            .run();
+        // Only the n·(n−1) broadcast transmissions touch the wire; the
+        // broadcast self-copy, send_self, and the literal send-to-self are
+        // all excluded — symmetrically — from sent and delivered counts.
+        let wire = (n * (n - 1)) as u64;
+        assert_eq!(result.honest_messages, wire);
+        assert_eq!(result.sent_per_node.iter().sum::<u64>(), wire);
+        assert_eq!(result.delivered_per_node.iter().sum::<u64>(), wire);
     }
 }

@@ -7,6 +7,8 @@
 //! [`Dispatcher`] that runs one protocol callback and returns the resulting
 //! [`Effect`]s for the host executor to interpret.
 
+use std::sync::Arc;
+
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -42,12 +44,13 @@ impl Protocol for NullProtocol {
 /// One externally visible effect of a protocol callback.
 #[derive(Debug)]
 pub enum Effect {
-    /// Send `payload` to `dst` over the network.
+    /// Send `payload` to `dst` over the network. The payload is shared by
+    /// refcount across the sends of one broadcast.
     Send {
         /// Destination.
         dst: NodeId,
         /// The payload.
-        payload: Box<dyn Payload>,
+        payload: Arc<dyn Payload>,
     },
     /// Deliver `payload` back to the node itself after `delay`, without
     /// touching the network (not a transmitted message).
@@ -55,7 +58,7 @@ pub enum Effect {
         /// Local delivery delay.
         delay: SimDuration,
         /// The payload.
-        payload: Box<dyn Payload>,
+        payload: Arc<dyn Payload>,
     },
     /// Arm a timer.
     SetTimer {
@@ -141,7 +144,7 @@ impl Dispatcher {
                         }
                         effects.push(Effect::Send {
                             dst,
-                            payload: payload.clone_box(),
+                            payload: Arc::clone(&payload),
                         });
                     }
                     if include_self {

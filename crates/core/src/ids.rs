@@ -2,8 +2,6 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifies one replica (node) in the simulated system.
 ///
 /// Node ids are dense: a run with `n` nodes uses ids `0..n`.
@@ -16,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// let id = NodeId::new(3);
 /// assert_eq!(id.index(), 3);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct NodeId(u32);
 
 impl NodeId {
@@ -66,7 +64,7 @@ impl From<u32> for NodeId {
 ///
 /// Timer ids are unique within a run; cancelling an id that already fired is
 /// a no-op.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TimerId(pub(crate) u64);
 
 impl TimerId {

@@ -61,6 +61,7 @@ pub mod error;
 pub mod event;
 pub mod exec;
 pub mod ids;
+pub mod json;
 pub mod message;
 pub mod metrics;
 pub mod network;

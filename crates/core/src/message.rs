@@ -2,6 +2,7 @@
 
 use core::any::Any;
 use core::fmt;
+use std::sync::Arc;
 
 use crate::ids::NodeId;
 use crate::payload::Payload;
@@ -14,38 +15,58 @@ use crate::time::SimTime;
 /// network module (which assigns a delay) and then the attacker module (which
 /// may observe, drop, delay, modify or replace them) before delivery — see
 /// §III-A of the paper.
-#[derive(Debug)]
+///
+/// The payload is an `Arc<dyn Payload>`: cloning a message (as broadcast
+/// fan-out does, once per destination) bumps a refcount instead of
+/// deep-cloning the payload. Mutation via [`Message::downcast_mut`] is
+/// copy-on-write, so tampering with one delivery never aliases into another
+/// destination's copy.
+#[derive(Debug, Clone)]
 pub struct Message {
     src: NodeId,
     dst: NodeId,
     sent_at: SimTime,
     injected: bool,
-    payload: Box<dyn Payload>,
+    payload: Arc<dyn Payload>,
 }
 
 impl Message {
     /// Creates a new honest message. Library users normally go through
     /// [`Context::send`](crate::context::Context::send) instead.
-    pub fn new(src: NodeId, dst: NodeId, sent_at: SimTime, payload: Box<dyn Payload>) -> Self {
+    ///
+    /// Accepts either a `Box<dyn Payload>` (e.g. from
+    /// [`boxed`](crate::payload::boxed)) or an `Arc<dyn Payload>` (e.g. from
+    /// [`shared`](crate::payload::shared)); boxes convert without copying.
+    pub fn new(
+        src: NodeId,
+        dst: NodeId,
+        sent_at: SimTime,
+        payload: impl Into<Arc<dyn Payload>>,
+    ) -> Self {
         Message {
             src,
             dst,
             sent_at,
             injected: false,
-            payload,
+            payload: payload.into(),
         }
     }
 
     /// Creates an adversary-injected message. The `src` field is the node the
     /// adversary *impersonates*; honest receivers cannot tell the difference
     /// (the paper's attacker "inserts new messages").
-    pub fn injected(src: NodeId, dst: NodeId, sent_at: SimTime, payload: Box<dyn Payload>) -> Self {
+    pub fn injected(
+        src: NodeId,
+        dst: NodeId,
+        sent_at: SimTime,
+        payload: impl Into<Arc<dyn Payload>>,
+    ) -> Self {
         Message {
             src,
             dst,
             sent_at,
             injected: true,
-            payload,
+            payload: payload.into(),
         }
     }
 
@@ -76,6 +97,12 @@ impl Message {
         self.payload.as_ref()
     }
 
+    /// Borrows the shared payload handle. Mainly useful for asserting
+    /// zero-copy fan-out (`Arc::ptr_eq`) in tests and tooling.
+    pub fn payload_arc(&self) -> &Arc<dyn Payload> {
+        &self.payload
+    }
+
     /// Attempts to view the payload as concrete type `T`.
     ///
     /// # Examples
@@ -90,36 +117,36 @@ impl Message {
     /// assert_eq!(m.downcast_ref::<Vote>(), Some(&Vote(3)));
     /// ```
     pub fn downcast_ref<T: Any>(&self) -> Option<&T> {
-        self.payload.as_any().downcast_ref::<T>()
+        self.payload.as_ref().as_any().downcast_ref::<T>()
     }
 
     /// Attempts to view the payload mutably as concrete type `T`. Used by
     /// attackers that tamper with messages in flight.
+    ///
+    /// Copy-on-write: if the payload is still shared with other deliveries
+    /// of the same broadcast, it is deep-cloned first, so the mutation is
+    /// confined to this message. The type check happens *before* the clone,
+    /// so a failed downcast costs nothing.
     pub fn downcast_mut<T: Any>(&mut self) -> Option<&mut T> {
-        self.payload.as_any_mut().downcast_mut::<T>()
+        self.payload.as_ref().as_any().downcast_ref::<T>()?;
+        if Arc::get_mut(&mut self.payload).is_none() {
+            self.payload = self.payload.as_ref().clone_arc();
+        }
+        Arc::get_mut(&mut self.payload)
+            .expect("freshly cloned payload arc is unique")
+            .as_any_mut()
+            .downcast_mut::<T>()
     }
 
     /// Replaces the payload wholesale (attacker capability).
-    pub fn replace_payload(&mut self, payload: Box<dyn Payload>) {
-        self.payload = payload;
+    pub fn replace_payload(&mut self, payload: impl Into<Arc<dyn Payload>>) {
+        self.payload = payload.into();
     }
 
     /// Rewrites the claimed source (attacker capability: forgery in systems
     /// without authenticated channels).
     pub fn forge_src(&mut self, src: NodeId) {
         self.src = src;
-    }
-}
-
-impl Clone for Message {
-    fn clone(&self) -> Self {
-        Message {
-            src: self.src,
-            dst: self.dst,
-            sent_at: self.sent_at,
-            injected: self.injected,
-            payload: self.payload.clone_box(),
-        }
     }
 }
 
@@ -131,7 +158,7 @@ impl fmt::Display for Message {
             self.src,
             self.dst,
             self.sent_at,
-            self.payload.payload_type()
+            self.payload.as_ref().payload_type()
         )
     }
 }
@@ -139,14 +166,19 @@ impl fmt::Display for Message {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::payload::boxed;
+    use crate::payload::{boxed, shared};
 
     #[derive(Debug, Clone, PartialEq)]
     struct P(u8);
 
     #[test]
     fn accessors() {
-        let m = Message::new(NodeId::new(1), NodeId::new(2), SimTime::from_millis(5), boxed(P(9)));
+        let m = Message::new(
+            NodeId::new(1),
+            NodeId::new(2),
+            SimTime::from_millis(5),
+            boxed(P(9)),
+        );
         assert_eq!(m.src(), NodeId::new(1));
         assert_eq!(m.dst(), NodeId::new(2));
         assert_eq!(m.sent_at(), SimTime::from_millis(5));
@@ -169,5 +201,40 @@ mod tests {
     fn injected_flag() {
         let m = Message::injected(NodeId::new(0), NodeId::new(1), SimTime::ZERO, boxed(P(0)));
         assert!(m.is_injected());
+    }
+
+    #[test]
+    fn clone_shares_payload_allocation() {
+        let m = Message::new(NodeId::new(0), NodeId::new(1), SimTime::ZERO, shared(P(5)));
+        let c = m.clone();
+        assert!(Arc::ptr_eq(m.payload_arc(), c.payload_arc()));
+    }
+
+    #[test]
+    fn downcast_mut_is_copy_on_write() {
+        let m = Message::new(NodeId::new(0), NodeId::new(1), SimTime::ZERO, shared(P(5)));
+        let mut tampered = m.clone();
+        tampered.downcast_mut::<P>().unwrap().0 = 99;
+        // The original delivery is unaffected and no longer aliased.
+        assert_eq!(m.downcast_ref::<P>(), Some(&P(5)));
+        assert_eq!(tampered.downcast_ref::<P>(), Some(&P(99)));
+        assert!(!Arc::ptr_eq(m.payload_arc(), tampered.payload_arc()));
+    }
+
+    #[test]
+    fn failed_downcast_mut_does_not_unshare() {
+        let m = Message::new(NodeId::new(0), NodeId::new(1), SimTime::ZERO, shared(P(5)));
+        let mut c = m.clone();
+        assert!(c.downcast_mut::<String>().is_none());
+        assert!(Arc::ptr_eq(m.payload_arc(), c.payload_arc()));
+    }
+
+    #[test]
+    fn unique_downcast_mut_mutates_in_place() {
+        let mut m = Message::new(NodeId::new(0), NodeId::new(1), SimTime::ZERO, shared(P(1)));
+        let before = Arc::as_ptr(m.payload_arc());
+        m.downcast_mut::<P>().unwrap().0 = 2;
+        assert_eq!(Arc::as_ptr(m.payload_arc()), before);
+        assert_eq!(m.downcast_ref::<P>(), Some(&P(2)));
     }
 }

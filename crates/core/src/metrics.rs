@@ -19,6 +19,7 @@ pub(crate) struct MetricsCollector {
     adversary_messages: u64,
     dropped_messages: u64,
     events_processed: u64,
+    broadcasts: u64,
     /// Messages sent per node (signing work proxy).
     sent_per_node: Vec<u64>,
     /// Messages delivered per node (verification work proxy).
@@ -35,6 +36,7 @@ impl MetricsCollector {
             adversary_messages: 0,
             dropped_messages: 0,
             events_processed: 0,
+            broadcasts: 0,
             sent_per_node: vec![0; n],
             delivered_per_node: vec![0; n],
             safety_violation: None,
@@ -60,6 +62,10 @@ impl MetricsCollector {
 
     pub fn count_event(&mut self) {
         self.events_processed += 1;
+    }
+
+    pub fn count_broadcast(&mut self) {
+        self.broadcasts += 1;
     }
 
     /// Records a decision; returns the slot index it filled.
@@ -135,6 +141,7 @@ impl MetricsCollector {
             adversary_messages: self.adversary_messages,
             dropped_messages: self.dropped_messages,
             events_processed: self.events_processed,
+            broadcasts: self.broadcasts,
             sent_per_node: self.sent_per_node,
             delivered_per_node: self.delivered_per_node,
             safety_violation: self.safety_violation,
@@ -146,6 +153,18 @@ impl MetricsCollector {
 }
 
 /// The outcome of one simulation run.
+///
+/// # Message accounting
+///
+/// All message counters follow the paper's convention of counting **wire
+/// messages only**: a message a node addresses to itself (`send_self`, the
+/// self-copy of `broadcast_all`, or a literal send to its own id) is excluded
+/// from *both* [`honest_messages`](RunResult::honest_messages) /
+/// [`sent_per_node`](RunResult::sent_per_node) *and*
+/// [`delivered_per_node`](RunResult::delivered_per_node), keeping the two
+/// sides symmetric. Adversary-injected messages are always counted (in
+/// [`adversary_messages`](RunResult::adversary_messages)), even when forged
+/// to look self-addressed.
 #[derive(Debug, Clone)]
 pub struct RunResult {
     /// Simulation time at which the run stopped.
@@ -165,6 +184,10 @@ pub struct RunResult {
     pub dropped_messages: u64,
     /// Number of events dispatched (simulator work, not a protocol metric).
     pub events_processed: u64,
+    /// Number of `broadcast`/`broadcast_all` actions applied; with the shared
+    /// payload fan-out this is also the number of payload allocations the
+    /// broadcast hot path performs.
+    pub broadcasts: u64,
     /// Messages sent per node — a proxy for per-node signing work, used by
     /// computation-cost estimation (the paper's §III-A3 suggestion).
     pub sent_per_node: Vec<u64>,
@@ -200,7 +223,10 @@ impl RunResult {
             return None;
         }
         let total = self.completions[k - 1] - SimTime::ZERO;
-        Some(SimDuration::from_micros(total.as_micros() / k as u64))
+        // Divide in f64 and round: integer division truncated toward zero,
+        // understating the mean by up to a microsecond.
+        let mean = total.as_micros() as f64 / k as f64;
+        Some(SimDuration::from_micros(mean.round() as u64))
     }
 
     /// Honest messages per completed decision. `None` if nothing completed.
@@ -316,15 +342,47 @@ mod tests {
         let mut m = MetricsCollector::new(1);
         let excluded = HashSet::new();
         for k in 0..10u64 {
-            m.record_decision(NodeId::new(0), SimTime::from_millis((k + 1) * 100), Value::ONE);
+            m.record_decision(
+                NodeId::new(0),
+                SimTime::from_millis((k + 1) * 100),
+                Value::ONE,
+            );
             m.update_completions(SimTime::from_millis((k + 1) * 100), &excluded);
         }
         let r = m.into_result(SimTime::from_millis(1000), false, Trace::new(), 0);
         assert_eq!(r.decisions_completed(), 10);
         assert_eq!(r.latency().unwrap().as_millis_f64(), 100.0);
-        assert_eq!(r.avg_latency_per_decision(10).unwrap().as_millis_f64(), 100.0);
+        assert_eq!(
+            r.avg_latency_per_decision(10).unwrap().as_millis_f64(),
+            100.0
+        );
         assert!(r.avg_latency_per_decision(11).is_none());
         assert!(r.is_clean());
+    }
+
+    #[test]
+    fn avg_latency_rounds_instead_of_truncating() {
+        let mut m = MetricsCollector::new(1);
+        let excluded = HashSet::new();
+        // Three completions; the last at 1000 µs. 1000 / 3 = 333.33…, which
+        // integer division used to truncate to 333 µs; rounding keeps 333 but
+        // a total of 1001 µs must give 334, not 333.
+        for (slot, at) in [(0u64, 1u64), (1, 2), (2, 1001)] {
+            let _ = slot;
+            m.record_decision(
+                NodeId::new(0),
+                SimTime::ZERO + SimDuration::from_micros(at),
+                Value::ONE,
+            );
+            m.update_completions(SimTime::ZERO + SimDuration::from_micros(at), &excluded);
+        }
+        let r = m.into_result(
+            SimTime::ZERO + SimDuration::from_micros(1001),
+            false,
+            Trace::new(),
+            0,
+        );
+        assert_eq!(r.avg_latency_per_decision(3).unwrap().as_micros(), 334);
     }
 
     #[test]

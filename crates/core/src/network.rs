@@ -19,8 +19,7 @@ use crate::time::{SimDuration, SimTime};
 /// the run RNG; they must be deterministic given the RNG stream.
 pub trait NetworkModel: Send {
     /// The delay for a message sent from `src` to `dst` at time `now`.
-    fn delay(&mut self, src: NodeId, dst: NodeId, now: SimTime, rng: &mut SmallRng)
-        -> SimDuration;
+    fn delay(&mut self, src: NodeId, dst: NodeId, now: SimTime, rng: &mut SmallRng) -> SimDuration;
 
     /// Human-readable model name for results and traces.
     fn name(&self) -> &'static str {

@@ -1,18 +1,24 @@
 //! Type-erased protocol message payloads.
 //!
 //! Each protocol defines its own message enum; the engine moves payloads
-//! around as `Box<dyn Payload>` trait objects. The global attacker can
+//! around as `Arc<dyn Payload>` trait objects so a broadcast to n−1 peers
+//! clones one refcount per destination instead of deep-cloning the payload.
+//! The global attacker can
 //! [`downcast`](crate::message::Message::downcast_ref) payloads of protocols
 //! it understands in order to observe or tamper with them — this is what
 //! makes rushing and adaptive attacks expressible (§III-C of the paper).
+//! Mutation goes through copy-on-write (see
+//! [`Message::downcast_mut`](crate::message::Message::downcast_mut)), so the
+//! honest fan-out path stays zero-copy.
 
 use core::any::Any;
 use core::fmt;
+use std::sync::Arc;
 
 /// A protocol message or timer payload.
 ///
 /// This trait is blanket-implemented for every `'static` type that is
-/// `Debug + Send + Clone`, so protocols never implement it by hand:
+/// `Debug + Send + Sync + Clone`, so protocols never implement it by hand:
 ///
 /// ```
 /// use bft_sim_core::payload::{Payload, boxed};
@@ -23,15 +29,20 @@ use core::fmt;
 /// let b = boxed(PingMsg::Ping(7));
 /// assert_eq!(b.as_any().downcast_ref::<PingMsg>(), Some(&PingMsg::Ping(7)));
 /// ```
-pub trait Payload: fmt::Debug + Send {
+pub trait Payload: fmt::Debug + Send + Sync {
     /// Upcasts to [`Any`] for downcasting to the concrete message type.
     fn as_any(&self) -> &dyn Any;
 
     /// Mutable upcast, used by attackers that modify messages in flight.
     fn as_any_mut(&mut self) -> &mut dyn Any;
 
-    /// Clones the payload behind the trait object.
+    /// Clones the payload behind the trait object into a fresh box.
     fn clone_box(&self) -> Box<dyn Payload>;
+
+    /// Clones the payload behind the trait object into a fresh shared
+    /// allocation. This is a *deep* clone; use `Arc::clone` on an existing
+    /// `Arc<dyn Payload>` for the O(1) refcount bump.
+    fn clone_arc(&self) -> Arc<dyn Payload>;
 
     /// Name of the concrete payload type, for traces and debugging.
     fn payload_type(&self) -> &'static str;
@@ -39,7 +50,7 @@ pub trait Payload: fmt::Debug + Send {
 
 impl<T> Payload for T
 where
-    T: Any + fmt::Debug + Send + Clone,
+    T: Any + fmt::Debug + Send + Sync + Clone,
 {
     fn as_any(&self) -> &dyn Any {
         self
@@ -53,21 +64,30 @@ where
         Box::new(self.clone())
     }
 
+    fn clone_arc(&self) -> Arc<dyn Payload> {
+        Arc::new(self.clone())
+    }
+
     fn payload_type(&self) -> &'static str {
         core::any::type_name::<T>()
     }
 }
 
-// NOTE: do NOT implement `Clone for Box<dyn Payload>`. Doing so would make
-// `Box<dyn Payload>` itself satisfy the blanket impl above (it would be
-// `Any + Debug + Send + Clone`), so method resolution on a boxed payload
-// would pick the *box's* `as_any`/`clone_box` instead of the inner value's —
-// breaking downcasts and recursing infinitely on clone. Callers clone via
-// `payload.clone_box()`, which auto-derefs to the inner trait object.
+// NOTE: `Box<dyn Payload>` and `Arc<dyn Payload>` would themselves satisfy
+// the blanket impl above if they were `Clone` (the Arc is). Method resolution
+// on an `Arc<dyn Payload>` therefore picks the *Arc's* `as_any`/`clone_*`
+// instead of the inner value's — breaking downcasts. Inside this crate, every
+// call on a shared payload goes through `.as_ref()` first to force dispatch
+// on the inner `dyn Payload`; do the same in downstream code.
 
 /// Boxes a concrete payload as a trait object.
 pub fn boxed<P: Payload + 'static>(payload: P) -> Box<dyn Payload> {
     Box::new(payload)
+}
+
+/// Wraps a concrete payload in a shared trait object, ready for broadcast.
+pub fn shared<P: Payload + 'static>(payload: P) -> Arc<dyn Payload> {
+    Arc::new(payload)
 }
 
 #[cfg(test)]
@@ -89,6 +109,21 @@ mod tests {
         let b = boxed(Dummy(9));
         let c = b.clone_box();
         assert_eq!(c.as_any().downcast_ref::<Dummy>(), Some(&Dummy(9)));
+    }
+
+    #[test]
+    fn shared_clone_arc_is_deep() {
+        let a = shared(Dummy(3));
+        let b = a.as_ref().clone_arc();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(b.as_ref().as_any().downcast_ref::<Dummy>(), Some(&Dummy(3)));
+    }
+
+    #[test]
+    fn arc_refcount_clone_is_shallow() {
+        let a = shared(Dummy(4));
+        let b = Arc::clone(&a);
+        assert!(Arc::ptr_eq(&a, &b));
     }
 
     #[test]

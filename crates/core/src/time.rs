@@ -8,8 +8,6 @@
 use core::fmt;
 use core::ops::{Add, AddAssign, Sub};
 
-use serde::{Deserialize, Serialize};
-
 /// An instant on the simulation clock, in microseconds since the start of the
 /// run.
 ///
@@ -21,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// let t = SimTime::ZERO + SimDuration::from_millis(250.0);
 /// assert_eq!(t.as_millis_f64(), 250.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 /// A span of simulation time, in microseconds.
@@ -34,7 +32,7 @@ pub struct SimTime(u64);
 /// let d = SimDuration::from_millis(1.5);
 /// assert_eq!(d.as_micros(), 1_500);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -210,7 +208,10 @@ mod tests {
     fn negative_and_nan_millis_clamp_to_zero() {
         assert_eq!(SimDuration::from_millis(-5.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_millis(f64::NAN), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_millis(f64::NEG_INFINITY), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_millis(f64::NEG_INFINITY),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

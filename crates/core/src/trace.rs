@@ -5,14 +5,15 @@
 //! validator module, the per-node view visualisation of Fig. 9, and data
 //! logging in general.
 
-use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 
 use crate::ids::NodeId;
+use crate::json::Json;
 use crate::time::SimTime;
 use crate::value::Value;
 
 /// One recorded event.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
     /// Simulation time of the event.
     pub time: SimTime,
@@ -23,7 +24,7 @@ pub struct TraceEvent {
 }
 
 /// The kind of a recorded event.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TraceKind {
     /// A node decided `value` for consensus slot `slot`.
     Decided {
@@ -41,15 +42,17 @@ pub enum TraceKind {
     Sent {
         /// Destination node.
         dst: NodeId,
-        /// Payload type name.
-        payload_type: String,
+        /// Payload type name. Borrowed (`&'static str`) when recorded live —
+        /// the hot path allocates nothing — and owned when parsed from JSON.
+        payload_type: Cow<'static, str>,
     },
     /// A node received a message (recorded only with message recording on).
     Delivered {
         /// Claimed source node.
         src: NodeId,
-        /// Payload type name.
-        payload_type: String,
+        /// Payload type name. Borrowed (`&'static str`) when recorded live —
+        /// the hot path allocates nothing — and owned when parsed from JSON.
+        payload_type: Cow<'static, str>,
     },
     /// The adversary corrupted this node.
     Corrupted,
@@ -66,7 +69,7 @@ pub enum TraceKind {
 }
 
 /// A time-ordered sequence of [`TraceEvent`]s.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
     events: Vec<TraceEvent>,
 }
@@ -128,6 +131,145 @@ impl Trace {
             })
             .collect()
     }
+
+    /// Converts the trace to JSON (the format of the committed golden traces:
+    /// externally-tagged event kinds, times/nodes as bare numbers).
+    pub fn to_json(&self) -> Json {
+        let events = self
+            .events
+            .iter()
+            .map(|e| {
+                Json::obj([
+                    ("time", Json::from(e.time.as_micros())),
+                    ("node", Json::from(e.node.as_u32())),
+                    ("kind", e.kind.to_json()),
+                ])
+            })
+            .collect();
+        Json::obj([("events", Json::Arr(events))])
+    }
+
+    /// Parses a trace from the JSON produced by [`Trace::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural mismatch.
+    pub fn from_json(json: &Json) -> Result<Trace, String> {
+        let events = json
+            .get("events")
+            .and_then(Json::as_arr)
+            .ok_or("trace: missing \"events\" array")?;
+        let events = events
+            .iter()
+            .map(|e| {
+                let time = e
+                    .get("time")
+                    .and_then(Json::as_u64)
+                    .ok_or("trace event: bad \"time\"")?;
+                let node = e
+                    .get("node")
+                    .and_then(Json::as_u64)
+                    .ok_or("trace event: bad \"node\"")?;
+                Ok(TraceEvent {
+                    time: SimTime::ZERO + crate::time::SimDuration::from_micros(time),
+                    node: NodeId::new(node as u32),
+                    kind: TraceKind::from_json(
+                        e.get("kind").ok_or("trace event: missing \"kind\"")?,
+                    )?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Trace { events })
+    }
+}
+
+impl TraceKind {
+    fn to_json(&self) -> Json {
+        match self {
+            TraceKind::Decided { slot, value } => Json::obj([(
+                "Decided",
+                Json::obj([
+                    ("slot", Json::from(*slot)),
+                    ("value", Json::from(value.as_u64())),
+                ]),
+            )]),
+            TraceKind::View { view } => {
+                Json::obj([("View", Json::obj([("view", Json::from(*view))]))])
+            }
+            TraceKind::Sent { dst, payload_type } => Json::obj([(
+                "Sent",
+                Json::obj([
+                    ("dst", Json::from(dst.as_u32())),
+                    ("payload_type", Json::from(payload_type.as_ref())),
+                ]),
+            )]),
+            TraceKind::Delivered { src, payload_type } => Json::obj([(
+                "Delivered",
+                Json::obj([
+                    ("src", Json::from(src.as_u32())),
+                    ("payload_type", Json::from(payload_type.as_ref())),
+                ]),
+            )]),
+            TraceKind::Corrupted => Json::from("Corrupted"),
+            TraceKind::Crashed => Json::from("Crashed"),
+            TraceKind::Custom { label, detail } => Json::obj([(
+                "Custom",
+                Json::obj([
+                    ("label", Json::from(label.as_str())),
+                    ("detail", Json::from(detail.as_str())),
+                ]),
+            )]),
+        }
+    }
+
+    fn from_json(json: &Json) -> Result<TraceKind, String> {
+        if let Some(unit) = json.as_str() {
+            return match unit {
+                "Corrupted" => Ok(TraceKind::Corrupted),
+                "Crashed" => Ok(TraceKind::Crashed),
+                other => Err(format!("trace kind: unknown variant \"{other}\"")),
+            };
+        }
+        let Json::Obj(pairs) = json else {
+            return Err("trace kind: expected string or single-key object".into());
+        };
+        let [(tag, body)] = pairs.as_slice() else {
+            return Err("trace kind: expected exactly one variant key".into());
+        };
+        let field = |name: &str| -> Result<u64, String> {
+            body.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("trace kind {tag}: bad \"{name}\""))
+        };
+        let text = |name: &str| -> Result<String, String> {
+            body.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("trace kind {tag}: bad \"{name}\""))
+        };
+        match tag.as_str() {
+            "Decided" => Ok(TraceKind::Decided {
+                slot: field("slot")?,
+                value: Value::new(field("value")?),
+            }),
+            "View" => Ok(TraceKind::View {
+                view: field("view")?,
+            }),
+            "Sent" => Ok(TraceKind::Sent {
+                dst: NodeId::new(field("dst")? as u32),
+                payload_type: Cow::Owned(text("payload_type")?),
+            }),
+            "Delivered" => Ok(TraceKind::Delivered {
+                src: NodeId::new(field("src")? as u32),
+                payload_type: Cow::Owned(text("payload_type")?),
+            }),
+            "Custom" => Ok(TraceKind::Custom {
+                label: text("label")?,
+                detail: text("detail")?,
+            }),
+            other => Err(format!("trace kind: unknown variant \"{other}\"")),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -159,12 +301,63 @@ mod tests {
         assert_eq!(t.decisions().count(), 1);
         assert_eq!(
             t.view_timeline(NodeId::new(0)),
-            vec![
-                (SimTime::from_millis(1), 1),
-                (SimTime::from_millis(3), 2)
-            ]
+            vec![(SimTime::from_millis(1), 1), (SimTime::from_millis(3), 2)]
         );
         assert!(t.view_timeline(NodeId::new(2)).is_empty());
+    }
+
+    #[test]
+    fn json_round_trip_covers_every_kind() {
+        let mut t = Trace::new();
+        t.record(
+            SimTime::from_millis(1),
+            NodeId::new(0),
+            TraceKind::Decided {
+                slot: 2,
+                value: Value::new(9),
+            },
+        );
+        t.record(
+            SimTime::from_millis(2),
+            NodeId::new(1),
+            TraceKind::View { view: 3 },
+        );
+        t.record(
+            SimTime::from_millis(3),
+            NodeId::new(0),
+            TraceKind::Sent {
+                dst: NodeId::new(1),
+                payload_type: "demo::Vote".into(),
+            },
+        );
+        t.record(
+            SimTime::from_millis(4),
+            NodeId::new(1),
+            TraceKind::Delivered {
+                src: NodeId::new(0),
+                payload_type: "demo::Vote".into(),
+            },
+        );
+        t.record(
+            SimTime::from_millis(5),
+            NodeId::new(2),
+            TraceKind::Corrupted,
+        );
+        t.record(SimTime::from_millis(6), NodeId::new(3), TraceKind::Crashed);
+        t.record(
+            SimTime::from_millis(7),
+            NodeId::new(0),
+            TraceKind::Custom {
+                label: "pre-prepare".into(),
+                detail: "view=0".into(),
+            },
+        );
+        let json = t.to_json();
+        let back = Trace::from_json(&json).unwrap();
+        assert_eq!(back, t);
+        // And via text, as the golden files store it.
+        let reparsed = Trace::from_json(&Json::parse(&json.dump_pretty()).unwrap()).unwrap();
+        assert_eq!(reparsed, t);
     }
 
     #[test]

@@ -2,8 +2,6 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// An opaque consensus value (e.g. a block digest or a binary vote).
 ///
 /// The simulator does not interpret values; it only checks that honest nodes
@@ -19,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert_ne!(Value::ZERO, Value::ONE);
 /// assert_eq!(Value::new(42).as_u64(), 42);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Value(u64);
 
 impl Value {

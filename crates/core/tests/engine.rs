@@ -247,7 +247,11 @@ fn crashed_nodes_do_not_block_completion() {
         .build()
         .unwrap()
         .run();
-    assert!(result.is_clean(), "violation: {:?}", result.safety_violation);
+    assert!(
+        result.is_clean(),
+        "violation: {:?}",
+        result.safety_violation
+    );
     assert_eq!(result.decisions_completed(), 1);
     assert!(result.decided[3].is_empty(), "crashed node decided nothing");
 }

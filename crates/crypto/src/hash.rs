@@ -8,8 +8,6 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A 64-bit message digest.
 ///
 /// # Examples
@@ -22,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// assert_ne!(a, b);
 /// assert_eq!(a, Digest::of_bytes(b"block 1"));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Digest(u64);
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -126,7 +124,10 @@ mod tests {
         let a = Digest::of_words(&[0]).as_u64();
         let b = Digest::of_words(&[1]).as_u64();
         let flipped = (a ^ b).count_ones();
-        assert!((16..=48).contains(&flipped), "weak avalanche: {flipped} bits");
+        assert!(
+            (16..=48).contains(&flipped),
+            "weak avalanche: {flipped} bits"
+        );
     }
 
     #[test]

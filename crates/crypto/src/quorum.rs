@@ -7,13 +7,12 @@
 use std::collections::HashMap;
 
 use bft_sim_core::ids::NodeId;
-use serde::{Deserialize, Serialize};
 
 use crate::hash::Digest;
 use crate::signature::Signature;
 
 /// A compact set of node ids, stored as a bitmap.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct SignerSet {
     words: Vec<u64>,
 }
@@ -74,7 +73,7 @@ impl FromIterator<NodeId> for SignerSet {
 
 /// A quorum certificate: proof that `signers` (≥ threshold) voted for
 /// `digest` in `view`. Models an aggregated/threshold signature.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QuorumCert {
     /// The view/round the votes were cast in.
     pub view: u64,

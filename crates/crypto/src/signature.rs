@@ -10,7 +10,6 @@
 //! trusted to forge signatures only for nodes it has corrupted.
 
 use bft_sim_core::ids::NodeId;
-use serde::{Deserialize, Serialize};
 
 use crate::hash::Digest;
 
@@ -19,7 +18,7 @@ use crate::hash::Digest;
 const SIG_DOMAIN: u64 = 0x5349_474e_4154_5552; // "SIGNATUR"
 
 /// A simulated signature by one node over one digest.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Signature {
     signer: NodeId,
     tag: u64,

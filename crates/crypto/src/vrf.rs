@@ -12,7 +12,6 @@
 //! preemptively, by convention), uniformly distributed, and verifiable.
 
 use bft_sim_core::ids::NodeId;
-use serde::{Deserialize, Serialize};
 
 use crate::hash::Digest;
 
@@ -20,7 +19,7 @@ const VRF_DOMAIN: u64 = 0x5652_465f_4556_414c; // "VRF_EVAL"
 
 /// A VRF output: the pseudorandom value plus its proof of correct
 /// evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct VrfOutput {
     node: NodeId,
     input: u64,
@@ -66,8 +65,14 @@ impl VrfOutput {
 /// ```
 pub fn evaluate(seed: u64, node: NodeId, input: u64) -> VrfOutput {
     let value = Digest::of_words(&[VRF_DOMAIN, seed, node.as_u32() as u64, input]).as_u64();
-    let proof = Digest::of_words(&[VRF_DOMAIN ^ 0xffff, seed, node.as_u32() as u64, input, value])
-        .as_u64();
+    let proof = Digest::of_words(&[
+        VRF_DOMAIN ^ 0xffff,
+        seed,
+        node.as_u32() as u64,
+        input,
+        value,
+    ])
+    .as_u64();
     VrfOutput {
         node,
         input,
@@ -127,10 +132,7 @@ mod tests {
         let mut outs: Vec<VrfOutput> = (0..4).map(|i| evaluate(9, NodeId::new(i), 0)).collect();
         let honest_winner = elect_leader(9, &outs).unwrap();
         // An attacker claims value 0 without a valid proof.
-        let cheat_idx = outs
-            .iter()
-            .position(|o| o.node() != honest_winner)
-            .unwrap();
+        let cheat_idx = outs.iter().position(|o| o.node() != honest_winner).unwrap();
         outs[cheat_idx].value = 0;
         assert_eq!(elect_leader(9, &outs), Some(honest_winner));
     }

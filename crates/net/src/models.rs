@@ -156,7 +156,10 @@ impl LinkMatrixNetwork {
     ///
     /// Panics if `src` or `dst` is out of range.
     pub fn set_link(&mut self, src: NodeId, dst: NodeId, dist: Dist) -> &mut Self {
-        assert!(src.index() < self.n && dst.index() < self.n, "link out of range");
+        assert!(
+            src.index() < self.n && dst.index() < self.n,
+            "link out of range"
+        );
         self.links[src.index() * self.n + dst.index()] = dist;
         self
     }
@@ -211,12 +214,7 @@ mod tests {
 
     #[test]
     fn gst_switches_distributions() {
-        let mut net = GstNetwork::new(
-            Dist::constant(5000.0),
-            Dist::constant(100.0),
-            1000.0,
-            250.0,
-        );
+        let mut net = GstNetwork::new(Dist::constant(5000.0), Dist::constant(100.0), 1000.0, 250.0);
         let mut rng = rng();
         // Before GST: raw 5000 ms but delivery capped at GST + bound.
         let d = net.delay(NodeId::new(0), NodeId::new(1), SimTime::ZERO, &mut rng);
@@ -269,8 +267,14 @@ mod tests {
     fn link_matrix_bidi_override() {
         let mut net = LinkMatrixNetwork::uniform(2, Dist::constant(1.0));
         net.set_bidi(NodeId::new(0), NodeId::new(1), Dist::constant(7.0));
-        assert_eq!(net.link(NodeId::new(0), NodeId::new(1)), Dist::constant(7.0));
-        assert_eq!(net.link(NodeId::new(1), NodeId::new(0)), Dist::constant(7.0));
+        assert_eq!(
+            net.link(NodeId::new(0), NodeId::new(1)),
+            Dist::constant(7.0)
+        );
+        assert_eq!(
+            net.link(NodeId::new(1), NodeId::new(0)),
+            Dist::constant(7.0)
+        );
     }
 
     #[test]

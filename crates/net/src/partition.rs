@@ -15,11 +15,10 @@ use bft_sim_core::ids::NodeId;
 use bft_sim_core::network::NetworkModel;
 use bft_sim_core::time::{SimDuration, SimTime};
 use rand::rngs::SmallRng;
-use serde::{Deserialize, Serialize};
 
 /// What happens to messages that cross subnet boundaries while the
 /// partition is active.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CrossTraffic {
     /// Cross-partition messages are silently dropped.
     Drop,
@@ -29,7 +28,7 @@ pub enum CrossTraffic {
 }
 
 /// A timed division of the nodes into disjoint subnets.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PartitionPlan {
     /// `group[i]` is the subnet index of node `i`.
     groups: Vec<u32>,
@@ -66,7 +65,13 @@ impl PartitionPlan {
     }
 
     /// Splits `n` nodes into `k` round-robin subnets.
-    pub fn round_robin(n: usize, k: u32, start: SimTime, end: SimTime, cross: CrossTraffic) -> Self {
+    pub fn round_robin(
+        n: usize,
+        k: u32,
+        start: SimTime,
+        end: SimTime,
+        cross: CrossTraffic,
+    ) -> Self {
         assert!(k > 0, "need at least one subnet");
         let groups = (0..n).map(|i| (i as u32) % k).collect();
         Self::new(groups, start, end, cross)

@@ -207,7 +207,8 @@ impl AddBa {
     }
 
     fn phase(&self) -> AddPhase {
-        self.variant.phase(self.global_round % self.variant.rounds())
+        self.variant
+            .phase(self.global_round % self.variant.rounds())
     }
 
     /// The leader of `iter` as this node currently sees it.
@@ -283,7 +284,9 @@ impl AddBa {
             AddPhase::Propose => {
                 if self.leader(iter) == Some(me) {
                     let value = match self.variant {
-                        AddVariant::V3 => self.prepared_value(iter).unwrap_or_else(|| self.candidate(iter)),
+                        AddVariant::V3 => self
+                            .prepared_value(iter)
+                            .unwrap_or_else(|| self.candidate(iter)),
                         _ => self.candidate(iter),
                     };
                     ctx.report("add-propose", format!("iter={iter}"));
@@ -423,7 +426,7 @@ impl Protocol for AddBa {
         let rounds = self.variant.rounds();
         // A boundary that starts a new iteration's status round first closes
         // the previous iteration's commit round.
-        if self.global_round % rounds == 0 && self.global_round > 0 {
+        if self.global_round.is_multiple_of(rounds) && self.global_round > 0 {
             let finished = self.global_round / rounds - 1;
             self.finish_iteration(finished, ctx);
             ctx.enter_view(self.global_round / rounds);

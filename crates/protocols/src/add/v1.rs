@@ -65,8 +65,11 @@ mod tests {
         };
         let a = mk(1000.0);
         let b = mk(2000.0);
-        assert_eq!(b.latency().unwrap().as_micros(), 2 * a.latency().unwrap().as_micros(),
-            "synchronous protocol: latency scales with λ (Fig. 4)");
+        assert_eq!(
+            b.latency().unwrap().as_micros(),
+            2 * a.latency().unwrap().as_micros(),
+            "synchronous protocol: latency scales with λ (Fig. 4)"
+        );
     }
 
     #[test]

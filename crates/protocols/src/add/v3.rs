@@ -50,9 +50,9 @@ mod tests {
 
     #[test]
     fn commits_without_the_leader_thanks_to_prepare_certificates() {
+        use crate::add::machine::AddMsg;
         use bft_sim_core::adversary::{Adversary, AdversaryApi, Fate};
         use bft_sim_core::message::Message;
-        use crate::add::machine::AddMsg;
         // Drop every proposal: v3 must still decide via prepare
         // certificates (v2 in the same situation would never terminate).
         struct DropAllProposals;
@@ -84,11 +84,7 @@ mod tests {
             .unwrap()
             .run();
         assert!(r.is_clean(), "{:?}", r.safety_violation);
-        assert_eq!(
-            r.decisions_completed(),
-            1,
-            "v3 decides from prepares alone"
-        );
+        assert_eq!(r.decisions_completed(), 1, "v3 decides from prepares alone");
         assert_eq!(r.latency().unwrap().as_millis_f64(), 2500.0);
     }
 }

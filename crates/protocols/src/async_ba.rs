@@ -121,7 +121,11 @@ impl AsyncBa {
         if round < self.round {
             return;
         }
-        self.tallies.entry(round).or_default().phase1.insert(from, bit);
+        self.tallies
+            .entry(round)
+            .or_default()
+            .phase1
+            .insert(from, bit);
         self.maybe_finish_phase1(ctx);
     }
 
@@ -129,7 +133,11 @@ impl AsyncBa {
         if round < self.round {
             return;
         }
-        self.tallies.entry(round).or_default().phase2.insert(from, vote);
+        self.tallies
+            .entry(round)
+            .or_default()
+            .phase2
+            .insert(from, vote);
         self.maybe_finish_phase2(ctx);
     }
 
@@ -228,12 +236,17 @@ impl Protocol for AsyncBa {
 
 /// Factory with mixed default inputs.
 pub fn factory(params: ProtocolParams) -> impl Fn(NodeId) -> Box<dyn Protocol> {
-    move |id| Box::new(AsyncBa::new(params, AsyncBa::default_input(params, id))) as Box<dyn Protocol>
+    move |id| {
+        Box::new(AsyncBa::new(params, AsyncBa::default_input(params, id))) as Box<dyn Protocol>
+    }
 }
 
 /// Factory where every node starts with the same `input` bit (decides in the
 /// first round; useful for tests).
-pub fn unanimous_factory(params: ProtocolParams, input: bool) -> impl Fn(NodeId) -> Box<dyn Protocol> {
+pub fn unanimous_factory(
+    params: ProtocolParams,
+    input: bool,
+) -> impl Fn(NodeId) -> Box<dyn Protocol> {
     move |_id| Box::new(AsyncBa::new(params, input)) as Box<dyn Protocol>
 }
 

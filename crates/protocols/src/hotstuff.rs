@@ -256,7 +256,6 @@ impl HotStuffNs {
         }
     }
 
-
     fn propose(&mut self, ctx: &mut Context<'_>) {
         let parent = self.high_qc.digest;
         let Some(parent_info) = self.blocks.get(&parent) else {
@@ -408,7 +407,12 @@ impl HotStuffNs {
         // rule that makes commits safe.
         if justify.view > 0 && !self.blocks.contains_key(&justify.digest) {
             if self.fetch_in_flight.insert(justify.digest) {
-                ctx.send(src, HsMsg::SyncReq { digest: justify.digest });
+                ctx.send(
+                    src,
+                    HsMsg::SyncReq {
+                        digest: justify.digest,
+                    },
+                );
             }
             self.pending_sync.push((src, block, justify));
             return;
@@ -570,10 +574,13 @@ impl Protocol for HotStuffNs {
         let leader = self.leader(next);
         self.enter_view(next, Entry::Timeout, ctx);
         if leader != ctx.id() {
-            ctx.send(leader, HsMsg::NewView {
-                view: next,
-                high_qc,
-            });
+            ctx.send(
+                leader,
+                HsMsg::NewView {
+                    view: next,
+                    high_qc,
+                },
+            );
         }
     }
 

@@ -348,7 +348,12 @@ impl LibraBft {
         // can be applied before voting.
         if justify.view > 0 && !self.blocks.contains_key(&justify.digest) {
             if self.fetch_in_flight.insert(justify.digest) {
-                ctx.send(src, LibraMsg::SyncReq { digest: justify.digest });
+                ctx.send(
+                    src,
+                    LibraMsg::SyncReq {
+                        digest: justify.digest,
+                    },
+                );
             }
             self.pending_sync.push((src, block, justify));
             return;

@@ -193,7 +193,10 @@ impl Pbft {
     /// Leader proposes the current slot (fresh digest).
     fn propose(&mut self, ctx: &mut Context<'_>) {
         let digest = proposal_digest(self.view, self.slot);
-        ctx.report("pre-prepare", format!("view={} slot={}", self.view, self.slot));
+        ctx.report(
+            "pre-prepare",
+            format!("view={} slot={}", self.view, self.slot),
+        );
         ctx.broadcast(PbftMsg::PrePrepare {
             view: self.view,
             slot: self.slot,
@@ -483,7 +486,12 @@ mod tests {
     use bft_sim_core::network::ConstantNetwork;
     use bft_sim_core::time::SimDuration;
 
-    fn run(n: usize, decisions: u64, delay_ms: f64, lambda_ms: f64) -> bft_sim_core::metrics::RunResult {
+    fn run(
+        n: usize,
+        decisions: u64,
+        delay_ms: f64,
+        lambda_ms: f64,
+    ) -> bft_sim_core::metrics::RunResult {
         let cfg = RunConfig::new(n)
             .with_seed(1)
             .with_lambda_ms(lambda_ms)

@@ -232,9 +232,18 @@ mod tests {
         assert_eq!(ProtocolKind::AddV1.network_assumption(), Synchronous);
         assert_eq!(ProtocolKind::Algorand.network_assumption(), Synchronous);
         assert_eq!(ProtocolKind::AsyncBa.network_assumption(), Asynchronous);
-        assert_eq!(ProtocolKind::Pbft.network_assumption(), PartiallySynchronous);
-        assert_eq!(ProtocolKind::HotStuffNs.network_assumption(), PartiallySynchronous);
-        assert_eq!(ProtocolKind::LibraBft.network_assumption(), PartiallySynchronous);
+        assert_eq!(
+            ProtocolKind::Pbft.network_assumption(),
+            PartiallySynchronous
+        );
+        assert_eq!(
+            ProtocolKind::HotStuffNs.network_assumption(),
+            PartiallySynchronous
+        );
+        assert_eq!(
+            ProtocolKind::LibraBft.network_assumption(),
+            PartiallySynchronous
+        );
     }
 
     #[test]

@@ -21,7 +21,6 @@ use bft_sim_core::event::Timer;
 use bft_sim_core::ids::NodeId;
 use bft_sim_core::message::Message;
 use bft_sim_core::protocol::Protocol;
-use bft_sim_core::time::SimDuration;
 use bft_sim_core::value::Value;
 use bft_sim_crypto::hash::Digest;
 use bft_sim_crypto::quorum::SignerSet;
@@ -363,6 +362,7 @@ mod tests {
     use bft_sim_core::config::RunConfig;
     use bft_sim_core::engine::SimulationBuilder;
     use bft_sim_core::network::ConstantNetwork;
+    use bft_sim_core::time::SimDuration;
 
     fn run(
         n: usize,

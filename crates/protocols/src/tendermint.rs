@@ -193,13 +193,7 @@ impl Tendermint {
 
     /// The value this node already voted in `(height, round)`, recovered
     /// from the tally containing its own signature.
-    fn my_vote(
-        &self,
-        height: u64,
-        round: u64,
-        prevote: bool,
-        ctx: &Context<'_>,
-    ) -> Option<Digest> {
+    fn my_vote(&self, height: u64, round: u64, prevote: bool, ctx: &Context<'_>) -> Option<Digest> {
         let tally = self.tallies.get(&(height, round))?;
         let map = if prevote {
             &tally.prevotes
@@ -252,10 +246,7 @@ impl Tendermint {
         if height != self.height || src != self.proposer(height, round) {
             return;
         }
-        self.tallies
-            .entry((height, round))
-            .or_default()
-            .proposal = Some((value, valid_round));
+        self.tallies.entry((height, round)).or_default().proposal = Some((value, valid_round));
         if round != self.round {
             self.note_presence(src, height, round, ctx);
             return;
@@ -264,10 +255,8 @@ impl Tendermint {
     }
 
     fn try_prevote_on_proposal(&mut self, height: u64, round: u64, ctx: &mut Context<'_>) {
-        let Some((value, valid_round)) = self
-            .tallies
-            .get(&(height, round))
-            .and_then(|t| t.proposal)
+        let Some((value, valid_round)) =
+            self.tallies.get(&(height, round)).and_then(|t| t.proposal)
         else {
             return;
         };
@@ -307,11 +296,11 @@ impl Tendermint {
         if polka {
             // A polka for `value`: update valid, and if this is our round
             // and we have the proposal, lock + precommit.
-            if self.valid.map_or(true, |(_, r)| round > r) {
+            if self.valid.is_none_or(|(_, r)| round > r) {
                 self.valid = Some((value, round));
             }
             if round == self.round {
-                if self.locked.map_or(true, |(_, r)| round >= r) {
+                if self.locked.is_none_or(|(_, r)| round >= r) {
                     self.locked = Some((value, round));
                 }
                 ctx.report("tm-polka", format!("h={height} r={round}"));

@@ -16,7 +16,11 @@ fn show(title: &str, kind: ProtocolKind, attack: AttackSpec) {
         .with_decisions(1)
         .with_time_cap_s(900.0);
     let result = scenario.run(7);
-    assert!(result.safety_violation.is_none(), "{:?}", result.safety_violation);
+    assert!(
+        result.safety_violation.is_none(),
+        "{:?}",
+        result.safety_violation
+    );
     let outcome = if result.timed_out {
         "TIMED OUT".to_string()
     } else {
@@ -32,7 +36,11 @@ fn main() {
         end_ms: 20_000,
         drop: true,
     };
-    show("librabft under partition (TC resync)", ProtocolKind::LibraBft, partition);
+    show(
+        "librabft under partition (TC resync)",
+        ProtocolKind::LibraBft,
+        partition,
+    );
     show(
         "hotstuff-ns under partition (naive synchronizer)",
         ProtocolKind::HotStuffNs,
@@ -41,13 +49,29 @@ fn main() {
     println!();
 
     println!("--- static fail-stop of the first f leaders (Fig. 8 left) ---");
-    show("add-v1 static attack (public leader schedule)", ProtocolKind::AddV1, AttackSpec::AddStatic(7));
-    show("add-v2 static attack (VRF leaders, immune)", ProtocolKind::AddV2, AttackSpec::AddStatic(7));
+    show(
+        "add-v1 static attack (public leader schedule)",
+        ProtocolKind::AddV1,
+        AttackSpec::AddStatic(7),
+    );
+    show(
+        "add-v2 static attack (VRF leaders, immune)",
+        ProtocolKind::AddV2,
+        AttackSpec::AddStatic(7),
+    );
     println!();
 
     println!("--- rushing adaptive leader corruption (Fig. 8 right) ---");
-    show("add-v2 adaptive attack (leader revealed, corrupted)", ProtocolKind::AddV2, AttackSpec::AddAdaptive);
-    show("add-v3 adaptive attack (prepare round, immune)", ProtocolKind::AddV3, AttackSpec::AddAdaptive);
+    show(
+        "add-v2 adaptive attack (leader revealed, corrupted)",
+        ProtocolKind::AddV2,
+        AttackSpec::AddAdaptive,
+    );
+    show(
+        "add-v3 adaptive attack (prepare round, immune)",
+        ProtocolKind::AddV3,
+        AttackSpec::AddAdaptive,
+    );
     println!();
 
     println!("--- fail-stop sweep against librabft (Fig. 7 flavour) ---");

@@ -23,7 +23,12 @@ fn main() {
         .fold(0.0f64, f64::max);
 
     // Sample each node's view once per second and print a compact matrix.
-    println!("\n           t(s): {}", (0..=(end as u64)).map(|t| format!("{t:>4}")).collect::<String>());
+    println!(
+        "\n           t(s): {}",
+        (0..=(end as u64))
+            .map(|t| format!("{t:>4}"))
+            .collect::<String>()
+    );
     for (node, timeline) in &timelines {
         let mut row = String::new();
         for sec in 0..=(end as u64) {

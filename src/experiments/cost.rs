@@ -62,7 +62,11 @@ impl CostModel {
             .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap_or((0, &0.0));
         let wall_us = result.end_time.as_micros() as f64;
-        let utilisation = if wall_us > 0.0 { busiest_us / wall_us } else { 0.0 };
+        let utilisation = if wall_us > 0.0 {
+            busiest_us / wall_us
+        } else {
+            0.0
+        };
         let decisions = result.decisions_completed();
         let decisions_per_sec = if result.end_time.as_secs_f64() > 0.0 {
             decisions as f64 / result.end_time.as_secs_f64()

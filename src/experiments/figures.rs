@@ -162,7 +162,12 @@ pub fn fig4(n: usize, reps: usize, base_seed: u64, lambdas: &[f64]) -> Vec<Point
     for kind in ProtocolKind::all() {
         for &lambda in lambdas {
             let scenario = Scenario::new(kind, n).with_lambda(lambda);
-            points.push(measure(&scenario, reps, base_seed, format!("λ={lambda:.0}")));
+            points.push(measure(
+                &scenario,
+                reps,
+                base_seed,
+                format!("λ={lambda:.0}"),
+            ));
         }
     }
     points
@@ -186,7 +191,12 @@ pub fn fig5(n: usize, reps: usize, base_seed: u64, lambdas: &[f64]) -> Vec<Point
                 // HotStuff+NS can wander for minutes here (that is the
                 // finding); give it room before calling a timeout.
                 .with_time_cap_s(900.0);
-            points.push(measure(&scenario, reps, base_seed, format!("λ={lambda:.0}")));
+            points.push(measure(
+                &scenario,
+                reps,
+                base_seed,
+                format!("λ={lambda:.0}"),
+            ));
         }
     }
     points

@@ -50,17 +50,20 @@ pub fn table1() -> Vec<ProtocolLoc> {
         ProtocolLoc {
             name: "add-v1",
             network: "synchronous",
-            loc: add_machine + implementation_loc(include_str!("../../crates/protocols/src/add/v1.rs")),
+            loc: add_machine
+                + implementation_loc(include_str!("../../crates/protocols/src/add/v1.rs")),
         },
         ProtocolLoc {
             name: "add-v2",
             network: "synchronous",
-            loc: add_machine + implementation_loc(include_str!("../../crates/protocols/src/add/v2.rs")),
+            loc: add_machine
+                + implementation_loc(include_str!("../../crates/protocols/src/add/v2.rs")),
         },
         ProtocolLoc {
             name: "add-v3",
             network: "synchronous",
-            loc: add_machine + implementation_loc(include_str!("../../crates/protocols/src/add/v3.rs")),
+            loc: add_machine
+                + implementation_loc(include_str!("../../crates/protocols/src/add/v3.rs")),
         },
         ProtocolLoc {
             name: "algorand",
@@ -126,16 +129,8 @@ fn split_add_attacks(source: &str) -> (usize, usize) {
         .lines()
         .position(|l| l.contains(marker))
         .unwrap_or(source.lines().count());
-    let head: String = source
-        .lines()
-        .take(split)
-        .collect::<Vec<_>>()
-        .join("\n");
-    let tail: String = source
-        .lines()
-        .skip(split)
-        .collect::<Vec<_>>()
-        .join("\n");
+    let head: String = source.lines().take(split).collect::<Vec<_>>().join("\n");
+    let tail: String = source.lines().skip(split).collect::<Vec<_>>().join("\n");
     (implementation_loc(&head), implementation_loc(&tail))
 }
 

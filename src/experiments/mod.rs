@@ -141,7 +141,8 @@ impl Scenario {
 
     /// The decision target in effect.
     pub fn target_decisions(&self) -> u64 {
-        self.decisions.unwrap_or_else(|| self.kind.measured_decisions())
+        self.decisions
+            .unwrap_or_else(|| self.kind.measured_decisions())
     }
 
     /// Runs the scenario once with the given seed.
@@ -173,19 +174,21 @@ impl Scenario {
             .unwrap_or(4)
             .min(reps.max(1));
         let mut results: Vec<Option<RunResult>> = (0..reps).map(|_| None).collect();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (chunk_idx, chunk) in results.chunks_mut(reps.div_ceil(threads)).enumerate() {
                 let this = &*self;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let chunk_base = chunk_idx * reps.div_ceil(threads);
                     for (i, slot) in chunk.iter_mut().enumerate() {
                         *slot = Some(this.run(base_seed + (chunk_base + i) as u64));
                     }
                 });
             }
-        })
-        .expect("repetition worker panicked");
-        results.into_iter().map(|r| r.expect("all runs filled")).collect()
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("all runs filled"))
+            .collect()
     }
 
     /// The latency metric the paper reports for this protocol, in seconds:
@@ -213,7 +216,12 @@ impl Scenario {
 
     /// Latency summary (mean ± sd seconds) over repetitions.
     pub fn latency_summary(&self, results: &[RunResult]) -> Summary {
-        Summary::of(&results.iter().map(|r| self.latency_secs(r)).collect::<Vec<_>>())
+        Summary::of(
+            &results
+                .iter()
+                .map(|r| self.latency_secs(r))
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Message-usage summary over repetitions.

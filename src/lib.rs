@@ -55,8 +55,8 @@ pub mod experiments;
 /// Everything most users need, in one import.
 pub mod prelude {
     pub use bft_sim_attacks::{
-        AddAdaptiveRushingAttack, AddStaticAttack, EquivocationAttack, FailStop,
-        PartitionAttack, SlowPrimary, SyncViolationAttack,
+        AddAdaptiveRushingAttack, AddStaticAttack, EquivocationAttack, FailStop, PartitionAttack,
+        SlowPrimary, SyncViolationAttack,
     };
     pub use bft_sim_baseline::{BaselineConfig, BaselineError, BaselineResult, BaselineSim};
     pub use bft_sim_core::network::{ConstantNetwork, SampledNetwork};

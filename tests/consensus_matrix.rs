@@ -38,7 +38,12 @@ fn assert_clean(kind: ProtocolKind, r: &RunResult, what: &str) {
 #[test]
 fn all_protocols_on_constant_network() {
     for kind in ProtocolKind::extended() {
-        let r = run_with_network(kind, 16, 1, ConstantNetwork::new(SimDuration::from_millis(100.0)));
+        let r = run_with_network(
+            kind,
+            16,
+            1,
+            ConstantNetwork::new(SimDuration::from_millis(100.0)),
+        );
         assert_clean(kind, &r, "constant");
     }
 }
@@ -54,7 +59,12 @@ fn all_protocols_on_sampled_normal_network() {
 #[test]
 fn all_protocols_on_bounded_network() {
     for kind in ProtocolKind::all() {
-        let r = run_with_network(kind, 16, 3, BoundedNetwork::new(Dist::normal(400.0, 200.0), 900.0));
+        let r = run_with_network(
+            kind,
+            16,
+            3,
+            BoundedNetwork::new(Dist::normal(400.0, 200.0), 900.0),
+        );
         assert_clean(kind, &r, "bounded");
     }
 }
@@ -94,7 +104,11 @@ fn partially_synchronous_protocols_cross_gst() {
 #[test]
 fn heterogeneous_link_matrix() {
     // Two fast LANs joined by one slow WAN pair of links.
-    for kind in [ProtocolKind::Pbft, ProtocolKind::LibraBft, ProtocolKind::AsyncBa] {
+    for kind in [
+        ProtocolKind::Pbft,
+        ProtocolKind::LibraBft,
+        ProtocolKind::AsyncBa,
+    ] {
         let mut net = LinkMatrixNetwork::uniform(8, Dist::normal(50.0, 10.0));
         for a in 0..4u32 {
             for b in 4..8u32 {
@@ -111,8 +125,17 @@ fn classic_and_blockchain_system_sizes() {
     // The sizes the paper calls out: classic (4, 7, 10) and blockchain-era
     // (64). 64 nodes exercises the scalability path without slowing CI.
     for &n in &[4usize, 7, 10, 64] {
-        for kind in [ProtocolKind::Pbft, ProtocolKind::HotStuffNs, ProtocolKind::LibraBft] {
-            let r = run_with_network(kind, n, 7, ConstantNetwork::new(SimDuration::from_millis(100.0)));
+        for kind in [
+            ProtocolKind::Pbft,
+            ProtocolKind::HotStuffNs,
+            ProtocolKind::LibraBft,
+        ] {
+            let r = run_with_network(
+                kind,
+                n,
+                7,
+                ConstantNetwork::new(SimDuration::from_millis(100.0)),
+            );
             assert_clean(kind, &r, &format!("n={n}"));
         }
     }

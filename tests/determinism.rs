@@ -34,7 +34,11 @@ fn every_protocol_is_bitwise_deterministic_per_seed() {
 
 #[test]
 fn different_seeds_change_executions() {
-    for kind in [ProtocolKind::Pbft, ProtocolKind::LibraBft, ProtocolKind::AsyncBa] {
+    for kind in [
+        ProtocolKind::Pbft,
+        ProtocolKind::LibraBft,
+        ProtocolKind::AsyncBa,
+    ] {
         let a = build(kind, 1).run();
         let b = build(kind, 2).run();
         assert_ne!(
@@ -62,11 +66,18 @@ fn recorded_schedules_replay_to_identical_decisions() {
             .build()
             .unwrap()
             .run_recorded();
-        assert!(original.is_clean(), "{kind}: {:?}", original.safety_violation);
+        assert!(
+            original.is_clean(),
+            "{kind}: {:?}",
+            original.safety_violation
+        );
 
         // Replay with a different seed and a dummy network: the schedule
         // dictates every delivery, so the decisions must match exactly.
-        let replay_cfg = RunConfig { seed: 0xDEAD, ..cfg };
+        let replay_cfg = RunConfig {
+            seed: 0xDEAD,
+            ..cfg
+        };
         let factory = kind.factory(&replay_cfg, 23);
         let replayed = SimulationBuilder::new(replay_cfg)
             .network(ConstantNetwork::new(SimDuration::ZERO))

@@ -137,10 +137,10 @@ fn fig6_partition_recovery_is_fast_except_for_hotstuff_ns() {
 fn fig7_fail_stop_hurts_partially_synchronous_protocols_more() {
     let points = figures::fig7(16, 2, 0x7777, &[0, 4]);
     // Synchronous protocols barely notice; LibraBFT degrades noticeably.
-    let algo_growth =
-        mean(&points, ProtocolKind::Algorand, "crash=4") / mean(&points, ProtocolKind::Algorand, "crash=0");
-    let libra_growth =
-        mean(&points, ProtocolKind::LibraBft, "crash=4") / mean(&points, ProtocolKind::LibraBft, "crash=0");
+    let algo_growth = mean(&points, ProtocolKind::Algorand, "crash=4")
+        / mean(&points, ProtocolKind::Algorand, "crash=0");
+    let libra_growth = mean(&points, ProtocolKind::LibraBft, "crash=4")
+        / mean(&points, ProtocolKind::LibraBft, "crash=0");
     assert!(algo_growth < 2.0, "algorand grew {algo_growth:.2}x");
     assert!(libra_growth > 2.0, "librabft only grew {libra_growth:.2}x");
 }

@@ -8,6 +8,7 @@
 //! To regenerate after an *intentional* behaviour change:
 //! `BFT_SIM_BLESS=1 cargo test --test golden_traces`.
 
+use bft_sim_core::json::Json;
 use bft_simulator::prelude::*;
 
 fn golden_path(kind: ProtocolKind) -> std::path::PathBuf {
@@ -32,6 +33,11 @@ fn run_pinned(kind: ProtocolKind) -> RunResult {
         .run()
 }
 
+fn load_golden(path: &std::path::Path) -> Trace {
+    let text = std::fs::read_to_string(path).unwrap();
+    Trace::from_json(&Json::parse(&text).unwrap()).unwrap()
+}
+
 #[test]
 fn decisions_match_committed_golden_traces() {
     let bless = std::env::var("BFT_SIM_BLESS").is_ok();
@@ -41,13 +47,11 @@ fn decisions_match_committed_golden_traces() {
         let path = golden_path(kind);
         if bless || !path.exists() {
             std::fs::create_dir_all(path.parent().unwrap()).unwrap();
-            let json = serde_json::to_string_pretty(&result.trace).unwrap();
-            std::fs::write(&path, json).unwrap();
+            std::fs::write(&path, result.trace.to_json().dump_pretty()).unwrap();
             eprintln!("blessed {}", path.display());
             continue;
         }
-        let golden: Trace =
-            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let golden = load_golden(&path);
         assert!(
             golden.decisions().count() > 0,
             "{kind}: golden trace has no decisions"
@@ -65,21 +69,33 @@ fn tampered_golden_traces_are_rejected() {
     if !path.exists() {
         return; // first run blesses in the other test
     }
-    let mut golden: Trace =
-        serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
-    // Forge the golden trace by appending a bogus decision.
-    let mut events: Vec<TraceEvent> = golden.events().to_vec();
-    events.push(TraceEvent {
-        time: SimTime::from_millis(1),
-        node: NodeId::new(0),
-        kind: TraceKind::Decided {
-            slot: 999,
-            value: Value::new(0xBAD),
-        },
-    });
-    golden = serde_json::from_str(
-        &serde_json::to_string(&serde_json::json!({ "events": events })).unwrap(),
-    )
-    .unwrap();
-    assert!(Validator::check_against_trace(&result, &golden).is_err());
+    // Forge the golden trace by appending a bogus decision to its JSON.
+    let golden = load_golden(&path);
+    let mut json = golden.to_json();
+    let Json::Obj(pairs) = &mut json else {
+        panic!("trace JSON is an object");
+    };
+    let Some(Json::Arr(events)) = pairs
+        .iter_mut()
+        .find(|(k, _)| k == "events")
+        .map(|(_, v)| v)
+    else {
+        panic!("trace JSON has an events array");
+    };
+    events.push(Json::obj([
+        ("time", Json::from(1_000u64)),
+        ("node", Json::from(0u32)),
+        (
+            "kind",
+            Json::obj([(
+                "Decided",
+                Json::obj([
+                    ("slot", Json::from(999u64)),
+                    ("value", Json::from(0xBADu64)),
+                ]),
+            )]),
+        ),
+    ]));
+    let forged = Trace::from_json(&json).unwrap();
+    assert!(Validator::check_against_trace(&result, &forged).is_err());
 }

@@ -1,46 +1,66 @@
-//! Property-based tests (proptest) over the simulator's core invariants:
+//! Randomised property tests over the simulator's core invariants:
 //! distribution bounds, clock monotonicity, safety under randomized
 //! adversaries within the fault budget, and quorum-certificate algebra.
+//!
+//! Each test draws its cases from a seeded [`SmallRng`], so failures are
+//! reproducible: the case seed is printed in the assertion message.
 
 use bft_simulator::prelude::*;
-use proptest::prelude::*;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// Delay sampling never produces a negative duration, for any
-    /// distribution parameters.
-    #[test]
-    fn sampled_delays_are_never_negative(
-        mu in -2000.0..2000.0f64,
-        sigma in 0.0..2000.0f64,
-        seed in any::<u64>(),
-    ) {
+/// Delay sampling never produces a negative duration, for any
+/// distribution parameters.
+#[test]
+fn sampled_delays_are_never_negative() {
+    let mut gen = SmallRng::seed_from_u64(0xDE1A);
+    for case in 0..CASES {
+        let mu = gen.gen_range(-2000.0..2000.0);
+        let sigma = gen.gen_range(0.0..2000.0);
+        let seed: u64 = gen.gen();
         let mut rng = SmallRng::seed_from_u64(seed);
         let dist = Dist::normal(mu, sigma);
         for _ in 0..64 {
             let d = dist.sample_delay(&mut rng);
-            prop_assert!(d.as_millis_f64() >= 0.0);
+            assert!(
+                d.as_millis_f64() >= 0.0,
+                "case {case}: normal({mu}, {sigma}) seed {seed} sampled negative"
+            );
         }
     }
+}
 
-    /// Uniform sampling respects its bounds for arbitrary ranges.
-    #[test]
-    fn uniform_respects_bounds(lo in 0.0..1000.0f64, width in 0.0..1000.0f64, seed in any::<u64>()) {
+/// Uniform sampling respects its bounds for arbitrary ranges.
+#[test]
+fn uniform_respects_bounds() {
+    let mut gen = SmallRng::seed_from_u64(0x0B0);
+    for case in 0..CASES {
+        let lo = gen.gen_range(0.0..1000.0);
+        let width = gen.gen_range(0.0..1000.0);
+        let seed: u64 = gen.gen();
         let mut rng = SmallRng::seed_from_u64(seed);
         let dist = Dist::uniform(lo, lo + width);
         for _ in 0..64 {
             let x = dist.sample(&mut rng);
-            prop_assert!(x >= lo && x <= lo + width.max(f64::EPSILON));
+            assert!(
+                x >= lo && x <= lo + width.max(f64::EPSILON),
+                "case {case}: uniform({lo}, {}) seed {seed} sampled {x}",
+                lo + width
+            );
         }
     }
+}
 
-    /// The simulation clock is monotone: trace events appear in
-    /// non-decreasing time order in every run.
-    #[test]
-    fn trace_times_are_monotone(seed in any::<u64>(), mu in 10.0..800.0f64) {
+/// The simulation clock is monotone: trace events appear in
+/// non-decreasing time order in every run.
+#[test]
+fn trace_times_are_monotone() {
+    let mut gen = SmallRng::seed_from_u64(0x7173);
+    for case in 0..16 {
+        let seed: u64 = gen.gen();
+        let mu = gen.gen_range(10.0..800.0);
         let cfg = ProtocolKind::Pbft.configure(
             RunConfig::new(4)
                 .with_seed(seed)
@@ -54,42 +74,52 @@ proptest! {
             .unwrap()
             .run();
         let times: Vec<_> = r.trace.events().iter().map(|e| e.time).collect();
-        prop_assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        assert!(
+            times.windows(2).all(|w| w[0] <= w[1]),
+            "case {case}: seed {seed} mu {mu} produced a non-monotone trace"
+        );
     }
+}
 
-    /// Safety holds for the quorum-based protocols under an adversary that
-    /// randomly drops and delays up to its budget of traffic.
-    #[test]
-    fn safety_under_random_drop_and_delay(
-        seed in any::<u64>(),
-        drop_pct in 0u32..25,
-        delay_ms in 0u32..2000,
-    ) {
-        struct Chaos {
-            drop_pct: u32,
-            delay: SimDuration,
-            counter: u64,
-        }
-        impl Adversary for Chaos {
-            fn attack(
-                &mut self,
-                msg: &mut Message,
-                proposed: SimDuration,
-                _api: &mut AdversaryApi<'_>,
-            ) -> Fate {
-                self.counter = self.counter.wrapping_mul(6364136223846793005).wrapping_add(
-                    msg.src().as_u32() as u64 + 1442695040888963407,
-                );
-                if (self.counter >> 33) % 100 < self.drop_pct as u64 {
-                    Fate::Drop
-                } else if (self.counter >> 13) & 1 == 1 {
-                    Fate::Deliver(proposed + self.delay)
-                } else {
-                    Fate::Deliver(proposed)
-                }
+/// Safety holds for the quorum-based protocols under an adversary that
+/// randomly drops and delays up to its budget of traffic.
+#[test]
+fn safety_under_random_drop_and_delay() {
+    struct Chaos {
+        drop_pct: u32,
+        delay: SimDuration,
+        counter: u64,
+    }
+    impl Adversary for Chaos {
+        fn attack(
+            &mut self,
+            msg: &mut Message,
+            proposed: SimDuration,
+            _api: &mut AdversaryApi<'_>,
+        ) -> Fate {
+            self.counter = self
+                .counter
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(msg.src().as_u32() as u64 + 1442695040888963407);
+            if (self.counter >> 33) % 100 < self.drop_pct as u64 {
+                Fate::Drop
+            } else if (self.counter >> 13) & 1 == 1 {
+                Fate::Deliver(proposed + self.delay)
+            } else {
+                Fate::Deliver(proposed)
             }
         }
-        for kind in [ProtocolKind::Pbft, ProtocolKind::HotStuffNs, ProtocolKind::LibraBft] {
+    }
+    let mut gen = SmallRng::seed_from_u64(0xC4A05);
+    for case in 0..12 {
+        let seed: u64 = gen.gen();
+        let drop_pct = gen.gen_range(0u64..25) as u32;
+        let delay_ms = gen.gen_range(0u64..2000) as f64;
+        for kind in [
+            ProtocolKind::Pbft,
+            ProtocolKind::HotStuffNs,
+            ProtocolKind::LibraBft,
+        ] {
             let cfg = kind.configure(
                 RunConfig::new(7)
                     .with_seed(seed)
@@ -100,7 +130,7 @@ proptest! {
                 .network(SampledNetwork::new(Dist::normal(250.0, 50.0)))
                 .adversary(Chaos {
                     drop_pct,
-                    delay: SimDuration::from_millis(delay_ms as f64),
+                    delay: SimDuration::from_millis(delay_ms),
                     counter: seed,
                 })
                 .protocols(factory)
@@ -108,19 +138,24 @@ proptest! {
                 .unwrap()
                 .run();
             // Liveness may legitimately fail under chaos; safety never may.
-            prop_assert!(
+            assert!(
                 r.safety_violation.is_none(),
-                "{} violated safety: {:?}",
-                kind,
+                "case {case}: {kind} violated safety (seed {seed}, drop {drop_pct}%, \
+                 delay {delay_ms} ms): {:?}",
                 r.safety_violation
             );
         }
     }
+}
 
-    /// Quorum certificates form exactly once and only at the threshold.
-    #[test]
-    fn vote_tracker_threshold_property(threshold in 1usize..20, voters in 1usize..40) {
-        use bft_sim_crypto::{hash::Digest, quorum::VoteTracker, signature::sign};
+/// Quorum certificates form exactly once and only at the threshold.
+#[test]
+fn vote_tracker_threshold_property() {
+    use bft_sim_crypto::{hash::Digest, quorum::VoteTracker, signature::sign};
+    let mut gen = SmallRng::seed_from_u64(0x90C);
+    for case in 0..CASES {
+        let threshold = gen.gen_range(1u64..20) as usize;
+        let voters = gen.gen_range(1u64..40) as usize;
         let mut tracker = VoteTracker::new(threshold);
         let digest = Digest::of_bytes(b"prop");
         let mut formed = 0;
@@ -128,36 +163,49 @@ proptest! {
             let sig = sign(NodeId::new(v as u32), digest);
             if tracker.add(1, digest, sig).is_some() {
                 formed += 1;
-                prop_assert_eq!(v + 1, threshold, "formed at the wrong count");
+                assert_eq!(
+                    v + 1,
+                    threshold,
+                    "case {case}: QC formed at the wrong count"
+                );
             }
         }
-        prop_assert_eq!(formed, usize::from(voters >= threshold));
-        prop_assert_eq!(tracker.count(1, digest), voters);
+        assert_eq!(formed, usize::from(voters >= threshold), "case {case}");
+        assert_eq!(tracker.count(1, digest), voters, "case {case}");
     }
+}
 
-    /// SignerSet behaves like a set of node ids.
-    #[test]
-    fn signer_set_models_a_set(ids in proptest::collection::vec(0u32..500, 0..64)) {
-        use bft_sim_crypto::quorum::SignerSet;
-        use std::collections::BTreeSet;
+/// SignerSet behaves like a set of node ids.
+#[test]
+fn signer_set_models_a_set() {
+    use bft_sim_crypto::quorum::SignerSet;
+    use std::collections::BTreeSet;
+    let mut gen = SmallRng::seed_from_u64(0x5E7);
+    for case in 0..CASES {
+        let len = gen.gen_range(0u64..64) as usize;
+        let ids: Vec<u32> = (0..len).map(|_| gen.gen_range(0u64..500) as u32).collect();
         let mut set = SignerSet::new();
         let mut model = BTreeSet::new();
         for &id in &ids {
             let newly = set.insert(NodeId::new(id));
-            prop_assert_eq!(newly, model.insert(id));
+            assert_eq!(newly, model.insert(id), "case {case}: insert({id})");
         }
-        prop_assert_eq!(set.len(), model.len());
+        assert_eq!(set.len(), model.len(), "case {case}");
         let enumerated: Vec<u32> = set.iter().map(|n| n.as_u32()).collect();
         let expected: Vec<u32> = model.iter().copied().collect();
-        prop_assert_eq!(enumerated, expected);
+        assert_eq!(enumerated, expected, "case {case}");
     }
+}
 
-    /// Message counting is conserved: every honest transmission is either
-    /// delivered within the run, dropped by the adversary, or still in
-    /// flight at the end — and replay schedules record exactly one fate
-    /// per transmission.
-    #[test]
-    fn schedule_records_one_fate_per_transmission(seed in any::<u64>()) {
+/// Message counting is conserved: every honest transmission is either
+/// delivered within the run, dropped by the adversary, or still in
+/// flight at the end — and replay schedules record exactly one fate
+/// per transmission.
+#[test]
+fn schedule_records_one_fate_per_transmission() {
+    let mut gen = SmallRng::seed_from_u64(0xFA7E);
+    for case in 0..16 {
+        let seed: u64 = gen.gen();
         let cfg = ProtocolKind::AsyncBa.configure(
             RunConfig::new(4)
                 .with_seed(seed)
@@ -171,6 +219,10 @@ proptest! {
             .build()
             .unwrap()
             .run_recorded();
-        prop_assert_eq!(schedule.len() as u64, result.honest_messages);
+        assert_eq!(
+            schedule.len() as u64,
+            result.honest_messages,
+            "case {case}: seed {seed}"
+        );
     }
 }

@@ -1,0 +1,315 @@
+//! Offline vendored subset of the `rand` 0.8 API.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the handful of `rand` items the simulator uses are reimplemented here,
+//! **bit-for-bit compatible** with `rand` 0.8.5 on 64-bit platforms:
+//!
+//! * [`rngs::SmallRng`] is xoshiro256++ (as in `rand_xoshiro` /
+//!   `rand 0.8`'s `small_rng` feature on 64-bit targets).
+//! * [`SeedableRng::seed_from_u64`] expands the seed with SplitMix64,
+//!   exactly like `rand_xoshiro` does for the xoshiro family.
+//! * `Rng::gen::<f64>()` uses the multiply-based `Standard` conversion
+//!   (53 random bits scaled by 2⁻⁵³).
+//! * `Rng::gen_range(lo..hi)` for floats uses the `[1, 2)` mantissa-fill
+//!   technique of `rand`'s `UniformFloat`.
+//!
+//! Keeping these identical matters: the repository's golden traces
+//! (`tests/golden/*.json`) were produced with the real `rand` crate, and the
+//! simulator's determinism guarantee extends across this substitution.
+
+/// The core RNG abstraction: a source of random `u32`/`u64` words.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes (little-endian words).
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A random number generator that can be explicitly seeded.
+pub trait SeedableRng: Sized {
+    /// The seed type (a fixed-size byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it to a full seed.
+    ///
+    /// The default expansion here is SplitMix64, which is what
+    /// `rand_xoshiro` uses for the xoshiro generators (and therefore what
+    /// `rand 0.8`'s `SmallRng::seed_from_u64` does on 64-bit platforms).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = SplitMix64 { x: state };
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = sm.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+
+    /// Creates a generator seeded from another generator.
+    fn from_rng<R: RngCore>(rng: &mut R) -> Result<Self, core::convert::Infallible> {
+        let mut seed = Self::Seed::default();
+        rng.fill_bytes(seed.as_mut());
+        Ok(Self::from_seed(seed))
+    }
+}
+
+/// SplitMix64, used only for seed expansion.
+struct SplitMix64 {
+    x: u64,
+}
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.x = self.x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Types sampleable by [`Rng::gen`] (the `Standard` distribution of `rand`).
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // rand 0.8's multiply-based method: 53 random bits in [0, 1).
+        const SCALE: f64 = 1.0 / ((1u64 << 53) as f64);
+        SCALE * (rng.next_u64() >> 11) as f64
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        const SCALE: f32 = 1.0 / ((1u32 << 24) as f32);
+        SCALE * (rng.next_u32() >> 8) as f32
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        // rand samples a u32 and checks the sign bit (shift-based method).
+        rng.next_u32() & (1 << 31) != 0
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let scale = self.end - self.start;
+        loop {
+            // rand's UniformFloat: fill the 52-bit mantissa to get a value
+            // in [1, 2), then scale-and-shift. The retry guards the
+            // rounding edge where the result lands exactly on `end`.
+            let value1_2 = f64::from_bits((1023u64 << 52) | (rng.next_u64() >> 12));
+            let res = (value1_2 - 1.0) * scale + self.start;
+            if res < self.end {
+                return res;
+            }
+        }
+    }
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end - self.start) as u64;
+                // Unbiased via rejection sampling on the top of the range.
+                let zone = u64::MAX - (u64::MAX - span + 1) % span;
+                loop {
+                    let v = rng.next_u64();
+                    if v <= zone {
+                        return self.start + (v % span) as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+int_range!(u32, u64, usize, i64);
+
+/// Convenience methods over any [`RngCore`] (the `rand::Rng` extension
+/// trait). Blanket-implemented; never implement it by hand.
+pub trait Rng: RngCore {
+    /// Draws one value of type `T` from its standard distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws one value uniformly from `range`.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        // rand's Bernoulli: compare 64 random bits against p scaled to 2^64.
+        if p == 1.0 {
+            return true;
+        }
+        let p_int = (p * (1u64 << 32) as f64 * (1u64 << 32) as f64) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast RNG: xoshiro256++, matching `rand 0.8`'s `SmallRng` on
+    /// 64-bit platforms. Not cryptographically secure.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            // rand_xoshiro truncates the low 32 bits for the u64 generators.
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            if s == [0; 4] {
+                // All-zero state is a fixed point of xoshiro; remap like
+                // rand_xoshiro does.
+                return Self::seed_from_u64(0);
+            }
+            SmallRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn matches_rand_xoshiro_reference_vector() {
+        // Documented output of rand_xoshiro's
+        // `Xoshiro256PlusPlus::seed_from_u64(0)`.
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(rng.next_u64(), 0x53175d61490b23df);
+    }
+
+    #[test]
+    fn f64_standard_is_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(10.0..20.0);
+            assert!((10.0..20.0).contains(&x));
+            let k = rng.gen_range(3u64..9);
+            assert!((3..9).contains(&k));
+        }
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let a: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(9);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(9);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c = SmallRng::seed_from_u64(10).next_u64();
+        assert_ne!(a[0], c);
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_words() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}
