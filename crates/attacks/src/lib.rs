@@ -12,6 +12,7 @@
 //! | Equivocation (extension) | corruption + injection | [`equivocation`] |
 //! | Slow primary (extension) | targeted delay | [`slow_primary`] |
 //! | Synchrony violation (extension) | corruption + injection + delay | [`sync_violation`] |
+//! | Randomized fuzzing (extension) | seeded drop + delay + replay | [`randomized`] |
 //!
 //! Because every message traverses the attacker module before delivery, all
 //! attacks here are rushing-capable by construction; the adaptive attack
@@ -24,6 +25,7 @@ pub mod add_attacks;
 pub mod equivocation;
 pub mod fail_stop;
 pub mod partition;
+pub mod randomized;
 pub mod slow_primary;
 pub mod sync_violation;
 
@@ -31,5 +33,9 @@ pub use add_attacks::{AddAdaptiveRushingAttack, AddStaticAttack};
 pub use equivocation::EquivocationAttack;
 pub use fail_stop::FailStop;
 pub use partition::PartitionAttack;
+pub use randomized::{
+    actions_from_json, actions_to_json, FuzzAction, FuzzActionKind, FuzzActionLog, FuzzBudget,
+    RandomizedAdversary,
+};
 pub use slow_primary::SlowPrimary;
 pub use sync_violation::SyncViolationAttack;

@@ -1,0 +1,441 @@
+//! A seeded, budgeted, randomized adversary for schedule fuzzing.
+//!
+//! [`RandomizedAdversary`] composes the primitive capabilities of the
+//! attacker module — drop, delay, and equivocation-style payload replay —
+//! under a probability [`FuzzBudget`], driven by its *own* seeded RNG so the
+//! attack sequence depends only on the adversary seed and the order of
+//! intercepted messages (which the run seed fixes). Every action it takes is
+//! logged as a [`FuzzAction`] against the index of the message it hit; the
+//! log can be re-run verbatim in **scripted** mode, which is what lets the
+//! `simcheck` shrinker delete actions one by one and re-test.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use bft_sim_core::adversary::{Adversary, AdversaryApi, Fate};
+use bft_sim_core::ids::NodeId;
+use bft_sim_core::json::Json;
+use bft_sim_core::message::Message;
+use bft_sim_core::time::SimDuration;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// What the adversary did to one intercepted message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuzzActionKind {
+    /// Dropped the message.
+    Drop,
+    /// Delivered the message `extra_micros` later than the network proposed.
+    Delay {
+        /// Extra delay added on top of the network's proposed delay.
+        extra_micros: u64,
+    },
+    /// Delivered the message normally but *also* injected a copy of its
+    /// payload to `dst`, claiming the original sender — a stale re-delivery,
+    /// the building block of equivocation-style confusion.
+    Replay {
+        /// The node that receives the duplicated payload.
+        dst: NodeId,
+        /// Delivery delay of the duplicate.
+        delay_micros: u64,
+    },
+}
+
+/// One logged adversary action: `kind` applied to the `msg_index`-th honest
+/// transmission of the run (0-based, in send order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuzzAction {
+    /// Index of the intercepted message, counting every honest transmission
+    /// the adversary saw, in order.
+    pub msg_index: u64,
+    /// What was done to it.
+    pub kind: FuzzActionKind,
+}
+
+/// Probability budget for [`RandomizedAdversary::generate`] mode.
+///
+/// Per intercepted message the adversary rolls, in order: drop, delay,
+/// replay; the first roll that hits is applied. `max_actions` caps the total
+/// number of actions per run so shrunk reproducers stay small and benign
+/// configurations (`max_actions == 0`) stay benign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FuzzBudget {
+    /// Probability of dropping an intercepted message.
+    pub drop_prob: f64,
+    /// Probability of delaying an intercepted message.
+    pub delay_prob: f64,
+    /// Probability of replaying an intercepted payload to a random node.
+    pub replay_prob: f64,
+    /// Upper bound (exclusive is fine at 0) on the sampled extra delay.
+    pub max_extra_delay_micros: u64,
+    /// Hard cap on actions per run; `0` disables the adversary entirely.
+    pub max_actions: u64,
+}
+
+impl FuzzBudget {
+    /// A benign budget: the adversary touches nothing.
+    pub fn benign() -> Self {
+        FuzzBudget {
+            drop_prob: 0.0,
+            delay_prob: 0.0,
+            replay_prob: 0.0,
+            max_extra_delay_micros: 0,
+            max_actions: 0,
+        }
+    }
+
+    /// A budget scaled by `intensity` in `[0, 1]`: at `1.0` roughly 6% of
+    /// messages are dropped, 10% delayed (by up to four λ at λ = 1 s) and 4%
+    /// replayed, capped at `max_actions`.
+    pub fn with_intensity(intensity: f64, max_actions: u64) -> Self {
+        let intensity = intensity.clamp(0.0, 1.0);
+        FuzzBudget {
+            drop_prob: 0.06 * intensity,
+            delay_prob: 0.10 * intensity,
+            replay_prob: 0.04 * intensity,
+            max_extra_delay_micros: 4_000_000,
+            max_actions,
+        }
+    }
+}
+
+enum Mode {
+    /// Roll fresh actions from the seeded RNG, within the budget.
+    Generate { rng: SmallRng, budget: FuzzBudget },
+    /// Apply exactly the given actions, by message index.
+    Scripted {
+        by_index: HashMap<u64, FuzzActionKind>,
+    },
+}
+
+/// Shared handle onto the adversary's action log, readable after
+/// `Simulation::run` has consumed the adversary itself.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzActionLog {
+    shared: Arc<Mutex<Vec<FuzzAction>>>,
+}
+
+impl FuzzActionLog {
+    /// A copy of every action applied so far, in message-index order.
+    pub fn snapshot(&self) -> Vec<FuzzAction> {
+        self.shared.lock().expect("fuzz log lock").clone()
+    }
+
+    fn push(&self, action: FuzzAction) {
+        self.shared.lock().expect("fuzz log lock").push(action);
+    }
+}
+
+/// The randomized (or scripted) fuzzing adversary. See the module docs.
+pub struct RandomizedAdversary {
+    mode: Mode,
+    log: FuzzActionLog,
+    next_index: u64,
+    applied: u64,
+}
+
+impl core::fmt::Debug for RandomizedAdversary {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("RandomizedAdversary")
+            .field(
+                "mode",
+                match &self.mode {
+                    Mode::Generate { .. } => &"generate",
+                    Mode::Scripted { .. } => &"scripted",
+                },
+            )
+            .field("next_index", &self.next_index)
+            .field("applied", &self.applied)
+            .finish()
+    }
+}
+
+impl RandomizedAdversary {
+    /// Creates a generating adversary with its own RNG seeded from `seed`.
+    ///
+    /// The seed is independent of the run seed on purpose: the same attack
+    /// sequence can then be aimed at different network samples, and vice
+    /// versa.
+    pub fn generate(seed: u64, budget: FuzzBudget) -> Self {
+        RandomizedAdversary {
+            mode: Mode::Generate {
+                rng: SmallRng::seed_from_u64(seed),
+                budget,
+            },
+            log: FuzzActionLog::default(),
+            next_index: 0,
+            applied: 0,
+        }
+    }
+
+    /// Creates a scripted adversary that re-applies exactly `actions`.
+    ///
+    /// Duplicate `msg_index` entries keep the last occurrence.
+    pub fn scripted(actions: &[FuzzAction]) -> Self {
+        RandomizedAdversary {
+            mode: Mode::Scripted {
+                by_index: actions.iter().map(|a| (a.msg_index, a.kind)).collect(),
+            },
+            log: FuzzActionLog::default(),
+            next_index: 0,
+            applied: 0,
+        }
+    }
+
+    /// A shared handle onto the action log; clone it out before moving the
+    /// adversary into a `SimulationBuilder`.
+    pub fn log_handle(&self) -> FuzzActionLog {
+        self.log.clone()
+    }
+
+    fn decide_action(&mut self, n: usize) -> Option<FuzzActionKind> {
+        match &mut self.mode {
+            Mode::Scripted { by_index } => by_index.get(&self.next_index).copied(),
+            Mode::Generate { rng, budget } => {
+                if self.applied >= budget.max_actions {
+                    return None;
+                }
+                // One roll per capability, in a fixed order, every message —
+                // the RNG consumption pattern must not depend on earlier
+                // outcomes or the sequence loses its meaning when shrunk.
+                let drop = rng.gen_bool(budget.drop_prob);
+                let delay = rng.gen_bool(budget.delay_prob);
+                let replay = rng.gen_bool(budget.replay_prob);
+                let extra = if budget.max_extra_delay_micros > 0 {
+                    rng.gen_range(0..budget.max_extra_delay_micros)
+                } else {
+                    0
+                };
+                let dst = NodeId::new(rng.gen_range(0..n as u32));
+                if drop {
+                    Some(FuzzActionKind::Drop)
+                } else if delay {
+                    Some(FuzzActionKind::Delay {
+                        extra_micros: extra,
+                    })
+                } else if replay {
+                    Some(FuzzActionKind::Replay {
+                        dst,
+                        delay_micros: extra,
+                    })
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+impl Adversary for RandomizedAdversary {
+    fn attack(
+        &mut self,
+        msg: &mut Message,
+        proposed: SimDuration,
+        api: &mut AdversaryApi<'_>,
+    ) -> Fate {
+        let action = self.decide_action(api.n());
+        let index = self.next_index;
+        self.next_index += 1;
+        let Some(kind) = action else {
+            return Fate::Deliver(proposed);
+        };
+        self.applied += 1;
+        self.log.push(FuzzAction {
+            msg_index: index,
+            kind,
+        });
+        match kind {
+            FuzzActionKind::Drop => Fate::Drop,
+            FuzzActionKind::Delay { extra_micros } => {
+                Fate::Deliver(proposed + SimDuration::from_micros(extra_micros))
+            }
+            FuzzActionKind::Replay { dst, delay_micros } => {
+                api.inject_payload(
+                    msg.src(),
+                    dst,
+                    SimDuration::from_micros(delay_micros),
+                    Arc::clone(msg.payload_arc()),
+                );
+                Fate::Deliver(proposed)
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "randomized"
+    }
+}
+
+/// Serializes a list of actions for repro files.
+pub fn actions_to_json(actions: &[FuzzAction]) -> Json {
+    Json::Arr(
+        actions
+            .iter()
+            .map(|a| {
+                let kind = match a.kind {
+                    FuzzActionKind::Drop => Json::from("Drop"),
+                    FuzzActionKind::Delay { extra_micros } => Json::obj([(
+                        "Delay",
+                        Json::obj([("extra_micros", Json::from(extra_micros))]),
+                    )]),
+                    FuzzActionKind::Replay { dst, delay_micros } => Json::obj([(
+                        "Replay",
+                        Json::obj([
+                            ("dst", Json::from(dst.as_u32())),
+                            ("delay_micros", Json::from(delay_micros)),
+                        ]),
+                    )]),
+                };
+                Json::obj([("msg_index", Json::from(a.msg_index)), ("kind", kind)])
+            })
+            .collect(),
+    )
+}
+
+/// Parses the format produced by [`actions_to_json`].
+///
+/// # Errors
+///
+/// Returns a description of the first malformed entry, naming its index.
+pub fn actions_from_json(json: &Json) -> Result<Vec<FuzzAction>, String> {
+    let entries = json.as_arr().ok_or("actions: expected an array")?;
+    entries
+        .iter()
+        .enumerate()
+        .map(|(i, e)| action_from_json(e).map_err(|err| format!("actions: entry #{i}: {err}")))
+        .collect()
+}
+
+fn action_from_json(json: &Json) -> Result<FuzzAction, String> {
+    let msg_index = json
+        .get("msg_index")
+        .and_then(Json::as_u64)
+        .ok_or("bad \"msg_index\"")?;
+    let kind = json.get("kind").ok_or("missing \"kind\"")?;
+    let field = |body: &Json, name: &str| -> Result<u64, String> {
+        body.get(name)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("bad \"{name}\""))
+    };
+    let kind = if kind.as_str() == Some("Drop") {
+        FuzzActionKind::Drop
+    } else if let Some(body) = kind.get("Delay") {
+        FuzzActionKind::Delay {
+            extra_micros: field(body, "extra_micros")?,
+        }
+    } else if let Some(body) = kind.get("Replay") {
+        FuzzActionKind::Replay {
+            dst: NodeId::new(field(body, "dst")? as u32),
+            delay_micros: field(body, "delay_micros")?,
+        }
+    } else {
+        return Err(format!("unknown kind {kind}"));
+    };
+    Ok(FuzzAction { msg_index, kind })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bft_sim_core::config::RunConfig;
+    use bft_sim_core::engine::SimulationBuilder;
+    use bft_sim_core::network::ConstantNetwork;
+    use bft_sim_core::time::SimDuration;
+    use bft_sim_protocols::registry::ProtocolKind;
+
+    fn run_with(
+        adv: RandomizedAdversary,
+        seed: u64,
+    ) -> (bft_sim_core::metrics::RunResult, Vec<FuzzAction>) {
+        let kind = ProtocolKind::Pbft;
+        let cfg = kind.configure(
+            RunConfig::new(7)
+                .with_seed(seed)
+                .with_lambda_ms(1000.0)
+                .with_time_cap(SimDuration::from_secs(300.0)),
+        );
+        let log = adv.log_handle();
+        let factory = kind.factory(&cfg, 23);
+        let result = SimulationBuilder::new(cfg)
+            .network(ConstantNetwork::new(SimDuration::from_millis(100.0)))
+            .adversary(adv)
+            .protocols(factory)
+            .build()
+            .unwrap()
+            .run();
+        (result, log.snapshot())
+    }
+
+    #[test]
+    fn generated_actions_are_deterministic_per_seed() {
+        let budget = FuzzBudget::with_intensity(0.5, 64);
+        let (r1, a1) = run_with(RandomizedAdversary::generate(9, budget), 5);
+        let (r2, a2) = run_with(RandomizedAdversary::generate(9, budget), 5);
+        assert_eq!(a1, a2, "same seeds must replay the same attack");
+        assert_eq!(r1, r2, "same seeds must reproduce the same run");
+        assert!(!a1.is_empty(), "intensity 0.5 must act on a PBFT run");
+    }
+
+    #[test]
+    fn scripted_mode_reapplies_the_generated_log() {
+        let budget = FuzzBudget::with_intensity(0.5, 64);
+        let (r1, a1) = run_with(RandomizedAdversary::generate(9, budget), 5);
+        let (r2, a2) = run_with(RandomizedAdversary::scripted(&a1), 5);
+        assert_eq!(a1, a2, "script must apply exactly the recorded actions");
+        assert_eq!(r1, r2, "scripted replay must reproduce the run");
+    }
+
+    #[test]
+    fn benign_budget_touches_nothing() {
+        let (r, actions) = run_with(RandomizedAdversary::generate(9, FuzzBudget::benign()), 5);
+        assert!(actions.is_empty());
+        assert!(r.is_clean(), "{:?}", r.safety_violation);
+        assert_eq!(r.dropped_messages, 0);
+        assert_eq!(r.adversary_messages, 0);
+    }
+
+    #[test]
+    fn max_actions_caps_the_attack() {
+        let budget = FuzzBudget {
+            max_actions: 3,
+            ..FuzzBudget::with_intensity(1.0, 3)
+        };
+        let (_, actions) = run_with(RandomizedAdversary::generate(9, budget), 5);
+        assert_eq!(actions.len(), 3);
+    }
+
+    #[test]
+    fn actions_json_round_trip() {
+        let actions = vec![
+            FuzzAction {
+                msg_index: 0,
+                kind: FuzzActionKind::Drop,
+            },
+            FuzzAction {
+                msg_index: 17,
+                kind: FuzzActionKind::Delay { extra_micros: 250 },
+            },
+            FuzzAction {
+                msg_index: 99,
+                kind: FuzzActionKind::Replay {
+                    dst: NodeId::new(3),
+                    delay_micros: 1_000,
+                },
+            },
+        ];
+        let text = actions_to_json(&actions).dump_pretty();
+        let back = actions_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, actions);
+    }
+
+    #[test]
+    fn actions_json_rejects_garbage() {
+        let err = actions_from_json(&Json::parse("[{\"msg_index\": 1}]").unwrap()).unwrap_err();
+        assert!(err.contains("entry #0"), "{err}");
+        assert!(err.contains("kind"), "{err}");
+        let err =
+            actions_from_json(&Json::parse("[{\"msg_index\": 1, \"kind\": \"Explode\"}]").unwrap())
+                .unwrap_err();
+        assert!(err.contains("unknown kind"), "{err}");
+    }
+}

@@ -111,8 +111,56 @@ pub fn run_all(seed: u64, decisions: u64) -> Vec<CaseResult> {
         .collect()
 }
 
-/// Serialises case results as the `BENCH_baseline.json` document.
-pub fn to_json(results: &[CaseResult]) -> Json {
+/// Throughput of the `simcheck` fuzzer: scenarios and engine events per
+/// wall-clock second across a fixed seed sweep. Tracks the overhead of the
+/// oracle observer and schedule recording on top of raw simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzStat {
+    /// Scenario seeds swept (`0..seeds`).
+    pub seeds: u64,
+    /// Scenarios actually run.
+    pub runs: u64,
+    /// Engine events across the sweep (deterministic per seed set).
+    pub events_processed: u64,
+    /// Wall-clock for the sweep (host-dependent).
+    pub wall_ms: f64,
+    /// Scenarios per wall-clock second (host-dependent).
+    pub scenarios_per_sec: f64,
+    /// Events per wall-clock second (host-dependent).
+    pub events_per_sec: f64,
+}
+
+/// Sweeps fuzz seeds `0..seeds` over PBFT and HotStuff+NS at the default
+/// budget and measures throughput. Panics if the sweep finds a violation:
+/// honest protocols fuzzed within their fault model must stay correct, so a
+/// violation here is a real regression, not a perf artifact.
+pub fn run_fuzz_stat(seeds: u64) -> FuzzStat {
+    use bft_sim_simcheck::{fuzz_many, FuzzOptions};
+    let opts = FuzzOptions {
+        protocols: vec![ProtocolKind::Pbft, ProtocolKind::HotStuffNs],
+        ..FuzzOptions::default()
+    };
+    let start = Instant::now();
+    let report = fuzz_many(0..seeds, &opts).expect("fuzz sweep cannot need testbug");
+    let wall = start.elapsed().as_secs_f64();
+    assert!(
+        report.clean(),
+        "fuzz sweep found violations in honest protocols: {:?}",
+        report.outcomes
+    );
+    FuzzStat {
+        seeds,
+        runs: report.runs,
+        events_processed: report.events_processed,
+        wall_ms: wall * 1e3,
+        scenarios_per_sec: report.runs as f64 / wall.max(1e-9),
+        events_per_sec: report.events_processed as f64 / wall.max(1e-9),
+    }
+}
+
+/// Serialises case results (and, when measured, the fuzz throughput stat)
+/// as the `BENCH_baseline.json` document.
+pub fn to_json(results: &[CaseResult], fuzz: Option<&FuzzStat>) -> Json {
     let cases = results
         .iter()
         .map(|r| {
@@ -145,14 +193,31 @@ pub fn to_json(results: &[CaseResult]) -> Json {
             Json::Obj(pairs)
         })
         .collect();
-    Json::obj([
-        ("generated_by", Json::from("bft-sim bench-baseline")),
+    let mut pairs = vec![
         (
-            "workload",
+            "generated_by".to_string(),
+            Json::from("bft-sim bench-baseline"),
+        ),
+        (
+            "workload".to_string(),
             Json::from("lambda=1000ms, delays N(250,50), 10 decisions"),
         ),
-        ("cases", Json::Arr(cases)),
-    ])
+        ("cases".to_string(), Json::Arr(cases)),
+    ];
+    if let Some(f) = fuzz {
+        pairs.push((
+            "fuzz".to_string(),
+            Json::obj([
+                ("seeds", Json::from(f.seeds)),
+                ("runs", Json::from(f.runs)),
+                ("events_processed", Json::from(f.events_processed)),
+                ("wall_ms", Json::from(round3(f.wall_ms))),
+                ("scenarios_per_sec", Json::from(round3(f.scenarios_per_sec))),
+                ("events_per_sec", Json::from(round3(f.events_per_sec))),
+            ]),
+        ));
+    }
+    Json::Obj(pairs)
 }
 
 fn round3(x: f64) -> f64 {
@@ -175,9 +240,36 @@ mod tests {
     }
 
     #[test]
+    fn fuzz_stat_measures_a_clean_sweep() {
+        let stat = run_fuzz_stat(3);
+        assert_eq!(stat.runs, 3);
+        assert!(stat.events_processed > 0);
+        let a = run_fuzz_stat(3);
+        assert_eq!(
+            a.events_processed, stat.events_processed,
+            "simulated work must be deterministic"
+        );
+    }
+
+    #[test]
     fn baseline_json_has_the_expected_shape() {
         let results = vec![run_case(ProtocolKind::Pbft, 16, 1, 1)];
-        let json = to_json(&results);
+        let fuzz = FuzzStat {
+            seeds: 2,
+            runs: 2,
+            events_processed: 1000,
+            wall_ms: 1.0,
+            scenarios_per_sec: 2000.0,
+            events_per_sec: 1_000_000.0,
+        };
+        let json = to_json(&results, Some(&fuzz));
+        assert_eq!(
+            json.get("fuzz")
+                .and_then(|f| f.get("runs"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+        assert!(to_json(&results, None).get("fuzz").is_none());
         let cases = json.get("cases").and_then(Json::as_arr).unwrap();
         assert_eq!(cases.len(), 1);
         for key in [

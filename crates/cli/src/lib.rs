@@ -39,6 +39,14 @@ pub enum Command {
         /// Output path for the baseline document.
         out: String,
     },
+    /// Sweep deterministic fuzz scenarios, oracle-check every run, shrink
+    /// violations to repro files.
+    Fuzz(FuzzSpec),
+    /// Replay a repro file and confirm its oracle still fires.
+    Repro {
+        /// Path to a `bft-sim-repro-v1` JSON file.
+        path: String,
+    },
     /// List available protocols.
     List,
     /// Print usage.
@@ -120,6 +128,39 @@ impl RunSpec {
             ("json", Json::from(self.json)),
             ("cost", Json::from(self.cost.as_str())),
         ])
+    }
+}
+
+/// Parameters of a `bft-sim fuzz` sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzSpec {
+    /// Scenario seed range, half-open.
+    pub seeds: (u64, u64),
+    /// `all` or a comma-separated list of protocol short names.
+    pub protocols: String,
+    /// Adversary intensity in permille.
+    pub intensity_permille: u64,
+    /// Per-run cap on adversary actions.
+    pub max_actions: u64,
+    /// Arm the feature-gated seeded safety bug (needs `--features testbug`).
+    pub inject_bug: bool,
+    /// Directory repro files are written to.
+    pub out_dir: String,
+    /// Emit a JSON report instead of text.
+    pub json: bool,
+}
+
+impl Default for FuzzSpec {
+    fn default() -> Self {
+        FuzzSpec {
+            seeds: (0, 32),
+            protocols: "all".into(),
+            intensity_permille: 500,
+            max_actions: 48,
+            inject_bug: false,
+            out_dir: ".".into(),
+            json: false,
+        }
     }
 }
 
@@ -264,8 +305,79 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 Ok(Command::Compare(spec))
             }
         }
+        "fuzz" => Ok(Command::Fuzz(parse_fuzz_spec(&args[1..])?)),
+        "repro" => {
+            let path = it
+                .next()
+                .cloned()
+                .ok_or_else(|| CliError("repro needs a file path".into()))?;
+            if let Some(extra) = it.next() {
+                return Err(CliError(format!("unexpected argument '{extra}'")));
+            }
+            Ok(Command::Repro { path })
+        }
         other => Err(CliError(format!("unknown command '{other}'"))),
     }
+}
+
+/// Parses `--seeds` syntax: `A..B` (half-open) or a bare count `N` (= `0..N`).
+fn parse_seed_range(s: &str) -> Result<(u64, u64), CliError> {
+    let bad = || CliError(format!("bad --seeds '{s}' (use A..B or a count N)"));
+    let (lo, hi) = match s.split_once("..") {
+        Some((lo, hi)) => (
+            lo.parse().map_err(|_| bad())?,
+            hi.parse().map_err(|_| bad())?,
+        ),
+        None => (0, s.parse().map_err(|_| bad())?),
+    };
+    if hi <= lo {
+        return Err(CliError(format!("empty seed range '{s}'")));
+    }
+    Ok((lo, hi))
+}
+
+fn parse_fuzz_spec(args: &[String]) -> Result<FuzzSpec, CliError> {
+    let mut spec = FuzzSpec::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError(format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--seeds" => spec.seeds = parse_seed_range(&value("--seeds")?)?,
+            "--protocols" => spec.protocols = value("--protocols")?,
+            "--intensity" => {
+                spec.intensity_permille = value("--intensity")?
+                    .parse()
+                    .map_err(|_| CliError("bad --intensity (permille, 0..=1000)".into()))?
+            }
+            "--max-actions" => {
+                spec.max_actions = value("--max-actions")?
+                    .parse()
+                    .map_err(|_| CliError("bad --max-actions".into()))?
+            }
+            "--inject-bug" => spec.inject_bug = true,
+            "--out" => spec.out_dir = value("--out")?,
+            "--json" => spec.json = true,
+            other => return Err(CliError(format!("unknown flag '{other}'"))),
+        }
+    }
+    Ok(spec)
+}
+
+/// Resolves `all` or a comma-separated protocol list.
+fn parse_protocol_list(s: &str) -> Result<Vec<ProtocolKind>, CliError> {
+    if s == "all" {
+        return Ok(ProtocolKind::extended().to_vec());
+    }
+    s.split(',')
+        .map(|name| {
+            let name = name.trim();
+            ProtocolKind::parse(name).ok_or_else(|| CliError(format!("unknown protocol '{name}'")))
+        })
+        .collect()
 }
 
 fn parse_run_spec(args: &[String]) -> Result<RunSpec, CliError> {
@@ -460,7 +572,8 @@ pub fn execute(cmd: Command) -> Result<(), CliError> {
         }
         Command::BenchBaseline { out } => {
             let results = bft_sim_bench::baseline::run_all(1, 10);
-            let json = bft_sim_bench::baseline::to_json(&results).dump_pretty();
+            let fuzz = bft_sim_bench::baseline::run_fuzz_stat(32);
+            let json = bft_sim_bench::baseline::to_json(&results, Some(&fuzz)).dump_pretty();
             std::fs::write(&out, &json)
                 .map_err(|e| CliError(format!("cannot write {out}: {e}")))?;
             println!(
@@ -488,8 +601,14 @@ pub fn execute(cmd: Command) -> Result<(), CliError> {
                 );
             }
             println!();
+            println!(
+                "fuzz: {} scenarios, {} events, {:.1} ms ({:.0} events/s)",
+                fuzz.runs, fuzz.events_processed, fuzz.wall_ms, fuzz.events_per_sec
+            );
             println!("wrote {out}");
         }
+        Command::Fuzz(spec) => run_fuzz(&spec)?,
+        Command::Repro { path } => run_repro(&path)?,
         Command::Fig(which) => run_figure(which),
         Command::Table(which) => match which {
             1 => {
@@ -504,6 +623,108 @@ pub fn execute(cmd: Command) -> Result<(), CliError> {
             }
         },
     }
+    Ok(())
+}
+
+/// Runs a `bft-sim fuzz` sweep: per-seed scenario generation, oracle checks,
+/// shrinking, and one repro file per violation.
+fn run_fuzz(spec: &FuzzSpec) -> Result<(), CliError> {
+    let protocols = parse_protocol_list(&spec.protocols)?;
+    let opts = bft_sim_simcheck::FuzzOptions {
+        protocols,
+        intensity_permille: spec.intensity_permille,
+        max_actions: spec.max_actions,
+        inject_bug: spec.inject_bug,
+    };
+    let start = std::time::Instant::now();
+    let report =
+        bft_sim_simcheck::fuzz_many(spec.seeds.0..spec.seeds.1, &opts).map_err(CliError)?;
+    let wall = start.elapsed().as_secs_f64();
+    let mut repro_paths = Vec::new();
+    for outcome in &report.outcomes {
+        let path = std::path::Path::new(&spec.out_dir).join(format!(
+            "repro-seed{}-{}.json",
+            outcome.scenario_seed, outcome.repro.oracle
+        ));
+        std::fs::create_dir_all(&spec.out_dir)
+            .map_err(|e| CliError(format!("cannot create {}: {e}", spec.out_dir)))?;
+        std::fs::write(&path, outcome.repro.to_json().dump_pretty())
+            .map_err(|e| CliError(format!("cannot write {}: {e}", path.display())))?;
+        repro_paths.push(path.display().to_string());
+    }
+    if spec.json {
+        let outcomes = report
+            .outcomes
+            .iter()
+            .zip(&repro_paths)
+            .map(|(o, path)| {
+                Json::obj([
+                    ("scenario_seed", Json::from(o.scenario_seed)),
+                    (
+                        "violations",
+                        Json::Arr(
+                            o.violations
+                                .iter()
+                                .map(|v| Json::from(v.as_str()))
+                                .collect(),
+                        ),
+                    ),
+                    ("repro", Json::from(path.as_str())),
+                ])
+            })
+            .collect();
+        let doc = Json::obj([
+            (
+                "seeds",
+                Json::obj([
+                    ("lo", Json::from(spec.seeds.0)),
+                    ("hi", Json::from(spec.seeds.1)),
+                ]),
+            ),
+            ("runs", Json::from(report.runs)),
+            ("events_processed", Json::from(report.events_processed)),
+            ("violating_scenarios", Json::from(report.outcomes.len())),
+            ("outcomes", Json::Arr(outcomes)),
+        ]);
+        println!("{}", doc.dump_pretty());
+    } else {
+        for (outcome, path) in report.outcomes.iter().zip(&repro_paths) {
+            println!("seed {}:", outcome.scenario_seed);
+            for v in &outcome.violations {
+                println!("  {v}");
+            }
+            println!("  shrunk repro -> {path}");
+        }
+        println!(
+            "fuzz: {} scenarios ({} violating), {} events, {:.1} ms",
+            report.runs,
+            report.outcomes.len(),
+            report.events_processed,
+            wall * 1e3,
+        );
+    }
+    if report.clean() {
+        Ok(())
+    } else {
+        Err(CliError(format!(
+            "{} of {} scenarios violated an oracle",
+            report.outcomes.len(),
+            report.runs
+        )))
+    }
+}
+
+/// Replays a repro file and reports whether its oracle still fires.
+fn run_repro(path: &str) -> Result<(), CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+    let json = Json::parse(&text).map_err(|e| CliError(format!("bad repro {path}: {e}")))?;
+    let repro = bft_sim_simcheck::Repro::from_json(&json)
+        .map_err(|e| CliError(format!("bad repro {path}: {e}")))?;
+    let violation = repro
+        .check()
+        .map_err(|e| CliError(format!("{path}: {e}")))?;
+    println!("reproduced: {violation}");
     Ok(())
 }
 
@@ -598,6 +819,15 @@ USAGE:
     bft-sim bench-baseline [--out FILE.json]
                      run the perf-baseline workloads (PBFT / HotStuff+NS at
                      n = 16, 64) and write BENCH_baseline.json
+    bft-sim fuzz     [--seeds A..B|N] [--protocols all|p1,p2,...]
+                     [--intensity PERMILLE] [--max-actions K] [--inject-bug]
+                     [--out DIR] [--json]
+                     sweep deterministic fuzz scenarios, oracle-check every
+                     run, shrink violations to repro files; exits non-zero
+                     when any oracle fires
+    bft-sim repro FILE.json
+                     replay a bft-sim-repro-v1 file and confirm its oracle
+                     still fires
     bft-sim list     list protocols
 
 ATTACK SPECS:
@@ -694,6 +924,114 @@ mod tests {
             ..RunSpec::default()
         };
         assert!(execute(Command::Run(spec)).is_err());
+    }
+
+    #[test]
+    fn parses_fuzz_flags() {
+        let cmd = parse_args(&args(&[
+            "fuzz",
+            "--seeds",
+            "3..9",
+            "--protocols",
+            "pbft,hotstuff-ns",
+            "--intensity",
+            "250",
+            "--max-actions",
+            "12",
+            "--inject-bug",
+            "--out",
+            "repros",
+            "--json",
+        ]))
+        .unwrap();
+        let Command::Fuzz(spec) = cmd else {
+            panic!("expected fuzz");
+        };
+        assert_eq!(spec.seeds, (3, 9));
+        assert_eq!(spec.protocols, "pbft,hotstuff-ns");
+        assert_eq!(spec.intensity_permille, 250);
+        assert_eq!(spec.max_actions, 12);
+        assert!(spec.inject_bug);
+        assert_eq!(spec.out_dir, "repros");
+        assert!(spec.json);
+        assert_eq!(
+            parse_args(&args(&["fuzz"])).unwrap(),
+            Command::Fuzz(FuzzSpec::default())
+        );
+    }
+
+    #[test]
+    fn parses_seed_ranges() {
+        assert_eq!(parse_seed_range("0..32").unwrap(), (0, 32));
+        assert_eq!(parse_seed_range("8").unwrap(), (0, 8));
+        assert!(parse_seed_range("9..9").is_err());
+        assert!(parse_seed_range("5..2").is_err());
+        assert!(parse_seed_range("x..y").is_err());
+    }
+
+    #[test]
+    fn parses_repro_command() {
+        assert_eq!(
+            parse_args(&args(&["repro", "r.json"])).unwrap(),
+            Command::Repro {
+                path: "r.json".into()
+            }
+        );
+        assert!(parse_args(&args(&["repro"])).is_err());
+        assert!(parse_args(&args(&["repro", "a.json", "b.json"])).is_err());
+    }
+
+    #[test]
+    fn parses_protocol_lists() {
+        assert_eq!(
+            parse_protocol_list("all").unwrap(),
+            ProtocolKind::extended().to_vec()
+        );
+        assert_eq!(
+            parse_protocol_list("pbft, tendermint").unwrap(),
+            vec![ProtocolKind::Pbft, ProtocolKind::Tendermint]
+        );
+        assert!(parse_protocol_list("raft").is_err());
+    }
+
+    #[test]
+    fn fuzz_sweep_over_honest_protocols_is_clean() {
+        let spec = FuzzSpec {
+            seeds: (0, 2),
+            protocols: "pbft".into(),
+            out_dir: std::env::temp_dir()
+                .join("bft_sim_cli_fuzz_test")
+                .display()
+                .to_string(),
+            ..FuzzSpec::default()
+        };
+        execute(Command::Fuzz(spec)).expect("honest pbft sweep must be clean");
+    }
+
+    #[test]
+    fn repro_command_surfaces_missing_and_stale_files() {
+        let err = execute(Command::Repro {
+            path: "/nonexistent/repro.json".into(),
+        })
+        .unwrap_err();
+        assert!(err.0.contains("cannot read"), "{err}");
+        // A syntactically valid repro whose oracle cannot fire is reported
+        // as stale rather than silently succeeding.
+        let repro = bft_sim_simcheck::Repro {
+            spec: bft_sim_simcheck::ScenarioSpec::baseline(ProtocolKind::Pbft),
+            actions: Vec::new(),
+            schedule: None,
+            oracle: "agreement".into(),
+            detail: "synthetic".into(),
+        };
+        let path = std::env::temp_dir().join("bft_sim_cli_stale_repro.json");
+        std::fs::write(&path, repro.to_json().dump_pretty()).unwrap();
+        let err = execute(Command::Repro {
+            path: path.display().to_string(),
+        })
+        .unwrap_err();
+        assert!(err.0.contains("no longer reproduces"), "{err}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! controlling the node itself.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 
@@ -34,7 +35,7 @@ pub(crate) enum AdvAction {
         src: NodeId,
         dst: NodeId,
         delay: SimDuration,
-        payload: Box<dyn Payload>,
+        payload: Arc<dyn Payload>,
     },
     Corrupt(NodeId),
     Crash(NodeId),
@@ -172,11 +173,25 @@ impl<'a> AdversaryApi<'a> {
         delay: SimDuration,
         payload: P,
     ) {
+        self.inject_payload(src, dst, delay, Arc::new(payload));
+    }
+
+    /// Like [`inject`](AdversaryApi::inject), but takes an already
+    /// type-erased payload handle. This lets an adversary replay a payload it
+    /// intercepted in flight ([`Message::payload_arc`]) without knowing — or
+    /// cloning — the concrete type.
+    pub fn inject_payload(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        delay: SimDuration,
+        payload: Arc<dyn Payload>,
+    ) {
         self.actions.push(AdvAction::Inject {
             src,
             dst,
             delay,
-            payload: Box::new(payload),
+            payload,
         });
     }
 

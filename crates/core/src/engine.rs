@@ -25,6 +25,27 @@ use crate::network::NetworkModel;
 use crate::protocol::{Protocol, ProtocolFactory, Vacant};
 use crate::trace::{Trace, TraceKind};
 use crate::validator::DeliverySchedule;
+use crate::value::Value;
+
+/// A passive probe notified as the engine executes, step by step.
+///
+/// Observers power external correctness checking (the oracle suite in
+/// [`crate::oracle`]): they see the clock at every event and every decision
+/// *as it is applied*, so properties like clock monotonicity and
+/// no-decision-revocation can be checked against what actually happened
+/// rather than against the engine's own summary. Observers cannot influence
+/// the run — the engine hands them values, never state.
+pub trait StepObserver: Send {
+    /// Called once per dispatched event, after the clock advanced to `now`.
+    fn on_event(&mut self, now: crate::time::SimTime) {
+        let _ = now;
+    }
+
+    /// Called when `node` decides `value` for consensus slot `slot`.
+    fn on_decision(&mut self, now: crate::time::SimTime, node: NodeId, slot: u64, value: Value) {
+        let _ = (now, node, slot, value);
+    }
+}
 
 /// Builder for a [`Simulation`].
 ///
@@ -57,6 +78,7 @@ pub struct SimulationBuilder {
     factory: Option<Box<dyn ProtocolFactory>>,
     record_schedule: bool,
     replay: Option<DeliverySchedule>,
+    observer: Option<Box<dyn StepObserver>>,
 }
 
 impl SimulationBuilder {
@@ -69,6 +91,7 @@ impl SimulationBuilder {
             factory: None,
             record_schedule: false,
             replay: None,
+            observer: None,
         }
     }
 
@@ -101,6 +124,15 @@ impl SimulationBuilder {
     /// the network and consulting the adversary (validator mode, §III-A6).
     pub fn replay_schedule(mut self, schedule: DeliverySchedule) -> Self {
         self.replay = Some(schedule);
+        self
+    }
+
+    /// Installs a step observer, notified of every event and decision as the
+    /// run executes. Use a shared-state observer (e.g.
+    /// [`OracleObserver`](crate::oracle::OracleObserver), which is `Clone`)
+    /// to read what it saw after [`Simulation::run`] consumes the engine.
+    pub fn observer<O: StepObserver + 'static>(mut self, observer: O) -> Self {
+        self.observer = Some(Box::new(observer));
         self
     }
 
@@ -147,6 +179,7 @@ impl SimulationBuilder {
             },
             replay: self.replay,
             replay_diverged: false,
+            observer: self.observer,
             completed: 0,
             queue_high_water: 0,
             cfg: self.cfg,
@@ -192,6 +225,7 @@ pub struct Simulation {
     recorder: Option<DeliverySchedule>,
     replay: Option<DeliverySchedule>,
     replay_diverged: bool,
+    observer: Option<Box<dyn StepObserver>>,
     completed: u64,
     queue_high_water: usize,
 }
@@ -277,6 +311,9 @@ impl Simulation {
             }
             self.clock = ev.at;
             self.metrics.count_event();
+            if let Some(obs) = &mut self.observer {
+                obs.on_event(self.clock);
+            }
             match ev.kind {
                 EventKind::Deliver(msg) => {
                     let dst = msg.dst();
@@ -399,6 +436,9 @@ impl Simulation {
                 }
                 Action::Decide(value) => {
                     let slot = self.metrics.record_decision(src, self.clock, value);
+                    if let Some(obs) = &mut self.observer {
+                        obs.on_decision(self.clock, src, slot, value);
+                    }
                     self.trace
                         .record(self.clock, src, TraceKind::Decided { slot, value });
                     self.metrics.check_safety(src, &self.excluded);

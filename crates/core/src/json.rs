@@ -47,6 +47,15 @@ impl Json {
         }
     }
 
+    /// Looks up a key in an object, mutably — the editing counterpart of
+    /// [`Json::get`], used e.g. by tests that hand-mutate committed traces.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
     /// The value as a string slice, if it is one.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -448,6 +457,15 @@ fn utf8_width(first: u8) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn get_mut_edits_objects_in_place() {
+        let mut v = Json::obj([("n", Json::from(4u64))]);
+        *v.get_mut("n").unwrap() = Json::from(7u64);
+        assert_eq!(v.get("n").and_then(Json::as_u64), Some(7));
+        assert!(v.get_mut("missing").is_none());
+        assert!(Json::from(1u64).get_mut("n").is_none());
+    }
 
     #[test]
     fn round_trips_compound_values() {

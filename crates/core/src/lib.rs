@@ -65,6 +65,7 @@ pub mod json;
 pub mod message;
 pub mod metrics;
 pub mod network;
+pub mod oracle;
 pub mod payload;
 pub mod protocol;
 pub mod time;
@@ -78,13 +79,17 @@ pub mod prelude {
     pub use crate::config::RunConfig;
     pub use crate::context::Context;
     pub use crate::dist::Dist;
-    pub use crate::engine::{Simulation, SimulationBuilder};
+    pub use crate::engine::{Simulation, SimulationBuilder, StepObserver};
     pub use crate::error::SimError;
     pub use crate::event::Timer;
     pub use crate::ids::{NodeId, TimerId};
     pub use crate::message::Message;
     pub use crate::metrics::{RunResult, Summary};
     pub use crate::network::NetworkModel;
+    pub use crate::oracle::{
+        Expectations, Oracle, OracleInput, OracleObserver, OracleSuite, OracleViolation,
+        ValueDomain,
+    };
     pub use crate::protocol::{Protocol, ProtocolFactory};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::trace::{Trace, TraceEvent, TraceKind};

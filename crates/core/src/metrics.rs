@@ -165,7 +165,7 @@ impl MetricsCollector {
 /// sides symmetric. Adversary-injected messages are always counted (in
 /// [`adversary_messages`](RunResult::adversary_messages)), even when forged
 /// to look self-addressed.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Simulation time at which the run stopped.
     pub end_time: SimTime,

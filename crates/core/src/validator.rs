@@ -76,6 +76,18 @@ impl DeliverySchedule {
         self.cursor = 0;
     }
 
+    /// Returns a copy holding only the first `len` fates (all of them when
+    /// `len` exceeds the schedule), with the cursor rewound. Shrinkers use
+    /// this to bisect a failing schedule down to its shortest violating
+    /// prefix; a replay past the prefix falls back to λ-delay delivery and is
+    /// flagged as diverged by the engine.
+    pub fn truncated(&self, len: usize) -> DeliverySchedule {
+        DeliverySchedule {
+            fates: self.fates[..len.min(self.fates.len())].to_vec(),
+            cursor: 0,
+        }
+    }
+
     /// Converts the schedule to JSON (externally-tagged fates, matching the
     /// derive format the schedule was originally serialised with).
     pub fn to_json(&self) -> Json {
@@ -96,27 +108,73 @@ impl DeliverySchedule {
     /// Parses a schedule from the JSON produced by
     /// [`DeliverySchedule::to_json`]. The cursor starts rewound.
     ///
+    /// Parsing is strict: a corrupted schedule replayed as ground truth would
+    /// silently validate the wrong run, so any entry that is not *exactly*
+    /// the string `"Drop"` or a single-key `{"Deliver": {"delay_micros": n}}`
+    /// object — including entries with trailing or duplicate fields — is
+    /// rejected.
+    ///
     /// # Errors
     ///
-    /// Returns a description of the first structural mismatch.
+    /// Returns a description of the first structural mismatch, naming the
+    /// offending fate's index.
     pub fn from_json(json: &Json) -> Result<DeliverySchedule, String> {
-        let fates = json
-            .get("fates")
-            .and_then(Json::as_arr)
-            .ok_or("schedule: missing \"fates\" array")?;
+        let Json::Obj(top) = json else {
+            return Err("schedule: expected a top-level object".into());
+        };
+        let [(key, fates)] = top.as_slice() else {
+            return Err(format!(
+                "schedule: expected exactly the \"fates\" key, found {} keys",
+                top.len()
+            ));
+        };
+        if key != "fates" {
+            return Err(format!("schedule: unknown key \"{key}\""));
+        }
+        let fates = fates
+            .as_arr()
+            .ok_or("schedule: \"fates\" is not an array")?;
         let fates = fates
             .iter()
-            .map(|f| match f {
-                Json::Str(s) if s == "Drop" => Ok(RecordedFate::Drop),
-                other => other
-                    .get("Deliver")
-                    .and_then(|d| d.get("delay_micros"))
-                    .and_then(Json::as_u64)
-                    .map(|delay_micros| RecordedFate::Deliver { delay_micros })
-                    .ok_or_else(|| "schedule: bad fate entry".to_string()),
-            })
+            .enumerate()
+            .map(|(i, f)| Self::fate_from_json(f).map_err(|e| format!("schedule: fate #{i}: {e}")))
             .collect::<Result<Vec<_>, String>>()?;
         Ok(DeliverySchedule { fates, cursor: 0 })
+    }
+
+    fn fate_from_json(json: &Json) -> Result<RecordedFate, String> {
+        match json {
+            Json::Str(s) if s == "Drop" => Ok(RecordedFate::Drop),
+            Json::Str(s) => Err(format!("unknown fate \"{s}\"")),
+            Json::Obj(pairs) => {
+                let [(tag, body)] = pairs.as_slice() else {
+                    return Err(format!(
+                        "expected exactly one variant key, found {}",
+                        pairs.len()
+                    ));
+                };
+                if tag != "Deliver" {
+                    return Err(format!("unknown fate variant \"{tag}\""));
+                }
+                let Json::Obj(fields) = body else {
+                    return Err("\"Deliver\" body is not an object".into());
+                };
+                let [(field, delay)] = fields.as_slice() else {
+                    return Err(format!(
+                        "\"Deliver\" must hold exactly \"delay_micros\", found {} fields",
+                        fields.len()
+                    ));
+                };
+                if field != "delay_micros" {
+                    return Err(format!("\"Deliver\" has unknown field \"{field}\""));
+                }
+                let delay_micros = delay
+                    .as_u64()
+                    .ok_or("\"delay_micros\" is not an unsigned integer")?;
+                Ok(RecordedFate::Deliver { delay_micros })
+            }
+            _ => Err("expected \"Drop\" or a {\"Deliver\": …} object".into()),
+        }
     }
 }
 
@@ -169,12 +227,17 @@ impl Validator {
     /// # Errors
     ///
     /// Returns [`SimError::ValidationMismatch`] describing the first
-    /// `(node, slot)` whose decided value differs or is missing.
+    /// `(node, slot)` whose decided value differs or is missing, naming the
+    /// node id and the index of the golden trace event that disagrees.
     pub fn check_against_trace(
         result: &RunResult,
         golden: &crate::trace::Trace,
     ) -> Result<(), SimError> {
-        for (_, node, slot, value) in golden.decisions() {
+        for (event_idx, event) in golden.events().iter().enumerate() {
+            let crate::trace::TraceKind::Decided { slot, value } = event.kind else {
+                continue;
+            };
+            let node = event.node;
             let got = result
                 .decided
                 .get(node.index())
@@ -184,12 +247,14 @@ impl Validator {
                 Some(v) if v == value => {}
                 Some(v) => {
                     return Err(SimError::ValidationMismatch(format!(
-                        "{node} slot {slot}: golden {value}, got {v}"
+                        "golden event #{event_idx}: {node} slot {slot} decided {value}, \
+                         but the run decided {v}"
                     )))
                 }
                 None => {
                     return Err(SimError::ValidationMismatch(format!(
-                        "{node} slot {slot}: golden {value}, got nothing"
+                        "golden event #{event_idx}: {node} slot {slot} decided {value}, \
+                         but the run decided nothing there"
                     )))
                 }
             }
@@ -236,6 +301,31 @@ mod tests {
     }
 
     #[test]
+    fn truncated_keeps_a_rewound_prefix() {
+        let mut s = DeliverySchedule::new();
+        s.push(Fate::Deliver(SimDuration::from_millis(1.0)));
+        s.push(Fate::Drop);
+        s.push(Fate::Deliver(SimDuration::from_millis(2.0)));
+        s.next_fate();
+
+        let mut p = s.truncated(2);
+        assert_eq!(p.len(), 2);
+        assert_eq!(
+            p.next_fate(),
+            Some(Fate::Deliver(SimDuration::from_millis(1.0))),
+            "prefix cursor starts rewound"
+        );
+        assert_eq!(p.next_fate(), Some(Fate::Drop));
+        assert_eq!(p.next_fate(), None);
+        assert_eq!(
+            s.truncated(99).len(),
+            3,
+            "over-long prefix is the whole schedule"
+        );
+        assert_eq!(s.truncated(0).len(), 0);
+    }
+
+    #[test]
     fn schedule_json_round_trip() {
         let mut s = DeliverySchedule::new();
         s.push(Fate::Deliver(SimDuration::from_micros(123_456)));
@@ -247,5 +337,169 @@ mod tests {
         // Byte-identical re-serialisation: the validator depends on recorded
         // schedules surviving a save/load cycle exactly.
         assert_eq!(back.to_json().dump_pretty(), text);
+    }
+
+    /// Parses `text` and asserts `from_json` rejects it with an error
+    /// containing `needle`.
+    fn assert_rejected(text: &str, needle: &str) {
+        let err = DeliverySchedule::from_json(&Json::parse(text).unwrap())
+            .expect_err(&format!("malformed schedule accepted: {text}"));
+        assert!(err.contains(needle), "error {err:?} lacks {needle:?}");
+    }
+
+    #[test]
+    fn schedule_json_rejects_corruption() {
+        // Top-level shape.
+        assert_rejected("[]", "top-level object");
+        assert_rejected("{\"fates\": [], \"extra\": 1}", "exactly the \"fates\"");
+        assert_rejected("{\"schedule\": []}", "unknown key");
+        assert_rejected("{\"fates\": 3}", "not an array");
+        // Fate entries, each error naming the entry index.
+        assert_rejected("{\"fates\": [\"Drop\", \"Dropp\"]}", "fate #1");
+        assert_rejected("{\"fates\": [42]}", "fate #0");
+        assert_rejected(
+            "{\"fates\": [{\"Deliver\": {\"delay_micros\": 1}, \"Drop\": null}]}",
+            "exactly one variant",
+        );
+        assert_rejected(
+            "{\"fates\": [{\"Forward\": {\"delay_micros\": 1}}]}",
+            "unknown fate variant",
+        );
+        assert_rejected("{\"fates\": [{\"Deliver\": 7}]}", "not an object");
+        // Trailing and duplicate fields inside the Deliver body.
+        assert_rejected(
+            "{\"fates\": [{\"Deliver\": {\"delay_micros\": 1, \"trailing\": 2}}]}",
+            "exactly \"delay_micros\"",
+        );
+        assert_rejected(
+            "{\"fates\": [{\"Deliver\": {\"delay_micros\": 1, \"delay_micros\": 2}}]}",
+            "exactly \"delay_micros\"",
+        );
+        assert_rejected(
+            "{\"fates\": [{\"Deliver\": {\"delay\": 1}}]}",
+            "unknown field",
+        );
+        assert_rejected(
+            "{\"fates\": [\"Drop\", {\"Deliver\": {\"delay_micros\": \"soon\"}}]}",
+            "fate #1",
+        );
+    }
+
+    use crate::ids::NodeId;
+    use crate::time::SimTime;
+    use crate::trace::{Trace, TraceKind};
+    use crate::value::Value;
+
+    /// A minimal [`RunResult`] whose per-node decisions are the given value
+    /// sequences (times are irrelevant to decision comparison).
+    fn result_with_decisions(decided: &[&[u64]]) -> RunResult {
+        let decided = decided
+            .iter()
+            .map(|seq| {
+                seq.iter()
+                    .map(|&v| (SimTime::ZERO, Value::new(v)))
+                    .collect()
+            })
+            .collect::<Vec<Vec<_>>>();
+        let n = decided.len();
+        RunResult {
+            end_time: SimTime::ZERO,
+            timed_out: false,
+            completions: Vec::new(),
+            honest_messages: 0,
+            adversary_messages: 0,
+            dropped_messages: 0,
+            events_processed: 0,
+            broadcasts: 0,
+            sent_per_node: vec![0; n],
+            delivered_per_node: vec![0; n],
+            safety_violation: None,
+            decided,
+            trace: Trace::new(),
+            queue_high_water: 0,
+        }
+    }
+
+    fn mismatch_message(err: SimError) -> String {
+        match err {
+            SimError::ValidationMismatch(msg) => msg,
+            other => panic!("expected ValidationMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compare_decisions_names_node_and_slot() {
+        let a = result_with_decisions(&[&[7, 8], &[7, 8]]);
+        assert!(Validator::compare_decisions(&a, &a.clone()).is_ok());
+
+        let fewer_nodes = result_with_decisions(&[&[7, 8]]);
+        let msg = mismatch_message(Validator::compare_decisions(&a, &fewer_nodes).unwrap_err());
+        assert!(msg.contains("node counts differ: 2 vs 1"), "{msg}");
+
+        let fewer_slots = result_with_decisions(&[&[7, 8], &[7]]);
+        let msg = mismatch_message(Validator::compare_decisions(&a, &fewer_slots).unwrap_err());
+        assert!(msg.contains("node 1 decided 2 slots vs 1"), "{msg}");
+
+        let conflicting = result_with_decisions(&[&[7, 8], &[7, 9]]);
+        let msg = mismatch_message(Validator::compare_decisions(&a, &conflicting).unwrap_err());
+        assert!(msg.contains("node 1 slot 1"), "{msg}");
+        assert!(msg.contains("v0x8 vs v0x9"), "{msg}");
+    }
+
+    #[test]
+    fn check_against_trace_names_node_and_event_index() {
+        let mut golden = Trace::new();
+        golden.record(
+            SimTime::from_millis(1),
+            NodeId::new(0),
+            TraceKind::View { view: 1 },
+        );
+        golden.record(
+            SimTime::from_millis(2),
+            NodeId::new(0),
+            TraceKind::Decided {
+                slot: 0,
+                value: Value::new(7),
+            },
+        );
+        golden.record(
+            SimTime::from_millis(3),
+            NodeId::new(1),
+            TraceKind::Decided {
+                slot: 0,
+                value: Value::new(7),
+            },
+        );
+
+        let matching = result_with_decisions(&[&[7], &[7]]);
+        assert!(Validator::check_against_trace(&matching, &golden).is_ok());
+
+        // n1 decided a different value: the error points at golden event #2
+        // (the View event at #0 counts toward the index).
+        let conflicting = result_with_decisions(&[&[7], &[9]]);
+        let msg =
+            mismatch_message(Validator::check_against_trace(&conflicting, &golden).unwrap_err());
+        assert!(msg.contains("golden event #2"), "{msg}");
+        assert!(msg.contains("n1 slot 0"), "{msg}");
+        assert!(msg.contains("decided v0x7"), "{msg}");
+        assert!(msg.contains("the run decided v0x9"), "{msg}");
+
+        // n1 never decided slot 0 at all.
+        let missing = result_with_decisions(&[&[7], &[]]);
+        let msg = mismatch_message(Validator::check_against_trace(&missing, &golden).unwrap_err());
+        assert!(msg.contains("golden event #2"), "{msg}");
+        assert!(msg.contains("n1 slot 0"), "{msg}");
+        assert!(msg.contains("decided nothing"), "{msg}");
+    }
+
+    #[test]
+    fn check_replay_reports_violations_and_mismatches() {
+        let a = result_with_decisions(&[&[7]]);
+        assert!(Validator::check_replay(&a, &a.clone()).is_ok());
+
+        let mut violated = a.clone();
+        violated.safety_violation = Some("replay diverged from recorded schedule".into());
+        let msg = mismatch_message(Validator::check_replay(&a, &violated).unwrap_err());
+        assert!(msg.contains("replay diverged"), "{msg}");
     }
 }

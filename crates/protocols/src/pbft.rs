@@ -27,9 +27,14 @@ use bft_sim_crypto::signature::{sign, Signature};
 
 use crate::common::{proposal_digest, round_robin_leader, vote_digest, ProtocolParams};
 
-const PHASE_PREPARE: u8 = 1;
-const PHASE_COMMIT: u8 = 2;
-const PHASE_VIEW_CHANGE: u8 = 3;
+/// Phase tag mixed into prepare-vote digests (see [`crate::common::vote_digest`]).
+pub const PHASE_PREPARE: u8 = 1;
+/// Phase tag mixed into commit-vote digests. Public so correctness tooling
+/// (e.g. the fuzzer's seeded-bug adversary) can forge syntactically valid
+/// votes and prove the oracles catch them.
+pub const PHASE_COMMIT: u8 = 2;
+/// Phase tag mixed into view-change-vote digests.
+pub const PHASE_VIEW_CHANGE: u8 = 3;
 
 /// A prepared certificate carried inside view-change messages: the highest
 /// `(view, slot, digest)` this node gathered `2f + 1` prepares for.

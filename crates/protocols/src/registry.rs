@@ -3,6 +3,7 @@
 
 use bft_sim_core::config::RunConfig;
 use bft_sim_core::ids::NodeId;
+use bft_sim_core::oracle::{Expectations, ValueDomain};
 use bft_sim_core::protocol::{Protocol, ProtocolFactory};
 
 use crate::add::machine::{factory as add_factory, AddVariant};
@@ -165,6 +166,31 @@ impl ProtocolKind {
         }
     }
 
+    /// The domain of values this protocol legitimately decides: binary votes
+    /// for binary BA, non-zero block digests for everything else (the zero
+    /// digest never occurs for the genesis seeds in use, so a decided zero
+    /// means a default/forged value slipped through).
+    pub fn value_domain(self) -> ValueDomain {
+        match self {
+            ProtocolKind::AsyncBa => ValueDomain::Binary,
+            _ => ValueDomain::NonZero,
+        }
+    }
+
+    /// What the oracle suite may assume about a run of this protocol under
+    /// the given configuration. `benign` says whether the scenario kept the
+    /// protocol inside its fault and network model (no partitions, no
+    /// message-touching adversary): only then is termination owed — an
+    /// adversary that drops messages is *allowed* to stall liveness, and
+    /// only safety remains on the hook.
+    pub fn expectations(self, cfg: &RunConfig, benign: bool) -> Expectations {
+        Expectations {
+            target_decisions: cfg.target_decisions,
+            value_domain: self.value_domain(),
+            must_terminate: benign,
+        }
+    }
+
     /// Applies protocol-appropriate defaults (`f`, target decisions) to a
     /// run configuration.
     pub fn configure(self, cfg: RunConfig) -> RunConfig {
@@ -251,6 +277,21 @@ mod tests {
         assert_eq!(ProtocolKind::AddV1.default_f(16), 7);
         assert_eq!(ProtocolKind::Pbft.default_f(16), 5);
         assert_eq!(ProtocolKind::HotStuffNs.default_f(4), 1);
+    }
+
+    #[test]
+    fn expectations_follow_the_protocol_and_scenario() {
+        let cfg = ProtocolKind::AsyncBa.configure(RunConfig::new(4));
+        let e = ProtocolKind::AsyncBa.expectations(&cfg, true);
+        assert_eq!(e.value_domain, ValueDomain::Binary);
+        assert_eq!(e.target_decisions, 1);
+        assert!(e.must_terminate);
+
+        let cfg = ProtocolKind::HotStuffNs.configure(RunConfig::new(4));
+        let e = ProtocolKind::HotStuffNs.expectations(&cfg, false);
+        assert_eq!(e.value_domain, ValueDomain::NonZero);
+        assert_eq!(e.target_decisions, 10, "pipelined target");
+        assert!(!e.must_terminate, "adversarial runs owe only safety");
     }
 
     #[test]

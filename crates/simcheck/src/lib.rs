@@ -1,0 +1,36 @@
+//! # bft-sim-simcheck
+//!
+//! A deterministic schedule-exploration fuzzer for the BFT simulator, with
+//! first-class correctness oracles and failing-case shrinking:
+//!
+//! - [`scenario`] — seeded scenario generation ([`ScenarioSpec::generate`])
+//!   and oracle-checked execution ([`ScenarioSpec::run`]) in generate /
+//!   scripted / schedule-replay modes;
+//! - [`fuzz`] — the sweep driver ([`fuzz_many`]): one scenario per seed,
+//!   every violation shrunk to a reproducer;
+//! - [`shrink`] — minimisation: decision target, partition, ddmin over the
+//!   adversary action list, node count, then delivery-schedule bisection;
+//! - [`repro`] — the `bft-sim-repro-v1` JSON format written by
+//!   `bft-sim fuzz` and replayed by `bft-sim repro`;
+//! - [`testbug`] (feature `testbug`) — an intentionally buggy adversary that
+//!   forges a PBFT commit quorum, proving the oracles catch real safety
+//!   violations.
+//!
+//! Everything is deterministic by construction: a scenario seed pins the
+//! spec, the spec pins the run, and the run pins the violations and the
+//! shrunk repro — the property the whole subsystem exists to exploit.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod fuzz;
+pub mod repro;
+pub mod scenario;
+pub mod shrink;
+#[cfg(feature = "testbug")]
+pub mod testbug;
+
+pub use fuzz::{fuzz_many, FuzzOptions, FuzzOutcome, FuzzReport};
+pub use repro::{Repro, FORMAT};
+pub use scenario::{CheckedRun, DelaySpec, PartitionSpec, RunMode, ScenarioSpec};
+pub use shrink::{bisect_prefix, shrink};

@@ -1,0 +1,183 @@
+//! Self-contained failure reproducers.
+//!
+//! A [`Repro`] is what the fuzzer hands back for every violation it finds
+//! (after shrinking): the minimal scenario, the residual adversary script,
+//! optionally a delivery-schedule prefix, and the oracle it trips. Its JSON
+//! form is what `bft-sim fuzz` writes and `bft-sim repro` replays; checking
+//! a committed repro file into `tests/` turns a fuzzer catch into a
+//! permanent regression test.
+
+use bft_sim_attacks::{actions_from_json, actions_to_json, FuzzAction};
+use bft_sim_core::json::Json;
+use bft_sim_core::oracle::OracleViolation;
+use bft_sim_core::validator::DeliverySchedule;
+
+use crate::scenario::{RunMode, ScenarioSpec};
+
+/// The format tag every repro file carries.
+pub const FORMAT: &str = "bft-sim-repro-v1";
+
+/// A minimal, replayable description of one oracle violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Repro {
+    /// The (shrunk) scenario.
+    pub spec: ScenarioSpec,
+    /// The residual adversary script, applied in [`RunMode::Scripted`].
+    pub actions: Vec<FuzzAction>,
+    /// When present, the violation reproduces through a pure schedule
+    /// replay ([`RunMode::Replay`]) — no adversary involved at all.
+    pub schedule: Option<DeliverySchedule>,
+    /// The oracle that must fire ([`OracleViolation::oracle`]).
+    pub oracle: String,
+    /// The violation detail observed when the repro was minted.
+    pub detail: String,
+}
+
+impl Repro {
+    /// Re-runs the repro and confirms the recorded oracle still fires.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the run cannot be built (e.g. the spec needs
+    /// the `testbug` feature) or when the oracle no longer fires — meaning
+    /// either the bug is fixed or the repro went stale.
+    pub fn check(&self) -> Result<OracleViolation, String> {
+        let run = match &self.schedule {
+            Some(schedule) => self.spec.run(RunMode::Replay(schedule))?,
+            None => self.spec.run(RunMode::Scripted(&self.actions))?,
+        };
+        run.violations
+            .into_iter()
+            .find(|v| v.oracle == self.oracle)
+            .ok_or_else(|| {
+                format!(
+                    "oracle \"{}\" did not fire — the repro no longer reproduces",
+                    self.oracle
+                )
+            })
+    }
+
+    /// The repro as a JSON document (`"format": "bft-sim-repro-v1"`).
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("format".to_string(), Json::from(FORMAT)),
+            ("oracle".to_string(), Json::from(self.oracle.as_str())),
+            ("detail".to_string(), Json::from(self.detail.as_str())),
+            ("scenario".to_string(), self.spec.to_json()),
+        ];
+        if !self.actions.is_empty() {
+            pairs.push(("actions".to_string(), actions_to_json(&self.actions)));
+        }
+        if let Some(schedule) = &self.schedule {
+            pairs.push(("schedule".to_string(), schedule.to_json()));
+        }
+        Json::Obj(pairs)
+    }
+
+    /// Parses the format produced by [`Repro::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field; a missing or
+    /// mismatched `"format"` tag is rejected up front.
+    pub fn from_json(json: &Json) -> Result<Repro, String> {
+        let format = json
+            .get("format")
+            .and_then(Json::as_str)
+            .ok_or("repro: missing \"format\" tag")?;
+        if format != FORMAT {
+            return Err(format!("repro: format \"{format}\" is not \"{FORMAT}\""));
+        }
+        let oracle = json
+            .get("oracle")
+            .and_then(Json::as_str)
+            .ok_or("repro: missing \"oracle\"")?
+            .to_string();
+        let detail = json
+            .get("detail")
+            .and_then(Json::as_str)
+            .ok_or("repro: missing \"detail\"")?
+            .to_string();
+        let spec =
+            ScenarioSpec::from_json(json.get("scenario").ok_or("repro: missing \"scenario\"")?)?;
+        let actions = match json.get("actions") {
+            Some(a) => actions_from_json(a)?,
+            None => Vec::new(),
+        };
+        let schedule = match json.get("schedule") {
+            Some(s) => Some(DeliverySchedule::from_json(s)?),
+            None => None,
+        };
+        Ok(Repro {
+            spec,
+            actions,
+            schedule,
+            oracle,
+            detail,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bft_sim_attacks::FuzzActionKind;
+    use bft_sim_core::ids::NodeId;
+    use bft_sim_protocols::registry::ProtocolKind;
+
+    fn sample() -> Repro {
+        Repro {
+            spec: ScenarioSpec::baseline(ProtocolKind::HotStuffNs),
+            actions: vec![
+                FuzzAction {
+                    msg_index: 3,
+                    kind: FuzzActionKind::Drop,
+                },
+                FuzzAction {
+                    msg_index: 9,
+                    kind: FuzzActionKind::Replay {
+                        dst: NodeId::new(2),
+                        delay_micros: 500,
+                    },
+                },
+            ],
+            schedule: None,
+            oracle: "agreement".to_string(),
+            detail: "slot 0: n1 decided v0x1 but n2 decided v0x2".to_string(),
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let repro = sample();
+        let text = repro.to_json().dump_pretty();
+        let back = Repro::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, repro);
+        assert_eq!(back.to_json().dump_pretty(), text);
+    }
+
+    #[test]
+    fn format_tag_is_enforced() {
+        let err =
+            Repro::from_json(&Json::parse("{\"oracle\": \"agreement\"}").unwrap()).unwrap_err();
+        assert!(err.contains("format"), "{err}");
+        let mut doc = sample().to_json();
+        if let Json::Obj(pairs) = &mut doc {
+            pairs[0].1 = Json::from("bft-sim-repro-v999");
+        }
+        let err = Repro::from_json(&doc).unwrap_err();
+        assert!(err.contains("v999"), "{err}");
+    }
+
+    #[test]
+    fn stale_repro_is_detected() {
+        // A clean baseline run cannot fire the agreement oracle, so checking
+        // a repro that claims it must fire has to fail loudly.
+        let repro = Repro {
+            actions: Vec::new(),
+            ..sample()
+        };
+        let err = repro.check().unwrap_err();
+        assert!(err.contains("no longer reproduces"), "{err}");
+    }
+}

@@ -1,0 +1,701 @@
+//! Randomized-but-deterministic fuzz scenarios.
+//!
+//! A [`ScenarioSpec`] pins *everything* a run depends on — protocol, scale,
+//! seeds, delay distribution, partition window, adversary budget — as plain
+//! integers, so the spec itself is the reproducer: serialising it to JSON and
+//! running it again yields the bit-identical run. Scenarios are drawn from a
+//! seeded RNG by [`ScenarioSpec::generate`] and executed (and oracle-checked)
+//! by [`ScenarioSpec::run`] in one of three modes:
+//!
+//! - [`RunMode::Generate`] — the adversary rolls fresh actions within its
+//!   budget and logs them;
+//! - [`RunMode::Scripted`] — a previously logged action list is re-applied
+//!   verbatim (the shrinker's probe mode);
+//! - [`RunMode::Replay`] — a recorded [`DeliverySchedule`] is replayed with
+//!   the adversary bypassed entirely (the engine's validator path).
+
+use bft_sim_attacks::{FuzzAction, FuzzBudget, PartitionAttack, RandomizedAdversary};
+use bft_sim_core::adversary::{Adversary, AdversaryApi, Fate};
+use bft_sim_core::config::RunConfig;
+use bft_sim_core::dist::Dist;
+use bft_sim_core::engine::SimulationBuilder;
+use bft_sim_core::json::Json;
+use bft_sim_core::message::Message;
+use bft_sim_core::metrics::RunResult;
+use bft_sim_core::network::SampledNetwork;
+use bft_sim_core::oracle::{OracleInput, OracleObserver, OracleSuite, OracleViolation};
+use bft_sim_core::time::{SimDuration, SimTime};
+use bft_sim_core::validator::DeliverySchedule;
+use bft_sim_net::partition::{CrossTraffic, PartitionPlan};
+use bft_sim_protocols::registry::ProtocolKind;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A network delay distribution with integer-microsecond parameters, so the
+/// spec JSON round-trips exactly (no float formatting involved).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DelaySpec {
+    /// Every message takes exactly `micros`.
+    Constant {
+        /// The fixed delay.
+        micros: u64,
+    },
+    /// Uniform in `[lo_micros, hi_micros)`.
+    Uniform {
+        /// Lower bound (inclusive).
+        lo_micros: u64,
+        /// Upper bound (exclusive).
+        hi_micros: u64,
+    },
+    /// Normal with the given mean and standard deviation.
+    Normal {
+        /// Mean delay.
+        mean_micros: u64,
+        /// Standard deviation.
+        std_micros: u64,
+    },
+}
+
+impl DelaySpec {
+    /// The engine-facing distribution (milliseconds, as [`Dist`] expects).
+    pub fn to_dist(self) -> Dist {
+        let ms = |micros: u64| micros as f64 / 1000.0;
+        match self {
+            DelaySpec::Constant { micros } => Dist::constant(ms(micros)),
+            DelaySpec::Uniform {
+                lo_micros,
+                hi_micros,
+            } => Dist::uniform(ms(lo_micros), ms(hi_micros)),
+            DelaySpec::Normal {
+                mean_micros,
+                std_micros,
+            } => Dist::normal(ms(mean_micros), ms(std_micros)),
+        }
+    }
+
+    /// Externally tagged JSON, mirroring the schedule-fate format.
+    pub fn to_json(self) -> Json {
+        match self {
+            DelaySpec::Constant { micros } => {
+                Json::obj([("Constant", Json::obj([("micros", Json::from(micros))]))])
+            }
+            DelaySpec::Uniform {
+                lo_micros,
+                hi_micros,
+            } => Json::obj([(
+                "Uniform",
+                Json::obj([
+                    ("lo_micros", Json::from(lo_micros)),
+                    ("hi_micros", Json::from(hi_micros)),
+                ]),
+            )]),
+            DelaySpec::Normal {
+                mean_micros,
+                std_micros,
+            } => Json::obj([(
+                "Normal",
+                Json::obj([
+                    ("mean_micros", Json::from(mean_micros)),
+                    ("std_micros", Json::from(std_micros)),
+                ]),
+            )]),
+        }
+    }
+
+    /// Parses the format produced by [`DelaySpec::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field.
+    pub fn from_json(json: &Json) -> Result<DelaySpec, String> {
+        let field = |body: &Json, name: &str| -> Result<u64, String> {
+            body.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("delay: bad \"{name}\""))
+        };
+        if let Some(body) = json.get("Constant") {
+            Ok(DelaySpec::Constant {
+                micros: field(body, "micros")?,
+            })
+        } else if let Some(body) = json.get("Uniform") {
+            Ok(DelaySpec::Uniform {
+                lo_micros: field(body, "lo_micros")?,
+                hi_micros: field(body, "hi_micros")?,
+            })
+        } else if let Some(body) = json.get("Normal") {
+            Ok(DelaySpec::Normal {
+                mean_micros: field(body, "mean_micros")?,
+                std_micros: field(body, "std_micros")?,
+            })
+        } else {
+            Err(format!("delay: unknown variant {json}"))
+        }
+    }
+}
+
+/// A half/half network split over a time window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionSpec {
+    /// Partition start (ms).
+    pub start_ms: u64,
+    /// Partition end (ms).
+    pub end_ms: u64,
+    /// `true` drops cross traffic; `false` holds it until resolution.
+    pub drop: bool,
+}
+
+impl PartitionSpec {
+    /// The spec as a JSON object.
+    pub fn to_json(self) -> Json {
+        Json::obj([
+            ("start_ms", Json::from(self.start_ms)),
+            ("end_ms", Json::from(self.end_ms)),
+            ("drop", Json::from(self.drop)),
+        ])
+    }
+
+    /// Parses the format produced by [`PartitionSpec::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field.
+    pub fn from_json(json: &Json) -> Result<PartitionSpec, String> {
+        Ok(PartitionSpec {
+            start_ms: json
+                .get("start_ms")
+                .and_then(Json::as_u64)
+                .ok_or("partition: bad \"start_ms\"")?,
+            end_ms: json
+                .get("end_ms")
+                .and_then(Json::as_u64)
+                .ok_or("partition: bad \"end_ms\"")?,
+            drop: json
+                .get("drop")
+                .and_then(Json::as_bool)
+                .ok_or("partition: bad \"drop\"")?,
+        })
+    }
+}
+
+/// One fully pinned fuzz scenario. See the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// The protocol under test.
+    pub protocol: ProtocolKind,
+    /// Number of nodes.
+    pub n: usize,
+    /// The run seed (network sampling, protocol randomness).
+    pub seed: u64,
+    /// Genesis seed for proposal digests.
+    pub genesis_seed: u64,
+    /// The protocols' timeout parameter λ, in microseconds.
+    pub lambda_micros: u64,
+    /// Network delay distribution.
+    pub delay: DelaySpec,
+    /// Optional half/half partition window.
+    pub partition: Option<PartitionSpec>,
+    /// Seed for the randomized adversary's own RNG (independent of `seed`).
+    pub adversary_seed: u64,
+    /// Adversary intensity in permille (0 = benign, 1000 = full budget).
+    pub intensity_permille: u64,
+    /// Hard cap on adversary actions; `0` disables the adversary.
+    pub max_actions: u64,
+    /// Decisions every correct node must reach.
+    pub target_decisions: u64,
+    /// Simulated-time cap in seconds.
+    pub time_cap_secs: u64,
+    /// Arms the feature-gated seeded safety bug (`testbug`).
+    pub inject_bug: bool,
+}
+
+/// How [`ScenarioSpec::run`] drives the adversary.
+#[derive(Debug, Clone, Copy)]
+pub enum RunMode<'a> {
+    /// Roll fresh adversary actions from the scenario's budget, logging them.
+    Generate,
+    /// Re-apply exactly these previously logged actions.
+    Scripted(&'a [FuzzAction]),
+    /// Replay a recorded delivery schedule; the adversary is bypassed.
+    Replay(&'a DeliverySchedule),
+}
+
+/// A finished, oracle-checked run.
+#[derive(Debug)]
+pub struct CheckedRun {
+    /// The engine's metrics and trace.
+    pub result: RunResult,
+    /// The per-message fates of the run, in send order.
+    pub schedule: DeliverySchedule,
+    /// The adversary actions that were applied (empty in replay mode).
+    pub actions: Vec<FuzzAction>,
+    /// Every oracle violation the suite found (empty = clean).
+    pub violations: Vec<OracleViolation>,
+}
+
+impl CheckedRun {
+    /// Whether the named oracle fired on this run.
+    pub fn violates(&self, oracle: &str) -> bool {
+        self.violations.iter().any(|v| v.oracle == oracle)
+    }
+}
+
+/// The scales the generator draws from, weighted toward small (fast) runs.
+const SCALES: [usize; 6] = [4, 4, 7, 7, 10, 16];
+
+impl ScenarioSpec {
+    /// A quiet single-run scenario: constant 100 ms delays, no partition, no
+    /// adversary. The starting point for hand-built specs and `from_json`.
+    pub fn baseline(protocol: ProtocolKind) -> ScenarioSpec {
+        ScenarioSpec {
+            protocol,
+            n: 4,
+            seed: 0,
+            genesis_seed: 7,
+            lambda_micros: 1_000_000,
+            delay: DelaySpec::Constant { micros: 100_000 },
+            partition: None,
+            adversary_seed: 0,
+            intensity_permille: 0,
+            max_actions: 0,
+            target_decisions: protocol.measured_decisions(),
+            time_cap_secs: 900,
+            inject_bug: false,
+        }
+    }
+
+    /// Draws a scenario from `scenario_seed`: protocol from `protocols`,
+    /// scale from {4, 7, 10, 16} (small-biased), one of three delay
+    /// distributions bounded well under λ = 1 s, ~30% fully benign runs,
+    /// ~25% of the rest partitioned. `inject_bug` forces PBFT (the seeded
+    /// bug forges PBFT commit certificates).
+    pub fn generate(
+        scenario_seed: u64,
+        protocols: &[ProtocolKind],
+        intensity_permille: u64,
+        max_actions: u64,
+        inject_bug: bool,
+    ) -> ScenarioSpec {
+        assert!(
+            !protocols.is_empty(),
+            "generate needs at least one protocol"
+        );
+        let mut rng = SmallRng::seed_from_u64(scenario_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let protocol = if inject_bug {
+            ProtocolKind::Pbft
+        } else {
+            protocols[rng.gen_range(0..protocols.len() as u64) as usize]
+        };
+        let n = SCALES[rng.gen_range(0..SCALES.len() as u64) as usize];
+        let seed = rng.gen_range(0..u64::MAX);
+        let adversary_seed = rng.gen_range(0..u64::MAX);
+        let genesis_seed = rng.gen_range(1..u64::MAX);
+        let delay = match rng.gen_range(0..3u64) {
+            0 => DelaySpec::Constant { micros: 100_000 },
+            1 => DelaySpec::Uniform {
+                lo_micros: 50_000,
+                hi_micros: 300_000,
+            },
+            _ => DelaySpec::Normal {
+                mean_micros: 250_000,
+                std_micros: 50_000,
+            },
+        };
+        let benign = rng.gen_bool(0.3) && !inject_bug;
+        let partitioned = rng.gen_bool(0.25) && !benign;
+        let partition = partitioned.then(|| {
+            let start_ms = rng.gen_range(0..2_000u64);
+            let dur_ms = rng.gen_range(1_000..8_000u64);
+            PartitionSpec {
+                start_ms,
+                end_ms: start_ms + dur_ms,
+                drop: rng.gen_bool(0.5),
+            }
+        });
+        ScenarioSpec {
+            protocol,
+            n,
+            seed,
+            genesis_seed,
+            lambda_micros: 1_000_000,
+            delay,
+            partition,
+            adversary_seed,
+            intensity_permille,
+            max_actions: if benign { 0 } else { max_actions },
+            target_decisions: protocol.measured_decisions(),
+            time_cap_secs: 900,
+            inject_bug,
+        }
+    }
+
+    /// Whether a [`RunMode::Generate`] run of this spec stays entirely
+    /// inside the protocol's fault and network model, so the termination
+    /// oracle is owed a decision.
+    pub fn is_benign(&self) -> bool {
+        self.partition.is_none() && self.max_actions == 0 && !self.inject_bug
+    }
+
+    fn config(&self) -> RunConfig {
+        self.protocol
+            .configure(
+                RunConfig::new(self.n)
+                    .with_seed(self.seed)
+                    .with_lambda_ms(self.lambda_micros as f64 / 1000.0)
+                    .with_time_cap(SimDuration::from_secs(self.time_cap_secs as f64)),
+            )
+            .with_target_decisions(self.target_decisions)
+    }
+
+    fn partition_attack(&self) -> Option<PartitionAttack> {
+        self.partition.map(|p| {
+            PartitionAttack::new(PartitionPlan::halves(
+                self.n,
+                SimTime::from_millis(p.start_ms),
+                SimTime::from_millis(p.end_ms),
+                if p.drop {
+                    CrossTraffic::Drop
+                } else {
+                    CrossTraffic::HoldUntilResolve
+                },
+            ))
+        })
+    }
+
+    #[cfg(feature = "testbug")]
+    fn extra_adversary(&self) -> Result<Option<Box<dyn Adversary>>, String> {
+        Ok(self
+            .inject_bug
+            .then(|| Box::new(crate::testbug::QuorumForgeAdversary::new()) as Box<dyn Adversary>))
+    }
+
+    #[cfg(not(feature = "testbug"))]
+    fn extra_adversary(&self) -> Result<Option<Box<dyn Adversary>>, String> {
+        if self.inject_bug {
+            return Err(
+                "scenario arms the seeded bug: rebuild with --features testbug to run it".into(),
+            );
+        }
+        Ok(None)
+    }
+
+    /// Runs the scenario in `mode` and checks it against the standard oracle
+    /// suite. Same spec + same mode ⇒ bit-identical [`CheckedRun`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the configuration is rejected by the engine or
+    /// the spec needs the `testbug` feature and it is not compiled in.
+    pub fn run(&self, mode: RunMode<'_>) -> Result<CheckedRun, String> {
+        let kind = self.protocol;
+        let cfg = self.config();
+        let benign = match mode {
+            RunMode::Generate => self.is_benign(),
+            RunMode::Scripted(a) => a.is_empty() && self.partition.is_none() && !self.inject_bug,
+            // A replayed schedule may embody drops; liveness is never owed.
+            RunMode::Replay(_) => false,
+        };
+        let expect = kind.expectations(&cfg, benign);
+        let factory = kind.factory(&cfg, self.genesis_seed);
+        let observer = OracleObserver::new();
+        let probe = observer.clone();
+        let network = SampledNetwork::new(self.delay.to_dist());
+
+        let (result, schedule, actions) = match mode {
+            RunMode::Replay(schedule) => {
+                let mut replay = schedule.clone();
+                replay.rewind();
+                let sim = SimulationBuilder::new(cfg)
+                    .network(network)
+                    .observer(observer)
+                    .replay_schedule(replay)
+                    .protocols(factory)
+                    .build()
+                    .map_err(|e| format!("replay build failed: {e}"))?;
+                (sim.run(), schedule.clone(), Vec::new())
+            }
+            RunMode::Generate | RunMode::Scripted(_) => {
+                let fuzz = match mode {
+                    RunMode::Generate => RandomizedAdversary::generate(
+                        self.adversary_seed,
+                        FuzzBudget::with_intensity(
+                            self.intensity_permille as f64 / 1000.0,
+                            self.max_actions,
+                        ),
+                    ),
+                    RunMode::Scripted(a) => RandomizedAdversary::scripted(a),
+                    RunMode::Replay(_) => unreachable!("handled above"),
+                };
+                let log = fuzz.log_handle();
+                let stack = Stack {
+                    partition: self.partition_attack(),
+                    fuzz,
+                    extra: self.extra_adversary()?,
+                };
+                let sim = SimulationBuilder::new(cfg)
+                    .network(network)
+                    .observer(observer)
+                    .adversary(stack)
+                    .protocols(factory)
+                    .build()
+                    .map_err(|e| format!("build failed: {e}"))?;
+                let (result, schedule) = sim.run_recorded();
+                (result, schedule, log.snapshot())
+            }
+        };
+
+        let violations = OracleSuite::standard().check(&OracleInput::from_result(
+            &result,
+            Some(probe.snapshot()),
+            expect,
+        ));
+        Ok(CheckedRun {
+            result,
+            schedule,
+            actions,
+            violations,
+        })
+    }
+
+    /// The spec as a JSON object (the reproducer's `"scenario"` field).
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("protocol".to_string(), Json::from(self.protocol.name())),
+            ("n".to_string(), Json::from(self.n)),
+            ("seed".to_string(), Json::from(self.seed)),
+            ("genesis_seed".to_string(), Json::from(self.genesis_seed)),
+            ("lambda_micros".to_string(), Json::from(self.lambda_micros)),
+            ("delay".to_string(), self.delay.to_json()),
+        ];
+        if let Some(p) = self.partition {
+            pairs.push(("partition".to_string(), p.to_json()));
+        }
+        pairs.extend([
+            (
+                "adversary_seed".to_string(),
+                Json::from(self.adversary_seed),
+            ),
+            (
+                "intensity_permille".to_string(),
+                Json::from(self.intensity_permille),
+            ),
+            ("max_actions".to_string(), Json::from(self.max_actions)),
+            (
+                "target_decisions".to_string(),
+                Json::from(self.target_decisions),
+            ),
+            ("time_cap_secs".to_string(), Json::from(self.time_cap_secs)),
+            ("inject_bug".to_string(), Json::from(self.inject_bug)),
+        ]);
+        Json::Obj(pairs)
+    }
+
+    /// Parses the format produced by [`ScenarioSpec::to_json`]. Unknown
+    /// fields are rejected; absent fields keep [`ScenarioSpec::baseline`]
+    /// defaults; `"protocol"` is required.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed or unknown field.
+    pub fn from_json(json: &Json) -> Result<ScenarioSpec, String> {
+        let Json::Obj(pairs) = json else {
+            return Err("scenario: expected a JSON object".into());
+        };
+        let mut spec = ScenarioSpec::baseline(ProtocolKind::Pbft);
+        let mut saw_protocol = false;
+        let mut saw_target = false;
+        for (key, value) in pairs {
+            let bad = || format!("scenario: bad value for \"{key}\"");
+            match key.as_str() {
+                "protocol" => {
+                    let name = value.as_str().ok_or_else(bad)?;
+                    spec.protocol = ProtocolKind::parse(name)
+                        .ok_or_else(|| format!("scenario: unknown protocol \"{name}\""))?;
+                    saw_protocol = true;
+                }
+                "n" => spec.n = value.as_u64().ok_or_else(bad)? as usize,
+                "seed" => spec.seed = value.as_u64().ok_or_else(bad)?,
+                "genesis_seed" => spec.genesis_seed = value.as_u64().ok_or_else(bad)?,
+                "lambda_micros" => spec.lambda_micros = value.as_u64().ok_or_else(bad)?,
+                "delay" => spec.delay = DelaySpec::from_json(value)?,
+                "partition" => spec.partition = Some(PartitionSpec::from_json(value)?),
+                "adversary_seed" => spec.adversary_seed = value.as_u64().ok_or_else(bad)?,
+                "intensity_permille" => spec.intensity_permille = value.as_u64().ok_or_else(bad)?,
+                "max_actions" => spec.max_actions = value.as_u64().ok_or_else(bad)?,
+                "target_decisions" => {
+                    spec.target_decisions = value.as_u64().ok_or_else(bad)?;
+                    saw_target = true;
+                }
+                "time_cap_secs" => spec.time_cap_secs = value.as_u64().ok_or_else(bad)?,
+                "inject_bug" => spec.inject_bug = value.as_bool().ok_or_else(bad)?,
+                other => return Err(format!("scenario: unknown field \"{other}\"")),
+            }
+        }
+        if !saw_protocol {
+            return Err("scenario: missing \"protocol\"".into());
+        }
+        if !saw_target {
+            spec.target_decisions = spec.protocol.measured_decisions();
+        }
+        Ok(spec)
+    }
+}
+
+/// The composed scenario adversary: partition rules first (a dropped message
+/// never reaches the fuzzer, mirroring a real network split), then the
+/// randomized fuzzer, with an optional extra adversary (the seeded bug)
+/// riding along for init/timers.
+struct Stack {
+    partition: Option<PartitionAttack>,
+    fuzz: RandomizedAdversary,
+    extra: Option<Box<dyn Adversary>>,
+}
+
+impl Adversary for Stack {
+    fn init(&mut self, api: &mut AdversaryApi<'_>) {
+        if let Some(extra) = &mut self.extra {
+            extra.init(api);
+        }
+    }
+
+    fn attack(
+        &mut self,
+        msg: &mut Message,
+        proposed: SimDuration,
+        api: &mut AdversaryApi<'_>,
+    ) -> Fate {
+        let proposed = match &mut self.partition {
+            Some(p) => match p.attack(msg, proposed, api) {
+                Fate::Drop => return Fate::Drop,
+                Fate::Deliver(d) => d,
+            },
+            None => proposed,
+        };
+        self.fuzz.attack(msg, proposed, api)
+    }
+
+    fn on_timer(&mut self, tag: u64, api: &mut AdversaryApi<'_>) {
+        if let Some(extra) = &mut self.extra {
+            extra.on_timer(tag, api);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "simcheck"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_pbft_run_is_clean() {
+        let spec = ScenarioSpec::baseline(ProtocolKind::Pbft);
+        assert!(spec.is_benign());
+        let run = spec.run(RunMode::Generate).unwrap();
+        assert!(run.violations.is_empty(), "{:?}", run.violations);
+        assert!(run.actions.is_empty());
+        assert!(!run.schedule.is_empty());
+        assert!(run.result.is_clean());
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_varied() {
+        let kinds = ProtocolKind::extended();
+        let a = ScenarioSpec::generate(42, &kinds, 500, 48, false);
+        let b = ScenarioSpec::generate(42, &kinds, 500, 48, false);
+        assert_eq!(a, b, "same seed must draw the same scenario");
+
+        let scales: std::collections::HashSet<usize> = (0..64)
+            .map(|s| ScenarioSpec::generate(s, &kinds, 500, 48, false).n)
+            .collect();
+        assert!(scales.len() > 1, "64 seeds must cover several scales");
+        let benign = (0..64)
+            .filter(|&s| ScenarioSpec::generate(s, &kinds, 500, 48, false).is_benign())
+            .count();
+        assert!((5..60).contains(&benign), "benign mix off: {benign}/64");
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let kinds = [ProtocolKind::Pbft, ProtocolKind::HotStuffNs];
+        let spec = ScenarioSpec::generate(7, &kinds, 500, 48, false);
+        let a = spec.run(RunMode::Generate).unwrap();
+        let b = spec.run(RunMode::Generate).unwrap();
+        assert_eq!(a.result, b.result);
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.actions, b.actions);
+        assert_eq!(a.violations, b.violations);
+    }
+
+    #[test]
+    fn scripted_replay_matches_the_generated_run() {
+        let spec = ScenarioSpec {
+            intensity_permille: 500,
+            max_actions: 32,
+            ..ScenarioSpec::baseline(ProtocolKind::Pbft)
+        };
+        let generated = spec.run(RunMode::Generate).unwrap();
+        assert!(!generated.actions.is_empty(), "budget must act on PBFT");
+        let scripted = spec.run(RunMode::Scripted(&generated.actions)).unwrap();
+        assert_eq!(scripted.result, generated.result);
+        assert_eq!(scripted.actions, generated.actions);
+    }
+
+    #[test]
+    fn schedule_replay_reproduces_decisions() {
+        let spec = ScenarioSpec {
+            delay: DelaySpec::Normal {
+                mean_micros: 250_000,
+                std_micros: 50_000,
+            },
+            ..ScenarioSpec::baseline(ProtocolKind::Pbft)
+        };
+        let original = spec.run(RunMode::Generate).unwrap();
+        let replayed = spec.run(RunMode::Replay(&original.schedule)).unwrap();
+        assert!(replayed.violations.is_empty(), "{:?}", replayed.violations);
+        assert_eq!(replayed.result.decided, original.result.decided);
+    }
+
+    #[test]
+    fn partitioned_pbft_stays_safe() {
+        let spec = ScenarioSpec {
+            partition: Some(PartitionSpec {
+                start_ms: 0,
+                end_ms: 5_000,
+                drop: true,
+            }),
+            ..ScenarioSpec::baseline(ProtocolKind::Pbft)
+        };
+        assert!(!spec.is_benign());
+        let run = spec.run(RunMode::Generate).unwrap();
+        assert!(run.violations.is_empty(), "{:?}", run.violations);
+        let latency = run.result.latency().unwrap().as_secs_f64();
+        assert!(latency >= 5.0, "decided during the partition: {latency}");
+    }
+
+    #[test]
+    fn spec_json_round_trips() {
+        let kinds = ProtocolKind::extended();
+        for seed in 0..16 {
+            let spec = ScenarioSpec::generate(seed, &kinds, 500, 48, false);
+            let text = spec.to_json().dump_pretty();
+            let back = ScenarioSpec::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, spec, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn spec_json_is_strict() {
+        let err = ScenarioSpec::from_json(&Json::parse("{\"n\": 4}").unwrap()).unwrap_err();
+        assert!(err.contains("missing \"protocol\""), "{err}");
+        let err = ScenarioSpec::from_json(
+            &Json::parse("{\"protocol\": \"pbft\", \"nodes\": 4}").unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown field \"nodes\""), "{err}");
+        let err =
+            ScenarioSpec::from_json(&Json::parse("{\"protocol\": \"raft\"}").unwrap()).unwrap_err();
+        assert!(err.contains("unknown protocol"), "{err}");
+    }
+}

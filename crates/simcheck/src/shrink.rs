@@ -1,0 +1,282 @@
+//! Failing-case minimisation.
+//!
+//! Given a scenario whose run violated an oracle, [`shrink`] searches for a
+//! smaller scenario that still violates the *same* oracle, probing with
+//! scripted re-runs (every probe is a full deterministic simulation):
+//!
+//! 1. drop the decision target to 1 (shorter runs);
+//! 2. drop the partition window;
+//! 3. delta-debug the adversary action list (remove chunks, then singles);
+//! 4. shrink `n` down through the generator's scales;
+//! 5. when the residual failure is pure drop/delay (no injected payloads, no
+//!    seeded bug), record the final failing run's [`DeliverySchedule`] and
+//!    bisect it to the shortest violating prefix — the repro then replays
+//!    through the engine's validator path with no adversary at all.
+
+use bft_sim_attacks::{FuzzAction, FuzzActionKind};
+use bft_sim_core::validator::DeliverySchedule;
+
+use crate::repro::Repro;
+use crate::scenario::{CheckedRun, RunMode, ScenarioSpec};
+
+/// The scales [`shrink`] tries, smallest first.
+const SCALES_ASCENDING: [usize; 3] = [4, 7, 10];
+
+/// Probes whether `spec` + `actions` still violate `oracle`; returns the run
+/// when it does.
+fn still_fails(spec: &ScenarioSpec, actions: &[FuzzAction], oracle: &str) -> Option<CheckedRun> {
+    spec.run(RunMode::Scripted(actions))
+        .ok()
+        .filter(|run| run.violates(oracle))
+}
+
+/// Minimises a failing scenario to a [`Repro`]. `failing` must be the
+/// outcome of `spec.run(RunMode::Generate)`; the first violation's oracle is
+/// what every probe must preserve.
+pub fn shrink(spec: &ScenarioSpec, failing: &CheckedRun) -> Repro {
+    let oracle = failing
+        .violations
+        .first()
+        .expect("shrink needs a violating run")
+        .oracle;
+    let mut spec = spec.clone();
+    let mut actions = failing.actions.clone();
+
+    // The generated run and its scripted replay must agree before any
+    // minimisation is meaningful; if they somehow don't, ship the original
+    // scenario un-shrunk rather than a broken reproducer.
+    if still_fails(&spec, &actions, oracle).is_none() {
+        let v = &failing.violations[0];
+        return Repro {
+            spec,
+            actions,
+            schedule: None,
+            oracle: v.oracle.to_string(),
+            detail: v.detail.clone(),
+        };
+    }
+
+    // 1. A single decision is enough for any safety violation on slot 0 and
+    //    most others; vastly shortens every later probe.
+    if spec.target_decisions > 1 {
+        let candidate = ScenarioSpec {
+            target_decisions: 1,
+            ..spec.clone()
+        };
+        if still_fails(&candidate, &actions, oracle).is_some() {
+            spec = candidate;
+        }
+    }
+
+    // 2. Partitions rarely cause the violation they accompany.
+    if spec.partition.is_some() {
+        let candidate = ScenarioSpec {
+            partition: None,
+            ..spec.clone()
+        };
+        if still_fails(&candidate, &actions, oracle).is_some() {
+            spec = candidate;
+        }
+    }
+
+    // 3. Delta-debug the action list.
+    actions = ddmin(&spec, actions, oracle);
+
+    // 4. Fewer nodes, smallest first.
+    for n in SCALES_ASCENDING {
+        if n >= spec.n {
+            break;
+        }
+        let candidate = ScenarioSpec { n, ..spec.clone() };
+        if still_fails(&candidate, &actions, oracle).is_some() {
+            spec = candidate;
+            break;
+        }
+    }
+
+    // 5. Re-run the minimised scenario once more for the final schedule and
+    //    violation detail, then try to turn it into a pure schedule replay.
+    let fin = still_fails(&spec, &actions, oracle)
+        .expect("minimised scenario must still fail: every kept step was re-verified");
+    let schedule = replay_eligible(&spec, &actions)
+        .then(|| {
+            bisect_prefix(&fin.schedule, |prefix| {
+                spec.run(RunMode::Replay(prefix))
+                    .map(|run| run.violates(oracle))
+                    .unwrap_or(false)
+            })
+        })
+        .flatten();
+    let v = fin
+        .violations
+        .iter()
+        .find(|v| v.oracle == oracle)
+        .expect("still_fails guarantees the oracle fired");
+    Repro {
+        spec,
+        actions,
+        schedule,
+        oracle: v.oracle.to_string(),
+        detail: v.detail.clone(),
+    }
+}
+
+/// Whether a recorded schedule can reproduce the failure on its own: replay
+/// mode skips the adversary, so injected payloads (replays, the seeded bug)
+/// are not captured and must stay scripted.
+fn replay_eligible(spec: &ScenarioSpec, actions: &[FuzzAction]) -> bool {
+    !spec.inject_bug
+        && !actions
+            .iter()
+            .any(|a| matches!(a.kind, FuzzActionKind::Replay { .. }))
+}
+
+/// One pass of ddmin-style chunk removal: repeatedly try deleting chunks of
+/// halving size, keeping any deletion that preserves the violation.
+fn ddmin(spec: &ScenarioSpec, mut actions: Vec<FuzzAction>, oracle: &str) -> Vec<FuzzAction> {
+    let mut chunk = actions.len().div_ceil(2).max(1);
+    loop {
+        let mut removed_any = false;
+        let mut i = 0;
+        while i < actions.len() {
+            let end = (i + chunk).min(actions.len());
+            let mut candidate = actions.clone();
+            candidate.drain(i..end);
+            if still_fails(spec, &candidate, oracle).is_some() {
+                actions = candidate;
+                removed_any = true;
+                // Re-test at the same index: the next chunk slid into place.
+            } else {
+                i = end;
+            }
+        }
+        if chunk == 1 {
+            if !removed_any {
+                return actions;
+            }
+        } else {
+            chunk = (chunk / 2).max(1);
+        }
+        if actions.is_empty() {
+            return actions;
+        }
+    }
+}
+
+/// Binary-searches the shortest schedule prefix for which `fails` holds,
+/// assuming (as ddmin does) rough monotonicity: if no prefix — including the
+/// full schedule — fails, returns `None`. The returned prefix is re-verified
+/// by construction (the search only narrows onto probed-failing lengths).
+pub fn bisect_prefix(
+    schedule: &DeliverySchedule,
+    mut fails: impl FnMut(&DeliverySchedule) -> bool,
+) -> Option<DeliverySchedule> {
+    if !fails(schedule) {
+        return None;
+    }
+    // Invariant: a prefix of length `hi` fails; prefixes of length `lo - 1`
+    // (and below the last probed failure) are not known to fail.
+    let mut lo = 0usize;
+    let mut hi = schedule.len();
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if fails(&schedule.truncated(mid)) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Some(schedule.truncated(hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bft_sim_core::json::Json;
+
+    /// Builds a schedule of `n` Deliver fates via the JSON door (the only
+    /// public constructor).
+    fn schedule_of(n: usize) -> DeliverySchedule {
+        let fates: Vec<String> = (0..n)
+            .map(|i| format!("{{\"Deliver\": {{\"delay_micros\": {i}}}}}"))
+            .collect();
+        let text = format!("{{\"fates\": [{}]}}", fates.join(", "));
+        DeliverySchedule::from_json(&Json::parse(&text).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn bisect_finds_the_shortest_failing_prefix() {
+        let schedule = schedule_of(100);
+        let mut probes = 0;
+        let prefix = bisect_prefix(&schedule, |p| {
+            probes += 1;
+            p.len() >= 37
+        })
+        .unwrap();
+        assert_eq!(prefix.len(), 37);
+        assert!(probes <= 9, "binary search, not a scan: {probes} probes");
+    }
+
+    #[test]
+    fn bisect_handles_edge_cases() {
+        let schedule = schedule_of(10);
+        assert!(bisect_prefix(&schedule, |_| false).is_none(), "never fails");
+        assert_eq!(
+            bisect_prefix(&schedule, |_| true).unwrap().len(),
+            0,
+            "always fails shrinks to the empty schedule"
+        );
+        assert_eq!(
+            bisect_prefix(&schedule, |p| p.len() >= 10).unwrap().len(),
+            10,
+            "only the full schedule fails"
+        );
+    }
+}
+
+#[cfg(all(test, feature = "testbug"))]
+mod testbug_tests {
+    use super::*;
+    use crate::scenario::{PartitionSpec, RunMode, ScenarioSpec};
+    use bft_sim_protocols::registry::ProtocolKind;
+
+    #[test]
+    fn shrink_minimises_a_seeded_violation() {
+        // Start deliberately oversized: 16 nodes, a partition, and a busy
+        // fuzzer, on top of the seeded bug that actually causes the
+        // violation.
+        let spec = ScenarioSpec {
+            n: 16,
+            intensity_permille: 300,
+            max_actions: 24,
+            partition: Some(PartitionSpec {
+                start_ms: 500,
+                end_ms: 3_000,
+                drop: false,
+            }),
+            inject_bug: true,
+            ..ScenarioSpec::baseline(ProtocolKind::Pbft)
+        };
+        let failing = spec.run(RunMode::Generate).unwrap();
+        assert!(failing.violates("agreement"), "{:?}", failing.violations);
+
+        let repro = shrink(&spec, &failing);
+        assert_eq!(repro.oracle, "agreement");
+        assert_eq!(repro.spec.n, 4, "scale must shrink to the minimum");
+        assert!(repro.spec.partition.is_none(), "partition must be dropped");
+        assert!(
+            repro.actions.is_empty(),
+            "fuzz actions are irrelevant to the seeded bug: {:?}",
+            repro.actions
+        );
+        assert!(
+            repro.schedule.is_none(),
+            "injected payloads cannot replay through a schedule"
+        );
+        assert!(repro.spec.inject_bug);
+
+        // The shrunk repro still reproduces the exact oracle.
+        let v = repro.check().unwrap();
+        assert_eq!(v.oracle, "agreement");
+    }
+}

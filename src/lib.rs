@@ -39,6 +39,7 @@
 //! | `bft-sim-protocols` | the eight BFT protocols of Table I |
 //! | `bft-sim-attacks` | fail-stop, partition, ADD+ static & rushing-adaptive attacks |
 //! | `bft-sim-baseline` | packet-level BFTSim stand-in for Fig. 2 |
+//! | `bft-sim-simcheck` | deterministic fuzzing harness, correctness oracles, failing-case shrinking |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -49,6 +50,7 @@ pub use bft_sim_core as sim_core;
 pub use bft_sim_crypto as crypto;
 pub use bft_sim_net as net;
 pub use bft_sim_protocols as protocols;
+pub use bft_sim_simcheck as simcheck;
 
 pub mod experiments;
 

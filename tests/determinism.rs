@@ -33,6 +33,42 @@ fn every_protocol_is_bitwise_deterministic_per_seed() {
 }
 
 #[test]
+fn seed_sweep_reproduces_results_and_schedules_bit_for_bit() {
+    // The fuzzer's foundation: for every protocol and a sweep of seeds, two
+    // independent runs must agree on the *entire* RunResult (decisions,
+    // counters, trace) and on every recorded delivery fate.
+    let record = |kind: ProtocolKind, seed: u64| -> (RunResult, DeliverySchedule) {
+        let cfg = kind.configure(
+            RunConfig::new(7)
+                .with_seed(seed)
+                .with_lambda_ms(1000.0)
+                .with_time_cap(SimDuration::from_secs(900.0)),
+        );
+        let factory = kind.factory(&cfg, 23);
+        SimulationBuilder::new(cfg)
+            .network(SampledNetwork::new(Dist::normal(250.0, 50.0)))
+            .protocols(factory)
+            .record_schedule(true)
+            .build()
+            .unwrap()
+            .run_recorded()
+    };
+    for kind in ProtocolKind::extended() {
+        for seed in 0..8 {
+            let (result_a, schedule_a) = record(kind, seed);
+            let (result_b, schedule_b) = record(kind, seed);
+            assert_eq!(result_a, result_b, "{kind} seed {seed}: RunResult");
+            assert_eq!(schedule_a, schedule_b, "{kind} seed {seed}: schedule");
+            assert!(
+                result_a.is_clean(),
+                "{kind} seed {seed}: {:?}",
+                result_a.safety_violation
+            );
+        }
+    }
+}
+
+#[test]
 fn different_seeds_change_executions() {
     for kind in [
         ProtocolKind::Pbft,

@@ -1,0 +1,134 @@
+//! Oracle regression tests over the committed golden traces: the oracle
+//! suite must pass every clean golden trace under the protocol's own
+//! expectations, and a hand-mutated trace carrying a conflicting decision
+//! must trip the agreement oracle. This pins the oracles themselves — the
+//! judges the fuzzer relies on — against silent weakening.
+
+use bft_sim_core::json::Json;
+use bft_simulator::prelude::*;
+
+fn golden_path(kind: ProtocolKind) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{}_n7_seed5.json", kind.name()))
+}
+
+fn load_golden(kind: ProtocolKind) -> Option<Trace> {
+    let path = golden_path(kind);
+    if !path.exists() {
+        return None; // first `golden_traces` run blesses the files
+    }
+    let text = std::fs::read_to_string(&path).unwrap();
+    Some(Trace::from_json(&Json::parse(&text).unwrap()).unwrap())
+}
+
+/// The configuration the golden traces were recorded under (n = 7, seed 5).
+fn golden_expectations(kind: ProtocolKind) -> Expectations {
+    let cfg = kind.configure(RunConfig::new(7).with_seed(5));
+    kind.expectations(&cfg, true)
+}
+
+#[test]
+fn golden_traces_satisfy_every_oracle() {
+    let suite = OracleSuite::standard();
+    let mut checked = 0;
+    for kind in ProtocolKind::extended() {
+        let Some(trace) = load_golden(kind) else {
+            continue;
+        };
+        let input = OracleInput::from_trace(&trace, golden_expectations(kind));
+        let violations = suite.check(&input);
+        assert!(violations.is_empty(), "{kind}: {violations:?}");
+        checked += 1;
+    }
+    assert!(
+        checked > 0,
+        "no golden traces found — run golden_traces first"
+    );
+}
+
+/// Flips the value of the first decision in the trace's JSON, producing two
+/// correct nodes that decided differently for the same slot.
+fn mutate_first_decision(trace: &Trace) -> Trace {
+    let mut json = trace.to_json();
+    let Json::Obj(pairs) = &mut json else {
+        panic!("trace JSON is an object");
+    };
+    let Some(Json::Arr(events)) = pairs
+        .iter_mut()
+        .find(|(k, _)| k == "events")
+        .map(|(_, v)| v)
+    else {
+        panic!("trace JSON has an events array");
+    };
+    let decided = events
+        .iter_mut()
+        .find_map(|e| e.get_mut("kind").and_then(|k| k.get_mut("Decided")))
+        .expect("golden trace has a decision");
+    let Some(Json::Obj(fields)) = Some(decided) else {
+        unreachable!()
+    };
+    let value = fields
+        .iter_mut()
+        .find(|(k, _)| k == "value")
+        .map(|(_, v)| v)
+        .expect("Decided has a value");
+    let old = value.as_u64().expect("value is numeric");
+    *value = Json::from(old ^ 1);
+    Trace::from_json(&json).unwrap()
+}
+
+#[test]
+fn a_conflicting_decision_fails_the_agreement_oracle() {
+    let kind = ProtocolKind::Pbft;
+    let Some(trace) = load_golden(kind) else {
+        return; // blessed by the golden_traces test on first run
+    };
+    let mutated = mutate_first_decision(&trace);
+    let input = OracleInput::from_trace(&mutated, golden_expectations(kind));
+    let violations = OracleSuite::standard().check(&input);
+    let agreement = violations
+        .iter()
+        .find(|v| v.oracle == "agreement")
+        .unwrap_or_else(|| panic!("agreement must fire, got {violations:?}"));
+    assert!(agreement.detail.contains("slot"), "{}", agreement.detail);
+}
+
+#[test]
+fn a_revoked_decision_fails_the_no_revocation_oracle() {
+    // Reordering one node's slots (decide slot 1 before slot 0) must trip
+    // the append-only oracle even though no two nodes conflict.
+    let kind = ProtocolKind::HotStuffNs;
+    let Some(trace) = load_golden(kind) else {
+        return;
+    };
+    let mut json = trace.to_json();
+    let Json::Obj(pairs) = &mut json else {
+        panic!("trace JSON is an object");
+    };
+    let Some(Json::Arr(events)) = pairs
+        .iter_mut()
+        .find(|(k, _)| k == "events")
+        .map(|(_, v)| v)
+    else {
+        panic!("trace JSON has an events array");
+    };
+    let mut slots = events.iter_mut().filter_map(|e| {
+        e.get_mut("kind")
+            .and_then(|k| k.get_mut("Decided"))
+            .and_then(|d| {
+                let Json::Obj(fields) = d else { return None };
+                fields.iter_mut().find(|(k, _)| k == "slot").map(|(_, v)| v)
+            })
+    });
+    let first = slots.next().expect("a decision");
+    *first = Json::from(first.as_u64().unwrap() + 1);
+    drop(slots);
+    let mutated = Trace::from_json(&json).unwrap();
+    let input = OracleInput::from_trace(&mutated, golden_expectations(kind));
+    let violations = OracleSuite::standard().check(&input);
+    assert!(
+        violations.iter().any(|v| v.oracle == "no-revocation"),
+        "no-revocation must fire, got {violations:?}"
+    );
+}
