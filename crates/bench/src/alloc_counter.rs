@@ -14,6 +14,14 @@
 //!
 //! The `bft-sim` binary installs it; library unit tests do not, and
 //! [`allocations`] simply stays at zero there.
+//!
+//! The counter is **process-global**, not per-thread: a delta between two
+//! [`allocations`] reads attributes every allocation on every thread to the
+//! interval. Allocation-measuring baseline cases therefore run on the serial
+//! path only (`BENCH_baseline.json` records this in `alloc_note`), while
+//! multi-threaded sweeps — which would pollute the deltas — report no
+//! allocation figures. (Per-thread tallies would need thread-local state
+//! inside the allocator, which risks recursion during TLS initialisation.)
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};

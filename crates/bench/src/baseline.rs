@@ -118,10 +118,16 @@ pub fn run_all(seed: u64, decisions: u64) -> Vec<CaseResult> {
 pub struct FuzzStat {
     /// Scenario seeds swept (`0..seeds`).
     pub seeds: u64,
+    /// Worker threads the sweep used (resolved, never 0).
+    pub threads: usize,
     /// Scenarios actually run.
     pub runs: u64,
-    /// Engine events across the sweep (deterministic per seed set).
+    /// Engine events dispatched across the sweep (deterministic per seed
+    /// set).
     pub events_processed: u64,
+    /// Events popped but skipped across the sweep (deterministic per seed
+    /// set).
+    pub events_skipped: u64,
     /// Wall-clock for the sweep (host-dependent).
     pub wall_ms: f64,
     /// Scenarios per wall-clock second (host-dependent).
@@ -131,13 +137,16 @@ pub struct FuzzStat {
 }
 
 /// Sweeps fuzz seeds `0..seeds` over PBFT and HotStuff+NS at the default
-/// budget and measures throughput. Panics if the sweep finds a violation:
-/// honest protocols fuzzed within their fault model must stay correct, so a
-/// violation here is a real regression, not a perf artifact.
-pub fn run_fuzz_stat(seeds: u64) -> FuzzStat {
+/// budget, sharded over `threads` workers (0 = available parallelism), and
+/// measures throughput. Panics if the sweep finds a violation or a panicked
+/// run: honest protocols fuzzed within their fault model must stay correct,
+/// so a failure here is a real regression, not a perf artifact.
+pub fn run_fuzz_stat(seeds: u64, threads: usize) -> FuzzStat {
     use bft_sim_simcheck::{fuzz_many, FuzzOptions};
+    let threads = bft_sim_core::sweep::resolve_threads(threads);
     let opts = FuzzOptions {
         protocols: vec![ProtocolKind::Pbft, ProtocolKind::HotStuffNs],
+        threads,
         ..FuzzOptions::default()
     };
     let start = Instant::now();
@@ -145,22 +154,73 @@ pub fn run_fuzz_stat(seeds: u64) -> FuzzStat {
     let wall = start.elapsed().as_secs_f64();
     assert!(
         report.clean(),
-        "fuzz sweep found violations in honest protocols: {:?}",
-        report.outcomes
+        "fuzz sweep found violations or panics in honest protocols: {:?} {:?}",
+        report.outcomes,
+        report.failures
     );
     FuzzStat {
         seeds,
+        threads,
         runs: report.runs,
         events_processed: report.events_processed,
+        events_skipped: report.events_skipped,
         wall_ms: wall * 1e3,
         scenarios_per_sec: report.runs as f64 / wall.max(1e-9),
         events_per_sec: report.events_processed as f64 / wall.max(1e-9),
     }
 }
 
-/// Serialises case results (and, when measured, the fuzz throughput stat)
-/// as the `BENCH_baseline.json` document.
-pub fn to_json(results: &[CaseResult], fuzz: Option<&FuzzStat>) -> Json {
+/// A 1-thread-vs-N-threads comparison of the fuzz workload, for the
+/// `thread_scaling` entry of `BENCH_baseline.json`. The simulated work is
+/// identical in both runs (the sweep is deterministic at any thread count);
+/// only wall-clock differs. `speedup` is meaningful only when the host
+/// actually has multiple cores — `host_threads` records that context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadScaling {
+    /// Available parallelism on the measuring host.
+    pub host_threads: usize,
+    /// The serial reference measurement (1 thread).
+    pub serial: FuzzStat,
+    /// The parallel measurement (N threads).
+    pub parallel: FuzzStat,
+    /// `parallel.scenarios_per_sec / serial.scenarios_per_sec`.
+    pub speedup: f64,
+}
+
+/// Measures the fuzz workload at 1 thread and at `threads` (0 = available
+/// parallelism) over seeds `0..seeds`.
+pub fn measure_thread_scaling(seeds: u64, threads: usize) -> ThreadScaling {
+    let serial = run_fuzz_stat(seeds, 1);
+    let parallel = run_fuzz_stat(seeds, threads);
+    let speedup = parallel.scenarios_per_sec / serial.scenarios_per_sec.max(1e-9);
+    ThreadScaling {
+        host_threads: bft_sim_core::sweep::available_threads(),
+        serial,
+        parallel,
+        speedup,
+    }
+}
+
+fn fuzz_stat_json(f: &FuzzStat) -> Json {
+    Json::obj([
+        ("seeds", Json::from(f.seeds)),
+        ("threads", Json::from(f.threads)),
+        ("runs", Json::from(f.runs)),
+        ("events_processed", Json::from(f.events_processed)),
+        ("events_skipped", Json::from(f.events_skipped)),
+        ("wall_ms", Json::from(round3(f.wall_ms))),
+        ("scenarios_per_sec", Json::from(round3(f.scenarios_per_sec))),
+        ("events_per_sec", Json::from(round3(f.events_per_sec))),
+    ])
+}
+
+/// Serialises case results (and, when measured, the fuzz throughput stat and
+/// the thread-scaling comparison) as the `BENCH_baseline.json` document.
+pub fn to_json(
+    results: &[CaseResult],
+    fuzz: Option<&FuzzStat>,
+    scaling: Option<&ThreadScaling>,
+) -> Json {
     let cases = results
         .iter()
         .map(|r| {
@@ -202,18 +262,28 @@ pub fn to_json(results: &[CaseResult], fuzz: Option<&FuzzStat>) -> Json {
             "workload".to_string(),
             Json::from("lambda=1000ms, delays N(250,50), 10 decisions"),
         ),
+        (
+            "alloc_note".to_string(),
+            Json::from(
+                "allocation counts come from a process-global counting \
+                 allocator; the baseline cases run serially so per-case \
+                 deltas are attributable. Fuzz sweeps may be multi-threaded \
+                 and report no allocation figures.",
+            ),
+        ),
         ("cases".to_string(), Json::Arr(cases)),
     ];
     if let Some(f) = fuzz {
+        pairs.push(("fuzz".to_string(), fuzz_stat_json(f)));
+    }
+    if let Some(s) = scaling {
         pairs.push((
-            "fuzz".to_string(),
+            "thread_scaling".to_string(),
             Json::obj([
-                ("seeds", Json::from(f.seeds)),
-                ("runs", Json::from(f.runs)),
-                ("events_processed", Json::from(f.events_processed)),
-                ("wall_ms", Json::from(round3(f.wall_ms))),
-                ("scenarios_per_sec", Json::from(round3(f.scenarios_per_sec))),
-                ("events_per_sec", Json::from(round3(f.events_per_sec))),
+                ("host_threads", Json::from(s.host_threads)),
+                ("serial", fuzz_stat_json(&s.serial)),
+                ("parallel", fuzz_stat_json(&s.parallel)),
+                ("speedup", Json::from(round3(s.speedup))),
             ]),
         ));
     }
@@ -241,14 +311,26 @@ mod tests {
 
     #[test]
     fn fuzz_stat_measures_a_clean_sweep() {
-        let stat = run_fuzz_stat(3);
+        let stat = run_fuzz_stat(3, 1);
         assert_eq!(stat.runs, 3);
+        assert_eq!(stat.threads, 1);
         assert!(stat.events_processed > 0);
-        let a = run_fuzz_stat(3);
+        let a = run_fuzz_stat(3, 2);
         assert_eq!(
             a.events_processed, stat.events_processed,
-            "simulated work must be deterministic"
+            "simulated work must be deterministic at any thread count"
         );
+        assert_eq!(a.events_skipped, stat.events_skipped);
+    }
+
+    #[test]
+    fn thread_scaling_compares_identical_simulated_work() {
+        let s = measure_thread_scaling(3, 2);
+        assert_eq!(s.serial.threads, 1);
+        assert_eq!(s.parallel.threads, 2);
+        assert_eq!(s.serial.events_processed, s.parallel.events_processed);
+        assert!(s.speedup > 0.0);
+        assert!(s.host_threads >= 1);
     }
 
     #[test]
@@ -256,20 +338,48 @@ mod tests {
         let results = vec![run_case(ProtocolKind::Pbft, 16, 1, 1)];
         let fuzz = FuzzStat {
             seeds: 2,
+            threads: 1,
             runs: 2,
             events_processed: 1000,
+            events_skipped: 10,
             wall_ms: 1.0,
             scenarios_per_sec: 2000.0,
             events_per_sec: 1_000_000.0,
         };
-        let json = to_json(&results, Some(&fuzz));
+        let scaling = ThreadScaling {
+            host_threads: 4,
+            serial: fuzz.clone(),
+            parallel: FuzzStat {
+                threads: 4,
+                wall_ms: 0.5,
+                scenarios_per_sec: 4000.0,
+                ..fuzz.clone()
+            },
+            speedup: 2.0,
+        };
+        let json = to_json(&results, Some(&fuzz), Some(&scaling));
         assert_eq!(
             json.get("fuzz")
                 .and_then(|f| f.get("runs"))
                 .and_then(Json::as_u64),
             Some(2)
         );
-        assert!(to_json(&results, None).get("fuzz").is_none());
+        assert_eq!(
+            json.get("fuzz")
+                .and_then(|f| f.get("events_skipped"))
+                .and_then(Json::as_u64),
+            Some(10)
+        );
+        assert_eq!(
+            json.get("thread_scaling")
+                .and_then(|s| s.get("speedup"))
+                .and_then(Json::as_f64),
+            Some(2.0)
+        );
+        assert!(json.get("alloc_note").is_some());
+        let bare = to_json(&results, None, None);
+        assert!(bare.get("fuzz").is_none());
+        assert!(bare.get("thread_scaling").is_none());
         let cases = json.get("cases").and_then(Json::as_arr).unwrap();
         assert_eq!(cases.len(), 1);
         for key in [

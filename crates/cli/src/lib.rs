@@ -38,6 +38,11 @@ pub enum Command {
     BenchBaseline {
         /// Output path for the baseline document.
         out: String,
+        /// Worker threads for the fuzz-throughput and thread-scaling
+        /// measurements (0 = available parallelism). The per-case baseline
+        /// workloads always run serially so allocation deltas stay
+        /// attributable.
+        threads: usize,
     },
     /// Sweep deterministic fuzz scenarios, oracle-check every run, shrink
     /// violations to repro files.
@@ -148,6 +153,9 @@ pub struct FuzzSpec {
     pub out_dir: String,
     /// Emit a JSON report instead of text.
     pub json: bool,
+    /// Worker threads for the sweep (0 = available parallelism). The report
+    /// is byte-identical at any thread count.
+    pub threads: usize,
 }
 
 impl Default for FuzzSpec {
@@ -160,6 +168,7 @@ impl Default for FuzzSpec {
             inject_bug: false,
             out_dir: ".".into(),
             json: false,
+            threads: 0,
         }
     }
 }
@@ -284,6 +293,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         }
         "bench-baseline" => {
             let mut out = "BENCH_baseline.json".to_string();
+            let mut threads = 0usize;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--out" => {
@@ -292,10 +302,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                             .cloned()
                             .ok_or_else(|| CliError("--out needs a value".into()))?;
                     }
+                    "--threads" => {
+                        threads = it
+                            .next()
+                            .ok_or_else(|| CliError("--threads needs a value".into()))?
+                            .parse()
+                            .map_err(|_| CliError("bad --threads".into()))?;
+                    }
                     other => return Err(CliError(format!("unknown flag '{other}'"))),
                 }
             }
-            Ok(Command::BenchBaseline { out })
+            Ok(Command::BenchBaseline { out, threads })
         }
         "run" | "compare" => {
             let spec = parse_run_spec(&args[1..])?;
@@ -361,6 +378,11 @@ fn parse_fuzz_spec(args: &[String]) -> Result<FuzzSpec, CliError> {
             "--inject-bug" => spec.inject_bug = true,
             "--out" => spec.out_dir = value("--out")?,
             "--json" => spec.json = true,
+            "--threads" => {
+                spec.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| CliError("bad --threads".into()))?
+            }
             other => return Err(CliError(format!("unknown flag '{other}'"))),
         }
     }
@@ -570,10 +592,12 @@ pub fn execute(cmd: Command) -> Result<(), CliError> {
             }
             emit(&reports, spec.json);
         }
-        Command::BenchBaseline { out } => {
+        Command::BenchBaseline { out, threads } => {
             let results = bft_sim_bench::baseline::run_all(1, 10);
-            let fuzz = bft_sim_bench::baseline::run_fuzz_stat(32);
-            let json = bft_sim_bench::baseline::to_json(&results, Some(&fuzz)).dump_pretty();
+            let fuzz = bft_sim_bench::baseline::run_fuzz_stat(32, threads);
+            let scaling = bft_sim_bench::baseline::measure_thread_scaling(256, threads);
+            let json = bft_sim_bench::baseline::to_json(&results, Some(&fuzz), Some(&scaling))
+                .dump_pretty();
             std::fs::write(&out, &json)
                 .map_err(|e| CliError(format!("cannot write {out}: {e}")))?;
             println!(
@@ -602,8 +626,17 @@ pub fn execute(cmd: Command) -> Result<(), CliError> {
             }
             println!();
             println!(
-                "fuzz: {} scenarios, {} events, {:.1} ms ({:.0} events/s)",
-                fuzz.runs, fuzz.events_processed, fuzz.wall_ms, fuzz.events_per_sec
+                "fuzz: {} scenarios, {} events, {:.1} ms ({:.0} events/s, {} threads)",
+                fuzz.runs, fuzz.events_processed, fuzz.wall_ms, fuzz.events_per_sec, fuzz.threads
+            );
+            println!(
+                "scaling: {:.0} scenarios/s at 1 thread vs {:.0} at {} threads \
+                 ({:.2}x, host has {})",
+                scaling.serial.scenarios_per_sec,
+                scaling.parallel.scenarios_per_sec,
+                scaling.parallel.threads,
+                scaling.speedup,
+                scaling.host_threads
             );
             println!("wrote {out}");
         }
@@ -626,8 +659,66 @@ pub fn execute(cmd: Command) -> Result<(), CliError> {
     Ok(())
 }
 
-/// Runs a `bft-sim fuzz` sweep: per-seed scenario generation, oracle checks,
-/// shrinking, and one repro file per violation.
+/// Serialises a fuzz report as the `bft-sim fuzz --json` document.
+/// `repro_paths` pairs with `report.outcomes` (one written repro file per
+/// violating scenario). Deterministic: byte-identical for the same report,
+/// which is itself byte-identical at any thread count.
+pub fn fuzz_report_json(
+    spec: &FuzzSpec,
+    report: &bft_sim_simcheck::FuzzReport,
+    repro_paths: &[String],
+) -> Json {
+    let outcomes = report
+        .outcomes
+        .iter()
+        .zip(repro_paths)
+        .map(|(o, path)| {
+            Json::obj([
+                ("scenario_seed", Json::from(o.scenario_seed)),
+                (
+                    "violations",
+                    Json::Arr(
+                        o.violations
+                            .iter()
+                            .map(|v| Json::from(v.as_str()))
+                            .collect(),
+                    ),
+                ),
+                ("repro", Json::from(path.as_str())),
+            ])
+        })
+        .collect();
+    let failures = report
+        .failures
+        .iter()
+        .map(|f| {
+            Json::obj([
+                ("scenario_seed", Json::from(f.scenario_seed)),
+                ("panic", Json::from(f.message.as_str())),
+            ])
+        })
+        .collect();
+    Json::obj([
+        (
+            "seeds",
+            Json::obj([
+                ("lo", Json::from(spec.seeds.0)),
+                ("hi", Json::from(spec.seeds.1)),
+            ]),
+        ),
+        ("runs", Json::from(report.runs)),
+        ("events_processed", Json::from(report.events_processed)),
+        ("events_skipped", Json::from(report.events_skipped)),
+        ("violating_scenarios", Json::from(report.outcomes.len())),
+        ("outcomes", Json::Arr(outcomes)),
+        ("panicked_scenarios", Json::from(report.failures.len())),
+        ("failures", Json::Arr(failures)),
+    ])
+}
+
+/// Runs a `bft-sim fuzz` sweep: per-seed scenario generation (sharded across
+/// `--threads` workers), oracle checks, shrinking, and one repro file per
+/// violation.
 fn run_fuzz(spec: &FuzzSpec) -> Result<(), CliError> {
     let protocols = parse_protocol_list(&spec.protocols)?;
     let opts = bft_sim_simcheck::FuzzOptions {
@@ -635,6 +726,7 @@ fn run_fuzz(spec: &FuzzSpec) -> Result<(), CliError> {
         intensity_permille: spec.intensity_permille,
         max_actions: spec.max_actions,
         inject_bug: spec.inject_bug,
+        threads: spec.threads,
     };
     let start = std::time::Instant::now();
     let report =
@@ -653,40 +745,10 @@ fn run_fuzz(spec: &FuzzSpec) -> Result<(), CliError> {
         repro_paths.push(path.display().to_string());
     }
     if spec.json {
-        let outcomes = report
-            .outcomes
-            .iter()
-            .zip(&repro_paths)
-            .map(|(o, path)| {
-                Json::obj([
-                    ("scenario_seed", Json::from(o.scenario_seed)),
-                    (
-                        "violations",
-                        Json::Arr(
-                            o.violations
-                                .iter()
-                                .map(|v| Json::from(v.as_str()))
-                                .collect(),
-                        ),
-                    ),
-                    ("repro", Json::from(path.as_str())),
-                ])
-            })
-            .collect();
-        let doc = Json::obj([
-            (
-                "seeds",
-                Json::obj([
-                    ("lo", Json::from(spec.seeds.0)),
-                    ("hi", Json::from(spec.seeds.1)),
-                ]),
-            ),
-            ("runs", Json::from(report.runs)),
-            ("events_processed", Json::from(report.events_processed)),
-            ("violating_scenarios", Json::from(report.outcomes.len())),
-            ("outcomes", Json::Arr(outcomes)),
-        ]);
-        println!("{}", doc.dump_pretty());
+        println!(
+            "{}",
+            fuzz_report_json(spec, &report, &repro_paths).dump_pretty()
+        );
     } else {
         for (outcome, path) in report.outcomes.iter().zip(&repro_paths) {
             println!("seed {}:", outcome.scenario_seed);
@@ -695,10 +757,17 @@ fn run_fuzz(spec: &FuzzSpec) -> Result<(), CliError> {
             }
             println!("  shrunk repro -> {path}");
         }
+        for failure in &report.failures {
+            println!(
+                "seed {}: PANICKED: {}",
+                failure.scenario_seed, failure.message
+            );
+        }
         println!(
-            "fuzz: {} scenarios ({} violating), {} events, {:.1} ms",
+            "fuzz: {} scenarios ({} violating, {} panicked), {} events, {:.1} ms",
             report.runs,
             report.outcomes.len(),
+            report.failures.len(),
             report.events_processed,
             wall * 1e3,
         );
@@ -707,9 +776,10 @@ fn run_fuzz(spec: &FuzzSpec) -> Result<(), CliError> {
         Ok(())
     } else {
         Err(CliError(format!(
-            "{} of {} scenarios violated an oracle",
+            "{} of {} scenarios violated an oracle, {} panicked",
             report.outcomes.len(),
-            report.runs
+            report.runs + report.failures.len() as u64,
+            report.failures.len()
         )))
     }
 }
@@ -816,15 +886,20 @@ USAGE:
     bft-sim compare  [same flags; runs all eight protocols]
     bft-sim fig N    regenerate figure N (2..=9) with small defaults
     bft-sim table N  regenerate table N (1 or 2)
-    bft-sim bench-baseline [--out FILE.json]
+    bft-sim bench-baseline [--out FILE.json] [--threads N]
                      run the perf-baseline workloads (PBFT / HotStuff+NS at
-                     n = 16, 64) and write BENCH_baseline.json
+                     n = 16, 64) and write BENCH_baseline.json; --threads
+                     (0 = all cores) applies to the fuzz-throughput and
+                     thread-scaling entries, while the per-case workloads
+                     stay serial so allocation counts remain attributable
     bft-sim fuzz     [--seeds A..B|N] [--protocols all|p1,p2,...]
                      [--intensity PERMILLE] [--max-actions K] [--inject-bug]
-                     [--out DIR] [--json]
-                     sweep deterministic fuzz scenarios, oracle-check every
-                     run, shrink violations to repro files; exits non-zero
-                     when any oracle fires
+                     [--out DIR] [--json] [--threads N]
+                     sweep deterministic fuzz scenarios across N worker
+                     threads (0 = all cores; output is byte-identical at any
+                     thread count), oracle-check every run, shrink violations
+                     to repro files; exits non-zero when any oracle fires or
+                     any run panics
     bft-sim repro FILE.json
                      replay a bft-sim-repro-v1 file and confirm its oracle
                      still fires
@@ -942,6 +1017,8 @@ mod tests {
             "--out",
             "repros",
             "--json",
+            "--threads",
+            "4",
         ]))
         .unwrap();
         let Command::Fuzz(spec) = cmd else {
@@ -954,10 +1031,38 @@ mod tests {
         assert!(spec.inject_bug);
         assert_eq!(spec.out_dir, "repros");
         assert!(spec.json);
+        assert_eq!(spec.threads, 4);
         assert_eq!(
             parse_args(&args(&["fuzz"])).unwrap(),
             Command::Fuzz(FuzzSpec::default())
         );
+        assert!(parse_args(&args(&["fuzz", "--threads", "x"])).is_err());
+    }
+
+    #[test]
+    fn parses_bench_baseline_flags() {
+        assert_eq!(
+            parse_args(&args(&["bench-baseline"])).unwrap(),
+            Command::BenchBaseline {
+                out: "BENCH_baseline.json".into(),
+                threads: 0
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&[
+                "bench-baseline",
+                "--out",
+                "b.json",
+                "--threads",
+                "2"
+            ]))
+            .unwrap(),
+            Command::BenchBaseline {
+                out: "b.json".into(),
+                threads: 2
+            }
+        );
+        assert!(parse_args(&args(&["bench-baseline", "--threads"])).is_err());
     }
 
     #[test]

@@ -310,16 +310,18 @@ impl Simulation {
                 return true;
             }
             self.clock = ev.at;
-            self.metrics.count_event();
-            if let Some(obs) = &mut self.observer {
-                obs.on_event(self.clock);
-            }
+            // Events are only counted as processed (and reported to the
+            // observer) once they survive the skip checks below; deliveries to
+            // excluded nodes and cancelled-timer tombstones go to the separate
+            // `events_skipped` counter so they cannot inflate events/sec.
             match ev.kind {
                 EventKind::Deliver(msg) => {
                     let dst = msg.dst();
                     if self.excluded.contains(&dst) {
+                        self.metrics.count_skipped_event();
                         continue;
                     }
+                    self.count_processed_event();
                     // Self-deliveries never touch the wire; keep them out of
                     // the message accounting (see `RunResult`).
                     if !Self::is_self_delivery(&msg) {
@@ -340,11 +342,14 @@ impl Simulation {
                 EventKind::NodeTimer { node, timer } => {
                     self.armed.remove(&timer.id);
                     if self.cancelled.remove(&timer.id) || self.excluded.contains(&node) {
+                        self.metrics.count_skipped_event();
                         continue;
                     }
+                    self.count_processed_event();
                     self.dispatch_node(node, |n, ctx| n.on_timer(&timer, ctx));
                 }
                 EventKind::AdversaryTimer { tag } => {
+                    self.count_processed_event();
                     self.run_adversary(|adv, api| adv.on_timer(tag, api));
                     self.apply_adv_actions();
                 }
@@ -355,6 +360,15 @@ impl Simulation {
 
     fn stop_reached(&self) -> bool {
         self.completed >= self.cfg.target_decisions
+    }
+
+    /// Counts a dispatched event and mirrors it to the observer, keeping the
+    /// two in lockstep (the metrics-sanity oracle cross-checks them).
+    fn count_processed_event(&mut self) {
+        self.metrics.count_event();
+        if let Some(obs) = &mut self.observer {
+            obs.on_event(self.clock);
+        }
     }
 
     /// Checks a node's protocol instance out of its slot, runs `f` with a
@@ -685,6 +699,63 @@ mod tests {
             .unwrap()
             .run();
         assert_eq!(result.decisions_completed(), 1);
+        // Each node's cancelled Long timer still pops from the queue but must
+        // be accounted as skipped, not processed: 4 Short + 4 Probe pops are
+        // the only dispatched events.
+        assert_eq!(result.events_skipped, 4);
+        assert_eq!(result.events_processed, 8);
+    }
+
+    /// Every node broadcasts at 10 ms and decides at 30 ms; the adversary
+    /// crashes node 3 at 5 ms, so node 3's timer pop and its three incoming
+    /// deliveries all hit the excluded-destination skip path.
+    #[derive(Debug, Default)]
+    struct TalkThenDecide;
+
+    impl Protocol for TalkThenDecide {
+        fn init(&mut self, ctx: &mut Context<'_>) {
+            ctx.set_timer(SimDuration::from_millis(10.0), Tick::Short);
+        }
+        fn on_message(&mut self, _m: &Message, _ctx: &mut Context<'_>) {}
+        fn on_timer(&mut self, t: &Timer, ctx: &mut Context<'_>) {
+            match t.downcast_ref::<Tick>() {
+                Some(Tick::Short) => {
+                    ctx.broadcast(Tick::Probe);
+                    ctx.set_timer(SimDuration::from_millis(20.0), Tick::Long);
+                }
+                Some(Tick::Long) => ctx.decide(Value::new(1)),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[derive(Debug)]
+    struct CrashOneEarly;
+
+    impl Adversary for CrashOneEarly {
+        fn init(&mut self, api: &mut AdversaryApi<'_>) {
+            api.set_timer(0, SimDuration::from_millis(5.0));
+        }
+        fn on_timer(&mut self, _tag: u64, api: &mut AdversaryApi<'_>) {
+            api.crash(NodeId::new(3));
+        }
+    }
+
+    #[test]
+    fn events_to_excluded_nodes_are_skipped_not_processed() {
+        let result = SimulationBuilder::new(RunConfig::new(4).with_seed(7))
+            .network(constant_net())
+            .adversary(CrashOneEarly)
+            .protocols(|_id: NodeId| -> Box<dyn Protocol> { Box::<TalkThenDecide>::default() })
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(result.decisions_completed(), 1);
+        // Skipped: node 3's Short pop + its 3 incoming Probe deliveries.
+        assert_eq!(result.events_skipped, 4);
+        // Processed: adversary timer + 3 Short pops + 6 live deliveries
+        // + 3 Long pops.
+        assert_eq!(result.events_processed, 13);
     }
 
     /// One broadcast round per node, with self-inclusion and a send-to-self,

@@ -68,6 +68,7 @@ pub mod network;
 pub mod oracle;
 pub mod payload;
 pub mod protocol;
+pub mod sweep;
 pub mod time;
 pub mod trace;
 pub mod validator;

@@ -19,6 +19,7 @@ pub(crate) struct MetricsCollector {
     adversary_messages: u64,
     dropped_messages: u64,
     events_processed: u64,
+    events_skipped: u64,
     broadcasts: u64,
     /// Messages sent per node (signing work proxy).
     sent_per_node: Vec<u64>,
@@ -36,6 +37,7 @@ impl MetricsCollector {
             adversary_messages: 0,
             dropped_messages: 0,
             events_processed: 0,
+            events_skipped: 0,
             broadcasts: 0,
             sent_per_node: vec![0; n],
             delivered_per_node: vec![0; n],
@@ -62,6 +64,10 @@ impl MetricsCollector {
 
     pub fn count_event(&mut self) {
         self.events_processed += 1;
+    }
+
+    pub fn count_skipped_event(&mut self) {
+        self.events_skipped += 1;
     }
 
     pub fn count_broadcast(&mut self) {
@@ -141,6 +147,7 @@ impl MetricsCollector {
             adversary_messages: self.adversary_messages,
             dropped_messages: self.dropped_messages,
             events_processed: self.events_processed,
+            events_skipped: self.events_skipped,
             broadcasts: self.broadcasts,
             sent_per_node: self.sent_per_node,
             delivered_per_node: self.delivered_per_node,
@@ -182,8 +189,16 @@ pub struct RunResult {
     pub adversary_messages: u64,
     /// Messages dropped by the adversary.
     pub dropped_messages: u64,
-    /// Number of events dispatched (simulator work, not a protocol metric).
+    /// Number of events actually dispatched to a node or the engine (simulator
+    /// work, not a protocol metric). Events popped but skipped — deliveries to
+    /// excluded nodes, cancelled-timer tombstones — are counted in
+    /// [`events_skipped`](RunResult::events_skipped) instead, so events/sec
+    /// throughput figures reflect dispatched work only.
     pub events_processed: u64,
+    /// Number of events popped from the queue but *not* dispatched: deliveries
+    /// addressed to a crashed/corrupted (excluded) node and pops of timers
+    /// that were cancelled after being armed.
+    pub events_skipped: u64,
     /// Number of `broadcast`/`broadcast_all` actions applied; with the shared
     /// payload fan-out this is also the number of payload allocations the
     /// broadcast hot path performs.
@@ -223,8 +238,9 @@ impl RunResult {
             return None;
         }
         let total = self.completions[k - 1] - SimTime::ZERO;
-        // Divide in f64 and round: integer division truncated toward zero,
-        // understating the mean by up to a microsecond.
+        // Rounding contract: the mean is computed in f64 and rounded to the
+        // nearest microsecond (ties away from zero), so the returned duration
+        // is within 0.5 µs of the exact mean.
         let mean = total.as_micros() as f64 / k as f64;
         Some(SimDuration::from_micros(mean.round() as u64))
     }
@@ -248,13 +264,18 @@ impl RunResult {
 
 /// Aggregate statistics over repeated runs (the paper reports mean and
 /// standard deviation over 100 repetitions).
+///
+/// Std-dev convention: [`std_dev`](Summary::std_dev) is the **sample**
+/// standard deviation (Bessel-corrected, n−1 divisor) — the conventional
+/// estimator for "mean ± std over repetitions" reporting. A single sample
+/// has a std-dev of 0.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Summary {
     /// Number of samples aggregated.
     pub count: usize,
     /// Sample mean.
     pub mean: f64,
-    /// Population standard deviation.
+    /// Sample (n−1) standard deviation; 0 when `count < 2`.
     pub std_dev: f64,
     /// Smallest sample.
     pub min: f64,
@@ -271,7 +292,11 @@ impl Summary {
         }
         let count = samples.len();
         let mean = samples.iter().sum::<f64>() / count as f64;
-        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / count as f64;
+        let var = if count < 2 {
+            0.0
+        } else {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count - 1) as f64
+        };
         let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         Summary {
@@ -390,9 +415,20 @@ mod tests {
         let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
         assert_eq!(s.count, 4);
         assert_eq!(s.mean, 2.5);
-        assert!((s.std_dev - 1.118).abs() < 1e-3);
+        // Sample (n−1) std-dev: sqrt(5/3) ≈ 1.2910.
+        assert!((s.std_dev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
         assert_eq!(s.min, 1.0);
         assert_eq!(s.max, 4.0);
         assert_eq!(Summary::of(&[]), Summary::default());
+    }
+
+    #[test]
+    fn summary_of_single_sample_has_zero_std_dev() {
+        let s = Summary::of(&[42.0]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.min, 42.0);
+        assert_eq!(s.max, 42.0);
     }
 }

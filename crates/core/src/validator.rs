@@ -410,6 +410,7 @@ mod tests {
             adversary_messages: 0,
             dropped_messages: 0,
             events_processed: 0,
+            events_skipped: 0,
             broadcasts: 0,
             sent_per_node: vec![0; n],
             delivered_per_node: vec![0; n],

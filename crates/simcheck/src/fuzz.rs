@@ -1,6 +1,7 @@
 //! The fuzzing driver: sweep scenario seeds, check every run against the
 //! oracle suite, shrink every violation to a [`Repro`].
 
+use bft_sim_core::sweep::sweep;
 use bft_sim_protocols::registry::ProtocolKind;
 
 use crate::repro::Repro;
@@ -18,6 +19,10 @@ pub struct FuzzOptions {
     pub max_actions: u64,
     /// Arms the feature-gated seeded safety bug in every scenario.
     pub inject_bug: bool,
+    /// Worker threads for the sweep; `0` means available parallelism. The
+    /// report is byte-identical for every value (results are reassembled in
+    /// seed order).
+    pub threads: usize,
 }
 
 impl Default for FuzzOptions {
@@ -27,6 +32,7 @@ impl Default for FuzzOptions {
             intensity_permille: 500,
             max_actions: 48,
             inject_bug: false,
+            threads: 0,
         }
     }
 }
@@ -44,27 +50,54 @@ pub struct FuzzOutcome {
     pub repro: Repro,
 }
 
+/// One scenario that panicked mid-run (a poisoned scenario), isolated by the
+/// sweep engine instead of aborting the whole sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzFailure {
+    /// The scenario seed whose run panicked.
+    pub scenario_seed: u64,
+    /// The panic message.
+    pub message: String,
+}
+
 /// The result of a fuzzing sweep.
 #[derive(Debug, Default)]
 pub struct FuzzReport {
-    /// Scenarios run.
+    /// Scenarios that ran to completion.
     pub runs: u64,
-    /// Total engine events across the sweep (the throughput numerator).
+    /// Total engine events dispatched across the sweep (the throughput
+    /// numerator).
     pub events_processed: u64,
+    /// Total events popped but skipped (deliveries to excluded nodes,
+    /// cancelled-timer tombstones) across the sweep.
+    pub events_skipped: u64,
     /// Every violating scenario, in seed order.
     pub outcomes: Vec<FuzzOutcome>,
+    /// Every panicked scenario, in seed order.
+    pub failures: Vec<FuzzFailure>,
 }
 
 impl FuzzReport {
-    /// Whether the sweep found no violations.
+    /// Whether the sweep found no violations and no panicked runs.
     pub fn clean(&self) -> bool {
-        self.outcomes.is_empty()
+        self.outcomes.is_empty() && self.failures.is_empty()
     }
 }
 
+/// What one seed's job produces; reassembled in seed order by the sweep.
+struct SeedResult {
+    events_processed: u64,
+    events_skipped: u64,
+    outcome: Option<FuzzOutcome>,
+}
+
 /// Runs one scenario per seed, oracle-checks it, and shrinks every failure.
-/// Fully deterministic: the same seeds and options always produce the same
-/// report, byte for byte.
+/// Seeds are sharded across `opts.threads` workers (0 = available
+/// parallelism) and the report is reassembled in seed order, so it is fully
+/// deterministic: the same seeds and options always produce the same report,
+/// byte for byte, at any thread count. A panicking run is isolated
+/// (`catch_unwind` inside the sweep engine) and reported as a
+/// [`FuzzFailure`] instead of aborting the sweep.
 ///
 /// # Errors
 ///
@@ -75,28 +108,57 @@ pub fn fuzz_many(
     seeds: impl IntoIterator<Item = u64>,
     opts: &FuzzOptions,
 ) -> Result<FuzzReport, String> {
+    let seeds: Vec<u64> = seeds.into_iter().collect();
+    let per_seed = sweep(
+        seeds.len(),
+        opts.threads,
+        |i| -> Result<SeedResult, String> {
+            let seed = seeds[i];
+            let spec = ScenarioSpec::generate(
+                seed,
+                &opts.protocols,
+                opts.intensity_permille,
+                opts.max_actions,
+                opts.inject_bug,
+            );
+            let run = spec
+                .run(RunMode::Generate)
+                .map_err(|e| format!("seed {seed}: {e}"))?;
+            let outcome = if run.violations.is_empty() {
+                None
+            } else {
+                let repro = shrink(&spec, &run);
+                Some(FuzzOutcome {
+                    scenario_seed: seed,
+                    spec,
+                    violations: run.violations.iter().map(|v| v.to_string()).collect(),
+                    repro,
+                })
+            };
+            Ok(SeedResult {
+                events_processed: run.result.events_processed,
+                events_skipped: run.result.events_skipped,
+                outcome,
+            })
+        },
+    );
+
     let mut report = FuzzReport::default();
-    for seed in seeds {
-        let spec = ScenarioSpec::generate(
-            seed,
-            &opts.protocols,
-            opts.intensity_permille,
-            opts.max_actions,
-            opts.inject_bug,
-        );
-        let run = spec
-            .run(RunMode::Generate)
-            .map_err(|e| format!("seed {seed}: {e}"))?;
-        report.runs += 1;
-        report.events_processed += run.result.events_processed;
-        if !run.violations.is_empty() {
-            let repro = shrink(&spec, &run);
-            report.outcomes.push(FuzzOutcome {
-                scenario_seed: seed,
-                spec,
-                violations: run.violations.iter().map(|v| v.to_string()).collect(),
-                repro,
-            });
+    for (i, slot) in per_seed.into_iter().enumerate() {
+        match slot {
+            Ok(Ok(res)) => {
+                report.runs += 1;
+                report.events_processed += res.events_processed;
+                report.events_skipped += res.events_skipped;
+                if let Some(outcome) = res.outcome {
+                    report.outcomes.push(outcome);
+                }
+            }
+            Ok(Err(build_error)) => return Err(build_error),
+            Err(panic) => report.failures.push(FuzzFailure {
+                scenario_seed: seeds[i],
+                message: panic.message,
+            }),
         }
     }
     Ok(report)
@@ -136,7 +198,37 @@ mod tests {
         let b = fuzz_many(0..4, &opts).unwrap();
         assert_eq!(a.runs, b.runs);
         assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.events_skipped, b.events_skipped);
         assert_eq!(a.outcomes.len(), b.outcomes.len());
+        assert!(a.failures.is_empty() && b.failures.is_empty());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_report() {
+        let serial = FuzzOptions {
+            protocols: vec![ProtocolKind::Pbft, ProtocolKind::Tendermint],
+            threads: 1,
+            ..FuzzOptions::default()
+        };
+        let parallel = FuzzOptions {
+            threads: 4,
+            ..serial.clone()
+        };
+        let a = fuzz_many(0..8, &serial).unwrap();
+        let b = fuzz_many(0..8, &parallel).unwrap();
+        assert_eq!(a.runs, b.runs);
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.events_skipped, b.events_skipped);
+        assert_eq!(a.outcomes.len(), b.outcomes.len());
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!(x.scenario_seed, y.scenario_seed);
+            assert_eq!(x.violations, y.violations);
+            assert_eq!(
+                x.repro.to_json().dump_pretty(),
+                y.repro.to_json().dump_pretty()
+            );
+        }
+        assert_eq!(a.failures, b.failures);
     }
 }
 

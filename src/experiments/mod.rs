@@ -167,27 +167,25 @@ impl Scenario {
             .run()
     }
 
-    /// Runs `reps` seeded repetitions in parallel (the paper uses 100).
+    /// Runs `reps` seeded repetitions in parallel (the paper uses 100),
+    /// using all available cores. Results come back in seed order, so the
+    /// output is identical to running serially.
     pub fn run_many(&self, reps: usize, base_seed: u64) -> Vec<RunResult> {
-        let threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(4)
-            .min(reps.max(1));
-        let mut results: Vec<Option<RunResult>> = (0..reps).map(|_| None).collect();
-        std::thread::scope(|scope| {
-            for (chunk_idx, chunk) in results.chunks_mut(reps.div_ceil(threads)).enumerate() {
-                let this = &*self;
-                scope.spawn(move || {
-                    let chunk_base = chunk_idx * reps.div_ceil(threads);
-                    for (i, slot) in chunk.iter_mut().enumerate() {
-                        *slot = Some(this.run(base_seed + (chunk_base + i) as u64));
-                    }
-                });
-            }
-        });
-        results
+        self.run_many_threads(reps, base_seed, 0)
+    }
+
+    /// Like [`run_many`](Scenario::run_many) with an explicit worker-thread
+    /// count (0 = available parallelism). Repetitions are sharded through
+    /// the deterministic sweep engine (work-stealing, seed-order
+    /// reassembly); a panic in any repetition is re-raised here, since the
+    /// experiment scenarios are all expected to run clean.
+    pub fn run_many_threads(&self, reps: usize, base_seed: u64, threads: usize) -> Vec<RunResult> {
+        bft_sim_core::sweep::sweep(reps, threads, |i| self.run(base_seed + i as u64))
             .into_iter()
-            .map(|r| r.expect("all runs filled"))
+            .map(|r| match r {
+                Ok(result) => result,
+                Err(p) => panic!("{p}"),
+            })
             .collect()
     }
 

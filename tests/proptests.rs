@@ -53,6 +53,87 @@ fn uniform_respects_bounds() {
     }
 }
 
+/// Draws one of each [`Dist`] variant with randomised parameters.
+fn arbitrary_dists(gen: &mut SmallRng) -> Vec<Dist> {
+    vec![
+        Dist::constant(gen.gen_range(0.0..5000.0)),
+        Dist::uniform(gen.gen_range(0.0..2000.0), gen.gen_range(2000.0..6000.0)),
+        Dist::normal(gen.gen_range(-1000.0..4000.0), gen.gen_range(0.0..2000.0)),
+        Dist::log_normal(gen.gen_range(0.0..8.0), gen.gen_range(0.0..2.0)),
+        Dist::exponential(gen.gen_range(0.1..3000.0)),
+        Dist::poisson(gen.gen_range(0.1..1000.0)),
+    ]
+}
+
+/// `BoundedNetwork` never proposes a delay above its bound, for every
+/// distribution variant and arbitrary parameters.
+#[test]
+fn bounded_network_never_exceeds_its_bound() {
+    let mut gen = SmallRng::seed_from_u64(0xB0B0);
+    for case in 0..CASES {
+        let bound_ms = gen.gen_range(1.0..3000.0);
+        let seed: u64 = gen.gen();
+        for dist in arbitrary_dists(&mut gen) {
+            let mut net = BoundedNetwork::new(dist, bound_ms);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            for sample in 0..64 {
+                let now = SimTime::from_millis(sample * 17);
+                let d = net.delay(NodeId::new(0), NodeId::new(1), now, &mut rng);
+                assert!(
+                    d <= net.bound(),
+                    "case {case}: {dist:?} bound {bound_ms} ms seed {seed} \
+                     proposed {} ms",
+                    d.as_millis_f64()
+                );
+            }
+        }
+    }
+}
+
+/// `GstNetwork` delivery-time guarantee, across every `Dist` variant:
+/// a message sent at `now ≥ GST` arrives within `post_bound`; a message
+/// sent before GST arrives no later than `GST + post_bound` (the in-flight
+/// cap of the Dwork–Lynch–Stockmeyer model).
+#[test]
+fn gst_network_delays_respect_the_stabilisation_contract() {
+    let mut gen = SmallRng::seed_from_u64(0x6057);
+    for case in 0..CASES {
+        let gst_ms = gen.gen_range(0.0..4000.0);
+        let post_bound_ms = gen.gen_range(1.0..2000.0);
+        let seed: u64 = gen.gen();
+        let pre_dists = arbitrary_dists(&mut gen);
+        let post_dists = arbitrary_dists(&mut gen);
+        for (pre, post) in pre_dists.into_iter().zip(post_dists) {
+            let mut net = GstNetwork::new(pre, post, gst_ms, post_bound_ms);
+            let post_bound = SimDuration::from_millis(post_bound_ms);
+            let deadline = net.gst() + post_bound;
+            let mut rng = SmallRng::seed_from_u64(seed);
+            for sample in 0..64 {
+                // Sprinkle send times on both sides of GST.
+                let now = SimTime::from_millis((sample * 131) % (gst_ms as u64 * 2 + 100));
+                let d = net.delay(NodeId::new(0), NodeId::new(1), now, &mut rng);
+                if now >= net.gst() {
+                    assert!(
+                        d <= post_bound,
+                        "case {case}: post-GST delay {} ms exceeds bound \
+                         {post_bound_ms} ms ({pre:?}/{post:?}, seed {seed})",
+                        d.as_millis_f64()
+                    );
+                } else {
+                    assert!(
+                        now + d <= deadline,
+                        "case {case}: pre-GST send at {} ms would deliver at \
+                         {} ms, after GST({gst_ms}) + bound({post_bound_ms}) \
+                         ({pre:?}/{post:?}, seed {seed})",
+                        now.as_millis_f64(),
+                        (now + d).as_millis_f64()
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// The simulation clock is monotone: trace events appear in
 /// non-decreasing time order in every run.
 #[test]
