@@ -3,8 +3,11 @@
 //! Runs broadcast-heavy seeded workloads — PBFT and HotStuff+NS at
 //! n ∈ {16, 64} — and reports, per case: events/second, wall-clock
 //! milliseconds, peak event-queue depth and allocations per broadcast.
-//! The result is written to `BENCH_baseline.json` so perf changes show up
-//! as reviewable diffs, and CI archives the file per commit.
+//! Every case runs once per requested scheduler backend (heap and timing
+//! wheel by default), so the two implementations stay perf-comparable in
+//! the same document. The result is written to `BENCH_baseline.json` so
+//! perf changes show up as reviewable diffs, and CI archives the file per
+//! commit.
 //!
 //! Simulated behaviour (event counts, queue depth, broadcasts) is
 //! deterministic for a given seed; wall-clock figures vary with the host,
@@ -17,6 +20,7 @@ use bft_sim_core::dist::Dist;
 use bft_sim_core::engine::SimulationBuilder;
 use bft_sim_core::json::Json;
 use bft_sim_core::network::SampledNetwork;
+use bft_sim_core::scheduler::SchedulerKind;
 use bft_sim_core::time::SimDuration;
 use bft_sim_protocols::registry::ProtocolKind;
 
@@ -50,8 +54,20 @@ pub struct CaseResult {
     pub wall_ms: f64,
     /// Events per wall-clock second (host-dependent).
     pub events_per_sec: f64,
-    /// Peak event-queue depth during the run.
+    /// Peak event-queue depth during the run (live events only, so the
+    /// figure is identical under every scheduler backend).
     pub peak_queue_depth: usize,
+    /// Scheduler backend the case ran under (`"heap"` or `"wheel"`).
+    pub scheduler: &'static str,
+    /// Peak *resident* scheduler entries — live events plus any lazy
+    /// tombstones the backend keeps around. Backend-dependent.
+    pub peak_resident_entries: usize,
+    /// Cancelled entries the scheduler popped and discarded internally
+    /// (heap backend's lazy-deletion cost; always 0 for the wheel).
+    pub tombstones_popped: u64,
+    /// Entries removed in place at cancel time (wheel backend's O(1)
+    /// cancellation; always 0 for the heap).
+    pub cancelled_in_place: u64,
     /// Broadcast actions executed — each is exactly one payload allocation
     /// on the zero-clone hot path.
     pub broadcasts: u64,
@@ -64,8 +80,17 @@ pub struct CaseResult {
 }
 
 /// Runs one baseline case: `decisions` consensus decisions under the
-/// paper's default network, λ = 1000 ms, delays N(250, 50).
-pub fn run_case(kind: ProtocolKind, n: usize, seed: u64, decisions: u64) -> CaseResult {
+/// paper's default network, λ = 1000 ms, delays N(250, 50), on the given
+/// scheduler backend. The simulated outcome is backend-independent (the
+/// scheduler determinism contract); only wall-clock and the backend's own
+/// bookkeeping differ.
+pub fn run_case(
+    kind: ProtocolKind,
+    n: usize,
+    seed: u64,
+    decisions: u64,
+    scheduler: SchedulerKind,
+) -> CaseResult {
     let cfg = kind
         .configure(
             RunConfig::new(n)
@@ -77,6 +102,7 @@ pub fn run_case(kind: ProtocolKind, n: usize, seed: u64, decisions: u64) -> Case
     let factory = kind.factory(&cfg, 7);
     let sim = SimulationBuilder::new(cfg)
         .network(SampledNetwork::new(Dist::normal(250.0, 50.0)))
+        .scheduler(scheduler)
         .protocols(factory)
         .build()
         .expect("baseline configuration is valid");
@@ -96,6 +122,10 @@ pub fn run_case(kind: ProtocolKind, n: usize, seed: u64, decisions: u64) -> Case
         wall_ms: wall * 1e3,
         events_per_sec: result.events_processed as f64 / wall.max(1e-9),
         peak_queue_depth: result.queue_high_water,
+        scheduler: result.scheduler.scheduler,
+        peak_resident_entries: result.scheduler.peak_resident,
+        tombstones_popped: result.scheduler.tombstones_popped,
+        cancelled_in_place: result.scheduler.cancelled_in_place,
         broadcasts: result.broadcasts,
         allocations: counting.then_some(allocs),
         allocs_per_broadcast: (counting && result.broadcasts > 0)
@@ -103,12 +133,17 @@ pub fn run_case(kind: ProtocolKind, n: usize, seed: u64, decisions: u64) -> Case
     }
 }
 
-/// Runs the full matrix with a fixed seed per case.
-pub fn run_all(seed: u64, decisions: u64) -> Vec<CaseResult> {
-    cases()
-        .into_iter()
-        .map(|(kind, n)| run_case(kind, n, seed, decisions))
-        .collect()
+/// Runs the full matrix with a fixed seed per case, once per scheduler
+/// backend (case-major: both backends of a case appear adjacently, which
+/// keeps the heap-vs-wheel comparison a one-line diff in the JSON).
+pub fn run_all(seed: u64, decisions: u64, schedulers: &[SchedulerKind]) -> Vec<CaseResult> {
+    let mut out = Vec::new();
+    for (kind, n) in cases() {
+        for &scheduler in schedulers {
+            out.push(run_case(kind, n, seed, decisions, scheduler));
+        }
+    }
+    out
 }
 
 /// Throughput of the `simcheck` fuzzer: scenarios and engine events per
@@ -116,6 +151,8 @@ pub fn run_all(seed: u64, decisions: u64) -> Vec<CaseResult> {
 /// oracle observer and schedule recording on top of raw simulation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FuzzStat {
+    /// Scheduler backend the sweep ran under (`"heap"` or `"wheel"`).
+    pub scheduler: &'static str,
     /// Scenario seeds swept (`0..seeds`).
     pub seeds: u64,
     /// Worker threads the sweep used (resolved, never 0).
@@ -125,9 +162,12 @@ pub struct FuzzStat {
     /// Engine events dispatched across the sweep (deterministic per seed
     /// set).
     pub events_processed: u64,
-    /// Events popped but skipped across the sweep (deterministic per seed
-    /// set).
-    pub events_skipped: u64,
+    /// Timers cancelled while pending across the sweep (deterministic per
+    /// seed set, identical under every scheduler backend).
+    pub skipped_cancelled_timers: u64,
+    /// Events to crashed/corrupted nodes skipped across the sweep
+    /// (deterministic per seed set).
+    pub skipped_excluded_nodes: u64,
     /// Wall-clock for the sweep (host-dependent).
     pub wall_ms: f64,
     /// Scenarios per wall-clock second (host-dependent).
@@ -137,16 +177,17 @@ pub struct FuzzStat {
 }
 
 /// Sweeps fuzz seeds `0..seeds` over PBFT and HotStuff+NS at the default
-/// budget, sharded over `threads` workers (0 = available parallelism), and
-/// measures throughput. Panics if the sweep finds a violation or a panicked
+/// budget, sharded over `threads` workers (0 = available parallelism) on
+/// the given scheduler backend, and measures throughput. Panics if the sweep finds a violation or a panicked
 /// run: honest protocols fuzzed within their fault model must stay correct,
 /// so a failure here is a real regression, not a perf artifact.
-pub fn run_fuzz_stat(seeds: u64, threads: usize) -> FuzzStat {
+pub fn run_fuzz_stat(seeds: u64, threads: usize, scheduler: SchedulerKind) -> FuzzStat {
     use bft_sim_simcheck::{fuzz_many, FuzzOptions};
     let threads = bft_sim_core::sweep::resolve_threads(threads);
     let opts = FuzzOptions {
         protocols: vec![ProtocolKind::Pbft, ProtocolKind::HotStuffNs],
         threads,
+        scheduler,
         ..FuzzOptions::default()
     };
     let start = Instant::now();
@@ -159,11 +200,13 @@ pub fn run_fuzz_stat(seeds: u64, threads: usize) -> FuzzStat {
         report.failures
     );
     FuzzStat {
+        scheduler: scheduler.name(),
         seeds,
         threads,
         runs: report.runs,
         events_processed: report.events_processed,
-        events_skipped: report.events_skipped,
+        skipped_cancelled_timers: report.skipped_cancelled_timers,
+        skipped_excluded_nodes: report.skipped_excluded_nodes,
         wall_ms: wall * 1e3,
         scenarios_per_sec: report.runs as f64 / wall.max(1e-9),
         events_per_sec: report.events_processed as f64 / wall.max(1e-9),
@@ -188,10 +231,14 @@ pub struct ThreadScaling {
 }
 
 /// Measures the fuzz workload at 1 thread and at `threads` (0 = available
-/// parallelism) over seeds `0..seeds`.
-pub fn measure_thread_scaling(seeds: u64, threads: usize) -> ThreadScaling {
-    let serial = run_fuzz_stat(seeds, 1);
-    let parallel = run_fuzz_stat(seeds, threads);
+/// parallelism) over seeds `0..seeds`, on the given scheduler backend.
+pub fn measure_thread_scaling(
+    seeds: u64,
+    threads: usize,
+    scheduler: SchedulerKind,
+) -> ThreadScaling {
+    let serial = run_fuzz_stat(seeds, 1, scheduler);
+    let parallel = run_fuzz_stat(seeds, threads, scheduler);
     let speedup = parallel.scenarios_per_sec / serial.scenarios_per_sec.max(1e-9);
     ThreadScaling {
         host_threads: bft_sim_core::sweep::available_threads(),
@@ -203,24 +250,30 @@ pub fn measure_thread_scaling(seeds: u64, threads: usize) -> ThreadScaling {
 
 fn fuzz_stat_json(f: &FuzzStat) -> Json {
     Json::obj([
+        ("scheduler", Json::from(f.scheduler)),
         ("seeds", Json::from(f.seeds)),
         ("threads", Json::from(f.threads)),
         ("runs", Json::from(f.runs)),
         ("events_processed", Json::from(f.events_processed)),
-        ("events_skipped", Json::from(f.events_skipped)),
+        (
+            "skipped_cancelled_timers",
+            Json::from(f.skipped_cancelled_timers),
+        ),
+        (
+            "skipped_excluded_nodes",
+            Json::from(f.skipped_excluded_nodes),
+        ),
         ("wall_ms", Json::from(round3(f.wall_ms))),
         ("scenarios_per_sec", Json::from(round3(f.scenarios_per_sec))),
         ("events_per_sec", Json::from(round3(f.events_per_sec))),
     ])
 }
 
-/// Serialises case results (and, when measured, the fuzz throughput stat and
-/// the thread-scaling comparison) as the `BENCH_baseline.json` document.
-pub fn to_json(
-    results: &[CaseResult],
-    fuzz: Option<&FuzzStat>,
-    scaling: Option<&ThreadScaling>,
-) -> Json {
+/// Serialises case results (and, when measured, the per-backend fuzz
+/// throughput stats and the thread-scaling comparison) as the
+/// `BENCH_baseline.json` document. `fuzz` carries one entry per scheduler
+/// backend measured; an empty slice omits the `"fuzz"` key.
+pub fn to_json(results: &[CaseResult], fuzz: &[FuzzStat], scaling: Option<&ThreadScaling>) -> Json {
     let cases = results
         .iter()
         .map(|r| {
@@ -241,6 +294,19 @@ pub fn to_json(
                 (
                     "peak_queue_depth".to_string(),
                     Json::from(r.peak_queue_depth),
+                ),
+                ("scheduler".to_string(), Json::from(r.scheduler)),
+                (
+                    "peak_resident_entries".to_string(),
+                    Json::from(r.peak_resident_entries),
+                ),
+                (
+                    "tombstones_popped".to_string(),
+                    Json::from(r.tombstones_popped),
+                ),
+                (
+                    "cancelled_in_place".to_string(),
+                    Json::from(r.cancelled_in_place),
                 ),
                 ("broadcasts".to_string(), Json::from(r.broadcasts)),
             ];
@@ -273,8 +339,11 @@ pub fn to_json(
         ),
         ("cases".to_string(), Json::Arr(cases)),
     ];
-    if let Some(f) = fuzz {
-        pairs.push(("fuzz".to_string(), fuzz_stat_json(f)));
+    if !fuzz.is_empty() {
+        pairs.push((
+            "fuzz".to_string(),
+            Json::Arr(fuzz.iter().map(fuzz_stat_json).collect()),
+        ));
     }
     if let Some(s) = scaling {
         pairs.push((
@@ -300,8 +369,8 @@ mod tests {
 
     #[test]
     fn baseline_case_is_deterministic_in_simulation() {
-        let a = run_case(ProtocolKind::Pbft, 16, 42, 3);
-        let b = run_case(ProtocolKind::Pbft, 16, 42, 3);
+        let a = run_case(ProtocolKind::Pbft, 16, 42, 3, SchedulerKind::Heap);
+        let b = run_case(ProtocolKind::Pbft, 16, 42, 3, SchedulerKind::Heap);
         assert_eq!(a.events_processed, b.events_processed);
         assert_eq!(a.peak_queue_depth, b.peak_queue_depth);
         assert_eq!(a.broadcasts, b.broadcasts);
@@ -310,22 +379,60 @@ mod tests {
     }
 
     #[test]
+    fn backends_simulate_identical_work() {
+        let heap = run_case(ProtocolKind::Pbft, 16, 42, 3, SchedulerKind::Heap);
+        let wheel = run_case(ProtocolKind::Pbft, 16, 42, 3, SchedulerKind::Wheel);
+        assert_eq!(heap.scheduler, "heap");
+        assert_eq!(wheel.scheduler, "wheel");
+        assert_eq!(heap.events_processed, wheel.events_processed);
+        assert_eq!(heap.peak_queue_depth, wheel.peak_queue_depth);
+        assert_eq!(heap.broadcasts, wheel.broadcasts);
+        assert_eq!(heap.decisions, wheel.decisions);
+        // The wheel cancels in place; it never pops a tombstone.
+        assert_eq!(wheel.tombstones_popped, 0);
+        assert_eq!(heap.cancelled_in_place, 0);
+    }
+
+    #[test]
+    fn run_all_is_case_major_over_backends() {
+        let both = [SchedulerKind::Heap, SchedulerKind::Wheel];
+        let results = run_all(1, 1, &both);
+        assert_eq!(results.len(), cases().len() * 2);
+        for pair in results.chunks(2) {
+            assert_eq!(pair[0].protocol, pair[1].protocol);
+            assert_eq!(pair[0].n, pair[1].n);
+            assert_eq!(pair[0].scheduler, "heap");
+            assert_eq!(pair[1].scheduler, "wheel");
+            assert_eq!(pair[0].events_processed, pair[1].events_processed);
+        }
+    }
+
+    #[test]
     fn fuzz_stat_measures_a_clean_sweep() {
-        let stat = run_fuzz_stat(3, 1);
+        let stat = run_fuzz_stat(3, 1, SchedulerKind::Heap);
         assert_eq!(stat.runs, 3);
         assert_eq!(stat.threads, 1);
+        assert_eq!(stat.scheduler, "heap");
         assert!(stat.events_processed > 0);
-        let a = run_fuzz_stat(3, 2);
+        let a = run_fuzz_stat(3, 2, SchedulerKind::Heap);
         assert_eq!(
             a.events_processed, stat.events_processed,
             "simulated work must be deterministic at any thread count"
         );
-        assert_eq!(a.events_skipped, stat.events_skipped);
+        assert_eq!(a.skipped_cancelled_timers, stat.skipped_cancelled_timers);
+        assert_eq!(a.skipped_excluded_nodes, stat.skipped_excluded_nodes);
+        let w = run_fuzz_stat(3, 2, SchedulerKind::Wheel);
+        assert_eq!(
+            w.events_processed, stat.events_processed,
+            "simulated work must be identical under every backend"
+        );
+        assert_eq!(w.skipped_cancelled_timers, stat.skipped_cancelled_timers);
+        assert_eq!(w.skipped_excluded_nodes, stat.skipped_excluded_nodes);
     }
 
     #[test]
     fn thread_scaling_compares_identical_simulated_work() {
-        let s = measure_thread_scaling(3, 2);
+        let s = measure_thread_scaling(3, 2, SchedulerKind::Heap);
         assert_eq!(s.serial.threads, 1);
         assert_eq!(s.parallel.threads, 2);
         assert_eq!(s.serial.events_processed, s.parallel.events_processed);
@@ -335,40 +442,59 @@ mod tests {
 
     #[test]
     fn baseline_json_has_the_expected_shape() {
-        let results = vec![run_case(ProtocolKind::Pbft, 16, 1, 1)];
-        let fuzz = FuzzStat {
+        let results = vec![run_case(ProtocolKind::Pbft, 16, 1, 1, SchedulerKind::Heap)];
+        let heap_fuzz = FuzzStat {
+            scheduler: "heap",
             seeds: 2,
             threads: 1,
             runs: 2,
             events_processed: 1000,
-            events_skipped: 10,
+            skipped_cancelled_timers: 7,
+            skipped_excluded_nodes: 3,
             wall_ms: 1.0,
             scenarios_per_sec: 2000.0,
             events_per_sec: 1_000_000.0,
         };
+        let wheel_fuzz = FuzzStat {
+            scheduler: "wheel",
+            wall_ms: 0.8,
+            ..heap_fuzz.clone()
+        };
+        let fuzz = vec![heap_fuzz.clone(), wheel_fuzz];
         let scaling = ThreadScaling {
             host_threads: 4,
-            serial: fuzz.clone(),
+            serial: heap_fuzz.clone(),
             parallel: FuzzStat {
                 threads: 4,
                 wall_ms: 0.5,
                 scenarios_per_sec: 4000.0,
-                ..fuzz.clone()
+                ..heap_fuzz
             },
             speedup: 2.0,
         };
-        let json = to_json(&results, Some(&fuzz), Some(&scaling));
+        let json = to_json(&results, &fuzz, Some(&scaling));
+        let fuzz_arr = json.get("fuzz").and_then(Json::as_arr).unwrap();
+        assert_eq!(fuzz_arr.len(), 2);
         assert_eq!(
-            json.get("fuzz")
-                .and_then(|f| f.get("runs"))
-                .and_then(Json::as_u64),
-            Some(2)
+            fuzz_arr[0].get("scheduler").and_then(Json::as_str),
+            Some("heap")
         );
         assert_eq!(
-            json.get("fuzz")
-                .and_then(|f| f.get("events_skipped"))
+            fuzz_arr[1].get("scheduler").and_then(Json::as_str),
+            Some("wheel")
+        );
+        assert_eq!(fuzz_arr[0].get("runs").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            fuzz_arr[0]
+                .get("skipped_cancelled_timers")
                 .and_then(Json::as_u64),
-            Some(10)
+            Some(7)
+        );
+        assert_eq!(
+            fuzz_arr[0]
+                .get("skipped_excluded_nodes")
+                .and_then(Json::as_u64),
+            Some(3)
         );
         assert_eq!(
             json.get("thread_scaling")
@@ -377,7 +503,7 @@ mod tests {
             Some(2.0)
         );
         assert!(json.get("alloc_note").is_some());
-        let bare = to_json(&results, None, None);
+        let bare = to_json(&results, &[], None);
         assert!(bare.get("fuzz").is_none());
         assert!(bare.get("thread_scaling").is_none());
         let cases = json.get("cases").and_then(Json::as_arr).unwrap();
@@ -391,10 +517,18 @@ mod tests {
             "wall_ms",
             "events_per_sec",
             "peak_queue_depth",
+            "scheduler",
+            "peak_resident_entries",
+            "tombstones_popped",
+            "cancelled_in_place",
             "broadcasts",
         ] {
             assert!(cases[0].get(key).is_some(), "missing {key}");
         }
+        assert_eq!(
+            cases[0].get("scheduler").and_then(Json::as_str),
+            Some("heap")
+        );
         // Parses back as valid JSON.
         assert!(Json::parse(&json.dump_pretty()).is_ok());
     }

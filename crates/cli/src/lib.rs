@@ -20,6 +20,7 @@
 
 use bft_sim_core::dist::Dist;
 use bft_sim_core::json::Json;
+use bft_sim_core::scheduler::SchedulerKind;
 use bft_simulator::experiments::{figures, loc, AttackSpec, Scenario};
 use bft_simulator::prelude::ProtocolKind;
 
@@ -43,6 +44,10 @@ pub enum Command {
         /// workloads always run serially so allocation deltas stay
         /// attributable.
         threads: usize,
+        /// Scheduler backend to measure; `None` measures every backend
+        /// (the default, so the heap-vs-wheel comparison lands in one
+        /// document).
+        scheduler: Option<SchedulerKind>,
     },
     /// Sweep deterministic fuzz scenarios, oracle-check every run, shrink
     /// violations to repro files.
@@ -156,6 +161,10 @@ pub struct FuzzSpec {
     /// Worker threads for the sweep (0 = available parallelism). The report
     /// is byte-identical at any thread count.
     pub threads: usize,
+    /// Event-scheduler backend for every run (`heap` or `wheel`). The
+    /// report is byte-identical under either — the scheduler determinism
+    /// contract — so the flag only changes sweep throughput.
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for FuzzSpec {
@@ -169,6 +178,7 @@ impl Default for FuzzSpec {
             out_dir: ".".into(),
             json: false,
             threads: 0,
+            scheduler: SchedulerKind::default(),
         }
     }
 }
@@ -294,6 +304,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         "bench-baseline" => {
             let mut out = "BENCH_baseline.json".to_string();
             let mut threads = 0usize;
+            let mut scheduler = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--out" => {
@@ -309,10 +320,27 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                             .parse()
                             .map_err(|_| CliError("bad --threads".into()))?;
                     }
+                    "--scheduler" => {
+                        let s = it
+                            .next()
+                            .ok_or_else(|| CliError("--scheduler needs a value".into()))?;
+                        scheduler = match s.as_str() {
+                            "both" => None,
+                            other => Some(SchedulerKind::parse(other).ok_or_else(|| {
+                                CliError(format!(
+                                    "bad --scheduler '{other}' (use heap, wheel or both)"
+                                ))
+                            })?),
+                        };
+                    }
                     other => return Err(CliError(format!("unknown flag '{other}'"))),
                 }
             }
-            Ok(Command::BenchBaseline { out, threads })
+            Ok(Command::BenchBaseline {
+                out,
+                threads,
+                scheduler,
+            })
         }
         "run" | "compare" => {
             let spec = parse_run_spec(&args[1..])?;
@@ -382,6 +410,11 @@ fn parse_fuzz_spec(args: &[String]) -> Result<FuzzSpec, CliError> {
                 spec.threads = value("--threads")?
                     .parse()
                     .map_err(|_| CliError("bad --threads".into()))?
+            }
+            "--scheduler" => {
+                let s = value("--scheduler")?;
+                spec.scheduler = SchedulerKind::parse(&s)
+                    .ok_or_else(|| CliError(format!("bad --scheduler '{s}' (use heap or wheel)")))?
             }
             other => return Err(CliError(format!("unknown flag '{other}'"))),
         }
@@ -592,18 +625,31 @@ pub fn execute(cmd: Command) -> Result<(), CliError> {
             }
             emit(&reports, spec.json);
         }
-        Command::BenchBaseline { out, threads } => {
-            let results = bft_sim_bench::baseline::run_all(1, 10);
-            let fuzz = bft_sim_bench::baseline::run_fuzz_stat(32, threads);
-            let scaling = bft_sim_bench::baseline::measure_thread_scaling(256, threads);
-            let json = bft_sim_bench::baseline::to_json(&results, Some(&fuzz), Some(&scaling))
-                .dump_pretty();
+        Command::BenchBaseline {
+            out,
+            threads,
+            scheduler,
+        } => {
+            let backends: Vec<SchedulerKind> = match scheduler {
+                Some(kind) => vec![kind],
+                None => SchedulerKind::ALL.to_vec(),
+            };
+            let results = bft_sim_bench::baseline::run_all(1, 10, &backends);
+            let fuzz: Vec<_> = backends
+                .iter()
+                .map(|&kind| bft_sim_bench::baseline::run_fuzz_stat(32, threads, kind))
+                .collect();
+            let scaling =
+                bft_sim_bench::baseline::measure_thread_scaling(256, threads, backends[0]);
+            let json =
+                bft_sim_bench::baseline::to_json(&results, &fuzz, Some(&scaling)).dump_pretty();
             std::fs::write(&out, &json)
                 .map_err(|e| CliError(format!("cannot write {out}: {e}")))?;
             println!(
-                "{:<14} {:>4} {:>10} {:>12} {:>12} {:>12} {:>18}",
+                "{:<14} {:>4} {:>6} {:>10} {:>12} {:>12} {:>12} {:>18}",
                 "protocol",
                 "n",
+                "sched",
                 "wall (ms)",
                 "events",
                 "events/s",
@@ -612,9 +658,10 @@ pub fn execute(cmd: Command) -> Result<(), CliError> {
             );
             for r in &results {
                 println!(
-                    "{:<14} {:>4} {:>10.1} {:>12} {:>12.0} {:>12} {:>18}",
+                    "{:<14} {:>4} {:>6} {:>10.1} {:>12} {:>12.0} {:>12} {:>18}",
                     r.protocol,
                     r.n,
+                    r.scheduler,
                     r.wall_ms,
                     r.events_processed,
                     r.events_per_sec,
@@ -625,13 +672,17 @@ pub fn execute(cmd: Command) -> Result<(), CliError> {
                 );
             }
             println!();
+            for f in &fuzz {
+                println!(
+                    "fuzz [{}]: {} scenarios, {} events, {:.1} ms \
+                     ({:.0} events/s, {} threads)",
+                    f.scheduler, f.runs, f.events_processed, f.wall_ms, f.events_per_sec, f.threads
+                );
+            }
             println!(
-                "fuzz: {} scenarios, {} events, {:.1} ms ({:.0} events/s, {} threads)",
-                fuzz.runs, fuzz.events_processed, fuzz.wall_ms, fuzz.events_per_sec, fuzz.threads
-            );
-            println!(
-                "scaling: {:.0} scenarios/s at 1 thread vs {:.0} at {} threads \
+                "scaling [{}]: {:.0} scenarios/s at 1 thread vs {:.0} at {} threads \
                  ({:.2}x, host has {})",
+                scaling.serial.scheduler,
                 scaling.serial.scenarios_per_sec,
                 scaling.parallel.scenarios_per_sec,
                 scaling.parallel.threads,
@@ -662,7 +713,9 @@ pub fn execute(cmd: Command) -> Result<(), CliError> {
 /// Serialises a fuzz report as the `bft-sim fuzz --json` document.
 /// `repro_paths` pairs with `report.outcomes` (one written repro file per
 /// violating scenario). Deterministic: byte-identical for the same report,
-/// which is itself byte-identical at any thread count.
+/// which is itself byte-identical at any thread count and under either
+/// scheduler backend — which is also why the document deliberately carries
+/// no scheduler field.
 pub fn fuzz_report_json(
     spec: &FuzzSpec,
     report: &bft_sim_simcheck::FuzzReport,
@@ -708,7 +761,14 @@ pub fn fuzz_report_json(
         ),
         ("runs", Json::from(report.runs)),
         ("events_processed", Json::from(report.events_processed)),
-        ("events_skipped", Json::from(report.events_skipped)),
+        (
+            "skipped_cancelled_timers",
+            Json::from(report.skipped_cancelled_timers),
+        ),
+        (
+            "skipped_excluded_nodes",
+            Json::from(report.skipped_excluded_nodes),
+        ),
         ("violating_scenarios", Json::from(report.outcomes.len())),
         ("outcomes", Json::Arr(outcomes)),
         ("panicked_scenarios", Json::from(report.failures.len())),
@@ -727,6 +787,7 @@ fn run_fuzz(spec: &FuzzSpec) -> Result<(), CliError> {
         max_actions: spec.max_actions,
         inject_bug: spec.inject_bug,
         threads: spec.threads,
+        scheduler: spec.scheduler,
     };
     let start = std::time::Instant::now();
     let report =
@@ -887,19 +948,25 @@ USAGE:
     bft-sim fig N    regenerate figure N (2..=9) with small defaults
     bft-sim table N  regenerate table N (1 or 2)
     bft-sim bench-baseline [--out FILE.json] [--threads N]
+                     [--scheduler heap|wheel|both]
                      run the perf-baseline workloads (PBFT / HotStuff+NS at
                      n = 16, 64) and write BENCH_baseline.json; --threads
                      (0 = all cores) applies to the fuzz-throughput and
                      thread-scaling entries, while the per-case workloads
-                     stay serial so allocation counts remain attributable
+                     stay serial so allocation counts remain attributable;
+                     --scheduler both (the default) measures every event-
+                     queue backend so the heap-vs-wheel comparison lands in
+                     one document
     bft-sim fuzz     [--seeds A..B|N] [--protocols all|p1,p2,...]
                      [--intensity PERMILLE] [--max-actions K] [--inject-bug]
                      [--out DIR] [--json] [--threads N]
+                     [--scheduler heap|wheel]
                      sweep deterministic fuzz scenarios across N worker
                      threads (0 = all cores; output is byte-identical at any
-                     thread count), oracle-check every run, shrink violations
-                     to repro files; exits non-zero when any oracle fires or
-                     any run panics
+                     thread count and under either scheduler backend),
+                     oracle-check every run, shrink violations to repro
+                     files; exits non-zero when any oracle fires or any run
+                     panics
     bft-sim repro FILE.json
                      replay a bft-sim-repro-v1 file and confirm its oracle
                      still fires
@@ -1019,6 +1086,8 @@ mod tests {
             "--json",
             "--threads",
             "4",
+            "--scheduler",
+            "wheel",
         ]))
         .unwrap();
         let Command::Fuzz(spec) = cmd else {
@@ -1032,11 +1101,15 @@ mod tests {
         assert_eq!(spec.out_dir, "repros");
         assert!(spec.json);
         assert_eq!(spec.threads, 4);
+        assert_eq!(spec.scheduler, SchedulerKind::Wheel);
         assert_eq!(
             parse_args(&args(&["fuzz"])).unwrap(),
             Command::Fuzz(FuzzSpec::default())
         );
+        assert_eq!(FuzzSpec::default().scheduler, SchedulerKind::Heap);
         assert!(parse_args(&args(&["fuzz", "--threads", "x"])).is_err());
+        assert!(parse_args(&args(&["fuzz", "--scheduler", "both"])).is_err());
+        assert!(parse_args(&args(&["fuzz", "--scheduler", "splay"])).is_err());
     }
 
     #[test]
@@ -1045,7 +1118,8 @@ mod tests {
             parse_args(&args(&["bench-baseline"])).unwrap(),
             Command::BenchBaseline {
                 out: "BENCH_baseline.json".into(),
-                threads: 0
+                threads: 0,
+                scheduler: None
             }
         );
         assert_eq!(
@@ -1054,15 +1128,27 @@ mod tests {
                 "--out",
                 "b.json",
                 "--threads",
-                "2"
+                "2",
+                "--scheduler",
+                "wheel"
             ]))
             .unwrap(),
             Command::BenchBaseline {
                 out: "b.json".into(),
-                threads: 2
+                threads: 2,
+                scheduler: Some(SchedulerKind::Wheel)
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["bench-baseline", "--scheduler", "both"])).unwrap(),
+            Command::BenchBaseline {
+                out: "BENCH_baseline.json".into(),
+                threads: 0,
+                scheduler: None
             }
         );
         assert!(parse_args(&args(&["bench-baseline", "--threads"])).is_err());
+        assert!(parse_args(&args(&["bench-baseline", "--scheduler", "splay"])).is_err());
     }
 
     #[test]

@@ -18,6 +18,7 @@ fn sweep_json(spec: &FuzzSpec, threads: usize) -> String {
         max_actions: spec.max_actions,
         inject_bug: false,
         threads,
+        scheduler: spec.scheduler,
     };
     let report: FuzzReport = fuzz_many(spec.seeds.0..spec.seeds.1, &opts).expect("sweep builds");
     // Derive the repro paths the CLI would write, purely from the report, so
@@ -55,5 +56,6 @@ fn fuzz_json_is_byte_identical_across_thread_counts() {
         "all 64 seeds must have run"
     );
     assert!(parsed.get("events_processed").and_then(|e| e.as_u64()) > Some(0));
-    assert!(parsed.get("events_skipped").is_some());
+    assert!(parsed.get("skipped_cancelled_timers").is_some());
+    assert!(parsed.get("skipped_excluded_nodes").is_some());
 }

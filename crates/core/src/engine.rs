@@ -1,12 +1,19 @@
 //! The simulation controller (§III-A1).
 //!
-//! [`Simulation`] owns the event queue, the simulation clock, the consensus
-//! module instances (one [`Protocol`] per node), the network model and the
-//! global adversary. [`Simulation::run`] pops events in timestamp order,
-//! dispatches them, applies the resulting actions, and stops once the target
-//! number of decisions completed (or the time cap is hit).
+//! [`Simulation`] owns the event scheduler, the simulation clock, the
+//! consensus module instances (one [`Protocol`] per node), the network model
+//! and the global adversary. [`Simulation::run`] pops events in timestamp
+//! order, dispatches them, applies the resulting actions, and stops once the
+//! target number of decisions completed (or the time cap is hit).
+//!
+//! The event queue itself is pluggable: [`SimulationBuilder::scheduler`]
+//! selects a [`SchedulerKind`] backend, and every backend honours the same
+//! `(timestamp, insertion seq)` total order (see [`crate::scheduler`]), so
+//! the choice never changes a run's results — only its performance profile.
+//! Timer cancellation is the scheduler's job: the engine keeps a plain
+//! `TimerId -> handle` map and hands cancellations straight to the backend.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::mem;
 use std::sync::Arc;
 
@@ -17,12 +24,13 @@ use crate::adversary::{AdvAction, Adversary, AdversaryApi, Fate, NullAdversary};
 use crate::config::RunConfig;
 use crate::context::{Action, Context};
 use crate::error::SimError;
-use crate::event::{EventKind, EventQueue, Timer};
+use crate::event::{EventKind, Timer};
 use crate::ids::{NodeId, TimerId};
 use crate::message::Message;
 use crate::metrics::{MetricsCollector, RunResult};
 use crate::network::NetworkModel;
 use crate::protocol::{Protocol, ProtocolFactory, Vacant};
+use crate::scheduler::{EventHandle, Scheduler, SchedulerKind};
 use crate::trace::{Trace, TraceKind};
 use crate::validator::DeliverySchedule;
 use crate::value::Value;
@@ -79,6 +87,7 @@ pub struct SimulationBuilder {
     record_schedule: bool,
     replay: Option<DeliverySchedule>,
     observer: Option<Box<dyn StepObserver>>,
+    scheduler: SchedulerKind,
 }
 
 impl SimulationBuilder {
@@ -92,7 +101,17 @@ impl SimulationBuilder {
             record_schedule: false,
             replay: None,
             observer: None,
+            scheduler: SchedulerKind::default(),
         }
+    }
+
+    /// Selects the event-scheduler backend (defaults to the reference binary
+    /// heap). Both built-in backends honour the same `(timestamp, insertion
+    /// seq)` total order, so results are byte-identical either way; see
+    /// [`crate::scheduler`] for the contract.
+    pub fn scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.scheduler = kind;
+        self
     }
 
     /// Sets the network model (required).
@@ -157,15 +176,14 @@ impl SimulationBuilder {
         let seed = self.cfg.seed;
         Ok(Simulation {
             rng: SmallRng::seed_from_u64(seed),
-            queue: EventQueue::new(),
+            queue: self.scheduler.build(),
             clock: crate::time::SimTime::ZERO,
             nodes,
             network,
             adversary: self.adversary,
             metrics: MetricsCollector::new(self.cfg.n),
             trace: Trace::new(),
-            armed: HashSet::new(),
-            cancelled: HashSet::new(),
+            timer_handles: HashMap::new(),
             crashed: HashSet::new(),
             corrupted: HashSet::new(),
             excluded: HashSet::new(),
@@ -201,20 +219,18 @@ impl core::fmt::Debug for SimulationBuilder {
 pub struct Simulation {
     cfg: RunConfig,
     rng: SmallRng,
-    queue: EventQueue,
+    queue: Box<dyn Scheduler>,
     clock: crate::time::SimTime,
     nodes: Vec<Box<dyn Protocol>>,
     network: Box<dyn NetworkModel>,
     adversary: Box<dyn Adversary>,
     metrics: MetricsCollector,
     trace: Trace,
-    /// Timer ids currently sitting in the event queue. Gates `cancelled` so
-    /// cancelling an already-fired (or never-armed) timer leaves no tombstone.
-    armed: HashSet<TimerId>,
-    /// Armed timer ids whose pop should be skipped. Always ⊆ `armed`, so the
-    /// set stays bounded by the number of in-flight timers regardless of how
-    /// many cancellations a long run issues.
-    cancelled: HashSet<TimerId>,
+    /// Scheduler handle of every timer currently pending in the queue;
+    /// entries leave the map when the timer fires or is cancelled, so the
+    /// map stays bounded by in-flight timers and cancelling an already-fired
+    /// (or never-armed) timer is naturally a no-op.
+    timer_handles: HashMap<TimerId, EventHandle>,
     crashed: HashSet<NodeId>,
     corrupted: HashSet<NodeId>,
     /// `crashed ∪ corrupted`, maintained incrementally.
@@ -288,9 +304,14 @@ impl Simulation {
     /// Consumes the driven simulation into its metrics.
     fn finish(self, timed_out: bool) -> RunResult {
         let end_time = self.clock;
-        let mut result =
-            self.metrics
-                .into_result(end_time, timed_out, self.trace, self.queue_high_water);
+        let stats = self.queue.stats();
+        let mut result = self.metrics.into_result(
+            end_time,
+            timed_out,
+            self.trace,
+            self.queue_high_water,
+            stats,
+        );
         if self.replay_diverged {
             result.safety_violation = result
                 .safety_violation
@@ -311,14 +332,16 @@ impl Simulation {
             }
             self.clock = ev.at;
             // Events are only counted as processed (and reported to the
-            // observer) once they survive the skip checks below; deliveries to
-            // excluded nodes and cancelled-timer tombstones go to the separate
-            // `events_skipped` counter so they cannot inflate events/sec.
+            // observer) once they survive the skip check below; deliveries to
+            // excluded nodes go to the separate `skipped_excluded_nodes`
+            // counter so they cannot inflate events/sec. Cancelled timers
+            // never surface here at all — the scheduler removes or suppresses
+            // them — and are counted at cancellation time instead.
             match ev.kind {
                 EventKind::Deliver(msg) => {
                     let dst = msg.dst();
                     if self.excluded.contains(&dst) {
-                        self.metrics.count_skipped_event();
+                        self.metrics.count_skipped_excluded();
                         continue;
                     }
                     self.count_processed_event();
@@ -340,9 +363,9 @@ impl Simulation {
                     self.dispatch_node(dst, |node, ctx| node.on_message(&msg, ctx));
                 }
                 EventKind::NodeTimer { node, timer } => {
-                    self.armed.remove(&timer.id);
-                    if self.cancelled.remove(&timer.id) || self.excluded.contains(&node) {
-                        self.metrics.count_skipped_event();
+                    self.timer_handles.remove(&timer.id);
+                    if self.excluded.contains(&node) {
+                        self.metrics.count_skipped_excluded();
                         continue;
                     }
                     self.count_processed_event();
@@ -419,33 +442,36 @@ impl Simulation {
                         self.route(Message::new(src, dst, self.clock, Arc::clone(&payload)));
                     }
                     if include_self {
-                        self.queue.push(
+                        self.queue.schedule(
                             self.clock,
                             EventKind::Deliver(Message::new(src, src, self.clock, payload)),
                         );
                     }
                 }
                 Action::SendSelf { payload, delay } => {
-                    self.queue.push(
+                    self.queue.schedule(
                         self.clock + delay,
                         EventKind::Deliver(Message::new(src, src, self.clock, payload)),
                     );
                 }
                 Action::SetTimer { id, delay, payload } => {
-                    self.armed.insert(id);
-                    self.queue.push(
+                    let handle = self.queue.schedule(
                         self.clock + delay,
                         EventKind::NodeTimer {
                             node: src,
                             timer: Timer::new(id, payload),
                         },
                     );
+                    self.timer_handles.insert(id, handle);
                 }
                 Action::CancelTimer(id) => {
-                    // Only armed timers need a tombstone; cancelling a timer
-                    // that already fired (or never existed) is a no-op.
-                    if self.armed.contains(&id) {
-                        self.cancelled.insert(id);
+                    // Only pending timers have a handle; cancelling a timer
+                    // that already fired (or never existed) is a no-op. The
+                    // count is taken here — not at pop time — so it is
+                    // identical under every scheduler backend.
+                    if let Some(handle) = self.timer_handles.remove(&id) {
+                        self.queue.cancel(handle);
+                        self.metrics.count_cancelled_timer();
                     }
                 }
                 Action::Decide(value) => {
@@ -530,7 +556,8 @@ impl Simulation {
         }
         match fate {
             Fate::Deliver(delay) => {
-                self.queue.push(self.clock + delay, EventKind::Deliver(msg));
+                self.queue
+                    .schedule(self.clock + delay, EventKind::Deliver(msg));
             }
             Fate::Drop => {
                 self.metrics.count_dropped_message();
@@ -573,7 +600,7 @@ impl Simulation {
                     payload,
                 } => {
                     self.metrics.count_adversary_message();
-                    self.queue.push(
+                    self.queue.schedule(
                         self.clock + delay,
                         EventKind::Deliver(Message::injected(src, dst, self.clock, payload)),
                     );
@@ -596,7 +623,7 @@ impl Simulation {
                 }
                 AdvAction::SetTimer { tag, delay } => {
                     self.queue
-                        .push(self.clock + delay, EventKind::AdversaryTimer { tag });
+                        .schedule(self.clock + delay, EventKind::AdversaryTimer { tag });
                 }
             }
         }
@@ -649,20 +676,25 @@ mod tests {
 
     #[test]
     fn stale_cancellations_leave_no_tombstones() {
-        let mut sim = SimulationBuilder::new(RunConfig::new(4).with_seed(1))
-            .network(constant_net())
-            .protocols(|_id: NodeId| -> Box<dyn Protocol> { Box::<TimerChurn>::default() })
-            .build()
-            .unwrap();
-        sim.drive();
-        assert!(
-            sim.cancelled.is_empty(),
-            "stale cancels must not accumulate: {} tombstones",
-            sim.cancelled.len()
-        );
-        // Whatever is still armed is still sitting in the queue, so the
-        // bookkeeping is bounded by in-flight timers.
-        assert!(sim.armed.len() <= sim.queue.len());
+        for kind in SchedulerKind::ALL {
+            let mut sim = SimulationBuilder::new(RunConfig::new(4).with_seed(1))
+                .network(constant_net())
+                .scheduler(kind)
+                .protocols(|_id: NodeId| -> Box<dyn Protocol> { Box::<TimerChurn>::default() })
+                .build()
+                .unwrap();
+            sim.drive();
+            // Stale cancels (the timer already fired) never reach the
+            // scheduler: the handle left the map at pop time, so neither
+            // backend accumulates tombstones.
+            let stats = sim.queue.stats();
+            assert_eq!(stats.pending_tombstones, 0, "{kind}");
+            assert_eq!(stats.tombstones_popped, 0, "{kind}");
+            assert_eq!(stats.cancelled_in_place, 0, "{kind}");
+            // The handle map only tracks timers still in the queue, so the
+            // bookkeeping is bounded by in-flight timers.
+            assert!(sim.timer_handles.len() <= sim.queue.len(), "{kind}");
+        }
     }
 
     /// Cancelling a pending timer must still suppress its firing.
@@ -692,18 +724,36 @@ mod tests {
 
     #[test]
     fn cancelled_pending_timer_does_not_fire() {
-        let result = SimulationBuilder::new(RunConfig::new(4).with_seed(3))
-            .network(constant_net())
-            .protocols(|_id: NodeId| -> Box<dyn Protocol> { Box::<CancelBeforeFire>::default() })
-            .build()
-            .unwrap()
-            .run();
-        assert_eq!(result.decisions_completed(), 1);
-        // Each node's cancelled Long timer still pops from the queue but must
-        // be accounted as skipped, not processed: 4 Short + 4 Probe pops are
-        // the only dispatched events.
-        assert_eq!(result.events_skipped, 4);
-        assert_eq!(result.events_processed, 8);
+        for kind in SchedulerKind::ALL {
+            let result = SimulationBuilder::new(RunConfig::new(4).with_seed(3))
+                .network(constant_net())
+                .scheduler(kind)
+                .protocols(|_id: NodeId| -> Box<dyn Protocol> {
+                    Box::<CancelBeforeFire>::default()
+                })
+                .build()
+                .unwrap()
+                .run();
+            assert_eq!(result.decisions_completed(), 1, "{kind}");
+            // Each node's Long timer is cancelled while pending; the count is
+            // taken at cancel time, so it is identical on both backends. Only
+            // the 4 Short + 4 Probe pops are dispatched.
+            assert_eq!(result.skipped_cancelled_timers, 4, "{kind}");
+            assert_eq!(result.skipped_excluded_nodes, 0, "{kind}");
+            assert_eq!(result.events_processed, 8, "{kind}");
+            // How the backend disposed of the cancelled timers differs: the
+            // heap pops tombstones lazily, the wheel removes them in place.
+            match kind {
+                SchedulerKind::Heap => {
+                    assert_eq!(result.scheduler.tombstones_popped, 4);
+                    assert_eq!(result.scheduler.cancelled_in_place, 0);
+                }
+                SchedulerKind::Wheel => {
+                    assert_eq!(result.scheduler.tombstones_popped, 0);
+                    assert_eq!(result.scheduler.cancelled_in_place, 4);
+                }
+            }
+        }
     }
 
     /// Every node broadcasts at 10 ms and decides at 30 ms; the adversary
@@ -743,19 +793,23 @@ mod tests {
 
     #[test]
     fn events_to_excluded_nodes_are_skipped_not_processed() {
-        let result = SimulationBuilder::new(RunConfig::new(4).with_seed(7))
-            .network(constant_net())
-            .adversary(CrashOneEarly)
-            .protocols(|_id: NodeId| -> Box<dyn Protocol> { Box::<TalkThenDecide>::default() })
-            .build()
-            .unwrap()
-            .run();
-        assert_eq!(result.decisions_completed(), 1);
-        // Skipped: node 3's Short pop + its 3 incoming Probe deliveries.
-        assert_eq!(result.events_skipped, 4);
-        // Processed: adversary timer + 3 Short pops + 6 live deliveries
-        // + 3 Long pops.
-        assert_eq!(result.events_processed, 13);
+        for kind in SchedulerKind::ALL {
+            let result = SimulationBuilder::new(RunConfig::new(4).with_seed(7))
+                .network(constant_net())
+                .scheduler(kind)
+                .adversary(CrashOneEarly)
+                .protocols(|_id: NodeId| -> Box<dyn Protocol> { Box::<TalkThenDecide>::default() })
+                .build()
+                .unwrap()
+                .run();
+            assert_eq!(result.decisions_completed(), 1, "{kind}");
+            // Skipped: node 3's Short pop + its 3 incoming Probe deliveries.
+            assert_eq!(result.skipped_excluded_nodes, 4, "{kind}");
+            assert_eq!(result.skipped_cancelled_timers, 0, "{kind}");
+            // Processed: adversary timer + 3 Short pops + 6 live deliveries
+            // + 3 Long pops.
+            assert_eq!(result.events_processed, 13, "{kind}");
+        }
     }
 
     /// One broadcast round per node, with self-inclusion and a send-to-self,
@@ -794,5 +848,58 @@ mod tests {
         assert_eq!(result.honest_messages, wire);
         assert_eq!(result.sent_per_node.iter().sum::<u64>(), wire);
         assert_eq!(result.delivered_per_node.iter().sum::<u64>(), wire);
+    }
+
+    fn run_with(kind: SchedulerKind, seed: u64) -> RunResult {
+        SimulationBuilder::new(RunConfig::new(4).with_seed(seed))
+            .network(constant_net())
+            .scheduler(kind)
+            .adversary(CrashOneEarly)
+            .protocols(|_id: NodeId| -> Box<dyn Protocol> { Box::<TalkThenDecide>::default() })
+            .build()
+            .unwrap()
+            .run()
+    }
+
+    /// The determinism contract end to end: apart from the backend's own
+    /// diagnostics, a run is identical under either scheduler.
+    #[test]
+    fn scheduler_backend_does_not_change_the_run() {
+        for seed in [1, 7, 42] {
+            let heap = run_with(SchedulerKind::Heap, seed);
+            let mut wheel = run_with(SchedulerKind::Wheel, seed);
+            assert_ne!(heap.scheduler.scheduler, wheel.scheduler.scheduler);
+            wheel.scheduler = heap.scheduler.clone();
+            assert_eq!(heap, wheel, "seed {seed}");
+        }
+    }
+
+    /// A schedule recorded under one backend must replay under the other:
+    /// record/replay only sees message fates, which the backend cannot
+    /// influence.
+    #[test]
+    fn schedule_recorded_on_heap_replays_on_wheel() {
+        let build = |kind: SchedulerKind| {
+            SimulationBuilder::new(RunConfig::new(4).with_seed(11))
+                .network(constant_net())
+                .scheduler(kind)
+                .protocols(|_id: NodeId| -> Box<dyn Protocol> { Box::<TalkThenDecide>::default() })
+        };
+        let (recorded, schedule) = build(SchedulerKind::Heap)
+            .record_schedule(true)
+            .build()
+            .unwrap()
+            .run_recorded();
+        let mut replayed = build(SchedulerKind::Wheel)
+            .replay_schedule(schedule)
+            .build()
+            .unwrap()
+            .run();
+        assert!(
+            replayed.safety_violation.is_none(),
+            "replay must not diverge"
+        );
+        replayed.scheduler = recorded.scheduler.clone();
+        assert_eq!(recorded, replayed);
     }
 }

@@ -1,4 +1,4 @@
-//! The event queue driving the simulation.
+//! The events driving the simulation.
 //!
 //! Following standard discrete-event simulation practice (and §III-A2 of the
 //! paper), the controller keeps a priority queue of timestamped events and
@@ -8,9 +8,10 @@
 //! internal variant.
 //!
 //! Events with equal timestamps are ordered by a global insertion sequence
-//! number, which makes the execution order total and runs reproducible.
-
-use std::collections::BinaryHeap;
+//! number, which makes the execution order total and runs reproducible. The
+//! queue itself lives behind the [`Scheduler`](crate::scheduler::Scheduler)
+//! trait in [`crate::scheduler`]; this module defines the event types the
+//! schedulers carry.
 
 use crate::ids::{NodeId, TimerId};
 use crate::message::Message;
@@ -43,20 +44,40 @@ impl Timer {
 }
 
 /// What happens when an event is popped.
+///
+/// Only the engine constructs these (the [`Timer`] constructor is
+/// crate-private); scheduler backends treat them as opaque cargo.
 #[derive(Debug)]
-pub(crate) enum EventKind {
+pub enum EventKind {
     /// Deliver a message to its destination node.
     Deliver(Message),
     /// Fire a node timer.
-    NodeTimer { node: NodeId, timer: Timer },
+    NodeTimer {
+        /// The node whose timer fires.
+        node: NodeId,
+        /// The timer itself (id + payload).
+        timer: Timer,
+    },
     /// Fire an adversary timer with an attacker-chosen tag.
-    AdversaryTimer { tag: u64 },
+    AdversaryTimer {
+        /// The attacker-chosen tag passed back on firing.
+        tag: u64,
+    },
 }
 
+/// An event stamped with its dispatch time and insertion sequence number.
+///
+/// The pair `(at, seq)` is the *total* dispatch order every
+/// [`Scheduler`](crate::scheduler::Scheduler) backend must honour; the
+/// comparison impls below encode it (reversed, because `BinaryHeap` is a
+/// max-heap).
 #[derive(Debug)]
-pub(crate) struct ScheduledEvent {
+pub struct ScheduledEvent {
+    /// Absolute dispatch time.
     pub at: SimTime,
+    /// Insertion sequence number — the equal-timestamp tie-breaker.
     pub seq: u64,
+    /// What to do at `at`.
     pub kind: EventKind,
 }
 
@@ -81,87 +102,22 @@ impl Ord for ScheduledEvent {
     }
 }
 
-/// Min-heap of scheduled events ordered by `(time, insertion sequence)`.
-#[derive(Debug, Default)]
-pub(crate) struct EventQueue {
-    heap: BinaryHeap<ScheduledEvent>,
-    next_seq: u64,
-}
-
-impl EventQueue {
-    pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
-        }
-    }
-
-    /// Schedules `kind` at absolute time `at`.
-    pub fn push(&mut self, at: SimTime, kind: EventKind) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(ScheduledEvent { at, seq, kind });
-    }
-
-    /// Pops the earliest event, if any.
-    pub fn pop(&mut self) -> Option<ScheduledEvent> {
-        self.heap.pop()
-    }
-
-    pub fn len(&self) -> usize {
-        self.heap.len()
-    }
-
-    #[cfg_attr(not(test), allow(dead_code))]
-    pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::payload::boxed;
 
-    fn timer_event(n: u32) -> EventKind {
-        EventKind::NodeTimer {
-            node: NodeId::new(n),
-            timer: Timer::new(TimerId(n as u64), boxed(())),
-        }
-    }
-
     #[test]
-    fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::from_millis(30), timer_event(0));
-        q.push(SimTime::from_millis(10), timer_event(1));
-        q.push(SimTime::from_millis(20), timer_event(2));
-        let times: Vec<u64> = core::iter::from_fn(|| q.pop())
-            .map(|e| e.at.as_micros() / 1000)
-            .collect();
-        assert_eq!(times, vec![10, 20, 30]);
-    }
-
-    #[test]
-    fn ties_break_by_insertion_order() {
-        let mut q = EventQueue::new();
-        let t = SimTime::from_millis(5);
-        for i in 0..10 {
-            q.push(t, timer_event(i));
-        }
-        let seqs: Vec<u64> = core::iter::from_fn(|| q.pop()).map(|e| e.seq).collect();
-        assert_eq!(seqs, (0..10).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn empty_queue_behaviour() {
-        let mut q = EventQueue::new();
-        assert!(q.is_empty());
-        assert_eq!(q.len(), 0);
-        assert!(q.pop().is_none());
-        q.push(SimTime::ZERO, timer_event(0));
-        assert_eq!(q.len(), 1);
-        assert!(!q.is_empty());
+    fn scheduled_events_order_by_time_then_seq_reversed() {
+        let ev = |at, seq| ScheduledEvent {
+            at: SimTime::from_micros(at),
+            seq,
+            kind: EventKind::AdversaryTimer { tag: 0 },
+        };
+        // Reversed for the max-heap: the earlier event compares greater.
+        assert!(ev(10, 0) > ev(20, 0));
+        assert!(ev(10, 0) > ev(10, 1));
+        assert_eq!(ev(10, 3), ev(10, 3));
     }
 
     #[test]

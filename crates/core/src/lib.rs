@@ -68,6 +68,7 @@ pub mod network;
 pub mod oracle;
 pub mod payload;
 pub mod protocol;
+pub mod scheduler;
 pub mod sweep;
 pub mod time;
 pub mod trace;
@@ -92,6 +93,7 @@ pub mod prelude {
         ValueDomain,
     };
     pub use crate::protocol::{Protocol, ProtocolFactory};
+    pub use crate::scheduler::{Scheduler, SchedulerKind, SchedulerStats};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::trace::{Trace, TraceEvent, TraceKind};
     pub use crate::validator::{DeliverySchedule, Validator};

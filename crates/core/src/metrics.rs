@@ -4,6 +4,7 @@
 use std::collections::HashSet;
 
 use crate::ids::NodeId;
+use crate::scheduler::SchedulerStats;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Trace;
 use crate::value::Value;
@@ -19,7 +20,8 @@ pub(crate) struct MetricsCollector {
     adversary_messages: u64,
     dropped_messages: u64,
     events_processed: u64,
-    events_skipped: u64,
+    skipped_cancelled_timers: u64,
+    skipped_excluded_nodes: u64,
     broadcasts: u64,
     /// Messages sent per node (signing work proxy).
     sent_per_node: Vec<u64>,
@@ -37,7 +39,8 @@ impl MetricsCollector {
             adversary_messages: 0,
             dropped_messages: 0,
             events_processed: 0,
-            events_skipped: 0,
+            skipped_cancelled_timers: 0,
+            skipped_excluded_nodes: 0,
             broadcasts: 0,
             sent_per_node: vec![0; n],
             delivered_per_node: vec![0; n],
@@ -66,8 +69,16 @@ impl MetricsCollector {
         self.events_processed += 1;
     }
 
-    pub fn count_skipped_event(&mut self) {
-        self.events_skipped += 1;
+    /// Counts a pending timer that was cancelled (taken at cancel time, so
+    /// the count is identical under every scheduler backend).
+    pub fn count_cancelled_timer(&mut self) {
+        self.skipped_cancelled_timers += 1;
+    }
+
+    /// Counts an event popped but not dispatched because its destination
+    /// node is crashed or corrupted.
+    pub fn count_skipped_excluded(&mut self) {
+        self.skipped_excluded_nodes += 1;
     }
 
     pub fn count_broadcast(&mut self) {
@@ -138,6 +149,7 @@ impl MetricsCollector {
         timed_out: bool,
         trace: Trace,
         queue_high_water: usize,
+        scheduler: SchedulerStats,
     ) -> RunResult {
         RunResult {
             end_time,
@@ -147,7 +159,8 @@ impl MetricsCollector {
             adversary_messages: self.adversary_messages,
             dropped_messages: self.dropped_messages,
             events_processed: self.events_processed,
-            events_skipped: self.events_skipped,
+            skipped_cancelled_timers: self.skipped_cancelled_timers,
+            skipped_excluded_nodes: self.skipped_excluded_nodes,
             broadcasts: self.broadcasts,
             sent_per_node: self.sent_per_node,
             delivered_per_node: self.delivered_per_node,
@@ -155,6 +168,7 @@ impl MetricsCollector {
             decided: self.decided,
             trace,
             queue_high_water,
+            scheduler,
         }
     }
 }
@@ -190,15 +204,20 @@ pub struct RunResult {
     /// Messages dropped by the adversary.
     pub dropped_messages: u64,
     /// Number of events actually dispatched to a node or the engine (simulator
-    /// work, not a protocol metric). Events popped but skipped — deliveries to
-    /// excluded nodes, cancelled-timer tombstones — are counted in
-    /// [`events_skipped`](RunResult::events_skipped) instead, so events/sec
-    /// throughput figures reflect dispatched work only.
+    /// work, not a protocol metric). Suppressed events go to the per-cause
+    /// counters [`skipped_cancelled_timers`](RunResult::skipped_cancelled_timers)
+    /// and [`skipped_excluded_nodes`](RunResult::skipped_excluded_nodes)
+    /// instead, so events/sec throughput figures reflect dispatched work only.
     pub events_processed: u64,
-    /// Number of events popped from the queue but *not* dispatched: deliveries
-    /// addressed to a crashed/corrupted (excluded) node and pops of timers
-    /// that were cancelled after being armed.
-    pub events_skipped: u64,
+    /// Timers cancelled while still pending. Counted at cancel time — the
+    /// scheduler then removes (wheel) or suppresses (heap) the entry, so the
+    /// timer never dispatches and the count is identical under every backend.
+    /// How the backend disposed of the entry shows up in
+    /// [`scheduler`](RunResult::scheduler).
+    pub skipped_cancelled_timers: u64,
+    /// Events popped from the queue but *not* dispatched because they were
+    /// addressed to a crashed/corrupted (excluded) node.
+    pub skipped_excluded_nodes: u64,
     /// Number of `broadcast`/`broadcast_all` actions applied; with the shared
     /// payload fan-out this is also the number of payload allocations the
     /// broadcast hot path performs.
@@ -214,14 +233,27 @@ pub struct RunResult {
     pub decided: Vec<Vec<(SimTime, Value)>>,
     /// Recorded trace (decisions, views, corruptions; messages if enabled).
     pub trace: Trace,
-    /// Maximum event-queue length observed (memory proxy for Fig. 2).
+    /// Maximum number of *live* events in the queue at once (memory proxy for
+    /// Fig. 2). Live-entry accounting makes this identical under every
+    /// scheduler backend; resident peaks including tombstones are in
+    /// [`scheduler`](RunResult::scheduler).
     pub queue_high_water: usize,
+    /// Diagnostics from the scheduler backend that ran the event queue. This
+    /// is the only backend-dependent field of a run result: every other field
+    /// is byte-identical under any [`SchedulerKind`](crate::scheduler::SchedulerKind).
+    pub scheduler: SchedulerStats,
 }
 
 impl RunResult {
     /// Number of fully completed consensus slots.
     pub fn decisions_completed(&self) -> u64 {
         self.completions.len() as u64
+    }
+
+    /// Total suppressed events: cancelled timers plus deliveries/timers to
+    /// excluded nodes.
+    pub fn events_skipped(&self) -> u64 {
+        self.skipped_cancelled_timers + self.skipped_excluded_nodes
     }
 
     /// Time usage until the first consensus completed (the paper's latency
@@ -374,7 +406,13 @@ mod tests {
             );
             m.update_completions(SimTime::from_millis((k + 1) * 100), &excluded);
         }
-        let r = m.into_result(SimTime::from_millis(1000), false, Trace::new(), 0);
+        let r = m.into_result(
+            SimTime::from_millis(1000),
+            false,
+            Trace::new(),
+            0,
+            SchedulerStats::default(),
+        );
         assert_eq!(r.decisions_completed(), 10);
         assert_eq!(r.latency().unwrap().as_millis_f64(), 100.0);
         assert_eq!(
@@ -406,6 +444,7 @@ mod tests {
             false,
             Trace::new(),
             0,
+            SchedulerStats::default(),
         );
         assert_eq!(r.avg_latency_per_decision(3).unwrap().as_micros(), 334);
     }

@@ -1,0 +1,752 @@
+//! Pluggable event schedulers.
+//!
+//! The controller (§III-A of the paper) is, at its core, a priority queue of
+//! timestamped events. This module extracts that queue behind the
+//! [`Scheduler`] trait so the backend can be swapped without touching the
+//! engine: [`HeapScheduler`] is the reference binary-heap backend, and
+//! [`WheelScheduler`] is a hierarchical timing wheel with slot-level
+//! bucketing and true O(1) in-place timer cancellation.
+//!
+//! # The determinism contract
+//!
+//! Every backend MUST dispatch events in exactly the same total order:
+//! ascending `(timestamp, insertion seq)`, where the insertion sequence
+//! number is assigned by [`Scheduler::schedule`] in call order, starting at
+//! zero. Equal-timestamp events therefore fire in the order they were
+//! scheduled, and the order is total — there are no unordered pairs. Because
+//! the engine is single-threaded per run and derives all randomness from the
+//! run seed, this makes every run byte-identical under any backend (and, via
+//! [`crate::sweep`], at any thread count). Schedule record/replay
+//! ([`crate::validator`]) and golden-trace oracles rely on this: a schedule
+//! recorded under one backend must replay identically under another.
+//!
+//! A backend must additionally uphold:
+//!
+//! * `schedule` is only called with `at` ≥ the timestamp of the last popped
+//!   event (the engine never schedules into the past);
+//! * `cancel` removes (or permanently suppresses) the event so it is *never*
+//!   returned by `pop`; the engine only cancels events that are still
+//!   pending, and only ever timer events;
+//! * [`Scheduler::len`] counts *live* (non-cancelled) entries, so queue-depth
+//!   accounting is backend-independent even when a backend keeps lazy
+//!   tombstones internally.
+//!
+//! Backend-specific costs (tombstones, resident peaks) are reported through
+//! [`SchedulerStats`] and surface in `BENCH_baseline.json`; they never feed
+//! back into simulation results.
+
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use crate::event::{EventKind, ScheduledEvent};
+use crate::time::SimTime;
+
+/// An opaque handle to a scheduled event, returned by
+/// [`Scheduler::schedule`] and redeemed by [`Scheduler::cancel`].
+///
+/// Handles wrap the event's insertion sequence number, which is unique for
+/// the lifetime of a scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle(u64);
+
+impl EventHandle {
+    /// Creates a handle from an insertion sequence number (for backend
+    /// implementations).
+    pub const fn new(seq: u64) -> Self {
+        EventHandle(seq)
+    }
+
+    /// The insertion sequence number this handle refers to.
+    pub const fn seq(self) -> u64 {
+        self.0
+    }
+}
+
+/// Counters a backend reports about its own internals.
+///
+/// These are *diagnostics*, not simulation outputs: two backends produce
+/// byte-identical [`RunResult`](crate::metrics::RunResult)s apart from this
+/// struct, which is why the fuzz report JSON deliberately omits it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// The backend's name (`"heap"` or `"wheel"` for the built-ins).
+    pub scheduler: &'static str,
+    /// Peak number of entries resident in the backend at once, *including*
+    /// any cancelled entries still awaiting lazy removal.
+    pub peak_resident: usize,
+    /// Cancelled entries that were discarded lazily at pop time (the heap's
+    /// tombstone filter). Always 0 on the wheel backend.
+    pub tombstones_popped: u64,
+    /// Cancelled entries that were removed in place at cancel time, in O(1).
+    /// Always 0 on the heap backend.
+    pub cancelled_in_place: u64,
+    /// Cancelled entries still resident when the snapshot was taken.
+    pub pending_tombstones: usize,
+}
+
+impl Default for SchedulerStats {
+    fn default() -> Self {
+        SchedulerStats {
+            scheduler: "none",
+            peak_resident: 0,
+            tombstones_popped: 0,
+            cancelled_in_place: 0,
+            pending_tombstones: 0,
+        }
+    }
+}
+
+/// The event-queue abstraction the engine drives.
+///
+/// See the [module docs](self) for the determinism contract every
+/// implementation must uphold.
+pub trait Scheduler: core::fmt::Debug {
+    /// Schedules `kind` at absolute time `at` and returns a cancellation
+    /// handle. Assigns the event the next insertion sequence number.
+    fn schedule(&mut self, at: SimTime, kind: EventKind) -> EventHandle;
+
+    /// Cancels a pending event so it is never popped. Returns whether the
+    /// handle referred to an event this backend can still locate. The engine
+    /// only cancels events that are pending and has each handle cancelled at
+    /// most once.
+    fn cancel(&mut self, handle: EventHandle) -> bool;
+
+    /// Pops the earliest live event in `(timestamp, insertion seq)` order.
+    fn pop(&mut self) -> Option<ScheduledEvent>;
+
+    /// Number of live (non-cancelled) entries.
+    fn len(&self) -> usize;
+
+    /// Whether no live entries remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the backend's internal counters.
+    fn stats(&self) -> SchedulerStats;
+}
+
+/// Selects a [`Scheduler`] backend by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SchedulerKind {
+    /// The reference binary-heap backend with lazy tombstone cancellation.
+    #[default]
+    Heap,
+    /// The hierarchical timing-wheel backend with O(1) in-place cancellation.
+    Wheel,
+}
+
+impl SchedulerKind {
+    /// Every built-in backend, in canonical (reference first) order.
+    pub const ALL: [SchedulerKind; 2] = [SchedulerKind::Heap, SchedulerKind::Wheel];
+
+    /// Parses a backend name as accepted by `--scheduler`.
+    pub fn parse(name: &str) -> Option<SchedulerKind> {
+        match name {
+            "heap" => Some(SchedulerKind::Heap),
+            "wheel" => Some(SchedulerKind::Wheel),
+            _ => None,
+        }
+    }
+
+    /// The canonical name (`"heap"` / `"wheel"`).
+    pub const fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Heap => "heap",
+            SchedulerKind::Wheel => "wheel",
+        }
+    }
+
+    /// Constructs a fresh backend of this kind.
+    pub fn build(self) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerKind::Heap => Box::new(HeapScheduler::new()),
+            SchedulerKind::Wheel => Box::new(WheelScheduler::new()),
+        }
+    }
+}
+
+impl core::fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The reference backend: a binary min-heap over `(timestamp, seq)` with
+/// lazy tombstone cancellation — `cancel` marks the sequence number and
+/// `pop` silently discards marked entries when they surface.
+#[derive(Debug, Default)]
+pub struct HeapScheduler {
+    heap: BinaryHeap<ScheduledEvent>,
+    next_seq: u64,
+    cancelled: HashSet<u64>,
+    peak: usize,
+    tombstones_popped: u64,
+}
+
+impl HeapScheduler {
+    /// Creates an empty heap scheduler.
+    pub fn new() -> Self {
+        HeapScheduler::default()
+    }
+}
+
+impl Scheduler for HeapScheduler {
+    fn schedule(&mut self, at: SimTime, kind: EventKind) -> EventHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { at, seq, kind });
+        self.peak = self.peak.max(self.heap.len());
+        EventHandle(seq)
+    }
+
+    fn cancel(&mut self, handle: EventHandle) -> bool {
+        self.cancelled.insert(handle.0)
+    }
+
+    fn pop(&mut self) -> Option<ScheduledEvent> {
+        while let Some(ev) = self.heap.pop() {
+            if self.cancelled.remove(&ev.seq) {
+                self.tombstones_popped += 1;
+                continue;
+            }
+            return Some(ev);
+        }
+        None
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    fn stats(&self) -> SchedulerStats {
+        SchedulerStats {
+            scheduler: "heap",
+            peak_resident: self.peak,
+            tombstones_popped: self.tombstones_popped,
+            cancelled_in_place: 0,
+            pending_tombstones: self.cancelled.len(),
+        }
+    }
+}
+
+/// Base-slot width: 2^13 µs = 8.192 ms of simulated time per level-0 slot.
+const SLOT_BITS: u32 = 13;
+/// Slots per level: 2^6 = 64, so one `u64` occupancy bitmap per level.
+const LEVEL_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << LEVEL_BITS;
+/// Nine levels cover 13 + 9·6 = 67 ≥ 64 bits — every `u64` microsecond
+/// timestamp maps to some slot, so no separate overflow list is needed.
+const LEVELS: usize = 9;
+
+/// Where a pending wheel entry currently lives (for O(1) cancellation).
+#[derive(Debug, Clone, Copy)]
+enum Loc {
+    /// In the sorted working buffer; `at` lets `cancel` binary-search it.
+    Current { at: u64 },
+    /// In bucket `bucket` (level * SLOTS + slot) at index `pos`.
+    Bucket { bucket: u32, pos: u32 },
+}
+
+/// The hierarchical timing-wheel backend.
+///
+/// Events are hashed into one of [`LEVELS`]×[`SLOTS`] buckets by timestamp:
+/// an event lands on the level of the highest slot-index bit in which it
+/// differs from the wheel cursor (the classic hashed-hierarchical wheel of
+/// Varghese & Lauck). When the cursor advances into a coarse slot, the
+/// slot's bucket cascades: entries are re-placed against the new cursor and
+/// land in finer slots (or the working buffer). The earliest base slot's
+/// entries are drained into a working buffer sorted by `(timestamp, seq)`,
+/// which preserves the exact total order of the reference heap.
+///
+/// Cancellation is O(1) and in place: a side index maps a timer's sequence
+/// number to its bucket and position, so `cancel` `swap_remove`s the entry
+/// immediately — no tombstones are ever created, popped or filtered. The
+/// index is maintained only for [`EventKind::NodeTimer`] entries, keeping
+/// the message hot path free of hash-map traffic (messages are never
+/// cancelled).
+#[derive(Debug)]
+pub struct WheelScheduler {
+    /// `LEVELS * SLOTS` buckets, flattened level-major.
+    buckets: Vec<Vec<ScheduledEvent>>,
+    /// One occupancy bit per slot, per level.
+    occupancy: [u64; LEVELS],
+    /// The slot currently being served, sorted *descending* by
+    /// `(at, seq)` so `pop` is a `Vec::pop` from the back.
+    current: Vec<ScheduledEvent>,
+    /// Lower bound (µs) on every pending timestamp; slot-aligned advances.
+    cursor: u64,
+    next_seq: u64,
+    /// Live entry count (the wheel holds no tombstones, so this is also the
+    /// resident count).
+    live: usize,
+    peak: usize,
+    cancelled_in_place: u64,
+    /// `seq -> location`, maintained for timer entries only.
+    index: HashMap<u64, Loc>,
+}
+
+impl Default for WheelScheduler {
+    fn default() -> Self {
+        WheelScheduler::new()
+    }
+}
+
+impl WheelScheduler {
+    /// Creates an empty wheel scheduler with the cursor at time zero.
+    pub fn new() -> Self {
+        WheelScheduler {
+            buckets: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occupancy: [0; LEVELS],
+            current: Vec::new(),
+            cursor: 0,
+            next_seq: 0,
+            live: 0,
+            peak: 0,
+            cancelled_in_place: 0,
+            index: HashMap::new(),
+        }
+    }
+
+    /// The level and slot `at` belongs to relative to the cursor, or `None`
+    /// when it falls into the slot currently being served (the working
+    /// buffer).
+    fn locate(&self, at: u64) -> Option<(usize, usize)> {
+        let a = at >> SLOT_BITS;
+        let c = self.cursor >> SLOT_BITS;
+        let diff = a ^ c;
+        if diff == 0 {
+            return None;
+        }
+        let level = ((63 - diff.leading_zeros()) / LEVEL_BITS) as usize;
+        let slot = ((a >> (LEVEL_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        Some((level, slot))
+    }
+
+    /// Files one entry into its bucket (or the working buffer), updating the
+    /// occupancy bitmap and the cancellation index.
+    fn place(&mut self, e: ScheduledEvent) {
+        let at = e.at.as_micros();
+        debug_assert!(at >= self.cursor, "scheduled into the past");
+        let is_timer = matches!(e.kind, EventKind::NodeTimer { .. });
+        match self.locate(at) {
+            None => {
+                // Belongs to the slot being served: sorted insert into the
+                // descending working buffer.
+                let pos = self
+                    .current
+                    .partition_point(|x| (x.at.as_micros(), x.seq) > (at, e.seq));
+                if is_timer {
+                    self.index.insert(e.seq, Loc::Current { at });
+                }
+                self.current.insert(pos, e);
+            }
+            Some((level, slot)) => {
+                let b = level * SLOTS + slot;
+                if is_timer {
+                    self.index.insert(
+                        e.seq,
+                        Loc::Bucket {
+                            bucket: b as u32,
+                            pos: self.buckets[b].len() as u32,
+                        },
+                    );
+                }
+                self.buckets[b].push(e);
+                self.occupancy[level] |= 1 << slot;
+            }
+        }
+    }
+
+    /// Advances the cursor to the next occupied slot, cascading coarse
+    /// buckets down until the working buffer holds the earliest base slot's
+    /// entries. Must only be called with `current` empty and `live > 0`.
+    fn advance(&mut self) {
+        'rescan: loop {
+            for level in 0..LEVELS {
+                let shift = SLOT_BITS + LEVEL_BITS * level as u32;
+                let cursor_slot = ((self.cursor >> shift) & (SLOTS as u64 - 1)) as u32;
+                // Slots strictly before the cursor's position at this level
+                // are in the past; the cursor's own slot is already drained
+                // (entries for it live in finer levels or the buffer).
+                let pending = self.occupancy[level] & (!0u64 << cursor_slot);
+                if pending == 0 {
+                    continue;
+                }
+                let slot = pending.trailing_zeros();
+                // Jump the cursor to the start of that slot: keep the bits
+                // above this level's window, set this level's slot index,
+                // zero everything below.
+                let span = shift + LEVEL_BITS;
+                let window_base = if span >= u64::BITS {
+                    0
+                } else {
+                    (self.cursor >> span) << span
+                };
+                self.cursor = window_base | (u64::from(slot) << shift);
+                let b = level * SLOTS + slot as usize;
+                let entries = std::mem::take(&mut self.buckets[b]);
+                self.occupancy[level] &= !(1u64 << slot);
+                if level == 0 {
+                    // The earliest base slot: sort it into the working
+                    // buffer (descending, popped from the back).
+                    self.current = entries;
+                    self.current
+                        .sort_unstable_by_key(|e| std::cmp::Reverse((e.at, e.seq)));
+                    for e in &self.current {
+                        if matches!(e.kind, EventKind::NodeTimer { .. }) {
+                            self.index.insert(
+                                e.seq,
+                                Loc::Current {
+                                    at: e.at.as_micros(),
+                                },
+                            );
+                        }
+                    }
+                    return;
+                }
+                // A coarse slot: cascade its entries against the new cursor;
+                // each lands at a strictly finer level (or in the buffer).
+                for e in entries {
+                    self.place(e);
+                }
+                if !self.current.is_empty() {
+                    return;
+                }
+                continue 'rescan;
+            }
+            unreachable!("wheel has live entries but no occupied slot at or after the cursor");
+        }
+    }
+}
+
+impl Scheduler for WheelScheduler {
+    fn schedule(&mut self, at: SimTime, kind: EventKind) -> EventHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.place(ScheduledEvent { at, seq, kind });
+        self.live += 1;
+        self.peak = self.peak.max(self.live);
+        EventHandle(seq)
+    }
+
+    fn cancel(&mut self, handle: EventHandle) -> bool {
+        let Some(loc) = self.index.remove(&handle.0) else {
+            return false;
+        };
+        match loc {
+            Loc::Current { at } => {
+                let pos = self
+                    .current
+                    .partition_point(|x| (x.at.as_micros(), x.seq) > (at, handle.0));
+                debug_assert!(self.current[pos].seq == handle.0);
+                self.current.remove(pos);
+            }
+            Loc::Bucket { bucket, pos } => {
+                let b = bucket as usize;
+                let pos = pos as usize;
+                debug_assert!(self.buckets[b][pos].seq == handle.0);
+                self.buckets[b].swap_remove(pos);
+                if let Some(moved) = self.buckets[b].get(pos) {
+                    // Keep the index honest for the entry that swapped into
+                    // the vacated position.
+                    if matches!(moved.kind, EventKind::NodeTimer { .. }) {
+                        if let Some(Loc::Bucket { pos: p, .. }) = self.index.get_mut(&moved.seq) {
+                            *p = pos as u32;
+                        }
+                    }
+                } else if self.buckets[b].is_empty() {
+                    self.occupancy[b / SLOTS] &= !(1u64 << (b % SLOTS));
+                }
+            }
+        }
+        self.live -= 1;
+        self.cancelled_in_place += 1;
+        true
+    }
+
+    fn pop(&mut self) -> Option<ScheduledEvent> {
+        loop {
+            if let Some(e) = self.current.pop() {
+                self.live -= 1;
+                if matches!(e.kind, EventKind::NodeTimer { .. }) {
+                    self.index.remove(&e.seq);
+                }
+                return Some(e);
+            }
+            if self.live == 0 {
+                return None;
+            }
+            self.advance();
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn stats(&self) -> SchedulerStats {
+        SchedulerStats {
+            scheduler: "wheel",
+            peak_resident: self.peak,
+            tombstones_popped: 0,
+            cancelled_in_place: self.cancelled_in_place,
+            pending_tombstones: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Timer;
+    use crate::ids::{NodeId, TimerId};
+    use crate::payload::boxed;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn timer_event(n: u64) -> EventKind {
+        EventKind::NodeTimer {
+            node: NodeId::new(n as u32),
+            timer: Timer::new(TimerId(n), boxed(())),
+        }
+    }
+
+    fn message_like_event(tag: u64) -> EventKind {
+        // AdversaryTimer stands in for any non-cancellable event kind.
+        EventKind::AdversaryTimer { tag }
+    }
+
+    fn backends() -> Vec<Box<dyn Scheduler>> {
+        SchedulerKind::ALL.iter().map(|k| k.build()).collect()
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        for mut q in backends() {
+            q.schedule(SimTime::from_millis(30), timer_event(0));
+            q.schedule(SimTime::from_millis(10), timer_event(1));
+            q.schedule(SimTime::from_millis(20), timer_event(2));
+            let times: Vec<u64> = core::iter::from_fn(|| q.pop())
+                .map(|e| e.at.as_micros() / 1000)
+                .collect();
+            assert_eq!(times, vec![10, 20, 30], "{}", q.stats().scheduler);
+        }
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        for mut q in backends() {
+            let t = SimTime::from_millis(5);
+            for i in 0..10 {
+                q.schedule(t, timer_event(i));
+            }
+            let seqs: Vec<u64> = core::iter::from_fn(|| q.pop()).map(|e| e.seq).collect();
+            assert_eq!(seqs, (0..10).collect::<Vec<_>>(), "{}", q.stats().scheduler);
+        }
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        for mut q in backends() {
+            assert!(q.is_empty());
+            assert_eq!(q.len(), 0);
+            assert!(q.pop().is_none());
+            q.schedule(SimTime::ZERO, timer_event(0));
+            assert_eq!(q.len(), 1);
+            assert!(!q.is_empty());
+        }
+    }
+
+    #[test]
+    fn handles_are_the_insertion_sequence() {
+        for mut q in backends() {
+            let a = q.schedule(SimTime::from_millis(1), timer_event(0));
+            let b = q.schedule(SimTime::from_millis(2), timer_event(1));
+            assert_eq!(a, EventHandle::new(0));
+            assert_eq!(b.seq(), 1);
+        }
+    }
+
+    #[test]
+    fn cancelled_events_are_never_popped() {
+        for mut q in backends() {
+            let h = q.schedule(SimTime::from_millis(10), timer_event(0));
+            q.schedule(SimTime::from_millis(20), timer_event(1));
+            assert!(q.cancel(h));
+            assert_eq!(q.len(), 1, "len counts live entries only");
+            let popped: Vec<u64> = core::iter::from_fn(|| q.pop()).map(|e| e.seq).collect();
+            assert_eq!(popped, vec![1], "{}", q.stats().scheduler);
+        }
+    }
+
+    #[test]
+    fn wheel_cancellation_is_in_place_and_tombstone_free() {
+        let mut q = WheelScheduler::new();
+        let mut handles = Vec::new();
+        for i in 0..100 {
+            handles.push(q.schedule(SimTime::from_millis(10 + i), timer_event(i)));
+        }
+        for h in handles.iter().skip(1) {
+            assert!(q.cancel(*h));
+        }
+        let stats = q.stats();
+        assert_eq!(stats.cancelled_in_place, 99);
+        assert_eq!(stats.tombstones_popped, 0);
+        assert_eq!(stats.pending_tombstones, 0);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|e| e.seq), Some(0));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn heap_cancellation_leaves_tombstones_until_popped() {
+        let mut q = HeapScheduler::new();
+        let h = q.schedule(SimTime::from_millis(10), timer_event(0));
+        q.schedule(SimTime::from_millis(20), timer_event(1));
+        assert!(q.cancel(h));
+        assert_eq!(q.stats().pending_tombstones, 1);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|e| e.seq), Some(1));
+        let stats = q.stats();
+        assert_eq!(stats.tombstones_popped, 1);
+        assert_eq!(stats.pending_tombstones, 0);
+    }
+
+    #[test]
+    fn wheel_cascades_far_future_events_across_levels() {
+        let mut q = WheelScheduler::new();
+        // Spread events across every level of the hierarchy, including one
+        // further out than an hour of simulated time.
+        let times: Vec<u64> = vec![
+            1,
+            8_000,
+            9_000,
+            600_000,
+            40_000_000,
+            3_000_000_000,
+            200_000_000_000,
+            u64::from(u32::MAX) * 1_000,
+        ];
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), timer_event(i as u64));
+        }
+        let popped: Vec<u64> = core::iter::from_fn(|| q.pop())
+            .map(|e| e.at.as_micros())
+            .collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(popped, sorted);
+    }
+
+    #[test]
+    fn wheel_cancels_from_buckets_and_working_buffer() {
+        let mut q = WheelScheduler::new();
+        // Same base slot (working buffer once served) plus far buckets.
+        let a = q.schedule(SimTime::from_micros(100), timer_event(0));
+        let b = q.schedule(SimTime::from_micros(200), timer_event(1));
+        let far = q.schedule(SimTime::from_millis(5_000), timer_event(2));
+        assert!(q.cancel(a)); // from the working buffer (slot 0 is current)
+        assert!(q.cancel(far)); // from a coarse bucket
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|e| e.seq), Some(b.seq()));
+        assert!(q.pop().is_none());
+        assert_eq!(q.stats().cancelled_in_place, 2);
+    }
+
+    #[test]
+    fn cancelling_a_popped_timer_is_refused_by_the_wheel() {
+        let mut q = WheelScheduler::new();
+        let h = q.schedule(SimTime::from_micros(5), timer_event(0));
+        assert!(q.pop().is_some());
+        assert!(!q.cancel(h), "fired timers are no longer indexed");
+        assert_eq!(q.stats().cancelled_in_place, 0);
+    }
+
+    #[test]
+    fn kind_parses_and_builds() {
+        assert_eq!(SchedulerKind::parse("heap"), Some(SchedulerKind::Heap));
+        assert_eq!(SchedulerKind::parse("wheel"), Some(SchedulerKind::Wheel));
+        assert_eq!(SchedulerKind::parse("fifo"), None);
+        assert_eq!(SchedulerKind::default(), SchedulerKind::Heap);
+        for kind in SchedulerKind::ALL {
+            assert_eq!(kind.build().stats().scheduler, kind.name());
+            assert_eq!(kind.to_string(), kind.name());
+        }
+    }
+
+    /// The backbone of the determinism contract: a randomized workload of
+    /// schedules, cancellations and pops — respecting the engine's invariants
+    /// (monotone clock, cancel-only-pending, cancel-only-timers) — must
+    /// produce the identical pop sequence and live length on both backends.
+    #[test]
+    fn heap_and_wheel_agree_on_randomized_workloads() {
+        for seed in 0..8u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut heap = HeapScheduler::new();
+            let mut wheel = WheelScheduler::new();
+            let mut clock = 0u64;
+            let mut pending_timers: Vec<EventHandle> = Vec::new();
+            for step in 0..4_000u64 {
+                match rng.gen_range(0..10u32) {
+                    0..=4 => {
+                        // Schedule a timer at a near, medium or far offset —
+                        // including zero-delay, which must still fire after
+                        // everything already popped.
+                        let delay = match rng.gen_range(0..4u32) {
+                            0 => rng.gen_range(0..1_000u64),
+                            1 => rng.gen_range(0..500_000u64),
+                            2 => rng.gen_range(0..60_000_000u64),
+                            _ => rng.gen_range(0..7_200_000_000u64),
+                        };
+                        let at = SimTime::from_micros(clock + delay);
+                        let h1 = heap.schedule(at, timer_event(step));
+                        let h2 = wheel.schedule(at, timer_event(step));
+                        assert_eq!(h1, h2, "seq assignment must match");
+                        pending_timers.push(h1);
+                    }
+                    5 => {
+                        // Schedule a non-cancellable (message-like) event.
+                        let at = SimTime::from_micros(clock + rng.gen_range(0..2_000_000u64));
+                        let h1 = heap.schedule(at, message_like_event(step));
+                        let h2 = wheel.schedule(at, message_like_event(step));
+                        assert_eq!(h1, h2);
+                    }
+                    6..=7 => {
+                        let a = heap.pop();
+                        let b = wheel.pop();
+                        match (&a, &b) {
+                            (None, None) => {}
+                            (Some(x), Some(y)) => {
+                                assert_eq!((x.at, x.seq), (y.at, y.seq), "seed {seed}");
+                                clock = x.at.as_micros();
+                                pending_timers.retain(|h| h.seq() != x.seq);
+                            }
+                            _ => panic!("one backend drained before the other"),
+                        }
+                    }
+                    _ => {
+                        if !pending_timers.is_empty() {
+                            let i = rng.gen_range(0..pending_timers.len());
+                            let h = pending_timers.swap_remove(i);
+                            assert!(heap.cancel(h));
+                            assert!(wheel.cancel(h), "wheel must locate pending timer");
+                        }
+                    }
+                }
+                assert_eq!(heap.len(), wheel.len(), "seed {seed} step {step}");
+            }
+            // Drain both completely; the tails must match too.
+            loop {
+                let a = heap.pop();
+                let b = wheel.pop();
+                match (a, b) {
+                    (None, None) => break,
+                    (Some(x), Some(y)) => assert_eq!((x.at, x.seq), (y.at, y.seq)),
+                    _ => panic!("one backend drained before the other"),
+                }
+            }
+            assert_eq!(wheel.stats().tombstones_popped, 0);
+        }
+    }
+}

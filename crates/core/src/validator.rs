@@ -12,6 +12,12 @@
 //! 2. **Decision comparison** — [`Validator::compare_decisions`] checks two
 //!    runs (e.g. the event-level engine and the packet-level baseline in
 //!    `bft-sim-baseline`) agreed on *which node decided what value*.
+//!
+//! Both mechanisms are independent of the scheduler backend: a schedule only
+//! records message *fates*, and every [`SchedulerKind`](crate::scheduler::SchedulerKind)
+//! dispatches events in the same `(timestamp, insertion seq)` total order, so
+//! a schedule recorded under one backend replays bit-identically under
+//! another (see [`crate::scheduler`] for the contract).
 
 use crate::adversary::Fate;
 use crate::error::SimError;
@@ -410,7 +416,8 @@ mod tests {
             adversary_messages: 0,
             dropped_messages: 0,
             events_processed: 0,
-            events_skipped: 0,
+            skipped_cancelled_timers: 0,
+            skipped_excluded_nodes: 0,
             broadcasts: 0,
             sent_per_node: vec![0; n],
             delivered_per_node: vec![0; n],
@@ -418,6 +425,7 @@ mod tests {
             decided,
             trace: Trace::new(),
             queue_high_water: 0,
+            scheduler: crate::scheduler::SchedulerStats::default(),
         }
     }
 

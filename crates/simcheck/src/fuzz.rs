@@ -1,6 +1,7 @@
 //! The fuzzing driver: sweep scenario seeds, check every run against the
 //! oracle suite, shrink every violation to a [`Repro`].
 
+use bft_sim_core::scheduler::SchedulerKind;
 use bft_sim_core::sweep::sweep;
 use bft_sim_protocols::registry::ProtocolKind;
 
@@ -23,6 +24,10 @@ pub struct FuzzOptions {
     /// report is byte-identical for every value (results are reassembled in
     /// seed order).
     pub threads: usize,
+    /// Event-scheduler backend for every run of the sweep. The scheduler
+    /// determinism contract makes the report byte-identical under every
+    /// backend too; only throughput differs.
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for FuzzOptions {
@@ -33,6 +38,7 @@ impl Default for FuzzOptions {
             max_actions: 48,
             inject_bug: false,
             threads: 0,
+            scheduler: SchedulerKind::default(),
         }
     }
 }
@@ -68,9 +74,13 @@ pub struct FuzzReport {
     /// Total engine events dispatched across the sweep (the throughput
     /// numerator).
     pub events_processed: u64,
-    /// Total events popped but skipped (deliveries to excluded nodes,
-    /// cancelled-timer tombstones) across the sweep.
-    pub events_skipped: u64,
+    /// Total timers cancelled while pending across the sweep. Counted at
+    /// cancel time in the engine, so the total is identical under every
+    /// scheduler backend.
+    pub skipped_cancelled_timers: u64,
+    /// Total events popped but skipped because the destination node was
+    /// crashed or corrupted, across the sweep.
+    pub skipped_excluded_nodes: u64,
     /// Every violating scenario, in seed order.
     pub outcomes: Vec<FuzzOutcome>,
     /// Every panicked scenario, in seed order.
@@ -87,7 +97,8 @@ impl FuzzReport {
 /// What one seed's job produces; reassembled in seed order by the sweep.
 struct SeedResult {
     events_processed: u64,
-    events_skipped: u64,
+    skipped_cancelled_timers: u64,
+    skipped_excluded_nodes: u64,
     outcome: Option<FuzzOutcome>,
 }
 
@@ -122,7 +133,7 @@ pub fn fuzz_many(
                 opts.inject_bug,
             );
             let run = spec
-                .run(RunMode::Generate)
+                .run_with(RunMode::Generate, opts.scheduler)
                 .map_err(|e| format!("seed {seed}: {e}"))?;
             let outcome = if run.violations.is_empty() {
                 None
@@ -137,7 +148,8 @@ pub fn fuzz_many(
             };
             Ok(SeedResult {
                 events_processed: run.result.events_processed,
-                events_skipped: run.result.events_skipped,
+                skipped_cancelled_timers: run.result.skipped_cancelled_timers,
+                skipped_excluded_nodes: run.result.skipped_excluded_nodes,
                 outcome,
             })
         },
@@ -149,7 +161,8 @@ pub fn fuzz_many(
             Ok(Ok(res)) => {
                 report.runs += 1;
                 report.events_processed += res.events_processed;
-                report.events_skipped += res.events_skipped;
+                report.skipped_cancelled_timers += res.skipped_cancelled_timers;
+                report.skipped_excluded_nodes += res.skipped_excluded_nodes;
                 if let Some(outcome) = res.outcome {
                     report.outcomes.push(outcome);
                 }
@@ -198,7 +211,8 @@ mod tests {
         let b = fuzz_many(0..4, &opts).unwrap();
         assert_eq!(a.runs, b.runs);
         assert_eq!(a.events_processed, b.events_processed);
-        assert_eq!(a.events_skipped, b.events_skipped);
+        assert_eq!(a.skipped_cancelled_timers, b.skipped_cancelled_timers);
+        assert_eq!(a.skipped_excluded_nodes, b.skipped_excluded_nodes);
         assert_eq!(a.outcomes.len(), b.outcomes.len());
         assert!(a.failures.is_empty() && b.failures.is_empty());
     }
@@ -218,7 +232,37 @@ mod tests {
         let b = fuzz_many(0..8, &parallel).unwrap();
         assert_eq!(a.runs, b.runs);
         assert_eq!(a.events_processed, b.events_processed);
-        assert_eq!(a.events_skipped, b.events_skipped);
+        assert_eq!(a.skipped_cancelled_timers, b.skipped_cancelled_timers);
+        assert_eq!(a.skipped_excluded_nodes, b.skipped_excluded_nodes);
+        assert_eq!(a.outcomes.len(), b.outcomes.len());
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!(x.scenario_seed, y.scenario_seed);
+            assert_eq!(x.violations, y.violations);
+            assert_eq!(
+                x.repro.to_json().dump_pretty(),
+                y.repro.to_json().dump_pretty()
+            );
+        }
+        assert_eq!(a.failures, b.failures);
+    }
+
+    #[test]
+    fn scheduler_backend_does_not_change_the_report() {
+        let heap = FuzzOptions {
+            protocols: vec![ProtocolKind::Pbft, ProtocolKind::Tendermint],
+            scheduler: SchedulerKind::Heap,
+            ..FuzzOptions::default()
+        };
+        let wheel = FuzzOptions {
+            scheduler: SchedulerKind::Wheel,
+            ..heap.clone()
+        };
+        let a = fuzz_many(0..8, &heap).unwrap();
+        let b = fuzz_many(0..8, &wheel).unwrap();
+        assert_eq!(a.runs, b.runs);
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.skipped_cancelled_timers, b.skipped_cancelled_timers);
+        assert_eq!(a.skipped_excluded_nodes, b.skipped_excluded_nodes);
         assert_eq!(a.outcomes.len(), b.outcomes.len());
         for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
             assert_eq!(x.scenario_seed, y.scenario_seed);

@@ -24,6 +24,7 @@ use bft_sim_core::message::Message;
 use bft_sim_core::metrics::RunResult;
 use bft_sim_core::network::SampledNetwork;
 use bft_sim_core::oracle::{OracleInput, OracleObserver, OracleSuite, OracleViolation};
+use bft_sim_core::scheduler::SchedulerKind;
 use bft_sim_core::time::{SimDuration, SimTime};
 use bft_sim_core::validator::DeliverySchedule;
 use bft_sim_net::partition::{CrossTraffic, PartitionPlan};
@@ -378,14 +379,33 @@ impl ScenarioSpec {
         Ok(None)
     }
 
-    /// Runs the scenario in `mode` and checks it against the standard oracle
-    /// suite. Same spec + same mode ⇒ bit-identical [`CheckedRun`].
+    /// Runs the scenario in `mode` under the default scheduler backend and
+    /// checks it against the standard oracle suite. Same spec + same mode ⇒
+    /// bit-identical [`CheckedRun`].
     ///
     /// # Errors
     ///
     /// Returns a message when the configuration is rejected by the engine or
     /// the spec needs the `testbug` feature and it is not compiled in.
     pub fn run(&self, mode: RunMode<'_>) -> Result<CheckedRun, String> {
+        self.run_with(mode, SchedulerKind::default())
+    }
+
+    /// [`run`](ScenarioSpec::run) with an explicit scheduler backend. The
+    /// backend is an *execution* option, not part of the scenario (it is
+    /// deliberately absent from the spec JSON): the scheduler determinism
+    /// contract guarantees a bit-identical [`CheckedRun`] — results,
+    /// schedule, actions and violations — under every backend, which is why
+    /// reproducers stay valid no matter which backend found them.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](ScenarioSpec::run).
+    pub fn run_with(
+        &self,
+        mode: RunMode<'_>,
+        scheduler: SchedulerKind,
+    ) -> Result<CheckedRun, String> {
         let kind = self.protocol;
         let cfg = self.config();
         let benign = match mode {
@@ -407,6 +427,7 @@ impl ScenarioSpec {
                 let sim = SimulationBuilder::new(cfg)
                     .network(network)
                     .observer(observer)
+                    .scheduler(scheduler)
                     .replay_schedule(replay)
                     .protocols(factory)
                     .build()
@@ -434,6 +455,7 @@ impl ScenarioSpec {
                 let sim = SimulationBuilder::new(cfg)
                     .network(network)
                     .observer(observer)
+                    .scheduler(scheduler)
                     .adversary(stack)
                     .protocols(factory)
                     .build()
@@ -653,6 +675,36 @@ mod tests {
         };
         let original = spec.run(RunMode::Generate).unwrap();
         let replayed = spec.run(RunMode::Replay(&original.schedule)).unwrap();
+        assert!(replayed.violations.is_empty(), "{:?}", replayed.violations);
+        assert_eq!(replayed.result.decided, original.result.decided);
+    }
+
+    #[test]
+    fn scheduler_backend_does_not_change_a_checked_run() {
+        let spec = ScenarioSpec::generate(5, &ProtocolKind::extended(), 500, 48, false);
+        let heap = spec
+            .run_with(RunMode::Generate, SchedulerKind::Heap)
+            .unwrap();
+        let mut wheel = spec
+            .run_with(RunMode::Generate, SchedulerKind::Wheel)
+            .unwrap();
+        // The backend's own diagnostics are the only permitted difference.
+        wheel.result.scheduler = heap.result.scheduler.clone();
+        assert_eq!(heap.result, wheel.result);
+        assert_eq!(heap.schedule, wheel.schedule);
+        assert_eq!(heap.actions, wheel.actions);
+        assert_eq!(heap.violations, wheel.violations);
+    }
+
+    #[test]
+    fn schedule_recorded_on_heap_replays_on_wheel() {
+        let spec = ScenarioSpec::baseline(ProtocolKind::HotStuffNs);
+        let original = spec
+            .run_with(RunMode::Generate, SchedulerKind::Heap)
+            .unwrap();
+        let replayed = spec
+            .run_with(RunMode::Replay(&original.schedule), SchedulerKind::Wheel)
+            .unwrap();
         assert!(replayed.violations.is_empty(), "{:?}", replayed.violations);
         assert_eq!(replayed.result.decided, original.result.decided);
     }

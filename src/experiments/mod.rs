@@ -15,6 +15,7 @@ use bft_sim_core::dist::Dist;
 use bft_sim_core::engine::SimulationBuilder;
 use bft_sim_core::metrics::{RunResult, Summary};
 use bft_sim_core::network::SampledNetwork;
+use bft_sim_core::scheduler::SchedulerKind;
 use bft_sim_core::time::{SimDuration, SimTime};
 use bft_sim_net::partition::{CrossTraffic, PartitionPlan};
 use bft_sim_protocols::registry::ProtocolKind;
@@ -91,6 +92,10 @@ pub struct Scenario {
     /// Decision target; `None` uses the paper's per-protocol convention
     /// (10 for the pipelined protocols, 1 otherwise).
     pub decisions: Option<u64>,
+    /// Event-scheduler backend for every repetition. Results are
+    /// byte-identical under every backend (the scheduler determinism
+    /// contract); the knob only changes the simulator's own speed.
+    pub scheduler: SchedulerKind,
 }
 
 impl Scenario {
@@ -106,6 +111,7 @@ impl Scenario {
             time_cap_s: 600.0,
             genesis_seed: 7,
             decisions: None,
+            scheduler: SchedulerKind::default(),
         }
     }
 
@@ -139,6 +145,12 @@ impl Scenario {
         self
     }
 
+    /// Selects the event-scheduler backend.
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
     /// The decision target in effect.
     pub fn target_decisions(&self) -> u64 {
         self.decisions
@@ -160,6 +172,7 @@ impl Scenario {
         let n = cfg.n;
         SimulationBuilder::new(cfg)
             .network(SampledNetwork::new(self.delay))
+            .scheduler(self.scheduler)
             .adversary(BoxedAdversary(self.attack.build(n)))
             .protocols(factory)
             .build()
