@@ -20,6 +20,7 @@ use bft_sim_core::dist::Dist;
 use bft_sim_core::engine::SimulationBuilder;
 use bft_sim_core::json::Json;
 use bft_sim_core::network::SampledNetwork;
+use bft_sim_core::obs::ObsConfig;
 use bft_sim_core::scheduler::SchedulerKind;
 use bft_sim_core::time::SimDuration;
 use bft_sim_protocols::registry::ProtocolKind;
@@ -248,6 +249,160 @@ pub fn measure_thread_scaling(
     }
 }
 
+/// Measured cost of the `core::obs` instrumentation on the engine's hot
+/// path, for the `obs_overhead` entry of `BENCH_baseline.json`.
+///
+/// Three arms run the same workload interleaved, best-of-`reps` each:
+///
+/// - **baseline** — observability not configured (the reference);
+/// - **disabled** — observability not configured again. The hook sites
+///   compile to a never-taken branch on a cold `Option`, so baseline and
+///   disabled execute identical code: `disabled_overhead_percent` is an
+///   A/A measurement whose magnitude bounds the disabled-path cost by the
+///   host's noise floor — the "<2% events/s" guarantee;
+/// - **enabled** — full instrumentation (per-node histograms, phase-flow
+///   matrix, view timings, event ring), quantifying what `--obs` /
+///   `bft-sim trace` actually pay.
+///
+/// Simulated work is asserted identical across all three arms: recording
+/// must never perturb the run it observes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsOverhead {
+    /// Protocol short name.
+    pub protocol: &'static str,
+    /// System size.
+    pub n: usize,
+    /// RNG seed every arm ran with.
+    pub seed: u64,
+    /// Decisions reached per run (the workload target).
+    pub decisions: u64,
+    /// Interleaved repetitions per arm (each arm reports its best rep).
+    pub reps: usize,
+    /// Events per run — identical in every arm and rep by determinism.
+    pub events_processed: u64,
+    /// Best events/second with observability not configured (reference).
+    pub baseline_events_per_sec: f64,
+    /// Best events/second of the second unconfigured arm (A/A probe).
+    pub disabled_events_per_sec: f64,
+    /// Best events/second with full instrumentation attached.
+    pub enabled_events_per_sec: f64,
+    /// `100 * (1 - disabled/baseline)` — the disabled-path cost, bounded
+    /// by measurement noise (may be slightly negative on a quiet host).
+    pub disabled_overhead_percent: f64,
+    /// `100 * (1 - enabled/baseline)` — the cost of recording everything.
+    pub enabled_overhead_percent: f64,
+}
+
+/// One timed run of the obs-overhead workload; returns events processed
+/// and wall-clock seconds.
+fn timed_obs_run(
+    kind: ProtocolKind,
+    n: usize,
+    seed: u64,
+    decisions: u64,
+    obs: Option<ObsConfig>,
+) -> (u64, f64) {
+    let cfg = kind
+        .configure(
+            RunConfig::new(n)
+                .with_seed(seed)
+                .with_lambda_ms(1000.0)
+                .with_time_cap(SimDuration::from_secs(3600.0)),
+        )
+        .with_target_decisions(decisions);
+    let factory = kind.factory(&cfg, 7);
+    let mut builder = SimulationBuilder::new(cfg)
+        .network(SampledNetwork::new(Dist::normal(250.0, 50.0)))
+        .protocols(factory);
+    if let Some(obs) = obs {
+        builder = builder.observability(obs);
+    }
+    let sim = builder
+        .build()
+        .expect("obs-overhead configuration is valid");
+    let start = Instant::now();
+    let result = sim.run();
+    let wall = start.elapsed().as_secs_f64();
+    assert!(result.is_clean(), "obs-overhead run violated safety");
+    (result.events_processed, wall)
+}
+
+/// Measures the observability overhead (see [`ObsOverhead`]): `reps`
+/// interleaved repetitions of baseline / disabled / enabled arms, keeping
+/// each arm's fastest rep so transient host noise cancels rather than
+/// accumulates.
+pub fn run_obs_overhead(
+    kind: ProtocolKind,
+    n: usize,
+    seed: u64,
+    decisions: u64,
+    reps: usize,
+) -> ObsOverhead {
+    assert!(reps > 0, "need at least one repetition");
+    let mut events = None;
+    let mut best = [f64::INFINITY; 3];
+    for _ in 0..reps {
+        for (arm, slot) in best.iter_mut().enumerate() {
+            let obs =
+                (arm == 2).then(|| ObsConfig::new(64).with_classifier(kind.phase_classifier()));
+            let (ev, wall) = timed_obs_run(kind, n, seed, decisions, obs);
+            assert_eq!(
+                *events.get_or_insert(ev),
+                ev,
+                "observability must not perturb the simulated run"
+            );
+            *slot = slot.min(wall);
+        }
+    }
+    let events = events.expect("reps > 0");
+    let eps = best.map(|wall| events as f64 / wall.max(1e-9));
+    let overhead = |arm: f64| 100.0 * (1.0 - arm / eps[0].max(1e-9));
+    ObsOverhead {
+        protocol: kind.name(),
+        n,
+        seed,
+        decisions,
+        reps,
+        events_processed: events,
+        baseline_events_per_sec: eps[0],
+        disabled_events_per_sec: eps[1],
+        enabled_events_per_sec: eps[2],
+        disabled_overhead_percent: overhead(eps[1]),
+        enabled_overhead_percent: overhead(eps[2]),
+    }
+}
+
+fn obs_overhead_json(o: &ObsOverhead) -> Json {
+    Json::obj([
+        ("protocol", Json::from(o.protocol)),
+        ("n", Json::from(o.n)),
+        ("seed", Json::from(o.seed)),
+        ("decisions", Json::from(o.decisions)),
+        ("reps", Json::from(o.reps)),
+        ("events_processed", Json::from(o.events_processed)),
+        (
+            "baseline_events_per_sec",
+            Json::from(round3(o.baseline_events_per_sec)),
+        ),
+        (
+            "disabled_events_per_sec",
+            Json::from(round3(o.disabled_events_per_sec)),
+        ),
+        (
+            "enabled_events_per_sec",
+            Json::from(round3(o.enabled_events_per_sec)),
+        ),
+        (
+            "disabled_overhead_percent",
+            Json::from(round3(o.disabled_overhead_percent)),
+        ),
+        (
+            "enabled_overhead_percent",
+            Json::from(round3(o.enabled_overhead_percent)),
+        ),
+    ])
+}
+
 fn fuzz_stat_json(f: &FuzzStat) -> Json {
     Json::obj([
         ("scheduler", Json::from(f.scheduler)),
@@ -270,10 +425,17 @@ fn fuzz_stat_json(f: &FuzzStat) -> Json {
 }
 
 /// Serialises case results (and, when measured, the per-backend fuzz
-/// throughput stats and the thread-scaling comparison) as the
-/// `BENCH_baseline.json` document. `fuzz` carries one entry per scheduler
-/// backend measured; an empty slice omits the `"fuzz"` key.
-pub fn to_json(results: &[CaseResult], fuzz: &[FuzzStat], scaling: Option<&ThreadScaling>) -> Json {
+/// throughput stats, the thread-scaling comparison and the observability
+/// overhead measurement) as the `BENCH_baseline.json` document. `fuzz`
+/// carries one entry per scheduler backend measured; an empty slice omits
+/// the `"fuzz"` key, and `None` omits `"thread_scaling"` /
+/// `"obs_overhead"`.
+pub fn to_json(
+    results: &[CaseResult],
+    fuzz: &[FuzzStat],
+    scaling: Option<&ThreadScaling>,
+    obs: Option<&ObsOverhead>,
+) -> Json {
     let cases = results
         .iter()
         .map(|r| {
@@ -355,6 +517,9 @@ pub fn to_json(results: &[CaseResult], fuzz: &[FuzzStat], scaling: Option<&Threa
                 ("speedup", Json::from(round3(s.speedup))),
             ]),
         ));
+    }
+    if let Some(o) = obs {
+        pairs.push(("obs_overhead".to_string(), obs_overhead_json(o)));
     }
     Json::Obj(pairs)
 }
@@ -441,6 +606,34 @@ mod tests {
     }
 
     #[test]
+    fn obs_overhead_arms_simulate_identical_work() {
+        let o = run_obs_overhead(ProtocolKind::Pbft, 7, 42, 2, 2);
+        assert_eq!(o.protocol, "pbft");
+        assert_eq!(o.reps, 2);
+        assert!(o.events_processed > 0, "the arms ran and agreed");
+        assert!(o.baseline_events_per_sec > 0.0);
+        assert!(o.disabled_events_per_sec > 0.0);
+        assert!(o.enabled_events_per_sec > 0.0);
+        let json = to_json(&[], &[], None, Some(&o));
+        let obs = json.get("obs_overhead").expect("obs_overhead entry");
+        for key in [
+            "protocol",
+            "n",
+            "seed",
+            "decisions",
+            "reps",
+            "events_processed",
+            "baseline_events_per_sec",
+            "disabled_events_per_sec",
+            "enabled_events_per_sec",
+            "disabled_overhead_percent",
+            "enabled_overhead_percent",
+        ] {
+            assert!(obs.get(key).is_some(), "missing {key}");
+        }
+    }
+
+    #[test]
     fn baseline_json_has_the_expected_shape() {
         let results = vec![run_case(ProtocolKind::Pbft, 16, 1, 1, SchedulerKind::Heap)];
         let heap_fuzz = FuzzStat {
@@ -472,7 +665,7 @@ mod tests {
             },
             speedup: 2.0,
         };
-        let json = to_json(&results, &fuzz, Some(&scaling));
+        let json = to_json(&results, &fuzz, Some(&scaling), None);
         let fuzz_arr = json.get("fuzz").and_then(Json::as_arr).unwrap();
         assert_eq!(fuzz_arr.len(), 2);
         assert_eq!(
@@ -503,9 +696,10 @@ mod tests {
             Some(2.0)
         );
         assert!(json.get("alloc_note").is_some());
-        let bare = to_json(&results, &[], None);
+        let bare = to_json(&results, &[], None, None);
         assert!(bare.get("fuzz").is_none());
         assert!(bare.get("thread_scaling").is_none());
+        assert!(bare.get("obs_overhead").is_none());
         let cases = json.get("cases").and_then(Json::as_arr).unwrap();
         assert_eq!(cases.len(), 1);
         for key in [

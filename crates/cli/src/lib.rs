@@ -12,8 +12,23 @@
 //! bft-sim compare --nodes 16 --reps 20
 //! bft-sim fig 5
 //! bft-sim table 1
+//! bft-sim trace pbft --json
 //! bft-sim list
 //! ```
+//!
+//! ## Exit codes
+//!
+//! The binary maps every failure class to a distinct exit code, so scripts
+//! and CI can tell a crash from a caught bug:
+//!
+//! | code | meaning |
+//! |-----:|---------|
+//! | 0    | success (for `fuzz`: clean sweep; for `repro`: the oracle fired) |
+//! | 1    | runtime failure — simulation error, I/O error |
+//! | 2    | usage or parse error — bad flags, malformed config file |
+//! | 3    | `fuzz` found oracle violations or panicked runs |
+//! | 4    | repro-file error — unreadable, malformed, or no longer reproducing |
+//! | 101  | the process itself panicked (Rust's default panic exit) |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -57,6 +72,9 @@ pub enum Command {
         /// Path to a `bft-sim-repro-v1` JSON file.
         path: String,
     },
+    /// Run one scenario with full observability and print its
+    /// instrumentation (histograms, flow matrix, view timings, last events).
+    Trace(TraceSpec),
     /// List available protocols.
     List,
     /// Print usage.
@@ -165,6 +183,10 @@ pub struct FuzzSpec {
     /// report is byte-identical under either — the scheduler determinism
     /// contract — so the flag only changes sweep throughput.
     pub scheduler: SchedulerKind,
+    /// Instrument every run (`--obs`): the report gains an `observability`
+    /// block, repros and failures carry their last trace events. Everything
+    /// else in the report is byte-identical with it on or off.
+    pub observability: bool,
 }
 
 impl Default for FuzzSpec {
@@ -178,6 +200,37 @@ impl Default for FuzzSpec {
             out_dir: ".".into(),
             json: false,
             threads: 0,
+            scheduler: SchedulerKind::default(),
+            observability: false,
+        }
+    }
+}
+
+/// Parameters of a `bft-sim trace` run: one scenario executed with full
+/// observability, its instrumentation printed as tables or JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpec {
+    /// A protocol short name (baseline scenario) or a path to a
+    /// `ScenarioSpec` JSON file (as embedded in repro files).
+    pub scenario: String,
+    /// Overrides the scenario's run seed.
+    pub seed: Option<u64>,
+    /// Ring capacity for the recent-event dump.
+    pub last_k: usize,
+    /// Emit JSON instead of tables.
+    pub json: bool,
+    /// Event-scheduler backend. The observability block is byte-identical
+    /// under either backend.
+    pub scheduler: SchedulerKind,
+}
+
+impl Default for TraceSpec {
+    fn default() -> Self {
+        TraceSpec {
+            scenario: String::new(),
+            seed: None,
+            last_k: bft_sim_core::obs::DEFAULT_LAST_K,
+            json: false,
             scheduler: SchedulerKind::default(),
         }
     }
@@ -225,13 +278,54 @@ impl Default for RunSpec {
     }
 }
 
-/// Errors surfaced to the CLI user.
+/// Errors surfaced to the CLI user, carrying the process exit code the
+/// binary exits with. See [the exit-code map](crate#exit-codes).
 #[derive(Debug, PartialEq, Eq)]
-pub struct CliError(pub String);
+pub struct CliError {
+    /// Human-readable description, printed to stderr.
+    pub message: String,
+    /// The process exit code for this class of error.
+    pub code: i32,
+}
+
+impl CliError {
+    /// A usage or parse error — bad flags, malformed config file. Exit 2.
+    pub fn usage(message: impl Into<String>) -> CliError {
+        CliError {
+            message: message.into(),
+            code: 2,
+        }
+    }
+
+    /// A runtime failure — simulation error, I/O error. Exit 1.
+    pub fn runtime(message: impl Into<String>) -> CliError {
+        CliError {
+            message: message.into(),
+            code: 1,
+        }
+    }
+
+    /// A fuzz sweep that found oracle violations or panicked runs. Exit 3.
+    pub fn violation(message: impl Into<String>) -> CliError {
+        CliError {
+            message: message.into(),
+            code: 3,
+        }
+    }
+
+    /// A repro-file error — unreadable, malformed, or no longer
+    /// reproducing. Exit 4.
+    pub fn repro(message: impl Into<String>) -> CliError {
+        CliError {
+            message: message.into(),
+            code: 4,
+        }
+    }
+}
 
 impl core::fmt::Display for CliError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(&self.message)
     }
 }
 
@@ -245,14 +339,14 @@ pub fn parse_attack(s: &str) -> Result<AttackSpec, CliError> {
         ["failstop", k] => k
             .parse()
             .map(AttackSpec::FailStopLast)
-            .map_err(|_| CliError(format!("bad failstop count: {k}"))),
+            .map_err(|_| CliError::usage(format!("bad failstop count: {k}"))),
         ["partition", start, end] => {
             let start_ms = start
                 .parse()
-                .map_err(|_| CliError(format!("bad partition start: {start}")))?;
+                .map_err(|_| CliError::usage(format!("bad partition start: {start}")))?;
             let end_ms = end
                 .parse()
-                .map_err(|_| CliError(format!("bad partition end: {end}")))?;
+                .map_err(|_| CliError::usage(format!("bad partition end: {end}")))?;
             Ok(AttackSpec::Partition {
                 start_ms,
                 end_ms,
@@ -262,9 +356,9 @@ pub fn parse_attack(s: &str) -> Result<AttackSpec, CliError> {
         ["add-static", k] => k
             .parse()
             .map(AttackSpec::AddStatic)
-            .map_err(|_| CliError(format!("bad add-static count: {k}"))),
+            .map_err(|_| CliError::usage(format!("bad add-static count: {k}"))),
         ["add-adaptive"] => Ok(AttackSpec::AddAdaptive),
-        _ => Err(CliError(format!(
+        _ => Err(CliError::usage(format!(
             "unknown attack '{s}' (try none, failstop:K, partition:S:E, add-static:K, add-adaptive)"
         ))),
     }
@@ -282,22 +376,24 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         "fig" => {
             let n = it
                 .next()
-                .ok_or_else(|| CliError("fig needs a number 2..=9".into()))?;
+                .ok_or_else(|| CliError::usage("fig needs a number 2..=9"))?;
             let n: u8 = n
                 .parse()
-                .map_err(|_| CliError(format!("bad figure: {n}")))?;
+                .map_err(|_| CliError::usage(format!("bad figure: {n}")))?;
             if !(2..=9).contains(&n) {
-                return Err(CliError(format!("no figure {n} (valid: 2..=9)")));
+                return Err(CliError::usage(format!("no figure {n} (valid: 2..=9)")));
             }
             Ok(Command::Fig(n))
         }
         "table" => {
             let n = it
                 .next()
-                .ok_or_else(|| CliError("table needs 1 or 2".into()))?;
-            let n: u8 = n.parse().map_err(|_| CliError(format!("bad table: {n}")))?;
+                .ok_or_else(|| CliError::usage("table needs 1 or 2"))?;
+            let n: u8 = n
+                .parse()
+                .map_err(|_| CliError::usage(format!("bad table: {n}")))?;
             if !(1..=2).contains(&n) {
-                return Err(CliError(format!("no table {n} (valid: 1, 2)")));
+                return Err(CliError::usage(format!("no table {n} (valid: 1, 2)")));
             }
             Ok(Command::Table(n))
         }
@@ -311,29 +407,29 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         out = it
                             .next()
                             .cloned()
-                            .ok_or_else(|| CliError("--out needs a value".into()))?;
+                            .ok_or_else(|| CliError::usage("--out needs a value"))?;
                     }
                     "--threads" => {
                         threads = it
                             .next()
-                            .ok_or_else(|| CliError("--threads needs a value".into()))?
+                            .ok_or_else(|| CliError::usage("--threads needs a value"))?
                             .parse()
-                            .map_err(|_| CliError("bad --threads".into()))?;
+                            .map_err(|_| CliError::usage("bad --threads"))?;
                     }
                     "--scheduler" => {
                         let s = it
                             .next()
-                            .ok_or_else(|| CliError("--scheduler needs a value".into()))?;
+                            .ok_or_else(|| CliError::usage("--scheduler needs a value"))?;
                         scheduler = match s.as_str() {
                             "both" => None,
                             other => Some(SchedulerKind::parse(other).ok_or_else(|| {
-                                CliError(format!(
+                                CliError::usage(format!(
                                     "bad --scheduler '{other}' (use heap, wheel or both)"
                                 ))
                             })?),
                         };
                     }
-                    other => return Err(CliError(format!("unknown flag '{other}'"))),
+                    other => return Err(CliError::usage(format!("unknown flag '{other}'"))),
                 }
             }
             Ok(Command::BenchBaseline {
@@ -351,23 +447,24 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
         }
         "fuzz" => Ok(Command::Fuzz(parse_fuzz_spec(&args[1..])?)),
+        "trace" => Ok(Command::Trace(parse_trace_spec(&args[1..])?)),
         "repro" => {
             let path = it
                 .next()
                 .cloned()
-                .ok_or_else(|| CliError("repro needs a file path".into()))?;
+                .ok_or_else(|| CliError::usage("repro needs a file path"))?;
             if let Some(extra) = it.next() {
-                return Err(CliError(format!("unexpected argument '{extra}'")));
+                return Err(CliError::usage(format!("unexpected argument '{extra}'")));
             }
             Ok(Command::Repro { path })
         }
-        other => Err(CliError(format!("unknown command '{other}'"))),
+        other => Err(CliError::usage(format!("unknown command '{other}'"))),
     }
 }
 
 /// Parses `--seeds` syntax: `A..B` (half-open) or a bare count `N` (= `0..N`).
 fn parse_seed_range(s: &str) -> Result<(u64, u64), CliError> {
-    let bad = || CliError(format!("bad --seeds '{s}' (use A..B or a count N)"));
+    let bad = || CliError::usage(format!("bad --seeds '{s}' (use A..B or a count N)"));
     let (lo, hi) = match s.split_once("..") {
         Some((lo, hi)) => (
             lo.parse().map_err(|_| bad())?,
@@ -376,7 +473,7 @@ fn parse_seed_range(s: &str) -> Result<(u64, u64), CliError> {
         None => (0, s.parse().map_err(|_| bad())?),
     };
     if hi <= lo {
-        return Err(CliError(format!("empty seed range '{s}'")));
+        return Err(CliError::usage(format!("empty seed range '{s}'")));
     }
     Ok((lo, hi))
 }
@@ -388,7 +485,7 @@ fn parse_fuzz_spec(args: &[String]) -> Result<FuzzSpec, CliError> {
         let mut value = |name: &str| {
             it.next()
                 .cloned()
-                .ok_or_else(|| CliError(format!("{name} needs a value")))
+                .ok_or_else(|| CliError::usage(format!("{name} needs a value")))
         };
         match flag.as_str() {
             "--seeds" => spec.seeds = parse_seed_range(&value("--seeds")?)?,
@@ -396,28 +493,74 @@ fn parse_fuzz_spec(args: &[String]) -> Result<FuzzSpec, CliError> {
             "--intensity" => {
                 spec.intensity_permille = value("--intensity")?
                     .parse()
-                    .map_err(|_| CliError("bad --intensity (permille, 0..=1000)".into()))?
+                    .map_err(|_| CliError::usage("bad --intensity (permille, 0..=1000)"))?
             }
             "--max-actions" => {
                 spec.max_actions = value("--max-actions")?
                     .parse()
-                    .map_err(|_| CliError("bad --max-actions".into()))?
+                    .map_err(|_| CliError::usage("bad --max-actions"))?
             }
             "--inject-bug" => spec.inject_bug = true,
             "--out" => spec.out_dir = value("--out")?,
             "--json" => spec.json = true,
+            "--obs" => spec.observability = true,
             "--threads" => {
                 spec.threads = value("--threads")?
                     .parse()
-                    .map_err(|_| CliError("bad --threads".into()))?
+                    .map_err(|_| CliError::usage("bad --threads".to_string()))?
             }
             "--scheduler" => {
                 let s = value("--scheduler")?;
-                spec.scheduler = SchedulerKind::parse(&s)
-                    .ok_or_else(|| CliError(format!("bad --scheduler '{s}' (use heap or wheel)")))?
+                spec.scheduler = SchedulerKind::parse(&s).ok_or_else(|| {
+                    CliError::usage(format!("bad --scheduler '{s}' (use heap or wheel)"))
+                })?
             }
-            other => return Err(CliError(format!("unknown flag '{other}'"))),
+            other => return Err(CliError::usage(format!("unknown flag '{other}'"))),
         }
+    }
+    Ok(spec)
+}
+
+fn parse_trace_spec(args: &[String]) -> Result<TraceSpec, CliError> {
+    let mut spec = TraceSpec::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError::usage(format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--seed" => {
+                spec.seed = Some(
+                    value("--seed")?
+                        .parse()
+                        .map_err(|_| CliError::usage("bad --seed".to_string()))?,
+                )
+            }
+            "--last-k" => {
+                spec.last_k = value("--last-k")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --last-k".to_string()))?
+            }
+            "--json" => spec.json = true,
+            "--scheduler" => {
+                let s = value("--scheduler")?;
+                spec.scheduler = SchedulerKind::parse(&s).ok_or_else(|| {
+                    CliError::usage(format!("bad --scheduler '{s}' (use heap or wheel)"))
+                })?
+            }
+            flag if flag.starts_with("--") => {
+                return Err(CliError::usage(format!("unknown flag '{flag}'")))
+            }
+            scenario if spec.scenario.is_empty() => spec.scenario = scenario.to_string(),
+            extra => return Err(CliError::usage(format!("unexpected argument '{extra}'"))),
+        }
+    }
+    if spec.scenario.is_empty() {
+        return Err(CliError::usage(
+            "trace needs a scenario: a protocol name or a scenario JSON file".to_string(),
+        ));
     }
     Ok(spec)
 }
@@ -430,7 +573,8 @@ fn parse_protocol_list(s: &str) -> Result<Vec<ProtocolKind>, CliError> {
     s.split(',')
         .map(|name| {
             let name = name.trim();
-            ProtocolKind::parse(name).ok_or_else(|| CliError(format!("unknown protocol '{name}'")))
+            ProtocolKind::parse(name)
+                .ok_or_else(|| CliError::usage(format!("unknown protocol '{name}'")))
         })
         .collect()
 }
@@ -442,53 +586,53 @@ fn parse_run_spec(args: &[String]) -> Result<RunSpec, CliError> {
         let mut value = |name: &str| {
             it.next()
                 .cloned()
-                .ok_or_else(|| CliError(format!("{name} needs a value")))
+                .ok_or_else(|| CliError::usage(format!("{name} needs a value")))
         };
         match flag.as_str() {
             "--config" => {
                 let path = value("--config")?;
                 let text = std::fs::read_to_string(&path)
-                    .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
-                let parsed =
-                    Json::parse(&text).map_err(|e| CliError(format!("bad config {path}: {e}")))?;
+                    .map_err(|e| CliError::usage(format!("cannot read {path}: {e}")))?;
+                let parsed = Json::parse(&text)
+                    .map_err(|e| CliError::usage(format!("bad config {path}: {e}")))?;
                 spec = RunSpec::from_json(&parsed)
-                    .map_err(|e| CliError(format!("bad config {path}: {e}")))?;
+                    .map_err(|e| CliError::usage(format!("bad config {path}: {e}")))?;
             }
             "--protocol" => spec.protocol = value("--protocol")?,
             "--nodes" => {
                 spec.nodes = value("--nodes")?
                     .parse()
-                    .map_err(|_| CliError("bad --nodes".into()))?
+                    .map_err(|_| CliError::usage("bad --nodes"))?
             }
             "--lambda" => {
                 spec.lambda_ms = value("--lambda")?
                     .parse()
-                    .map_err(|_| CliError("bad --lambda".into()))?
+                    .map_err(|_| CliError::usage("bad --lambda"))?
             }
             "--delay-mu" => {
                 spec.delay_mu = value("--delay-mu")?
                     .parse()
-                    .map_err(|_| CliError("bad --delay-mu".into()))?
+                    .map_err(|_| CliError::usage("bad --delay-mu"))?
             }
             "--delay-sigma" => {
                 spec.delay_sigma = value("--delay-sigma")?
                     .parse()
-                    .map_err(|_| CliError("bad --delay-sigma".into()))?
+                    .map_err(|_| CliError::usage("bad --delay-sigma"))?
             }
             "--reps" => {
                 spec.reps = value("--reps")?
                     .parse()
-                    .map_err(|_| CliError("bad --reps".into()))?
+                    .map_err(|_| CliError::usage("bad --reps"))?
             }
             "--seed" => {
                 spec.seed = value("--seed")?
                     .parse()
-                    .map_err(|_| CliError("bad --seed".into()))?
+                    .map_err(|_| CliError::usage("bad --seed"))?
             }
             "--attack" => spec.attack = value("--attack")?,
             "--cost" => spec.cost = value("--cost")?,
             "--json" => spec.json = true,
-            other => return Err(CliError(format!("unknown flag '{other}'"))),
+            other => return Err(CliError::usage(format!("unknown flag '{other}'"))),
         }
     }
     Ok(spec)
@@ -553,7 +697,7 @@ pub fn run_one(kind: ProtocolKind, spec: &RunSpec) -> Result<Report, CliError> {
         "ed25519" => Some(CostModel::ed25519()),
         "rsa2048" => Some(CostModel::rsa2048()),
         "mac" => Some(CostModel::mac()),
-        other => return Err(CliError(format!("unknown cost model '{other}'"))),
+        other => return Err(CliError::usage(format!("unknown cost model '{other}'"))),
     };
     let attack = parse_attack(&spec.attack)?;
     let scenario = Scenario::new(kind, spec.nodes)
@@ -563,7 +707,7 @@ pub fn run_one(kind: ProtocolKind, spec: &RunSpec) -> Result<Report, CliError> {
     let results = scenario.run_many(spec.reps, spec.seed);
     for r in &results {
         if let Some(v) = &r.safety_violation {
-            return Err(CliError(format!("safety violation: {v}")));
+            return Err(CliError::runtime(format!("safety violation: {v}")));
         }
     }
     let lat = scenario.latency_summary(&results);
@@ -614,7 +758,7 @@ pub fn execute(cmd: Command) -> Result<(), CliError> {
         }
         Command::Run(spec) => {
             let kind = ProtocolKind::parse(&spec.protocol)
-                .ok_or_else(|| CliError(format!("unknown protocol '{}'", spec.protocol)))?;
+                .ok_or_else(|| CliError::usage(format!("unknown protocol '{}'", spec.protocol)))?;
             let report = run_one(kind, &spec)?;
             emit(&[report], spec.json);
         }
@@ -641,10 +785,18 @@ pub fn execute(cmd: Command) -> Result<(), CliError> {
                 .collect();
             let scaling =
                 bft_sim_bench::baseline::measure_thread_scaling(256, threads, backends[0]);
+            let obs = bft_sim_bench::baseline::run_obs_overhead(
+                bft_sim_protocols::registry::ProtocolKind::Pbft,
+                16,
+                1,
+                50,
+                5,
+            );
             let json =
-                bft_sim_bench::baseline::to_json(&results, &fuzz, Some(&scaling)).dump_pretty();
+                bft_sim_bench::baseline::to_json(&results, &fuzz, Some(&scaling), Some(&obs))
+                    .dump_pretty();
             std::fs::write(&out, &json)
-                .map_err(|e| CliError(format!("cannot write {out}: {e}")))?;
+                .map_err(|e| CliError::runtime(format!("cannot write {out}: {e}")))?;
             println!(
                 "{:<14} {:>4} {:>6} {:>10} {:>12} {:>12} {:>12} {:>18}",
                 "protocol",
@@ -689,10 +841,20 @@ pub fn execute(cmd: Command) -> Result<(), CliError> {
                 scaling.speedup,
                 scaling.host_threads
             );
+            println!(
+                "obs [{} n={}]: disabled {:+.2}% (A/A noise floor), \
+                 enabled {:+.2}% vs {:.0} events/s baseline",
+                obs.protocol,
+                obs.n,
+                obs.disabled_overhead_percent,
+                obs.enabled_overhead_percent,
+                obs.baseline_events_per_sec
+            );
             println!("wrote {out}");
         }
         Command::Fuzz(spec) => run_fuzz(&spec)?,
         Command::Repro { path } => run_repro(&path)?,
+        Command::Trace(spec) => run_trace(&spec)?,
         Command::Fig(which) => run_figure(which),
         Command::Table(which) => match which {
             1 => {
@@ -745,35 +907,55 @@ pub fn fuzz_report_json(
         .failures
         .iter()
         .map(|f| {
-            Json::obj([
-                ("scenario_seed", Json::from(f.scenario_seed)),
-                ("panic", Json::from(f.message.as_str())),
-            ])
+            let mut pairs = vec![
+                ("scenario_seed".to_string(), Json::from(f.scenario_seed)),
+                ("panic".to_string(), Json::from(f.message.as_str())),
+            ];
+            if !f.last_events.is_empty() {
+                pairs.push((
+                    "last_events".to_string(),
+                    Json::Arr(f.last_events.iter().map(|e| e.to_json()).collect()),
+                ));
+            }
+            Json::Obj(pairs)
         })
         .collect();
-    Json::obj([
+    let mut pairs = vec![
         (
-            "seeds",
+            "seeds".to_string(),
             Json::obj([
                 ("lo", Json::from(spec.seeds.0)),
                 ("hi", Json::from(spec.seeds.1)),
             ]),
         ),
-        ("runs", Json::from(report.runs)),
-        ("events_processed", Json::from(report.events_processed)),
+        ("runs".to_string(), Json::from(report.runs)),
         (
-            "skipped_cancelled_timers",
+            "events_processed".to_string(),
+            Json::from(report.events_processed),
+        ),
+        (
+            "skipped_cancelled_timers".to_string(),
             Json::from(report.skipped_cancelled_timers),
         ),
         (
-            "skipped_excluded_nodes",
+            "skipped_excluded_nodes".to_string(),
             Json::from(report.skipped_excluded_nodes),
         ),
-        ("violating_scenarios", Json::from(report.outcomes.len())),
-        ("outcomes", Json::Arr(outcomes)),
-        ("panicked_scenarios", Json::from(report.failures.len())),
-        ("failures", Json::Arr(failures)),
-    ])
+        (
+            "violating_scenarios".to_string(),
+            Json::from(report.outcomes.len()),
+        ),
+        ("outcomes".to_string(), Json::Arr(outcomes)),
+        (
+            "panicked_scenarios".to_string(),
+            Json::from(report.failures.len()),
+        ),
+        ("failures".to_string(), Json::Arr(failures)),
+    ];
+    if let Some(obs) = &report.observability {
+        pairs.push(("observability".to_string(), obs.to_json()));
+    }
+    Json::Obj(pairs)
 }
 
 /// Runs a `bft-sim fuzz` sweep: per-seed scenario generation (sharded across
@@ -788,10 +970,11 @@ fn run_fuzz(spec: &FuzzSpec) -> Result<(), CliError> {
         inject_bug: spec.inject_bug,
         threads: spec.threads,
         scheduler: spec.scheduler,
+        observability: spec.observability,
     };
     let start = std::time::Instant::now();
-    let report =
-        bft_sim_simcheck::fuzz_many(spec.seeds.0..spec.seeds.1, &opts).map_err(CliError)?;
+    let report = bft_sim_simcheck::fuzz_many(spec.seeds.0..spec.seeds.1, &opts)
+        .map_err(CliError::runtime)?;
     let wall = start.elapsed().as_secs_f64();
     let mut repro_paths = Vec::new();
     for outcome in &report.outcomes {
@@ -800,9 +983,9 @@ fn run_fuzz(spec: &FuzzSpec) -> Result<(), CliError> {
             outcome.scenario_seed, outcome.repro.oracle
         ));
         std::fs::create_dir_all(&spec.out_dir)
-            .map_err(|e| CliError(format!("cannot create {}: {e}", spec.out_dir)))?;
+            .map_err(|e| CliError::runtime(format!("cannot create {}: {e}", spec.out_dir)))?;
         std::fs::write(&path, outcome.repro.to_json().dump_pretty())
-            .map_err(|e| CliError(format!("cannot write {}: {e}", path.display())))?;
+            .map_err(|e| CliError::runtime(format!("cannot write {}: {e}", path.display())))?;
         repro_paths.push(path.display().to_string());
     }
     if spec.json {
@@ -836,7 +1019,7 @@ fn run_fuzz(spec: &FuzzSpec) -> Result<(), CliError> {
     if report.clean() {
         Ok(())
     } else {
-        Err(CliError(format!(
+        Err(CliError::violation(format!(
             "{} of {} scenarios violated an oracle, {} panicked",
             report.outcomes.len(),
             report.runs + report.failures.len() as u64,
@@ -847,15 +1030,163 @@ fn run_fuzz(spec: &FuzzSpec) -> Result<(), CliError> {
 
 /// Replays a repro file and reports whether its oracle still fires.
 fn run_repro(path: &str) -> Result<(), CliError> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
-    let json = Json::parse(&text).map_err(|e| CliError(format!("bad repro {path}: {e}")))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::repro(format!("cannot read {path}: {e}")))?;
+    let json = Json::parse(&text).map_err(|e| CliError::repro(format!("bad repro {path}: {e}")))?;
     let repro = bft_sim_simcheck::Repro::from_json(&json)
-        .map_err(|e| CliError(format!("bad repro {path}: {e}")))?;
+        .map_err(|e| CliError::repro(format!("bad repro {path}: {e}")))?;
     let violation = repro
         .check()
-        .map_err(|e| CliError(format!("{path}: {e}")))?;
+        .map_err(|e| CliError::repro(format!("{path}: {e}")))?;
     println!("reproduced: {violation}");
+    Ok(())
+}
+
+/// Runs one scenario with full observability and prints its instrumentation.
+fn run_trace(spec: &TraceSpec) -> Result<(), CliError> {
+    use bft_sim_simcheck::{RunMode, ScenarioSpec};
+
+    let mut scenario = if std::path::Path::new(&spec.scenario).is_file() {
+        let text = std::fs::read_to_string(&spec.scenario)
+            .map_err(|e| CliError::runtime(format!("cannot read {}: {e}", spec.scenario)))?;
+        let json = Json::parse(&text)
+            .map_err(|e| CliError::usage(format!("bad scenario {}: {e}", spec.scenario)))?;
+        ScenarioSpec::from_json(&json)
+            .map_err(|e| CliError::usage(format!("bad scenario {}: {e}", spec.scenario)))?
+    } else if let Some(kind) = ProtocolKind::parse(&spec.scenario) {
+        ScenarioSpec::baseline(kind)
+    } else {
+        return Err(CliError::usage(format!(
+            "'{}' is neither a protocol name nor a scenario JSON file",
+            spec.scenario
+        )));
+    };
+    if let Some(seed) = spec.seed {
+        scenario.seed = seed;
+    }
+    let run = scenario
+        .run_observed(
+            RunMode::Generate,
+            spec.scheduler,
+            Some(scenario.obs_config(spec.last_k)),
+        )
+        .map_err(CliError::runtime)?;
+    let obs = run
+        .result
+        .observability
+        .as_ref()
+        .expect("trace always runs with observability on");
+
+    if spec.json {
+        // Scenario + observability only: both derive purely from simulated
+        // quantities, so this document is byte-identical under every
+        // scheduler backend and thread count.
+        let doc = Json::obj([
+            ("scenario", scenario.to_json()),
+            ("events_processed", Json::from(run.result.events_processed)),
+            (
+                "decisions_completed",
+                Json::from(run.result.decisions_completed()),
+            ),
+            ("observability", obs.to_json()),
+        ]);
+        println!("{}", doc.dump_pretty());
+        return Ok(());
+    }
+
+    println!(
+        "scenario: {} n={} seed={} ({} events, {} decisions{})",
+        scenario.protocol.name(),
+        scenario.n,
+        scenario.seed,
+        run.result.events_processed,
+        run.result.decisions_completed(),
+        if run.violations.is_empty() {
+            ", clean".to_string()
+        } else {
+            format!(", {} violations", run.violations.len())
+        },
+    );
+    println!();
+    println!("delivery latency (µs):");
+    println!(
+        "{:<6} {:>8} {:>10} {:>10} {:>10}",
+        "node", "count", "mean", "min", "max"
+    );
+    for (node, h) in obs.delivery_latency.iter().enumerate() {
+        if h.is_empty() {
+            continue;
+        }
+        println!(
+            "n{:<5} {:>8} {:>10.1} {:>10} {:>10}",
+            node,
+            h.count(),
+            h.mean_micros(),
+            h.min_micros(),
+            h.max_micros()
+        );
+    }
+    println!();
+    println!("decision intervals (µs):");
+    println!(
+        "{:<6} {:>8} {:>10} {:>10} {:>10}",
+        "node", "count", "mean", "min", "max"
+    );
+    for (node, h) in obs.decision_interval.iter().enumerate() {
+        if h.is_empty() {
+            continue;
+        }
+        println!(
+            "n{:<5} {:>8} {:>10.1} {:>10} {:>10}",
+            node,
+            h.count(),
+            h.mean_micros(),
+            h.min_micros(),
+            h.max_micros()
+        );
+    }
+    println!();
+    println!("message flows (src rows × dst columns):");
+    for flow in &obs.flows {
+        println!(
+            "  phase {} ({} messages):",
+            flow.phase,
+            obs.phase_total(&flow.phase)
+        );
+        for src in 0..obs.nodes {
+            let row: Vec<String> = (0..obs.nodes)
+                .map(|dst| format!("{:>6}", flow.matrix[src * obs.nodes + dst]))
+                .collect();
+            println!("    n{src}: {}", row.join(" "));
+        }
+    }
+    if !obs.views.is_empty() {
+        println!();
+        println!("view timings (µs):");
+        println!(
+            "{:<6} {:>12} {:>12} {:>8}",
+            "view", "first entry", "last entry", "entries"
+        );
+        for v in &obs.views {
+            println!(
+                "{:<6} {:>12} {:>12} {:>8}",
+                v.view,
+                v.first_entry.as_micros(),
+                v.last_entry.as_micros(),
+                v.entries
+            );
+        }
+    }
+    println!();
+    println!("last {} events:", obs.recent_events.len());
+    for e in &obs.recent_events {
+        println!(
+            "  t={:<10} n{:<3} {:?}",
+            e.time.as_micros(),
+            e.node.as_u32(),
+            e.kind
+        );
+    }
     Ok(())
 }
 
@@ -959,21 +1290,34 @@ USAGE:
                      one document
     bft-sim fuzz     [--seeds A..B|N] [--protocols all|p1,p2,...]
                      [--intensity PERMILLE] [--max-actions K] [--inject-bug]
-                     [--out DIR] [--json] [--threads N]
+                     [--out DIR] [--json] [--obs] [--threads N]
                      [--scheduler heap|wheel]
                      sweep deterministic fuzz scenarios across N worker
                      threads (0 = all cores; output is byte-identical at any
                      thread count and under either scheduler backend),
                      oracle-check every run, shrink violations to repro
                      files; exits non-zero when any oracle fires or any run
-                     panics
+                     panics; --obs instruments every run: the report gains
+                     an observability block and repros/failures carry their
+                     last trace events, with everything else byte-identical
     bft-sim repro FILE.json
                      replay a bft-sim-repro-v1 file and confirm its oracle
                      still fires
+    bft-sim trace SCENARIO [--seed S] [--last-k K] [--json]
+                     [--scheduler heap|wheel]
+                     run one scenario (a protocol short name, or a scenario
+                     JSON file as embedded in repro files) with full
+                     observability and print per-node latency/decision
+                     histograms, the per-phase message-flow matrix, view
+                     timings and the last-K trace events
     bft-sim list     list protocols
 
 ATTACK SPECS:
-    none | failstop:K | partition:START_MS:END_MS | add-static:K | add-adaptive"
+    none | failstop:K | partition:START_MS:END_MS | add-static:K | add-adaptive
+
+EXIT CODES:
+    0 success   1 runtime failure   2 usage/parse error
+    3 fuzz found violations/panics   4 repro-file error   101 panic"
 }
 
 #[cfg(test)]
@@ -1107,9 +1451,70 @@ mod tests {
             Command::Fuzz(FuzzSpec::default())
         );
         assert_eq!(FuzzSpec::default().scheduler, SchedulerKind::Heap);
+        assert!(!FuzzSpec::default().observability);
         assert!(parse_args(&args(&["fuzz", "--threads", "x"])).is_err());
         assert!(parse_args(&args(&["fuzz", "--scheduler", "both"])).is_err());
         assert!(parse_args(&args(&["fuzz", "--scheduler", "splay"])).is_err());
+        let Command::Fuzz(spec) = parse_args(&args(&["fuzz", "--obs"])).unwrap() else {
+            panic!("expected fuzz");
+        };
+        assert!(spec.observability);
+    }
+
+    #[test]
+    fn parses_trace_flags() {
+        let cmd = parse_args(&args(&[
+            "trace",
+            "pbft",
+            "--seed",
+            "11",
+            "--last-k",
+            "16",
+            "--json",
+            "--scheduler",
+            "wheel",
+        ]))
+        .unwrap();
+        let Command::Trace(spec) = cmd else {
+            panic!("expected trace");
+        };
+        assert_eq!(spec.scenario, "pbft");
+        assert_eq!(spec.seed, Some(11));
+        assert_eq!(spec.last_k, 16);
+        assert!(spec.json);
+        assert_eq!(spec.scheduler, SchedulerKind::Wheel);
+
+        let err = parse_args(&args(&["trace"])).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(parse_args(&args(&["trace", "pbft", "extra"])).is_err());
+        assert!(parse_args(&args(&["trace", "pbft", "--last-k", "x"])).is_err());
+    }
+
+    #[test]
+    fn trace_command_runs_for_pbft_and_hotstuff() {
+        for protocol in ["pbft", "hotstuff-ns"] {
+            execute(Command::Trace(TraceSpec {
+                scenario: protocol.into(),
+                json: true,
+                ..TraceSpec::default()
+            }))
+            .unwrap_or_else(|e| panic!("trace {protocol} failed: {e}"));
+        }
+        let err = execute(Command::Trace(TraceSpec {
+            scenario: "raft".into(),
+            ..TraceSpec::default()
+        }))
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("neither"), "{err}");
+    }
+
+    #[test]
+    fn error_constructors_carry_the_documented_codes() {
+        assert_eq!(CliError::runtime("x").code, 1);
+        assert_eq!(CliError::usage("x").code, 2);
+        assert_eq!(CliError::violation("x").code, 3);
+        assert_eq!(CliError::repro("x").code, 4);
     }
 
     #[test]
@@ -1205,7 +1610,8 @@ mod tests {
             path: "/nonexistent/repro.json".into(),
         })
         .unwrap_err();
-        assert!(err.0.contains("cannot read"), "{err}");
+        assert_eq!(err.code, 4, "unreadable repro file must exit 4");
+        assert!(err.message.contains("cannot read"), "{err}");
         // A syntactically valid repro whose oracle cannot fire is reported
         // as stale rather than silently succeeding.
         let repro = bft_sim_simcheck::Repro {
@@ -1214,6 +1620,7 @@ mod tests {
             schedule: None,
             oracle: "agreement".into(),
             detail: "synthetic".into(),
+            last_events: Vec::new(),
         };
         let path = std::env::temp_dir().join("bft_sim_cli_stale_repro.json");
         std::fs::write(&path, repro.to_json().dump_pretty()).unwrap();
@@ -1221,7 +1628,8 @@ mod tests {
             path: path.display().to_string(),
         })
         .unwrap_err();
-        assert!(err.0.contains("no longer reproduces"), "{err}");
+        assert_eq!(err.code, 4, "stale repro must exit 4");
+        assert!(err.message.contains("no longer reproduces"), "{err}");
         let _ = std::fs::remove_file(&path);
     }
 

@@ -15,11 +15,11 @@ fn main() {
             eprintln!("error: {e}");
             eprintln!();
             eprintln!("{}", bft_sim_cli::usage());
-            std::process::exit(2);
+            std::process::exit(e.code);
         }
     };
     if let Err(e) = bft_sim_cli::execute(cmd) {
         eprintln!("error: {e}");
-        std::process::exit(1);
+        std::process::exit(e.code);
     }
 }

@@ -1,0 +1,104 @@
+//! End-to-end assertions on the `bft-sim` binary's documented exit-code map
+//! (see "Exit codes" in the crate docs of `lib.rs`):
+//!
+//! - `0` — success,
+//! - `2` — usage errors (bad flags, unknown commands, unparseable scenarios),
+//! - `3` — fuzz sweeps that found oracle violations or panicked runs
+//!   (feature `testbug`, which seeds a violation to find),
+//! - `4` — repro-file errors (unreadable, malformed, stale),
+//!
+//! each distinct from the others and from a Rust panic's `101`, so scripts
+//! and CI can branch on *why* a command failed.
+
+use std::process::Output;
+
+fn bft_sim(args: &[&str]) -> Output {
+    std::process::Command::new(env!("CARGO_BIN_EXE_bft-sim"))
+        .args(args)
+        .output()
+        .expect("bft-sim binary spawns")
+}
+
+fn assert_code(args: &[&str], expected: i32) {
+    let out = bft_sim(args);
+    assert_eq!(
+        out.status.code(),
+        Some(expected),
+        "bft-sim {args:?}\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// A scratch directory unique to this test binary invocation.
+fn scratch(label: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("bft-sim-exit-codes-{label}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+#[test]
+fn success_exits_zero() {
+    assert_code(&["list"], 0);
+    assert_code(&["trace", "pbft", "--json", "--last-k", "8"], 0);
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let cases: &[&[&str]] = &[
+        &["frobnicate"],
+        &["trace"],
+        &["trace", "raft"],
+        &["trace", "pbft", "--last-k", "x"],
+        &["fuzz", "--scheduler", "splay"],
+        &["fig", "99"],
+    ];
+    for args in cases {
+        assert_code(args, 2);
+    }
+}
+
+#[test]
+fn repro_file_errors_exit_four() {
+    assert_code(&["repro", "/definitely/not/a/file.json"], 4);
+
+    let dir = scratch("repro");
+    let malformed = dir.join("malformed.json");
+    std::fs::write(&malformed, "{ this is not json").expect("write malformed repro");
+    assert_code(&["repro", malformed.to_str().unwrap()], 4);
+
+    let wrong_shape = dir.join("wrong-shape.json");
+    std::fs::write(&wrong_shape, "{\"format\": \"bogus-v0\"}").expect("write wrong-shape repro");
+    assert_code(&["repro", wrong_shape.to_str().unwrap()], 4);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A fuzz sweep that finds violations must exit 3 — distinct from both the
+/// repro-file class (4) and a panic (101). Needs the seeded bug, so this
+/// case only runs under `--features testbug`.
+#[cfg(feature = "testbug")]
+#[test]
+fn oracle_violations_exit_three() {
+    let dir = scratch("fuzz");
+    let out_dir = dir.join("repros");
+    let out = bft_sim(&[
+        "fuzz",
+        "--seeds",
+        "3",
+        "--protocols",
+        "pbft",
+        "--inject-bug",
+        "--out",
+        out_dir.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -19,6 +19,7 @@ fn sweep_json(spec: &FuzzSpec, threads: usize) -> String {
         inject_bug: false,
         threads,
         scheduler: spec.scheduler,
+        observability: spec.observability,
     };
     let report: FuzzReport = fuzz_many(spec.seeds.0..spec.seeds.1, &opts).expect("sweep builds");
     // Derive the repro paths the CLI would write, purely from the report, so
@@ -58,4 +59,26 @@ fn fuzz_json_is_byte_identical_across_thread_counts() {
     assert!(parsed.get("events_processed").and_then(|e| e.as_u64()) > Some(0));
     assert!(parsed.get("skipped_cancelled_timers").is_some());
     assert!(parsed.get("skipped_excluded_nodes").is_some());
+}
+
+#[test]
+fn observed_fuzz_json_is_byte_identical_across_thread_counts() {
+    // Aggregation happens in seed order in the collector, so the
+    // observability block must not depend on which worker ran which seed.
+    let spec = FuzzSpec {
+        seeds: (0, 16),
+        observability: true,
+        ..FuzzSpec::default()
+    };
+    let serial = sweep_json(&spec, 1);
+    let parallel = sweep_json(&spec, 4);
+    assert_eq!(
+        serial, parallel,
+        "--obs --threads 4 must serialise byte-identically to --obs --threads 1"
+    );
+    let parsed = bft_sim_core::json::Json::parse(&serial).expect("report is valid JSON");
+    assert!(
+        parsed.get("observability").is_some(),
+        "--obs adds an observability block"
+    );
 }

@@ -23,6 +23,7 @@ fn sweep_json(spec: &FuzzSpec, scheduler: SchedulerKind, threads: usize) -> Stri
         inject_bug: false,
         threads,
         scheduler,
+        observability: spec.observability,
     };
     let report: FuzzReport = fuzz_many(spec.seeds.0..spec.seeds.1, &opts).expect("sweep builds");
     // Derive the repro paths the CLI would write, purely from the report, so
@@ -67,4 +68,27 @@ fn fuzz_json_is_byte_identical_across_scheduler_backends() {
         "all 32 seeds must have run"
     );
     assert!(parsed.get("events_processed").and_then(|e| e.as_u64()) > Some(0));
+}
+
+#[test]
+fn observed_fuzz_json_is_byte_identical_across_scheduler_backends() {
+    // The observability block is derived purely from simulated quantities, so
+    // it must not reintroduce backend dependence into the report.
+    let spec = FuzzSpec {
+        seeds: (0, 16),
+        observability: true,
+        ..FuzzSpec::default()
+    };
+    let heap = sweep_json(&spec, SchedulerKind::Heap, 1);
+    let wheel = sweep_json(&spec, SchedulerKind::Wheel, 2);
+    assert_eq!(
+        heap, wheel,
+        "--obs --scheduler wheel must serialise byte-identically to --obs --scheduler heap"
+    );
+    let parsed = bft_sim_core::json::Json::parse(&heap).expect("report is valid JSON");
+    let obs = parsed
+        .get("observability")
+        .expect("--obs adds an observability block");
+    assert!(obs.get("delivery_latency").is_some());
+    assert!(obs.get("phase_totals").is_some());
 }

@@ -104,7 +104,11 @@ impl Dist {
         match *self {
             Dist::Constant { value } => value,
             Dist::Uniform { lo, hi } => {
-                if hi <= lo {
+                // NaN or infinite bounds must never reach `gen_range`: the
+                // float uniform sampler asserts on (or loops over) non-finite
+                // ranges. Degenerate ranges collapse to `lo`; sample_delay
+                // clamps a NaN `lo` to zero downstream.
+                if !lo.is_finite() || !hi.is_finite() || hi <= lo {
                     lo
                 } else {
                     rng.gen_range(lo..hi)
@@ -115,7 +119,9 @@ impl Dist {
                 (mu_log + sigma_log * standard_normal(rng)).exp()
             }
             Dist::Exponential { mean } => {
-                if mean <= 0.0 {
+                // The NaN check matters: a NaN mean would otherwise poison
+                // the whole sample.
+                if mean.is_nan() || mean <= 0.0 {
                     0.0
                 } else {
                     // Inverse-CDF sampling; 1-u avoids ln(0).
@@ -160,8 +166,15 @@ fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 /// Poisson sampler: Knuth's product method for small means, normal
 /// approximation (with continuity correction) for large means where the
 /// product method would need O(mean) uniforms.
+///
+/// Degenerate means are clamped rather than propagated: zero, negative,
+/// `NaN` and infinite means all yield 0 (matching the clamping contract of
+/// [`SimDuration::from_millis`]). A `NaN` mean previously slipped past the
+/// `mean <= 0.0` guard into the normal-approximation branch and silently
+/// produced 0 by accident; an infinite mean saturated to `u64::MAX` — an
+/// absurd ~584-millennia delay — instead of being rejected.
 fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
-    if mean <= 0.0 {
+    if !mean.is_finite() || mean <= 0.0 {
         return 0;
     }
     if mean < 30.0 {
@@ -174,6 +187,9 @@ fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
         }
         count
     } else {
+        // For huge finite means the f64 arithmetic stays finite and the
+        // float→int cast saturates at u64::MAX (Rust guarantees saturating
+        // `as` casts) — no wrap-around is possible.
         let sample = mean + mean.sqrt() * standard_normal(rng) + 0.5;
         sample.max(0.0) as u64
     }
@@ -278,5 +294,121 @@ mod tests {
         let a = stats(Dist::normal(100.0, 10.0), 100, 42);
         let b = stats(Dist::normal(100.0, 10.0), 100, 42);
         assert_eq!(a, b);
+    }
+
+    /// Parameter values that historically exposed cast/guard bugs.
+    const EDGE_PARAMS: [f64; 8] = [
+        0.0,
+        -1.0,
+        -1e300,
+        1e300,
+        1e18,
+        f64::NAN,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+    ];
+
+    /// Every `Dist` variant, across every edge parameter (and every pair for
+    /// two-parameter variants), must sample without panicking and produce a
+    /// well-defined delay.
+    #[test]
+    fn every_variant_survives_degenerate_parameters() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        for &a in &EDGE_PARAMS {
+            for &b in &EDGE_PARAMS {
+                let dists = [
+                    Dist::constant(a),
+                    Dist::uniform(a, b),
+                    Dist::normal(a, b),
+                    Dist::log_normal(a, b),
+                    Dist::exponential(a),
+                    Dist::poisson(a),
+                ];
+                for dist in dists {
+                    for _ in 0..50 {
+                        // Must not panic; the delay is a plain u64 of micros,
+                        // so any returned value is structurally valid.
+                        let _ = dist.sample_delay(&mut rng);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn poisson_degenerate_means_yield_zero_delay() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for mean in [
+            0.0,
+            -1.0,
+            -1e300,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ] {
+            for _ in 0..100 {
+                assert_eq!(
+                    Dist::poisson(mean).sample_delay(&mut rng),
+                    SimDuration::ZERO,
+                    "mean {mean}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn poisson_huge_finite_mean_saturates_without_wrapping() {
+        // 1e18 ms is far beyond what the normal approximation can represent
+        // exactly; the sample must stay near the mean (never wrap to a small
+        // value) and the delay conversion must not panic.
+        let mut rng = SmallRng::seed_from_u64(12);
+        let dist = Dist::poisson(1e18);
+        for _ in 0..200 {
+            let raw = dist.sample(&mut rng);
+            assert!(raw >= 1e17, "wrapped or collapsed: {raw}");
+            let _ = dist.sample_delay(&mut rng);
+        }
+    }
+
+    #[test]
+    fn uniform_with_nan_bounds_does_not_panic() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        // NaN in either bound degrades to the degenerate branch.
+        let _ = Dist::uniform(f64::NAN, 10.0).sample_delay(&mut rng);
+        let _ = Dist::uniform(0.0, f64::NAN).sample_delay(&mut rng);
+        let _ = Dist::uniform(f64::NAN, f64::NAN).sample_delay(&mut rng);
+        // Inverted bounds return lo.
+        assert_eq!(Dist::uniform(10.0, 5.0).sample(&mut rng), 10.0);
+    }
+
+    #[test]
+    fn exponential_nan_mean_yields_zero() {
+        let mut rng = SmallRng::seed_from_u64(14);
+        assert_eq!(Dist::exponential(f64::NAN).sample(&mut rng), 0.0);
+        assert_eq!(
+            Dist::exponential(f64::NAN).sample_delay(&mut rng),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn delays_are_finite_for_ordinary_parameters() {
+        // Sanity: across the ordinary parameter space, sample_delay returns
+        // plausible micros (non-negative by type, bounded by the cast).
+        let mut rng = SmallRng::seed_from_u64(15);
+        let dists = [
+            Dist::constant(250.0),
+            Dist::uniform(10.0, 20.0),
+            Dist::normal(250.0, 50.0),
+            Dist::log_normal(3.0, 0.5),
+            Dist::exponential(100.0),
+            Dist::poisson(100.0),
+        ];
+        for dist in dists {
+            for _ in 0..1_000 {
+                let d = dist.sample_delay(&mut rng);
+                assert!(d.as_micros() < 10_000_000_000, "{dist:?} gave {d:?}");
+            }
+        }
     }
 }

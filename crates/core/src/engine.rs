@@ -29,9 +29,10 @@ use crate::ids::{NodeId, TimerId};
 use crate::message::Message;
 use crate::metrics::{MetricsCollector, RunResult};
 use crate::network::NetworkModel;
+use crate::obs::{ObsConfig, ObsRecorder};
 use crate::protocol::{Protocol, ProtocolFactory, Vacant};
 use crate::scheduler::{EventHandle, Scheduler, SchedulerKind};
-use crate::trace::{Trace, TraceKind};
+use crate::trace::{Trace, TraceEvent, TraceKind};
 use crate::validator::DeliverySchedule;
 use crate::value::Value;
 
@@ -88,6 +89,7 @@ pub struct SimulationBuilder {
     replay: Option<DeliverySchedule>,
     observer: Option<Box<dyn StepObserver>>,
     scheduler: SchedulerKind,
+    obs: Option<ObsConfig>,
 }
 
 impl SimulationBuilder {
@@ -102,6 +104,7 @@ impl SimulationBuilder {
             replay: None,
             observer: None,
             scheduler: SchedulerKind::default(),
+            obs: None,
         }
     }
 
@@ -155,6 +158,17 @@ impl SimulationBuilder {
         self
     }
 
+    /// Enables run-level observability: per-node latency/decision histograms,
+    /// a per-phase message-flow matrix, per-view timings, and a ring buffer
+    /// of recent trace events (see [`crate::obs`]). The resulting snapshot is
+    /// attached to [`RunResult::observability`]. When this method is *not*
+    /// called, every instrumentation hook is a single `Option` check — the
+    /// hot path allocates and computes nothing.
+    pub fn observability(mut self, cfg: ObsConfig) -> Self {
+        self.obs = Some(cfg);
+        self
+    }
+
     /// Validates the configuration and constructs the simulation.
     ///
     /// # Errors
@@ -198,6 +212,7 @@ impl SimulationBuilder {
             replay: self.replay,
             replay_diverged: false,
             observer: self.observer,
+            obs: self.obs.map(|cfg| ObsRecorder::new(self.cfg.n, cfg)),
             completed: 0,
             queue_high_water: 0,
             cfg: self.cfg,
@@ -242,6 +257,9 @@ pub struct Simulation {
     replay: Option<DeliverySchedule>,
     replay_diverged: bool,
     observer: Option<Box<dyn StepObserver>>,
+    /// Run-level instrumentation (histograms, flow matrix, event ring); None
+    /// keeps every hook down to one discriminant check.
+    obs: Option<ObsRecorder>,
     completed: u64,
     queue_high_water: usize,
 }
@@ -305,12 +323,14 @@ impl Simulation {
     fn finish(self, timed_out: bool) -> RunResult {
         let end_time = self.clock;
         let stats = self.queue.stats();
+        let observability = self.obs.map(ObsRecorder::finish);
         let mut result = self.metrics.into_result(
             end_time,
             timed_out,
             self.trace,
             self.queue_high_water,
             stats,
+            observability,
         );
         if self.replay_diverged {
             result.safety_violation = result
@@ -359,6 +379,19 @@ impl Simulation {
                                 payload_type: msg.payload().payload_type().into(),
                             },
                         );
+                    }
+                    if let Some(obs) = &mut self.obs {
+                        if !Self::is_self_delivery(&msg) {
+                            obs.on_delivered(self.clock, &msg);
+                        }
+                        obs.push_event(TraceEvent {
+                            time: self.clock,
+                            node: dst,
+                            kind: TraceKind::Delivered {
+                                src: msg.src(),
+                                payload_type: msg.payload().payload_type().into(),
+                            },
+                        });
                     }
                     self.dispatch_node(dst, |node, ctx| node.on_message(&msg, ctx));
                 }
@@ -479,15 +512,41 @@ impl Simulation {
                     if let Some(obs) = &mut self.observer {
                         obs.on_decision(self.clock, src, slot, value);
                     }
+                    if let Some(obs) = &mut self.obs {
+                        obs.on_decided(self.clock, src);
+                        obs.push_event(TraceEvent {
+                            time: self.clock,
+                            node: src,
+                            kind: TraceKind::Decided { slot, value },
+                        });
+                    }
                     self.trace
                         .record(self.clock, src, TraceKind::Decided { slot, value });
                     self.metrics.check_safety(src, &self.excluded);
                     self.completed = self.metrics.update_completions(self.clock, &self.excluded);
                 }
                 Action::EnterView(view) => {
+                    if let Some(obs) = &mut self.obs {
+                        obs.on_view(self.clock, view);
+                        obs.push_event(TraceEvent {
+                            time: self.clock,
+                            node: src,
+                            kind: TraceKind::View { view },
+                        });
+                    }
                     self.trace.record(self.clock, src, TraceKind::View { view });
                 }
                 Action::Custom { label, detail } => {
+                    if let Some(obs) = &self.obs {
+                        obs.push_event(TraceEvent {
+                            time: self.clock,
+                            node: src,
+                            kind: TraceKind::Custom {
+                                label: label.clone(),
+                                detail: detail.clone(),
+                            },
+                        });
+                    }
                     self.trace
                         .record(self.clock, src, TraceKind::Custom { label, detail });
                 }
@@ -519,6 +578,16 @@ impl Simulation {
                     payload_type: msg.payload().payload_type().into(),
                 },
             );
+        }
+        if let Some(obs) = &self.obs {
+            obs.push_event(TraceEvent {
+                time: self.clock,
+                node: msg.src(),
+                kind: TraceKind::Sent {
+                    dst: msg.dst(),
+                    payload_type: msg.payload().payload_type().into(),
+                },
+            });
         }
 
         let fate = if let Some(replay) = &mut self.replay {
@@ -609,6 +678,13 @@ impl Simulation {
                     if self.corrupted.insert(node) {
                         self.excluded.insert(node);
                         self.trace.record(self.clock, node, TraceKind::Corrupted);
+                        if let Some(obs) = &self.obs {
+                            obs.push_event(TraceEvent {
+                                time: self.clock,
+                                node,
+                                kind: TraceKind::Corrupted,
+                            });
+                        }
                         self.completed =
                             self.metrics.update_completions(self.clock, &self.excluded);
                     }
@@ -617,6 +693,13 @@ impl Simulation {
                     if self.crashed.insert(node) {
                         self.excluded.insert(node);
                         self.trace.record(self.clock, node, TraceKind::Crashed);
+                        if let Some(obs) = &self.obs {
+                            obs.push_event(TraceEvent {
+                                time: self.clock,
+                                node,
+                                kind: TraceKind::Crashed,
+                            });
+                        }
                         self.completed =
                             self.metrics.update_completions(self.clock, &self.excluded);
                     }
@@ -872,6 +955,72 @@ mod tests {
             wheel.scheduler = heap.scheduler.clone();
             assert_eq!(heap, wheel, "seed {seed}");
         }
+    }
+
+    /// Observability must not perturb the run: metrics are identical with it
+    /// on or off, the snapshot is byte-identical across backends, and the
+    /// ring handle still works after the engine is consumed.
+    #[test]
+    fn observability_is_inert_and_backend_independent() {
+        use crate::obs::ObsConfig;
+        let run_obs = |kind: SchedulerKind| {
+            let cfg = ObsConfig::new(64);
+            let ring = cfg.ring();
+            let result = SimulationBuilder::new(RunConfig::new(4).with_seed(7))
+                .network(constant_net())
+                .scheduler(kind)
+                .adversary(CrashOneEarly)
+                .observability(cfg)
+                .protocols(|_id: NodeId| -> Box<dyn Protocol> { Box::<TalkThenDecide>::default() })
+                .build()
+                .unwrap()
+                .run();
+            (result, ring)
+        };
+
+        let plain = run_with(SchedulerKind::Heap, 7);
+        let (with_obs, ring) = run_obs(SchedulerKind::Heap);
+        let obs = with_obs.observability.clone().expect("snapshot attached");
+
+        // Same run apart from the attached snapshot.
+        let mut stripped = with_obs.clone();
+        stripped.observability = None;
+        assert_eq!(stripped, plain);
+
+        // Wire deliveries only: 6 live Probe deliveries (node 3 is crashed
+        // and its own deliveries are skipped before the obs hook).
+        let delivered: u64 = obs.delivery_latency.iter().map(|h| h.count()).sum();
+        assert_eq!(delivered, 6);
+        // Every delivery took the constant 10 ms.
+        for h in &obs.delivery_latency {
+            if !h.is_empty() {
+                assert_eq!(h.min_micros(), 10_000);
+                assert_eq!(h.max_micros(), 10_000);
+            }
+        }
+        // No classifier configured: all flows land in the fallback phase.
+        assert_eq!(obs.flows.len(), 1);
+        assert_eq!(obs.flows[0].phase, crate::obs::UNCLASSIFIED_PHASE);
+        assert_eq!(obs.flows[0].matrix.iter().sum::<u64>(), 6);
+        // One decision per live node.
+        let decisions: u64 = obs.decision_interval.iter().map(|h| h.count()).sum();
+        assert_eq!(decisions, 3);
+        // The ring retains events and is readable via the pre-run handle.
+        assert!(!obs.recent_events.is_empty());
+        assert_eq!(ring.snapshot(), obs.recent_events);
+        assert!(obs
+            .recent_events
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::Crashed)));
+
+        // Byte-identical across scheduler backends.
+        let (wheel, _) = run_obs(SchedulerKind::Wheel);
+        let wheel_obs = wheel.observability.expect("snapshot attached");
+        assert_eq!(wheel_obs, obs);
+        assert_eq!(
+            wheel_obs.to_json().dump_pretty(),
+            obs.to_json().dump_pretty()
+        );
     }
 
     /// A schedule recorded under one backend must replay under the other:

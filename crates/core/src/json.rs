@@ -336,6 +336,19 @@ impl Parser<'_> {
             .map_err(|_| format!("bad number '{text}' at byte {start}"))
     }
 
+    /// Reads the four hex digits of a `\uXXXX` escape (the `\u` itself has
+    /// already been consumed) and returns the code unit.
+    fn unicode_escape(&mut self) -> Result<u32, String> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .and_then(|h| core::str::from_utf8(h).ok())
+            .ok_or("truncated \\u escape")?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| format!("bad \\u escape '{hex}'"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
     fn string(&mut self) -> Result<String, String> {
         self.expect(b'"')?;
         let mut out = String::new();
@@ -361,16 +374,29 @@ impl Parser<'_> {
                         b'b' => out.push('\u{8}'),
                         b'f' => out.push('\u{c}'),
                         b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .and_then(|h| core::str::from_utf8(h).ok())
-                                .ok_or("truncated \\u escape")?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| format!("bad \\u escape '{hex}'"))?;
-                            self.pos += 4;
-                            // Surrogate pairs are not needed for our data;
-                            // map lone surrogates to the replacement char.
+                            let code = self.unicode_escape()?;
+                            let code = if (0xD800..=0xDBFF).contains(&code)
+                                && self.bytes.get(self.pos) == Some(&b'\\')
+                                && self.bytes.get(self.pos + 1) == Some(&b'u')
+                            {
+                                // A high surrogate followed by another \u
+                                // escape: decode the pair (external writers
+                                // encode non-BMP chars this way).
+                                let mark = self.pos;
+                                self.pos += 2;
+                                let low = self.unicode_escape()?;
+                                if (0xDC00..=0xDFFF).contains(&low) {
+                                    0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                                } else {
+                                    // Not a low surrogate: rewind and let the
+                                    // second escape decode on its own.
+                                    self.pos = mark;
+                                    code
+                                }
+                            } else {
+                                code
+                            };
+                            // Lone surrogates map to the replacement char.
                             out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
                         }
                         other => return Err(format!("bad escape '\\{}'", other as char)),
@@ -510,6 +536,25 @@ mod tests {
         assert_eq!(v.as_str().unwrap(), "a\"b\\c\ndAé");
         let back = Json::parse(&v.dump()).unwrap();
         assert_eq!(back, v);
+    }
+
+    #[test]
+    fn decodes_surrogate_pairs_and_tolerates_lone_surrogates() {
+        // External writers encode non-BMP characters as surrogate pairs.
+        let v = Json::parse("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v.as_str().unwrap(), "\u{1F600}");
+        // A high surrogate with no following escape degrades to U+FFFD.
+        let v = Json::parse("\"\\ud83dx\"").unwrap();
+        assert_eq!(v.as_str().unwrap(), "\u{FFFD}x");
+        // A high surrogate followed by a non-low-surrogate escape: both
+        // decode independently (the parser rewinds after peeking).
+        let v = Json::parse("\"\\ud83d\\u0041\"").unwrap();
+        assert_eq!(v.as_str().unwrap(), "\u{FFFD}A");
+        // A lone low surrogate degrades to U+FFFD.
+        let v = Json::parse("\"\\ude00\"").unwrap();
+        assert_eq!(v.as_str().unwrap(), "\u{FFFD}");
+        // Truncated second escape is a hard error, not a panic.
+        assert!(Json::parse("\"\\ud83d\\u00\"").is_err());
     }
 
     #[test]

@@ -65,6 +65,7 @@ pub mod json;
 pub mod message;
 pub mod metrics;
 pub mod network;
+pub mod obs;
 pub mod oracle;
 pub mod payload;
 pub mod protocol;
@@ -88,6 +89,7 @@ pub mod prelude {
     pub use crate::message::Message;
     pub use crate::metrics::{RunResult, Summary};
     pub use crate::network::NetworkModel;
+    pub use crate::obs::{Histogram, ObsConfig, ObsRing, Observability, PhaseClassifier};
     pub use crate::oracle::{
         Expectations, Oracle, OracleInput, OracleObserver, OracleSuite, OracleViolation,
         ValueDomain,

@@ -4,6 +4,7 @@
 use std::collections::HashSet;
 
 use crate::ids::NodeId;
+use crate::obs::Observability;
 use crate::scheduler::SchedulerStats;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Trace;
@@ -150,6 +151,7 @@ impl MetricsCollector {
         trace: Trace,
         queue_high_water: usize,
         scheduler: SchedulerStats,
+        observability: Option<Observability>,
     ) -> RunResult {
         RunResult {
             end_time,
@@ -169,6 +171,7 @@ impl MetricsCollector {
             trace,
             queue_high_water,
             scheduler,
+            observability,
         }
     }
 }
@@ -242,6 +245,13 @@ pub struct RunResult {
     /// is the only backend-dependent field of a run result: every other field
     /// is byte-identical under any [`SchedulerKind`](crate::scheduler::SchedulerKind).
     pub scheduler: SchedulerStats,
+    /// Run-level observability snapshot (histograms, flow matrix, view
+    /// timings, recent events); `None` unless the run was built with
+    /// [`SimulationBuilder::observability`](crate::engine::SimulationBuilder::observability).
+    /// Derives exclusively from simulated quantities, so — like every field
+    /// except [`scheduler`](RunResult::scheduler) — it is byte-identical
+    /// across scheduler backends and sweep thread counts.
+    pub observability: Option<Observability>,
 }
 
 impl RunResult {
@@ -412,6 +422,7 @@ mod tests {
             Trace::new(),
             0,
             SchedulerStats::default(),
+            None,
         );
         assert_eq!(r.decisions_completed(), 10);
         assert_eq!(r.latency().unwrap().as_millis_f64(), 100.0);
@@ -445,6 +456,7 @@ mod tests {
             Trace::new(),
             0,
             SchedulerStats::default(),
+            None,
         );
         assert_eq!(r.avg_latency_per_decision(3).unwrap().as_micros(), 334);
     }

@@ -1,0 +1,722 @@
+//! Run-level observability: structured instrumentation the engine emits into.
+//!
+//! This module is the *zero-cost-when-disabled* telemetry layer described in
+//! DESIGN.md §12. A simulation built without an [`ObsConfig`] pays exactly one
+//! `Option` discriminant check per hook site; a simulation built *with* one
+//! collects:
+//!
+//! * per-node **delivery-latency histograms** (wire messages only, matching
+//!   the metrics layer's accounting convention),
+//! * per-node **decision-interval histograms** (gap between consecutive
+//!   decisions on the same node; the first decision is measured from t=0),
+//! * an **n×n message-flow matrix per protocol phase**, where the phase label
+//!   comes from a protocol-supplied [`PhaseClassifier`],
+//! * **per-view timing breakdowns** (first/last entry time and entry count
+//!   for every view number any node entered), and
+//! * a bounded **ring buffer of recent [`TraceEvent`]s** whose handle
+//!   ([`ObsRing`]) survives a panic of the simulation, so fuzz harnesses can
+//!   embed the last-K events of a crashing run in their failure reports.
+//!
+//! Everything recorded here derives exclusively from simulated quantities
+//! (virtual clock, node ids, payload types), so the resulting
+//! [`Observability`] snapshot — and its JSON — is byte-identical across
+//! scheduler backends and sweep thread counts.
+//!
+//! Histograms use fixed log-2 buckets over microseconds: bucket 0 holds the
+//! value 0, bucket *i* (for `i >= 1`) holds values in `[2^(i-1), 2^i)`. The
+//! bucket array is a fixed-size inline array, so recording never allocates.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use crate::ids::NodeId;
+use crate::json::Json;
+use crate::message::Message;
+use crate::payload::Payload;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::TraceEvent;
+
+/// Maps a message payload to a protocol-phase label, or `None` when the
+/// payload is not one the classifier understands (it is then counted under
+/// [`UNCLASSIFIED_PHASE`]).
+///
+/// Classifiers are plain `fn` pointers so an [`ObsConfig`] stays `Clone` and
+/// cheap to move across threads.
+pub type PhaseClassifier = fn(&dyn Payload) -> Option<&'static str>;
+
+/// Phase label used for payloads the [`PhaseClassifier`] does not recognise
+/// (or when no classifier is configured at all).
+pub const UNCLASSIFIED_PHASE: &str = "unclassified";
+
+/// Number of log-2 buckets in a [`Histogram`].
+///
+/// Bucket 0 holds the value 0; bucket 40 holds everything at or above
+/// `2^39` microseconds (~6.4 simulated days), which saturates the range.
+pub const HISTOGRAM_BUCKETS: usize = 41;
+
+/// Default ring-buffer capacity for recent trace events.
+pub const DEFAULT_LAST_K: usize = 64;
+
+/// A fixed-bucket log-2 histogram over microsecond durations.
+///
+/// Recording is allocation-free: the bucket array lives inline. Buckets are
+/// `[0]`, `[1,2)`, `[2,4)`, … `[2^39, ∞)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum_micros: u64,
+    min_micros: u64,
+    max_micros: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum_micros: 0,
+            min_micros: 0,
+            max_micros: 0,
+        }
+    }
+
+    /// The bucket index a microsecond value falls into.
+    pub fn bucket_index(micros: u64) -> usize {
+        if micros == 0 {
+            0
+        } else {
+            ((64 - micros.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+        }
+    }
+
+    /// Inclusive lower bound of bucket `i` in microseconds.
+    pub fn bucket_lo(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            1 => 1,
+            _ => 1u64 << (i - 1),
+        }
+    }
+
+    /// Record one duration.
+    pub fn record(&mut self, d: SimDuration) {
+        let micros = d.as_micros();
+        self.buckets[Self::bucket_index(micros)] += 1;
+        if self.count == 0 || micros < self.min_micros {
+            self.min_micros = micros;
+        }
+        if micros > self.max_micros {
+            self.max_micros = micros;
+        }
+        self.count += 1;
+        self.sum_micros = self.sum_micros.saturating_add(micros);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all recorded values in microseconds (saturating).
+    pub fn sum_micros(&self) -> u64 {
+        self.sum_micros
+    }
+
+    /// Smallest recorded value in microseconds (0 when empty).
+    pub fn min_micros(&self) -> u64 {
+        self.min_micros
+    }
+
+    /// Largest recorded value in microseconds (0 when empty).
+    pub fn max_micros(&self) -> u64 {
+        self.max_micros
+    }
+
+    /// Mean of recorded values in microseconds, or 0.0 when empty.
+    pub fn mean_micros(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_micros as f64 / self.count as f64
+        }
+    }
+
+    /// The raw bucket counts.
+    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 || other.min_micros < self.min_micros {
+            self.min_micros = other.min_micros;
+        }
+        if other.max_micros > self.max_micros {
+            self.max_micros = other.max_micros;
+        }
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum_micros = self.sum_micros.saturating_add(other.sum_micros);
+    }
+
+    /// Serialise to JSON. Buckets are emitted sparsely as `[index, count]`
+    /// pairs so empty histograms stay tiny.
+    pub fn to_json(&self) -> Json {
+        let buckets: Vec<Json> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| Json::Arr(vec![Json::UInt(i as u64), Json::UInt(c)]))
+            .collect();
+        Json::obj([
+            ("count", Json::UInt(self.count)),
+            ("sum_micros", Json::UInt(self.sum_micros)),
+            ("min_micros", Json::UInt(self.min_micros)),
+            ("max_micros", Json::UInt(self.max_micros)),
+            ("buckets", Json::Arr(buckets)),
+        ])
+    }
+}
+
+/// A clonable handle to a bounded ring buffer of recent [`TraceEvent`]s.
+///
+/// The buffer lives behind an `Arc<Mutex<..>>`, so a handle taken *before* a
+/// simulation runs still sees the recorded events after the simulation
+/// panics — fuzz harnesses rely on this to dump the last-K events of a
+/// crashing run.
+#[derive(Debug, Clone)]
+pub struct ObsRing {
+    inner: Arc<Mutex<RingInner>>,
+}
+
+#[derive(Debug)]
+struct RingInner {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+}
+
+impl ObsRing {
+    /// A ring that retains the most recent `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        ObsRing {
+            inner: Arc::new(Mutex::new(RingInner {
+                capacity,
+                events: VecDeque::with_capacity(capacity.min(1024)),
+            })),
+        }
+    }
+
+    /// Append an event, evicting the oldest when full.
+    pub fn push(&self, event: TraceEvent) {
+        let mut inner = self.inner.lock().expect("obs ring poisoned");
+        if inner.capacity == 0 {
+            return;
+        }
+        if inner.events.len() == inner.capacity {
+            inner.events.pop_front();
+        }
+        inner.events.push_back(event);
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().expect("obs ring poisoned").capacity
+    }
+
+    /// Copy out the retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let inner = self.inner.lock().expect("obs ring poisoned");
+        inner.events.iter().cloned().collect()
+    }
+}
+
+/// Configuration for run-level observability, passed to
+/// [`SimulationBuilder::observability`](crate::engine::SimulationBuilder::observability).
+#[derive(Debug, Clone)]
+pub struct ObsConfig {
+    classifier: Option<PhaseClassifier>,
+    ring: ObsRing,
+    last_k: usize,
+}
+
+impl ObsConfig {
+    /// Observability retaining the `last_k` most recent trace events.
+    pub fn new(last_k: usize) -> Self {
+        ObsConfig {
+            classifier: None,
+            ring: ObsRing::new(last_k),
+            last_k,
+        }
+    }
+
+    /// Attach a protocol-phase classifier for the message-flow matrix.
+    pub fn with_classifier(mut self, classifier: PhaseClassifier) -> Self {
+        self.classifier = Some(classifier);
+        self
+    }
+
+    /// A handle to the event ring. Clone it *before* running the simulation
+    /// to read the last-K events even if the run panics.
+    pub fn ring(&self) -> ObsRing {
+        self.ring.clone()
+    }
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig::new(DEFAULT_LAST_K)
+    }
+}
+
+/// First/last entry times and entry count for one view number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ViewTiming {
+    /// The view number.
+    pub view: u64,
+    /// Simulated time the first node entered this view.
+    pub first_entry: SimTime,
+    /// Simulated time the last node entered this view.
+    pub last_entry: SimTime,
+    /// How many `EnterView` reports named this view (across all nodes).
+    pub entries: u64,
+}
+
+impl ViewTiming {
+    fn to_json(self) -> Json {
+        Json::obj([
+            ("view", Json::UInt(self.view)),
+            (
+                "first_entry_micros",
+                Json::UInt(self.first_entry.as_micros()),
+            ),
+            ("last_entry_micros", Json::UInt(self.last_entry.as_micros())),
+            ("entries", Json::UInt(self.entries)),
+        ])
+    }
+}
+
+/// An n×n message-flow matrix for one protocol phase.
+///
+/// `matrix` is row-major: `matrix[src * nodes + dst]` counts wire messages
+/// from `src` delivered to `dst` whose payload classified into `phase`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseFlow {
+    /// The phase label (from the protocol's [`PhaseClassifier`], or
+    /// [`UNCLASSIFIED_PHASE`]).
+    pub phase: String,
+    /// Row-major n×n delivery counts.
+    pub matrix: Vec<u64>,
+}
+
+impl PhaseFlow {
+    fn to_json(&self, n: usize) -> Json {
+        let rows: Vec<Json> = self
+            .matrix
+            .chunks(n.max(1))
+            .map(|row| Json::Arr(row.iter().map(|&c| Json::UInt(c)).collect()))
+            .collect();
+        Json::obj([
+            ("phase", Json::Str(self.phase.clone())),
+            ("matrix", Json::Arr(rows)),
+        ])
+    }
+}
+
+/// The immutable observability snapshot attached to a
+/// [`RunResult`](crate::metrics::RunResult) when observability was enabled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Observability {
+    /// Number of nodes in the run (matrix dimension).
+    pub nodes: usize,
+    /// Ring-buffer capacity the run was configured with.
+    pub last_k: usize,
+    /// Per-node wire-message delivery-latency histograms (indexed by node id).
+    pub delivery_latency: Vec<Histogram>,
+    /// Per-node decision-interval histograms (indexed by node id).
+    pub decision_interval: Vec<Histogram>,
+    /// Message-flow matrices, sorted by phase label.
+    pub flows: Vec<PhaseFlow>,
+    /// Per-view timing breakdowns, sorted by view number.
+    pub views: Vec<ViewTiming>,
+    /// The last-K trace events of the run, oldest first.
+    pub recent_events: Vec<TraceEvent>,
+}
+
+impl Observability {
+    /// Serialise the snapshot via `core::json`.
+    ///
+    /// Key order and number formatting are fixed, so two runs that recorded
+    /// the same data produce byte-identical JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("nodes", Json::UInt(self.nodes as u64)),
+            ("last_k", Json::UInt(self.last_k as u64)),
+            (
+                "delivery_latency",
+                Json::Arr(self.delivery_latency.iter().map(|h| h.to_json()).collect()),
+            ),
+            (
+                "decision_interval",
+                Json::Arr(self.decision_interval.iter().map(|h| h.to_json()).collect()),
+            ),
+            (
+                "flows",
+                Json::Arr(self.flows.iter().map(|f| f.to_json(self.nodes)).collect()),
+            ),
+            (
+                "views",
+                Json::Arr(self.views.iter().map(|v| v.to_json()).collect()),
+            ),
+            (
+                "recent_events",
+                Json::Arr(self.recent_events.iter().map(|e| e.to_json()).collect()),
+            ),
+        ])
+    }
+
+    /// Total wire messages recorded in the flow matrices for `phase`.
+    pub fn phase_total(&self, phase: &str) -> u64 {
+        self.flows
+            .iter()
+            .filter(|f| f.phase == phase)
+            .flat_map(|f| f.matrix.iter())
+            .sum()
+    }
+}
+
+/// The engine-side recorder. Lives inside `Simulation` as an `Option`, so a
+/// run without observability pays one discriminant check per hook.
+#[derive(Debug)]
+pub(crate) struct ObsRecorder {
+    n: usize,
+    last_k: usize,
+    classifier: Option<PhaseClassifier>,
+    delivery: Vec<Histogram>,
+    decision: Vec<Histogram>,
+    last_decision: Vec<Option<SimTime>>,
+    /// Phase label → row-major n×n delivery counts. A handful of phases per
+    /// protocol, so a linear scan beats a hash map here.
+    flows: Vec<(&'static str, Vec<u64>)>,
+    /// View number → timing, kept sorted by view number.
+    views: Vec<ViewTiming>,
+    ring: ObsRing,
+}
+
+impl ObsRecorder {
+    pub(crate) fn new(n: usize, cfg: ObsConfig) -> Self {
+        ObsRecorder {
+            n,
+            last_k: cfg.last_k,
+            classifier: cfg.classifier,
+            delivery: vec![Histogram::new(); n],
+            decision: vec![Histogram::new(); n],
+            last_decision: vec![None; n],
+            flows: Vec::new(),
+            views: Vec::new(),
+            ring: cfg.ring,
+        }
+    }
+
+    pub(crate) fn push_event(&self, event: TraceEvent) {
+        self.ring.push(event);
+    }
+
+    /// A wire message was delivered to `dst` at `now`.
+    pub(crate) fn on_delivered(&mut self, now: SimTime, msg: &Message) {
+        let dst = msg.dst().index();
+        if let Some(h) = self.delivery.get_mut(dst) {
+            h.record(now.saturating_since(msg.sent_at()));
+        }
+        let phase = self
+            .classifier
+            .and_then(|c| c(msg.payload()))
+            .unwrap_or(UNCLASSIFIED_PHASE);
+        let src = msg.src().index();
+        let cell = src * self.n + dst;
+        let n2 = self.n * self.n;
+        match self.flows.iter_mut().find(|(p, _)| *p == phase) {
+            Some((_, matrix)) => matrix[cell] += 1,
+            None => {
+                let mut matrix = vec![0u64; n2];
+                matrix[cell] += 1;
+                self.flows.push((phase, matrix));
+            }
+        }
+    }
+
+    /// `node` decided at `now`.
+    pub(crate) fn on_decided(&mut self, now: SimTime, node: NodeId) {
+        let idx = node.index();
+        if let Some(h) = self.decision.get_mut(idx) {
+            let since = self.last_decision[idx].unwrap_or(SimTime::ZERO);
+            h.record(now.saturating_since(since));
+            self.last_decision[idx] = Some(now);
+        }
+    }
+
+    /// `node` entered `view` at `now`.
+    pub(crate) fn on_view(&mut self, now: SimTime, view: u64) {
+        match self.views.binary_search_by_key(&view, |t| t.view) {
+            Ok(i) => {
+                let t = &mut self.views[i];
+                if now < t.first_entry {
+                    t.first_entry = now;
+                }
+                if now > t.last_entry {
+                    t.last_entry = now;
+                }
+                t.entries += 1;
+            }
+            Err(i) => self.views.insert(
+                i,
+                ViewTiming {
+                    view,
+                    first_entry: now,
+                    last_entry: now,
+                    entries: 1,
+                },
+            ),
+        }
+    }
+
+    /// Freeze the recorder into its final snapshot.
+    pub(crate) fn finish(self) -> Observability {
+        let mut flows: Vec<PhaseFlow> = self
+            .flows
+            .into_iter()
+            .map(|(phase, matrix)| PhaseFlow {
+                phase: phase.to_string(),
+                matrix,
+            })
+            .collect();
+        flows.sort_by(|a, b| a.phase.cmp(&b.phase));
+        Observability {
+            nodes: self.n,
+            last_k: self.last_k,
+            delivery_latency: self.delivery,
+            decision_interval: self.decision,
+            flows,
+            views: self.views,
+            recent_events: self.ring.snapshot(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceKind;
+    use crate::value::Value;
+
+    #[test]
+    fn bucket_index_is_log2_with_zero_bucket() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_the_line() {
+        // Every value's bucket has lo <= value, and the next bucket's lo is
+        // strictly above it (except the saturating last bucket).
+        for v in [0u64, 1, 2, 3, 7, 8, 1_000_000, u64::MAX] {
+            let i = Histogram::bucket_index(v);
+            assert!(Histogram::bucket_lo(i) <= v, "lo({i}) > {v}");
+            if i + 1 < HISTOGRAM_BUCKETS {
+                assert!(Histogram::bucket_lo(i + 1) > v, "lo({}) <= {v}", i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_summarises() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean_micros(), 0.0);
+        for micros in [0u64, 5, 5, 1000] {
+            h.record(SimDuration::from_micros(micros));
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum_micros(), 1010);
+        assert_eq!(h.min_micros(), 0);
+        assert_eq!(h.max_micros(), 1000);
+        assert_eq!(h.mean_micros(), 252.5);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[Histogram::bucket_index(5)], 2);
+        assert_eq!(h.buckets()[Histogram::bucket_index(1000)], 1);
+    }
+
+    #[test]
+    fn histogram_merge_matches_recording_everything_in_one() {
+        let values_a = [3u64, 0, 99, 12_345];
+        let values_b = [7u64, 7, 2];
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for &v in &values_a {
+            a.record(SimDuration::from_micros(v));
+            both.record(SimDuration::from_micros(v));
+        }
+        for &v in &values_b {
+            b.record(SimDuration::from_micros(v));
+            both.record(SimDuration::from_micros(v));
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+
+        // Merging an empty histogram is a no-op; merging into one adopts it.
+        let mut empty = Histogram::new();
+        empty.merge(&both);
+        assert_eq!(empty, both);
+        let snapshot = both.clone();
+        both.merge(&Histogram::new());
+        assert_eq!(both, snapshot);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_survives_capacity_zero() {
+        let ring = ObsRing::new(2);
+        let handle = ring.clone();
+        for i in 0..4u64 {
+            ring.push(TraceEvent {
+                time: SimTime::from_micros(i),
+                node: NodeId::new(0),
+                kind: TraceKind::View { view: i },
+            });
+        }
+        let events = handle.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, TraceKind::View { view: 2 });
+        assert_eq!(events[1].kind, TraceKind::View { view: 3 });
+
+        let none = ObsRing::new(0);
+        none.push(TraceEvent {
+            time: SimTime::ZERO,
+            node: NodeId::new(0),
+            kind: TraceKind::Crashed,
+        });
+        assert!(none.snapshot().is_empty());
+    }
+
+    #[test]
+    fn recorder_decision_intervals_measure_gaps_per_node() {
+        let mut rec = ObsRecorder::new(2, ObsConfig::new(8));
+        rec.on_decided(SimTime::from_micros(100), NodeId::new(0));
+        rec.on_decided(SimTime::from_micros(250), NodeId::new(0));
+        rec.on_decided(SimTime::from_micros(400), NodeId::new(1));
+        let obs = rec.finish();
+        let h0 = &obs.decision_interval[0];
+        assert_eq!(h0.count(), 2);
+        assert_eq!(h0.min_micros(), 100); // first decision measured from t=0
+        assert_eq!(h0.max_micros(), 150);
+        let h1 = &obs.decision_interval[1];
+        assert_eq!(h1.count(), 1);
+        assert_eq!(h1.max_micros(), 400);
+    }
+
+    #[test]
+    fn recorder_view_timings_fold_entries() {
+        let mut rec = ObsRecorder::new(1, ObsConfig::new(8));
+        rec.on_view(SimTime::from_micros(50), 3);
+        rec.on_view(SimTime::from_micros(10), 3);
+        rec.on_view(SimTime::from_micros(99), 3);
+        rec.on_view(SimTime::from_micros(5), 1);
+        let obs = rec.finish();
+        assert_eq!(obs.views.len(), 2);
+        assert_eq!(obs.views[0].view, 1);
+        assert_eq!(obs.views[1].view, 3);
+        assert_eq!(obs.views[1].first_entry, SimTime::from_micros(10));
+        assert_eq!(obs.views[1].last_entry, SimTime::from_micros(99));
+        assert_eq!(obs.views[1].entries, 3);
+    }
+
+    #[test]
+    fn recorder_flows_classify_and_fall_back() {
+        fn classify(p: &dyn Payload) -> Option<&'static str> {
+            p.as_any().downcast_ref::<u32>().map(|_| "vote")
+        }
+        let mut rec = ObsRecorder::new(2, ObsConfig::new(8).with_classifier(classify));
+        let vote = Message::new(
+            NodeId::new(0),
+            NodeId::new(1),
+            SimTime::from_micros(10),
+            crate::payload::shared(7u32),
+        );
+        let other = Message::new(
+            NodeId::new(1),
+            NodeId::new(0),
+            SimTime::from_micros(10),
+            crate::payload::shared("hello"),
+        );
+        rec.on_delivered(SimTime::from_micros(30), &vote);
+        rec.on_delivered(SimTime::from_micros(30), &vote);
+        rec.on_delivered(SimTime::from_micros(45), &other);
+        let obs = rec.finish();
+        // Sorted by phase label.
+        assert_eq!(obs.flows.len(), 2);
+        assert_eq!(obs.flows[0].phase, UNCLASSIFIED_PHASE);
+        assert_eq!(obs.flows[0].matrix, vec![0, 0, 1, 0]);
+        assert_eq!(obs.flows[1].phase, "vote");
+        assert_eq!(obs.flows[1].matrix, vec![0, 2, 0, 0]);
+        assert_eq!(obs.phase_total("vote"), 2);
+        // Latency = now - sent_at, recorded against the destination.
+        assert_eq!(obs.delivery_latency[1].count(), 2);
+        assert_eq!(obs.delivery_latency[1].max_micros(), 20);
+        assert_eq!(obs.delivery_latency[0].count(), 1);
+        assert_eq!(obs.delivery_latency[0].min_micros(), 35);
+    }
+
+    #[test]
+    fn observability_json_shape_is_stable() {
+        let mut rec = ObsRecorder::new(1, ObsConfig::new(2));
+        rec.on_decided(SimTime::from_micros(7), NodeId::new(0));
+        rec.on_view(SimTime::from_micros(3), 1);
+        rec.push_event(TraceEvent {
+            time: SimTime::from_micros(7),
+            node: NodeId::new(0),
+            kind: TraceKind::Decided {
+                slot: 0,
+                value: Value::new(9),
+            },
+        });
+        let obs = rec.finish();
+        let json = obs.to_json().dump_pretty();
+        for key in [
+            "\"nodes\"",
+            "\"last_k\"",
+            "\"delivery_latency\"",
+            "\"decision_interval\"",
+            "\"flows\"",
+            "\"views\"",
+            "\"recent_events\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // Identical snapshots serialise identically.
+        assert_eq!(json, obs.clone().to_json().dump_pretty());
+    }
+}

@@ -13,7 +13,7 @@ use crate::time::SimTime;
 use crate::value::Value;
 
 /// One recorded event.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Simulation time of the event.
     pub time: SimTime,
@@ -24,7 +24,7 @@ pub struct TraceEvent {
 }
 
 /// The kind of a recorded event.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceKind {
     /// A node decided `value` for consensus slot `slot`.
     Decided {
@@ -135,17 +135,7 @@ impl Trace {
     /// Converts the trace to JSON (the format of the committed golden traces:
     /// externally-tagged event kinds, times/nodes as bare numbers).
     pub fn to_json(&self) -> Json {
-        let events = self
-            .events
-            .iter()
-            .map(|e| {
-                Json::obj([
-                    ("time", Json::from(e.time.as_micros())),
-                    ("node", Json::from(e.node.as_u32())),
-                    ("kind", e.kind.to_json()),
-                ])
-            })
-            .collect();
+        let events = self.events.iter().map(TraceEvent::to_json).collect();
         Json::obj([("events", Json::Arr(events))])
     }
 
@@ -161,26 +151,50 @@ impl Trace {
             .ok_or("trace: missing \"events\" array")?;
         let events = events
             .iter()
-            .map(|e| {
-                let time = e
-                    .get("time")
-                    .and_then(Json::as_u64)
-                    .ok_or("trace event: bad \"time\"")?;
-                let node = e
-                    .get("node")
-                    .and_then(Json::as_u64)
-                    .ok_or("trace event: bad \"node\"")?;
-                Ok(TraceEvent {
-                    time: SimTime::ZERO + crate::time::SimDuration::from_micros(time),
-                    node: NodeId::new(node as u32),
-                    kind: TraceKind::from_json(
-                        e.get("kind").ok_or("trace event: missing \"kind\"")?,
-                    )?,
-                })
-            })
+            .map(TraceEvent::from_json)
             .collect::<Result<Vec<_>, String>>()?;
         Ok(Trace { events })
     }
+}
+
+impl TraceEvent {
+    /// Converts the event to JSON (the per-event format of
+    /// [`Trace::to_json`]; also used by observability ring-buffer dumps).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("time", Json::from(self.time.as_micros())),
+            ("node", Json::from(self.node.as_u32())),
+            ("kind", self.kind.to_json()),
+        ])
+    }
+
+    /// Parses one event from the JSON produced by [`TraceEvent::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural mismatch. Node ids
+    /// outside the `u32` range are rejected rather than silently truncated.
+    pub fn from_json(json: &Json) -> Result<TraceEvent, String> {
+        let time = json
+            .get("time")
+            .and_then(Json::as_u64)
+            .ok_or("trace event: bad \"time\"")?;
+        let node = json
+            .get("node")
+            .and_then(Json::as_u64)
+            .ok_or("trace event: bad \"node\"")?;
+        Ok(TraceEvent {
+            time: SimTime::from_micros(time),
+            node: NodeId::new(node_id_in_range(node, "node")?),
+            kind: TraceKind::from_json(json.get("kind").ok_or("trace event: missing \"kind\"")?)?,
+        })
+    }
+}
+
+/// Node ids are `u32`; a larger value in the JSON is a corrupt or foreign
+/// file, not something to truncate with `as`.
+fn node_id_in_range(raw: u64, what: &str) -> Result<u32, String> {
+    u32::try_from(raw).map_err(|_| format!("trace event: \"{what}\" {raw} exceeds the u32 range"))
 }
 
 impl TraceKind {
@@ -256,11 +270,11 @@ impl TraceKind {
                 view: field("view")?,
             }),
             "Sent" => Ok(TraceKind::Sent {
-                dst: NodeId::new(field("dst")? as u32),
+                dst: NodeId::new(node_id_in_range(field("dst")?, "dst")?),
                 payload_type: Cow::Owned(text("payload_type")?),
             }),
             "Delivered" => Ok(TraceKind::Delivered {
-                src: NodeId::new(field("src")? as u32),
+                src: NodeId::new(node_id_in_range(field("src")?, "src")?),
                 payload_type: Cow::Owned(text("payload_type")?),
             }),
             "Custom" => Ok(TraceKind::Custom {
@@ -358,6 +372,187 @@ mod tests {
         // And via text, as the golden files store it.
         let reparsed = Trace::from_json(&Json::parse(&json.dump_pretty()).unwrap()).unwrap();
         assert_eq!(reparsed, t);
+    }
+
+    #[test]
+    fn json_round_trip_survives_adversarial_content() {
+        // Every variant with hostile content: extreme numbers, control
+        // characters, JSON metacharacters, unicode inside and outside the
+        // BMP, and empty strings. Round-trip must be bit-exact, both
+        // structurally and through the textual form.
+        let nasty_strings = [
+            String::new(),
+            "\"quoted\" and \\back\\slashed".to_string(),
+            "newline\nreturn\rtab\tbackspace\u{8}formfeed\u{c}".to_string(),
+            (0u8..0x20).map(|b| b as char).collect::<String>(),
+            "\u{7f}\u{80}\u{7ff}\u{800}\u{ffff}".to_string(),
+            "émoji 😀 and \u{10FFFF}".to_string(),
+            "ends in backslash\\".to_string(),
+        ];
+        let mut t = Trace::new();
+        t.record(
+            SimTime::from_micros(u64::MAX),
+            NodeId::new(u32::MAX),
+            TraceKind::Decided {
+                slot: u64::MAX,
+                value: Value::new(u64::MAX),
+            },
+        );
+        t.record(
+            SimTime::ZERO,
+            NodeId::new(0),
+            TraceKind::View { view: u64::MAX },
+        );
+        for (i, s) in nasty_strings.iter().enumerate() {
+            t.record(
+                SimTime::from_micros(i as u64),
+                NodeId::new(i as u32),
+                TraceKind::Sent {
+                    dst: NodeId::new(u32::MAX - i as u32),
+                    payload_type: Cow::Owned(s.clone()),
+                },
+            );
+            t.record(
+                SimTime::from_micros(i as u64),
+                NodeId::new(i as u32),
+                TraceKind::Delivered {
+                    src: NodeId::new(i as u32),
+                    payload_type: Cow::Owned(s.clone()),
+                },
+            );
+            t.record(
+                SimTime::from_micros(i as u64),
+                NodeId::new(i as u32),
+                TraceKind::Custom {
+                    label: s.clone(),
+                    detail: nasty_strings[(i + 1) % nasty_strings.len()].clone(),
+                },
+            );
+        }
+        t.record(
+            SimTime::from_millis(1),
+            NodeId::new(1),
+            TraceKind::Corrupted,
+        );
+        t.record(SimTime::from_millis(2), NodeId::new(2), TraceKind::Crashed);
+
+        let json = t.to_json();
+        assert_eq!(Trace::from_json(&json).unwrap(), t);
+        let text = json.dump_pretty();
+        let reparsed = Trace::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(reparsed, t);
+        // Serialising again is byte-stable.
+        assert_eq!(reparsed.to_json().dump_pretty(), text);
+    }
+
+    #[test]
+    fn from_json_rejects_out_of_range_node_ids() {
+        let too_big = u64::from(u32::MAX) + 1;
+        let event = Json::obj([
+            ("time", Json::from(0u64)),
+            ("node", Json::from(too_big)),
+            ("kind", Json::from("Crashed")),
+        ]);
+        let err = TraceEvent::from_json(&event).unwrap_err();
+        assert!(err.contains("exceeds the u32 range"), "{err}");
+
+        let sent = Json::obj([
+            ("time", Json::from(0u64)),
+            ("node", Json::from(0u64)),
+            (
+                "kind",
+                Json::obj([(
+                    "Sent",
+                    Json::obj([
+                        ("dst", Json::from(too_big)),
+                        ("payload_type", Json::from("x")),
+                    ]),
+                )]),
+            ),
+        ]);
+        let err = TraceEvent::from_json(&sent).unwrap_err();
+        assert!(err.contains("\"dst\""), "{err}");
+    }
+
+    #[test]
+    fn accessors_untangle_interleaved_multi_node_traces() {
+        // Three nodes advancing views and deciding out of lock-step; the
+        // accessors must filter by node and preserve per-node order.
+        let mut t = Trace::new();
+        let ev = |ms: u64, node: u32, kind: TraceKind| (SimTime::from_millis(ms), node, kind);
+        let script = vec![
+            ev(1, 0, TraceKind::View { view: 1 }),
+            ev(1, 2, TraceKind::View { view: 1 }),
+            ev(2, 1, TraceKind::View { view: 1 }),
+            ev(
+                3,
+                2,
+                TraceKind::Decided {
+                    slot: 0,
+                    value: Value::new(5),
+                },
+            ),
+            ev(4, 0, TraceKind::View { view: 2 }),
+            ev(
+                4,
+                0,
+                TraceKind::Decided {
+                    slot: 0,
+                    value: Value::new(5),
+                },
+            ),
+            ev(5, 2, TraceKind::View { view: 3 }),
+            ev(
+                6,
+                1,
+                TraceKind::Decided {
+                    slot: 0,
+                    value: Value::new(5),
+                },
+            ),
+            ev(
+                7,
+                0,
+                TraceKind::Decided {
+                    slot: 1,
+                    value: Value::new(6),
+                },
+            ),
+        ];
+        for (time, node, kind) in script {
+            t.record(time, NodeId::new(node), kind);
+        }
+
+        assert_eq!(
+            t.view_timeline(NodeId::new(0)),
+            vec![(SimTime::from_millis(1), 1), (SimTime::from_millis(4), 2)]
+        );
+        assert_eq!(
+            t.view_timeline(NodeId::new(2)),
+            vec![(SimTime::from_millis(1), 1), (SimTime::from_millis(5), 3)]
+        );
+        assert_eq!(
+            t.view_timeline(NodeId::new(1)),
+            vec![(SimTime::from_millis(2), 1)]
+        );
+
+        let decisions: Vec<_> = t.decisions().collect();
+        assert_eq!(
+            decisions,
+            vec![
+                (SimTime::from_millis(3), NodeId::new(2), 0, Value::new(5)),
+                (SimTime::from_millis(4), NodeId::new(0), 0, Value::new(5)),
+                (SimTime::from_millis(6), NodeId::new(1), 0, Value::new(5)),
+                (SimTime::from_millis(7), NodeId::new(0), 1, Value::new(6)),
+            ]
+        );
+        // Per-node decision filtering composes on top of the iterator.
+        let node0: Vec<_> = t
+            .decisions()
+            .filter(|(_, n, _, _)| *n == NodeId::new(0))
+            .map(|(_, _, slot, _)| slot)
+            .collect();
+        assert_eq!(node0, vec![0, 1]);
     }
 
     #[test]

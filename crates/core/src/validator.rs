@@ -426,6 +426,7 @@ mod tests {
             trace: Trace::new(),
             queue_high_water: 0,
             scheduler: crate::scheduler::SchedulerStats::default(),
+            observability: None,
         }
     }
 

@@ -456,6 +456,20 @@ pub fn factory(
     move |id| Box::new(AddBa::new(params, variant, id)) as Box<dyn Protocol>
 }
 
+/// Classifies a payload into the ADD phase label for the observability
+/// message-flow matrix (see [`bft_sim_core::obs`]). Shared by every
+/// [`AddVariant`], which all speak the same [`AddMsg`] wire format.
+pub fn phase_of(payload: &dyn bft_sim_core::payload::Payload) -> Option<&'static str> {
+    payload.as_any().downcast_ref::<AddMsg>().map(|m| match m {
+        AddMsg::Status { .. } => "status",
+        AddMsg::Prepare { .. } => "prepare",
+        AddMsg::Reveal { .. } => "reveal",
+        AddMsg::Propose { .. } => "propose",
+        AddMsg::Commit { .. } => "commit",
+        AddMsg::Notify { .. } => "notify",
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

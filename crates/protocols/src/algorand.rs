@@ -337,6 +337,17 @@ pub fn factory(params: ProtocolParams) -> impl Fn(NodeId) -> Box<dyn Protocol> {
     move |id| Box::new(Algorand::new(params, id)) as Box<dyn Protocol>
 }
 
+/// Classifies a payload into Algorand's phase label for the observability
+/// message-flow matrix (see [`bft_sim_core::obs`]).
+pub fn phase_of(payload: &dyn bft_sim_core::payload::Payload) -> Option<&'static str> {
+    payload.as_any().downcast_ref::<AlgoMsg>().map(|m| match m {
+        AlgoMsg::Proposal { .. } => "proposal",
+        AlgoMsg::Soft { .. } => "soft",
+        AlgoMsg::Cert { .. } => "cert",
+        AlgoMsg::Next { .. } => "next",
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -250,6 +250,15 @@ pub fn unanimous_factory(
     move |_id| Box::new(AsyncBa::new(params, input)) as Box<dyn Protocol>
 }
 
+/// Classifies a payload into the async-BA phase label for the observability
+/// message-flow matrix (see [`bft_sim_core::obs`]).
+pub fn phase_of(payload: &dyn bft_sim_core::payload::Payload) -> Option<&'static str> {
+    payload.as_any().downcast_ref::<BaMsg>().map(|m| match m {
+        BaMsg::Phase1 { .. } => "phase1",
+        BaMsg::Phase2 { .. } => "phase2",
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -594,6 +594,17 @@ pub fn factory(params: ProtocolParams) -> impl Fn(NodeId) -> Box<dyn Protocol> {
     move |_id| Box::new(HotStuffNs::new(params)) as Box<dyn Protocol>
 }
 
+/// Classifies a payload into HotStuff's phase label for the observability
+/// message-flow matrix (see [`bft_sim_core::obs`]).
+pub fn phase_of(payload: &dyn bft_sim_core::payload::Payload) -> Option<&'static str> {
+    payload.as_any().downcast_ref::<HsMsg>().map(|m| match m {
+        HsMsg::Proposal { .. } => "proposal",
+        HsMsg::Vote { .. } => "vote",
+        HsMsg::NewView { .. } => "new-view",
+        HsMsg::SyncReq { .. } | HsMsg::SyncResp { .. } => "sync",
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -553,6 +553,20 @@ pub fn factory(params: ProtocolParams) -> impl Fn(NodeId) -> Box<dyn Protocol> {
     move |_id| Box::new(LibraBft::new(params)) as Box<dyn Protocol>
 }
 
+/// Classifies a payload into LibraBFT's phase label for the observability
+/// message-flow matrix (see [`bft_sim_core::obs`]).
+pub fn phase_of(payload: &dyn bft_sim_core::payload::Payload) -> Option<&'static str> {
+    payload
+        .as_any()
+        .downcast_ref::<LibraMsg>()
+        .map(|m| match m {
+            LibraMsg::Proposal { .. } => "proposal",
+            LibraMsg::Vote { .. } => "vote",
+            LibraMsg::TimeoutVote { .. } => "timeout",
+            LibraMsg::SyncReq { .. } | LibraMsg::SyncResp { .. } => "sync",
+        })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -483,6 +483,18 @@ pub fn factory(params: ProtocolParams) -> impl Fn(NodeId) -> Box<dyn Protocol> {
     move |_id| Box::new(Pbft::new(params)) as Box<dyn Protocol>
 }
 
+/// Classifies a payload into PBFT's phase label for the observability
+/// message-flow matrix (see [`bft_sim_core::obs`]).
+pub fn phase_of(payload: &dyn bft_sim_core::payload::Payload) -> Option<&'static str> {
+    payload.as_any().downcast_ref::<PbftMsg>().map(|m| match m {
+        PbftMsg::PrePrepare { .. } => "pre-prepare",
+        PbftMsg::Prepare { .. } => "prepare",
+        PbftMsg::Commit { .. } => "commit",
+        PbftMsg::ViewChange { .. } => "view-change",
+        PbftMsg::NewView { .. } => "new-view",
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -199,6 +199,26 @@ impl ProtocolKind {
             .with_target_decisions(self.measured_decisions())
     }
 
+    /// The classifier mapping this protocol's wire messages to phase labels
+    /// for the observability message-flow matrix (see
+    /// [`bft_sim_core::obs`]). Payloads the classifier does not recognise
+    /// (injected or cross-protocol traffic) fall back to
+    /// [`bft_sim_core::obs::UNCLASSIFIED_PHASE`].
+    pub fn phase_classifier(self) -> bft_sim_core::obs::PhaseClassifier {
+        match self {
+            ProtocolKind::AddV1 | ProtocolKind::AddV2 | ProtocolKind::AddV3 => {
+                crate::add::machine::phase_of
+            }
+            ProtocolKind::Algorand => crate::algorand::phase_of,
+            ProtocolKind::AsyncBa => crate::async_ba::phase_of,
+            ProtocolKind::Pbft => crate::pbft::phase_of,
+            ProtocolKind::HotStuffNs => crate::hotstuff::phase_of,
+            ProtocolKind::LibraBft => crate::librabft::phase_of,
+            ProtocolKind::Tendermint => crate::tendermint::phase_of,
+            ProtocolKind::SyncHotStuff => crate::sync_hotstuff::phase_of,
+        }
+    }
+
     /// Builds an engine-ready factory for this protocol.
     pub fn factory(self, cfg: &RunConfig, genesis_seed: u64) -> Box<dyn ProtocolFactory + Send> {
         let params = ProtocolParams::new(cfg.n, cfg.f, genesis_seed);
@@ -321,6 +341,73 @@ mod tests {
                 kind.measured_decisions(),
                 "{kind} missed its target"
             );
+        }
+    }
+
+    #[test]
+    fn phase_classifiers_label_every_wire_message() {
+        use bft_sim_core::obs::{ObsConfig, UNCLASSIFIED_PHASE};
+
+        for kind in ProtocolKind::extended() {
+            let cfg = kind.configure(
+                RunConfig::new(4)
+                    .with_seed(23)
+                    .with_lambda_ms(1000.0)
+                    .with_time_cap(SimDuration::from_secs(600.0)),
+            );
+            let factory = kind.factory(&cfg, 99);
+            let r = SimulationBuilder::new(cfg)
+                .network(ConstantNetwork::new(SimDuration::from_millis(100.0)))
+                .protocols(factory)
+                .observability(ObsConfig::new(32).with_classifier(kind.phase_classifier()))
+                .build()
+                .unwrap()
+                .run();
+            assert!(r.is_clean(), "{kind}");
+            let obs = r.observability.as_ref().expect("observability was enabled");
+            assert!(!obs.flows.is_empty(), "{kind}: no message flows recorded");
+            assert_eq!(
+                obs.phase_total(UNCLASSIFIED_PHASE),
+                0,
+                "{kind}: classifier missed some of its own wire messages: {:?}",
+                obs.flows
+                    .iter()
+                    .map(|f| f.phase.as_str())
+                    .collect::<Vec<_>>()
+            );
+        }
+
+        // Spot-check the labels of the two protocols the paper's figures
+        // lean on hardest.
+        let phases = |kind: ProtocolKind| -> Vec<String> {
+            let cfg = kind.configure(
+                RunConfig::new(4)
+                    .with_seed(23)
+                    .with_lambda_ms(1000.0)
+                    .with_time_cap(SimDuration::from_secs(600.0)),
+            );
+            let factory = kind.factory(&cfg, 99);
+            SimulationBuilder::new(cfg)
+                .network(ConstantNetwork::new(SimDuration::from_millis(100.0)))
+                .protocols(factory)
+                .observability(ObsConfig::new(32).with_classifier(kind.phase_classifier()))
+                .build()
+                .unwrap()
+                .run()
+                .observability
+                .unwrap()
+                .flows
+                .iter()
+                .map(|f| f.phase.clone())
+                .collect()
+        };
+        let pbft = phases(ProtocolKind::Pbft);
+        for phase in ["pre-prepare", "prepare", "commit"] {
+            assert!(pbft.contains(&phase.to_string()), "pbft missing {phase}");
+        }
+        let hs = phases(ProtocolKind::HotStuffNs);
+        for phase in ["proposal", "vote"] {
+            assert!(hs.contains(&phase.to_string()), "hotstuff missing {phase}");
         }
     }
 }

@@ -356,6 +356,16 @@ pub fn factory(params: ProtocolParams) -> impl Fn(NodeId) -> Box<dyn Protocol> {
     move |_id| Box::new(SyncHotStuff::new(params)) as Box<dyn Protocol>
 }
 
+/// Classifies a payload into Sync HotStuff's phase label for the
+/// observability message-flow matrix (see [`bft_sim_core::obs`]).
+pub fn phase_of(payload: &dyn bft_sim_core::payload::Payload) -> Option<&'static str> {
+    payload.as_any().downcast_ref::<ShsMsg>().map(|m| match m {
+        ShsMsg::Propose { .. } => "propose",
+        ShsMsg::Vote { .. } => "vote",
+        ShsMsg::Blame { .. } => "blame",
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -473,6 +473,16 @@ pub fn factory(params: ProtocolParams) -> impl Fn(NodeId) -> Box<dyn Protocol> {
     move |_id| Box::new(Tendermint::new(params)) as Box<dyn Protocol>
 }
 
+/// Classifies a payload into Tendermint's phase label for the observability
+/// message-flow matrix (see [`bft_sim_core::obs`]).
+pub fn phase_of(payload: &dyn bft_sim_core::payload::Payload) -> Option<&'static str> {
+    payload.as_any().downcast_ref::<TmMsg>().map(|m| match m {
+        TmMsg::Proposal { .. } => "proposal",
+        TmMsg::Prevote { .. } => "prevote",
+        TmMsg::Precommit { .. } => "precommit",
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,8 +1,14 @@
 //! The fuzzing driver: sweep scenario seeds, check every run against the
 //! oracle suite, shrink every violation to a [`Repro`].
 
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use bft_sim_core::json::Json;
+use bft_sim_core::obs::{Histogram, Observability, DEFAULT_LAST_K};
 use bft_sim_core::scheduler::SchedulerKind;
-use bft_sim_core::sweep::sweep;
+use bft_sim_core::sweep::{panic_message, sweep};
+use bft_sim_core::trace::TraceEvent;
 use bft_sim_protocols::registry::ProtocolKind;
 
 use crate::repro::Repro;
@@ -28,6 +34,14 @@ pub struct FuzzOptions {
     /// determinism contract makes the report byte-identical under every
     /// backend too; only throughput differs.
     pub scheduler: SchedulerKind,
+    /// Instrument every run (see [`bft_sim_core::obs`]). Everything recorded
+    /// derives from simulated quantities, so switching this on changes
+    /// *nothing* outside the report's `observability` block and the
+    /// last-event dumps attached to failures: runs, schedules, violations
+    /// and repros stay bit-identical. A run that panics with observability
+    /// on additionally salvages its event ring into
+    /// [`FuzzFailure::last_events`].
+    pub observability: bool,
 }
 
 impl Default for FuzzOptions {
@@ -39,6 +53,7 @@ impl Default for FuzzOptions {
             inject_bug: false,
             threads: 0,
             scheduler: SchedulerKind::default(),
+            observability: false,
         }
     }
 }
@@ -64,6 +79,61 @@ pub struct FuzzFailure {
     pub scenario_seed: u64,
     /// The panic message.
     pub message: String,
+    /// The last trace events before the panic, salvaged from the
+    /// observability ring. Empty unless [`FuzzOptions::observability`] was
+    /// on for the sweep.
+    pub last_events: Vec<TraceEvent>,
+}
+
+/// Observability aggregated across every completed run of a sweep: merged
+/// histograms, per-phase message totals, and the total number of view
+/// entries. Like everything else in the report, byte-identical at any
+/// thread count and under every scheduler backend.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FuzzObservability {
+    /// Wire-message delivery latencies, merged across all nodes and runs.
+    pub delivery_latency: Histogram,
+    /// Per-node decision intervals, merged across all nodes and runs.
+    pub decision_interval: Histogram,
+    /// Total wire messages per protocol phase, across the sweep.
+    pub phase_totals: BTreeMap<String, u64>,
+    /// Total `EnterView` reports across the sweep.
+    pub view_entries: u64,
+}
+
+impl FuzzObservability {
+    /// Folds one run's snapshot into the sweep-wide aggregate.
+    fn absorb(&mut self, obs: &Observability) {
+        for h in &obs.delivery_latency {
+            self.delivery_latency.merge(h);
+        }
+        for h in &obs.decision_interval {
+            self.decision_interval.merge(h);
+        }
+        for flow in &obs.flows {
+            *self.phase_totals.entry(flow.phase.clone()).or_insert(0) +=
+                flow.matrix.iter().sum::<u64>();
+        }
+        self.view_entries += obs.views.iter().map(|v| v.entries).sum::<u64>();
+    }
+
+    /// The aggregate as a JSON object (the report's `observability` block).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("delivery_latency", self.delivery_latency.to_json()),
+            ("decision_interval", self.decision_interval.to_json()),
+            (
+                "phase_totals",
+                Json::Obj(
+                    self.phase_totals
+                        .iter()
+                        .map(|(phase, total)| (phase.clone(), Json::from(*total)))
+                        .collect(),
+                ),
+            ),
+            ("view_entries", Json::from(self.view_entries)),
+        ])
+    }
 }
 
 /// The result of a fuzzing sweep.
@@ -85,6 +155,9 @@ pub struct FuzzReport {
     pub outcomes: Vec<FuzzOutcome>,
     /// Every panicked scenario, in seed order.
     pub failures: Vec<FuzzFailure>,
+    /// Sweep-wide observability aggregate; `Some` exactly when
+    /// [`FuzzOptions::observability`] was on.
+    pub observability: Option<FuzzObservability>,
 }
 
 impl FuzzReport {
@@ -95,11 +168,23 @@ impl FuzzReport {
 }
 
 /// What one seed's job produces; reassembled in seed order by the sweep.
-struct SeedResult {
-    events_processed: u64,
-    skipped_cancelled_timers: u64,
-    skipped_excluded_nodes: u64,
-    outcome: Option<FuzzOutcome>,
+enum SeedResult {
+    /// The run completed (cleanly or with violations).
+    Ran {
+        events_processed: u64,
+        skipped_cancelled_timers: u64,
+        skipped_excluded_nodes: u64,
+        // Both boxed: `FuzzOutcome` and `Observability` are large and
+        // the variant is short-lived.
+        outcome: Option<Box<FuzzOutcome>>,
+        observability: Option<Box<Observability>>,
+    },
+    /// The run panicked with observability on; the job caught the panic
+    /// itself so it could salvage the event ring.
+    Panicked {
+        message: String,
+        last_events: Vec<TraceEvent>,
+    },
 }
 
 /// Runs one scenario per seed, oracle-checks it, and shrinks every failure.
@@ -132,45 +217,89 @@ pub fn fuzz_many(
                 opts.max_actions,
                 opts.inject_bug,
             );
-            let run = spec
-                .run_with(RunMode::Generate, opts.scheduler)
-                .map_err(|e| format!("seed {seed}: {e}"))?;
+            let run = if opts.observability {
+                // Catch the panic here (inside the sweep's own isolation)
+                // so the pre-cloned ring handle can salvage the last events
+                // of the crashing run.
+                let cfg = spec.obs_config(DEFAULT_LAST_K);
+                let ring = cfg.ring();
+                match catch_unwind(AssertUnwindSafe(|| {
+                    spec.run_observed(RunMode::Generate, opts.scheduler, Some(cfg))
+                })) {
+                    Ok(run) => run.map_err(|e| format!("seed {seed}: {e}"))?,
+                    Err(payload) => {
+                        return Ok(SeedResult::Panicked {
+                            message: panic_message(payload.as_ref()),
+                            last_events: ring.snapshot(),
+                        })
+                    }
+                }
+            } else {
+                spec.run_with(RunMode::Generate, opts.scheduler)
+                    .map_err(|e| format!("seed {seed}: {e}"))?
+            };
+            let observability = run.result.observability.clone().map(Box::new);
             let outcome = if run.violations.is_empty() {
                 None
             } else {
-                let repro = shrink(&spec, &run);
-                Some(FuzzOutcome {
+                let mut repro = shrink(&spec, &run);
+                if let Some(obs) = &observability {
+                    repro.last_events = obs.recent_events.clone();
+                }
+                Some(Box::new(FuzzOutcome {
                     scenario_seed: seed,
                     spec,
                     violations: run.violations.iter().map(|v| v.to_string()).collect(),
                     repro,
-                })
+                }))
             };
-            Ok(SeedResult {
+            Ok(SeedResult::Ran {
                 events_processed: run.result.events_processed,
                 skipped_cancelled_timers: run.result.skipped_cancelled_timers,
                 skipped_excluded_nodes: run.result.skipped_excluded_nodes,
                 outcome,
+                observability,
             })
         },
     );
 
-    let mut report = FuzzReport::default();
+    let mut report = FuzzReport {
+        observability: opts.observability.then(FuzzObservability::default),
+        ..FuzzReport::default()
+    };
     for (i, slot) in per_seed.into_iter().enumerate() {
         match slot {
-            Ok(Ok(res)) => {
+            Ok(Ok(SeedResult::Ran {
+                events_processed,
+                skipped_cancelled_timers,
+                skipped_excluded_nodes,
+                outcome,
+                observability,
+            })) => {
                 report.runs += 1;
-                report.events_processed += res.events_processed;
-                report.skipped_cancelled_timers += res.skipped_cancelled_timers;
-                report.skipped_excluded_nodes += res.skipped_excluded_nodes;
-                if let Some(outcome) = res.outcome {
-                    report.outcomes.push(outcome);
+                report.events_processed += events_processed;
+                report.skipped_cancelled_timers += skipped_cancelled_timers;
+                report.skipped_excluded_nodes += skipped_excluded_nodes;
+                if let Some(outcome) = outcome {
+                    report.outcomes.push(*outcome);
+                }
+                if let (Some(total), Some(obs)) = (&mut report.observability, &observability) {
+                    total.absorb(obs);
                 }
             }
+            Ok(Ok(SeedResult::Panicked {
+                message,
+                last_events,
+            })) => report.failures.push(FuzzFailure {
+                scenario_seed: seeds[i],
+                message,
+                last_events,
+            }),
             Ok(Err(build_error)) => return Err(build_error),
             Err(panic) => report.failures.push(FuzzFailure {
                 scenario_seed: seeds[i],
                 message: panic.message,
+                last_events: Vec::new(),
             }),
         }
     }
@@ -247,6 +376,42 @@ mod tests {
     }
 
     #[test]
+    fn observability_changes_nothing_but_the_observability_block() {
+        let plain = FuzzOptions {
+            protocols: vec![ProtocolKind::Pbft, ProtocolKind::HotStuffNs],
+            ..FuzzOptions::default()
+        };
+        let observed = FuzzOptions {
+            observability: true,
+            ..plain.clone()
+        };
+        let a = fuzz_many(0..6, &plain).unwrap();
+        let b = fuzz_many(0..6, &observed).unwrap();
+        assert_eq!(a.runs, b.runs);
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.skipped_cancelled_timers, b.skipped_cancelled_timers);
+        assert_eq!(a.skipped_excluded_nodes, b.skipped_excluded_nodes);
+        assert_eq!(a.outcomes.len(), b.outcomes.len());
+        assert_eq!(a.failures, b.failures);
+        assert!(a.observability.is_none());
+
+        let obs = b.observability.expect("requested observability");
+        assert!(obs.delivery_latency.count() > 0, "no deliveries recorded");
+        assert!(obs.decision_interval.count() > 0, "no decisions recorded");
+        assert!(!obs.phase_totals.contains_key("unclassified"));
+        assert!(
+            obs.phase_totals.values().sum::<u64>() >= obs.delivery_latency.count(),
+            "flow matrix must cover at least every delivered wire message"
+        );
+        // The aggregate block is itself deterministic.
+        let c = fuzz_many(0..6, &observed).unwrap();
+        assert_eq!(
+            obs.to_json().dump_pretty(),
+            c.observability.unwrap().to_json().dump_pretty()
+        );
+    }
+
+    #[test]
     fn scheduler_backend_does_not_change_the_report() {
         let heap = FuzzOptions {
             protocols: vec![ProtocolKind::Pbft, ProtocolKind::Tendermint],
@@ -311,5 +476,28 @@ mod testbug_tests {
                 b.repro.to_json().dump_pretty()
             );
         }
+    }
+
+    #[test]
+    fn observability_embeds_the_event_dump_in_the_repro() {
+        let opts = FuzzOptions {
+            inject_bug: true,
+            observability: true,
+            ..FuzzOptions::default()
+        };
+        let report = fuzz_many(0..1, &opts).unwrap();
+        assert_eq!(report.outcomes.len(), 1, "the seeded bug must fire");
+        let repro = &report.outcomes[0].repro;
+        assert!(
+            !repro.last_events.is_empty(),
+            "a failing observed run must carry its last events"
+        );
+        let text = repro.to_json().dump_pretty();
+        assert!(text.contains("\"last_events\""), "{text}");
+        let back = Repro::from_json(&bft_sim_core::json::Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(&back, repro);
+        // The dump is diagnostic context only: the repro still replays.
+        back.check()
+            .expect("repro with event dump must still replay");
     }
 }

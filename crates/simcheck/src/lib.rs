@@ -30,7 +30,7 @@ pub mod shrink;
 #[cfg(feature = "testbug")]
 pub mod testbug;
 
-pub use fuzz::{fuzz_many, FuzzOptions, FuzzOutcome, FuzzReport};
+pub use fuzz::{fuzz_many, FuzzFailure, FuzzObservability, FuzzOptions, FuzzOutcome, FuzzReport};
 pub use repro::{Repro, FORMAT};
 pub use scenario::{CheckedRun, DelaySpec, PartitionSpec, RunMode, ScenarioSpec};
 pub use shrink::{bisect_prefix, shrink};

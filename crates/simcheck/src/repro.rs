@@ -10,6 +10,7 @@
 use bft_sim_attacks::{actions_from_json, actions_to_json, FuzzAction};
 use bft_sim_core::json::Json;
 use bft_sim_core::oracle::OracleViolation;
+use bft_sim_core::trace::TraceEvent;
 use bft_sim_core::validator::DeliverySchedule;
 
 use crate::scenario::{RunMode, ScenarioSpec};
@@ -31,6 +32,12 @@ pub struct Repro {
     pub oracle: String,
     /// The violation detail observed when the repro was minted.
     pub detail: String,
+    /// The last trace events of the original failing run, as captured by
+    /// the observability ring when the fuzzer ran with instrumentation on.
+    /// Diagnostic context only — replaying the repro does not need it.
+    /// Empty when the sweep ran without observability, and omitted from the
+    /// JSON form then (older repro files parse unchanged).
+    pub last_events: Vec<TraceEvent>,
 }
 
 impl Repro {
@@ -71,6 +78,12 @@ impl Repro {
         if let Some(schedule) = &self.schedule {
             pairs.push(("schedule".to_string(), schedule.to_json()));
         }
+        if !self.last_events.is_empty() {
+            pairs.push((
+                "last_events".to_string(),
+                Json::Arr(self.last_events.iter().map(TraceEvent::to_json).collect()),
+            ));
+        }
         Json::Obj(pairs)
     }
 
@@ -108,12 +121,21 @@ impl Repro {
             Some(s) => Some(DeliverySchedule::from_json(s)?),
             None => None,
         };
+        let last_events = match json.get("last_events") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(TraceEvent::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            Some(_) => return Err("repro: \"last_events\" must be an array".into()),
+            None => Vec::new(),
+        };
         Ok(Repro {
             spec,
             actions,
             schedule,
             oracle,
             detail,
+            last_events,
         })
     }
 }
@@ -144,6 +166,7 @@ mod tests {
             schedule: None,
             oracle: "agreement".to_string(),
             detail: "slot 0: n1 decided v0x1 but n2 decided v0x2".to_string(),
+            last_events: Vec::new(),
         }
     }
 
@@ -151,6 +174,43 @@ mod tests {
     fn json_round_trips() {
         let repro = sample();
         let text = repro.to_json().dump_pretty();
+        assert!(
+            !text.contains("last_events"),
+            "an empty event dump must stay out of the JSON"
+        );
+        let back = Repro::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, repro);
+        assert_eq!(back.to_json().dump_pretty(), text);
+    }
+
+    #[test]
+    fn json_round_trips_with_an_event_dump() {
+        use bft_sim_core::time::SimTime;
+        use bft_sim_core::trace::{TraceEvent, TraceKind};
+
+        let repro = Repro {
+            last_events: vec![
+                TraceEvent {
+                    time: SimTime::from_micros(10),
+                    node: NodeId::new(0),
+                    kind: TraceKind::Sent {
+                        dst: NodeId::new(1),
+                        payload_type: "PbftMsg".into(),
+                    },
+                },
+                TraceEvent {
+                    time: SimTime::from_micros(20),
+                    node: NodeId::new(1),
+                    kind: TraceKind::Decided {
+                        slot: 0,
+                        value: bft_sim_core::value::Value::new(1),
+                    },
+                },
+            ],
+            ..sample()
+        };
+        let text = repro.to_json().dump_pretty();
+        assert!(text.contains("last_events"), "{text}");
         let back = Repro::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, repro);
         assert_eq!(back.to_json().dump_pretty(), text);

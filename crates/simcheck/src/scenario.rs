@@ -23,6 +23,7 @@ use bft_sim_core::json::Json;
 use bft_sim_core::message::Message;
 use bft_sim_core::metrics::RunResult;
 use bft_sim_core::network::SampledNetwork;
+use bft_sim_core::obs::ObsConfig;
 use bft_sim_core::oracle::{OracleInput, OracleObserver, OracleSuite, OracleViolation};
 use bft_sim_core::scheduler::SchedulerKind;
 use bft_sim_core::time::{SimDuration, SimTime};
@@ -406,6 +407,31 @@ impl ScenarioSpec {
         mode: RunMode<'_>,
         scheduler: SchedulerKind,
     ) -> Result<CheckedRun, String> {
+        self.run_observed(mode, scheduler, None)
+    }
+
+    /// The observability configuration matching this scenario: a ring of
+    /// `last_k` recent events and the protocol's own phase classifier, so
+    /// the flow matrix is labelled with this protocol's phases.
+    pub fn obs_config(&self, last_k: usize) -> ObsConfig {
+        ObsConfig::new(last_k).with_classifier(self.protocol.phase_classifier())
+    }
+
+    /// [`run_with`](ScenarioSpec::run_with) with optional observability.
+    /// Like the scheduler backend, instrumentation is an *execution* option,
+    /// not part of the scenario: everything it records derives from
+    /// simulated quantities, so the run itself — and the `observability`
+    /// block — is bit-identical with it on or off, under every backend.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](ScenarioSpec::run).
+    pub fn run_observed(
+        &self,
+        mode: RunMode<'_>,
+        scheduler: SchedulerKind,
+        obs: Option<ObsConfig>,
+    ) -> Result<CheckedRun, String> {
         let kind = self.protocol;
         let cfg = self.config();
         let benign = match mode {
@@ -424,12 +450,16 @@ impl ScenarioSpec {
             RunMode::Replay(schedule) => {
                 let mut replay = schedule.clone();
                 replay.rewind();
-                let sim = SimulationBuilder::new(cfg)
+                let mut builder = SimulationBuilder::new(cfg)
                     .network(network)
                     .observer(observer)
                     .scheduler(scheduler)
                     .replay_schedule(replay)
-                    .protocols(factory)
+                    .protocols(factory);
+                if let Some(obs) = obs {
+                    builder = builder.observability(obs);
+                }
+                let sim = builder
                     .build()
                     .map_err(|e| format!("replay build failed: {e}"))?;
                 (sim.run(), schedule.clone(), Vec::new())
@@ -452,14 +482,16 @@ impl ScenarioSpec {
                     fuzz,
                     extra: self.extra_adversary()?,
                 };
-                let sim = SimulationBuilder::new(cfg)
+                let mut builder = SimulationBuilder::new(cfg)
                     .network(network)
                     .observer(observer)
                     .scheduler(scheduler)
                     .adversary(stack)
-                    .protocols(factory)
-                    .build()
-                    .map_err(|e| format!("build failed: {e}"))?;
+                    .protocols(factory);
+                if let Some(obs) = obs {
+                    builder = builder.observability(obs);
+                }
+                let sim = builder.build().map_err(|e| format!("build failed: {e}"))?;
                 let (result, schedule) = sim.run_recorded();
                 (result, schedule, log.snapshot())
             }
@@ -707,6 +739,60 @@ mod tests {
             .unwrap();
         assert!(replayed.violations.is_empty(), "{:?}", replayed.violations);
         assert_eq!(replayed.result.decided, original.result.decided);
+    }
+
+    #[test]
+    fn observability_does_not_perturb_the_run() {
+        let spec = ScenarioSpec::generate(9, &ProtocolKind::extended(), 500, 48, false);
+        let plain = spec.run(RunMode::Generate).unwrap();
+        let observed = spec
+            .run_observed(
+                RunMode::Generate,
+                SchedulerKind::default(),
+                Some(spec.obs_config(32)),
+            )
+            .unwrap();
+        let mut stripped = observed.result.clone();
+        stripped.observability = None;
+        assert_eq!(stripped, plain.result, "instrumentation changed the run");
+        assert_eq!(observed.schedule, plain.schedule);
+        assert_eq!(observed.actions, plain.actions);
+        assert_eq!(observed.violations, plain.violations);
+
+        let obs = observed.result.observability.unwrap();
+        assert_eq!(
+            obs.phase_total(bft_sim_core::obs::UNCLASSIFIED_PHASE),
+            0,
+            "the scenario's classifier must label its own protocol's traffic"
+        );
+        assert!(!obs.recent_events.is_empty());
+        assert!(obs.recent_events.len() <= 32);
+    }
+
+    #[test]
+    fn observed_runs_agree_across_scheduler_backends() {
+        let spec = ScenarioSpec::generate(5, &ProtocolKind::extended(), 500, 48, false);
+        let heap = spec
+            .run_observed(
+                RunMode::Generate,
+                SchedulerKind::Heap,
+                Some(spec.obs_config(32)),
+            )
+            .unwrap();
+        let mut wheel = spec
+            .run_observed(
+                RunMode::Generate,
+                SchedulerKind::Wheel,
+                Some(spec.obs_config(32)),
+            )
+            .unwrap();
+        wheel.result.scheduler = heap.result.scheduler.clone();
+        assert_eq!(heap.result, wheel.result);
+        let (a, b) = (
+            heap.result.observability.as_ref().unwrap(),
+            wheel.result.observability.as_ref().unwrap(),
+        );
+        assert_eq!(a.to_json().dump_pretty(), b.to_json().dump_pretty());
     }
 
     #[test]

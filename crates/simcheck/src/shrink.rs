@@ -53,6 +53,7 @@ pub fn shrink(spec: &ScenarioSpec, failing: &CheckedRun) -> Repro {
             schedule: None,
             oracle: v.oracle.to_string(),
             detail: v.detail.clone(),
+            last_events: Vec::new(),
         };
     }
 
@@ -118,6 +119,7 @@ pub fn shrink(spec: &ScenarioSpec, failing: &CheckedRun) -> Repro {
         schedule,
         oracle: v.oracle.to_string(),
         detail: v.detail.clone(),
+        last_events: Vec::new(),
     }
 }
 
