@@ -254,7 +254,7 @@ impl Adversary for RandomizedAdversary {
                     msg.src(),
                     dst,
                     SimDuration::from_micros(delay_micros),
-                    Arc::clone(msg.payload_arc()),
+                    msg.clone_payload_arc(),
                 );
                 Fate::Deliver(proposed)
             }

@@ -9,12 +9,11 @@
 //! slowdown at 32 nodes and the out-of-memory failure beyond 32.
 
 use std::collections::{BinaryHeap, HashMap};
-use std::sync::Arc;
 
 use bft_sim_core::exec::{Dispatcher, Effect};
 use bft_sim_core::ids::{NodeId, TimerId};
 use bft_sim_core::message::Message;
-use bft_sim_core::payload::Payload;
+use bft_sim_core::payload::PayloadCell;
 use bft_sim_core::protocol::{Protocol, ProtocolFactory};
 use bft_sim_core::time::{SimDuration, SimTime};
 use bft_sim_core::value::Value;
@@ -90,7 +89,7 @@ struct Packet {
     frag_total: usize,
     dst: NodeId,
     /// The protocol payload rides on the last fragment.
-    payload: Option<(NodeId, Arc<dyn Payload>)>,
+    payload: Option<(NodeId, PayloadCell)>,
     /// Per-hop residual delay.
     hop_delay: SimDuration,
     /// Simulated wire bytes, checksummed at each hop.
@@ -105,12 +104,12 @@ enum Ev {
     CpuDone {
         node: NodeId,
         src: NodeId,
-        payload: Arc<dyn Payload>,
+        payload: PayloadCell,
     },
     Timer {
         node: NodeId,
         id: TimerId,
-        payload: Box<dyn Payload>,
+        payload: PayloadCell,
     },
 }
 
@@ -246,7 +245,7 @@ impl BaselineSim {
         &mut self,
         src: NodeId,
         dst: NodeId,
-        payload: Arc<dyn Payload>,
+        payload: PayloadCell,
     ) -> Result<(), BaselineError> {
         self.messages += 1;
         let msg_id = self.next_msg_id;

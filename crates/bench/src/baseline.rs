@@ -1,7 +1,7 @@
 //! The persistent perf baseline behind `bft-sim bench-baseline`.
 //!
 //! Runs broadcast-heavy seeded workloads — PBFT and HotStuff+NS at
-//! n ∈ {16, 64} — and reports, per case: events/second, wall-clock
+//! n ∈ {16, 64, 256, 1024} — and reports, per case: events/second, wall-clock
 //! milliseconds, peak event-queue depth and allocations per broadcast.
 //! Every case runs once per requested scheduler backend (heap and timing
 //! wheel by default), so the two implementations stay perf-comparable in
@@ -27,12 +27,17 @@ use bft_sim_protocols::registry::ProtocolKind;
 
 use crate::alloc_counter;
 
-/// The fixed workload matrix: broadcast-heavy protocols at two sizes.
-pub fn cases() -> Vec<(ProtocolKind, usize)> {
+/// The fixed workload matrix: broadcast-heavy protocols at the paper's
+/// small sizes plus the large-n scaling points. The third element caps the
+/// per-case decision target: a decision at n = 1024 dispatches roughly a
+/// thousand times the events of one at n = 16, so the caps keep the full
+/// matrix runnable in CI while still exercising both protocols end to end
+/// at n = 1024.
+pub fn cases() -> Vec<(ProtocolKind, usize, u64)> {
     let mut out = Vec::new();
     for kind in [ProtocolKind::Pbft, ProtocolKind::HotStuffNs] {
-        for n in [16usize, 64] {
-            out.push((kind, n));
+        for (n, cap) in [(16usize, u64::MAX), (64, u64::MAX), (256, 3), (1024, 2)] {
+            out.push((kind, n, cap));
         }
     }
     out
@@ -139,9 +144,9 @@ pub fn run_case(
 /// keeps the heap-vs-wheel comparison a one-line diff in the JSON).
 pub fn run_all(seed: u64, decisions: u64, schedulers: &[SchedulerKind]) -> Vec<CaseResult> {
     let mut out = Vec::new();
-    for (kind, n) in cases() {
+    for (kind, n, cap) in cases() {
         for &scheduler in schedulers {
-            out.push(run_case(kind, n, seed, decisions, scheduler));
+            out.push(run_case(kind, n, seed, decisions.min(cap), scheduler));
         }
     }
     out

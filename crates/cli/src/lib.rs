@@ -187,6 +187,9 @@ pub struct FuzzSpec {
     /// block, repros and failures carry their last trace events. Everything
     /// else in the report is byte-identical with it on or off.
     pub observability: bool,
+    /// `--n N`: force every generated scenario to `N` nodes instead of the
+    /// generator's small-biased scales. The large-n smoke knob.
+    pub n_override: Option<usize>,
 }
 
 impl Default for FuzzSpec {
@@ -202,6 +205,7 @@ impl Default for FuzzSpec {
             threads: 0,
             scheduler: SchedulerKind::default(),
             observability: false,
+            n_override: None,
         }
     }
 }
@@ -504,6 +508,15 @@ fn parse_fuzz_spec(args: &[String]) -> Result<FuzzSpec, CliError> {
             "--out" => spec.out_dir = value("--out")?,
             "--json" => spec.json = true,
             "--obs" => spec.observability = true,
+            "--n" => {
+                let n: usize = value("--n")?
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --n (node count)"))?;
+                if n < 4 {
+                    return Err(CliError::usage("--n must be at least 4 (n = 3f + 1)"));
+                }
+                spec.n_override = Some(n);
+            }
             "--threads" => {
                 spec.threads = value("--threads")?
                     .parse()
@@ -971,6 +984,7 @@ fn run_fuzz(spec: &FuzzSpec) -> Result<(), CliError> {
         threads: spec.threads,
         scheduler: spec.scheduler,
         observability: spec.observability,
+        n_override: spec.n_override,
     };
     let start = std::time::Instant::now();
     let report = bft_sim_simcheck::fuzz_many(spec.seeds.0..spec.seeds.1, &opts)
@@ -1155,7 +1169,7 @@ fn run_trace(spec: &TraceSpec) -> Result<(), CliError> {
         );
         for src in 0..obs.nodes {
             let row: Vec<String> = (0..obs.nodes)
-                .map(|dst| format!("{:>6}", flow.matrix[src * obs.nodes + dst]))
+                .map(|dst| format!("{:>6}", flow.get(src, dst)))
                 .collect();
             println!("    n{src}: {}", row.join(" "));
         }
@@ -1281,7 +1295,8 @@ USAGE:
     bft-sim bench-baseline [--out FILE.json] [--threads N]
                      [--scheduler heap|wheel|both]
                      run the perf-baseline workloads (PBFT / HotStuff+NS at
-                     n = 16, 64) and write BENCH_baseline.json; --threads
+                     n = 16, 64, 256, 1024) and write BENCH_baseline.json;
+                     --threads
                      (0 = all cores) applies to the fuzz-throughput and
                      thread-scaling entries, while the per-case workloads
                      stay serial so allocation counts remain attributable;
@@ -1291,7 +1306,7 @@ USAGE:
     bft-sim fuzz     [--seeds A..B|N] [--protocols all|p1,p2,...]
                      [--intensity PERMILLE] [--max-actions K] [--inject-bug]
                      [--out DIR] [--json] [--obs] [--threads N]
-                     [--scheduler heap|wheel]
+                     [--scheduler heap|wheel] [--n NODES]
                      sweep deterministic fuzz scenarios across N worker
                      threads (0 = all cores; output is byte-identical at any
                      thread count and under either scheduler backend),
@@ -1299,7 +1314,9 @@ USAGE:
                      files; exits non-zero when any oracle fires or any run
                      panics; --obs instruments every run: the report gains
                      an observability block and repros/failures carry their
-                     last trace events, with everything else byte-identical
+                     last trace events, with everything else byte-identical;
+                     --n forces every scenario to NODES nodes (≥ 4) for
+                     large-n smoke sweeps
     bft-sim repro FILE.json
                      replay a bft-sim-repro-v1 file and confirm its oracle
                      still fires

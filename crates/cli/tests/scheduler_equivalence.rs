@@ -24,6 +24,7 @@ fn sweep_json(spec: &FuzzSpec, scheduler: SchedulerKind, threads: usize) -> Stri
         threads,
         scheduler,
         observability: spec.observability,
+        n_override: spec.n_override,
     };
     let report: FuzzReport = fuzz_many(spec.seeds.0..spec.seeds.1, &opts).expect("sweep builds");
     // Derive the repro paths the CLI would write, purely from the report, so

@@ -8,12 +8,11 @@
 //! and inject messages, corrupting a node's message stream is equivalent to
 //! controlling the node itself.
 
-use std::collections::HashSet;
 use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 
-use crate::ids::NodeId;
+use crate::ids::{NodeId, NodeSet};
 use crate::message::Message;
 use crate::payload::Payload;
 use crate::time::{SimDuration, SimTime};
@@ -55,8 +54,8 @@ pub struct AdversaryApi<'a> {
     n: usize,
     f: usize,
     lambda: SimDuration,
-    corrupted: &'a HashSet<NodeId>,
-    crashed: &'a HashSet<NodeId>,
+    corrupted: &'a NodeSet,
+    crashed: &'a NodeSet,
     budget_left: usize,
     rng: &'a mut SmallRng,
     actions: &'a mut Vec<AdvAction>,
@@ -69,8 +68,8 @@ impl<'a> AdversaryApi<'a> {
         n: usize,
         f: usize,
         lambda: SimDuration,
-        corrupted: &'a HashSet<NodeId>,
-        crashed: &'a HashSet<NodeId>,
+        corrupted: &'a NodeSet,
+        crashed: &'a NodeSet,
         rng: &'a mut SmallRng,
         actions: &'a mut Vec<AdvAction>,
     ) -> Self {
@@ -109,18 +108,18 @@ impl<'a> AdversaryApi<'a> {
         self.lambda
     }
 
-    /// Nodes corrupted so far.
-    pub fn corrupted(&self) -> &HashSet<NodeId> {
+    /// Nodes corrupted so far (iteration is in ascending node order).
+    pub fn corrupted(&self) -> &NodeSet {
         self.corrupted
     }
 
     /// Whether `node` is currently corrupted.
     pub fn is_corrupted(&self, node: NodeId) -> bool {
-        self.corrupted.contains(&node)
+        self.corrupted.contains(node)
     }
 
-    /// Nodes crashed (fail-stopped) so far.
-    pub fn crashed(&self) -> &HashSet<NodeId> {
+    /// Nodes crashed (fail-stopped) so far (ascending iteration order).
+    pub fn crashed(&self) -> &NodeSet {
         self.crashed
     }
 
@@ -153,7 +152,7 @@ impl<'a> AdversaryApi<'a> {
     /// against the fault budget like corruption (a crash is the weakest
     /// Byzantine behaviour). Returns `false` if the budget is exhausted.
     pub fn crash(&mut self, node: NodeId) -> bool {
-        if self.crashed.contains(&node) {
+        if self.crashed.contains(node) {
             return true;
         }
         if self.budget_left == 0 {
@@ -260,8 +259,8 @@ mod tests {
 
     #[test]
     fn corruption_budget_is_enforced() {
-        let corrupted = HashSet::new();
-        let crashed = HashSet::new();
+        let corrupted = NodeSet::new();
+        let crashed = NodeSet::new();
         let mut rng = SmallRng::seed_from_u64(0);
         let mut actions = Vec::new();
         let mut api = AdversaryApi::new(
@@ -282,8 +281,8 @@ mod tests {
 
     #[test]
     fn recorrupting_is_free() {
-        let corrupted: HashSet<NodeId> = [NodeId::new(2)].into_iter().collect();
-        let crashed = HashSet::new();
+        let corrupted: NodeSet = [NodeId::new(2)].into_iter().collect();
+        let crashed = NodeSet::new();
         let mut rng = SmallRng::seed_from_u64(0);
         let mut actions = Vec::new();
         let mut api = AdversaryApi::new(
@@ -303,8 +302,8 @@ mod tests {
 
     #[test]
     fn crash_shares_the_budget() {
-        let corrupted = HashSet::new();
-        let crashed = HashSet::new();
+        let corrupted = NodeSet::new();
+        let crashed = NodeSet::new();
         let mut rng = SmallRng::seed_from_u64(0);
         let mut actions = Vec::new();
         let mut api = AdversaryApi::new(
@@ -324,8 +323,8 @@ mod tests {
 
     #[test]
     fn null_adversary_delivers() {
-        let corrupted = HashSet::new();
-        let crashed = HashSet::new();
+        let corrupted = NodeSet::new();
+        let crashed = NodeSet::new();
         let mut rng = SmallRng::seed_from_u64(0);
         let mut actions = Vec::new();
         let mut api = AdversaryApi::new(

@@ -110,11 +110,19 @@ impl RunConfig {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::InvalidConfig`] if `f >= n`, no decisions are
+    /// Returns [`SimError::InvalidConfig`] if `n` is zero or not
+    /// representable as a `u32` node id, `f >= n`, no decisions are
     /// requested, or λ is zero.
     pub fn validate(&self) -> Result<(), SimError> {
         if self.n == 0 {
             return Err(SimError::invalid_config("n must be positive"));
+        }
+        if self.n > u32::MAX as usize {
+            return Err(SimError::invalid_config(format!(
+                "n={} exceeds the maximum node count {}",
+                self.n,
+                u32::MAX
+            )));
         }
         if self.f >= self.n {
             return Err(SimError::invalid_config(format!(
@@ -166,6 +174,14 @@ mod tests {
             .with_lambda(SimDuration::ZERO)
             .validate()
             .is_err());
+    }
+
+    #[test]
+    fn validation_rejects_unrepresentable_node_counts() {
+        if usize::BITS > 32 {
+            let cfg = RunConfig::new(u32::MAX as usize + 1);
+            assert!(matches!(cfg.validate(), Err(SimError::InvalidConfig(_))));
+        }
     }
 
     #[test]

@@ -2,42 +2,48 @@
 //! messages, registering time events, and reporting results (the paper's
 //! `reportToSystem`).
 
+use std::borrow::Cow;
 use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 
 use crate::ids::{NodeId, TimerId};
-use crate::payload::Payload;
+use crate::payload::{Payload, PayloadCell};
+use crate::smallstr::SmallStr;
 use crate::time::{SimDuration, SimTime};
 use crate::value::Value;
 
 /// Buffered effects of one protocol callback; the engine applies them after
 /// the callback returns (which keeps the callback free of engine borrows).
+///
+/// Point-to-point sends, self-sends and timers carry a [`PayloadCell`], so
+/// small payloads ride inline without touching the heap; broadcasts keep the
+/// one shared `Arc` that all n − 1 destinations alias.
 #[derive(Debug)]
 pub(crate) enum Action {
     Send {
         dst: NodeId,
-        payload: Arc<dyn Payload>,
+        payload: PayloadCell,
     },
     Broadcast {
         payload: Arc<dyn Payload>,
         include_self: bool,
     },
     SendSelf {
-        payload: Arc<dyn Payload>,
+        payload: PayloadCell,
         delay: SimDuration,
     },
     SetTimer {
         id: TimerId,
         delay: SimDuration,
-        payload: Box<dyn Payload>,
+        payload: PayloadCell,
     },
     CancelTimer(TimerId),
     Decide(Value),
     EnterView(u64),
     Custom {
-        label: String,
-        detail: String,
+        label: Cow<'static, str>,
+        detail: SmallStr,
     },
 }
 
@@ -116,18 +122,20 @@ impl<'a> Context<'a> {
 
     /// Sends `payload` to `dst` through the network module. The message is
     /// assigned a delay by the network model and passes through the attacker
-    /// module before delivery.
-    pub fn send<P: Payload + 'static>(&mut self, dst: NodeId, payload: P) {
+    /// module before delivery. Small payloads (see
+    /// [`fits_inline`](crate::payload::fits_inline)) travel inline — no
+    /// allocation per send.
+    pub fn send<P: Payload + Clone + 'static>(&mut self, dst: NodeId, payload: P) {
         self.actions.push(Action::Send {
             dst,
-            payload: Arc::new(payload),
+            payload: PayloadCell::of(payload),
         });
     }
 
     /// Sends `payload` to every *other* node (n − 1 transmissions). The
     /// payload is allocated once and shared by refcount across all
     /// destinations — broadcasting performs no per-destination deep clone.
-    pub fn broadcast<P: Payload + 'static>(&mut self, payload: P) {
+    pub fn broadcast<P: Payload + Clone + 'static>(&mut self, payload: P) {
         self.actions.push(Action::Broadcast {
             payload: Arc::new(payload),
             include_self: false,
@@ -137,7 +145,7 @@ impl<'a> Context<'a> {
     /// Sends `payload` to every node including itself. The self-copy is
     /// delivered locally at the current time without traversing the network
     /// (and is not counted as a transmitted message).
-    pub fn broadcast_all<P: Payload + 'static>(&mut self, payload: P) {
+    pub fn broadcast_all<P: Payload + Clone + 'static>(&mut self, payload: P) {
         self.actions.push(Action::Broadcast {
             payload: Arc::new(payload),
             include_self: true,
@@ -146,9 +154,9 @@ impl<'a> Context<'a> {
 
     /// Delivers `payload` back to this node at the current time. Useful for
     /// protocol-internal state transitions expressed as messages.
-    pub fn send_self<P: Payload + 'static>(&mut self, payload: P) {
+    pub fn send_self<P: Payload + Clone + 'static>(&mut self, payload: P) {
         self.actions.push(Action::SendSelf {
-            payload: Arc::new(payload),
+            payload: PayloadCell::of(payload),
             delay: SimDuration::ZERO,
         });
     }
@@ -156,13 +164,17 @@ impl<'a> Context<'a> {
     /// Registers a time event `delay` from now; the controller will call
     /// `on_timer` with the given payload. Returns an id usable with
     /// [`cancel_timer`](Context::cancel_timer).
-    pub fn set_timer<P: Payload + 'static>(&mut self, delay: SimDuration, payload: P) -> TimerId {
+    pub fn set_timer<P: Payload + Clone + 'static>(
+        &mut self,
+        delay: SimDuration,
+        payload: P,
+    ) -> TimerId {
         let id = TimerId(*self.next_timer_id);
         *self.next_timer_id += 1;
         self.actions.push(Action::SetTimer {
             id,
             delay,
-            payload: Box::new(payload),
+            payload: PayloadCell::of(payload),
         });
         id
     }
@@ -187,10 +199,31 @@ impl<'a> Context<'a> {
 
     /// Records a protocol-defined trace event (e.g. `"pre-prepare"`), the
     /// hook used for cross-validation against ground-truth traces.
-    pub fn report(&mut self, label: impl Into<String>, detail: impl Into<String>) {
+    ///
+    /// Labels are almost always `&'static str` and details short — both are
+    /// stored without allocating in that case. For formatted details prefer
+    /// [`report_fmt`](Context::report_fmt), which skips the intermediate
+    /// `String` entirely.
+    pub fn report(&mut self, label: impl Into<Cow<'static, str>>, detail: impl Into<SmallStr>) {
         self.actions.push(Action::Custom {
             label: label.into(),
             detail: detail.into(),
+        });
+    }
+
+    /// Records a protocol-defined trace event with a formatted detail,
+    /// writing the format arguments straight into inline storage:
+    ///
+    /// ```ignore
+    /// ctx.report_fmt("commit", format_args!("view={view}"));
+    /// ```
+    ///
+    /// Equivalent to `report(label, format!(…))` but allocation-free for
+    /// details of up to [`SmallStr::INLINE_CAP`] bytes.
+    pub fn report_fmt(&mut self, label: &'static str, args: core::fmt::Arguments<'_>) {
+        self.actions.push(Action::Custom {
+            label: Cow::Borrowed(label),
+            detail: SmallStr::format(args),
         });
     }
 }

@@ -13,7 +13,6 @@
 //! Timer cancellation is the scheduler's job: the engine keeps a plain
 //! `TimerId -> handle` map and hands cancellations straight to the backend.
 
-use std::collections::{HashMap, HashSet};
 use std::mem;
 use std::sync::Arc;
 
@@ -25,7 +24,8 @@ use crate::config::RunConfig;
 use crate::context::{Action, Context};
 use crate::error::SimError;
 use crate::event::{EventKind, Timer};
-use crate::ids::{NodeId, TimerId};
+use crate::fasthash::FastMap;
+use crate::ids::{NodeId, NodeSet, TimerId};
 use crate::message::Message;
 use crate::metrics::{MetricsCollector, RunResult};
 use crate::network::NetworkModel;
@@ -195,12 +195,15 @@ impl SimulationBuilder {
             nodes,
             network,
             adversary: self.adversary,
-            metrics: MetricsCollector::new(self.cfg.n),
+            metrics: MetricsCollector::with_expected_decisions(
+                self.cfg.n,
+                self.cfg.target_decisions,
+            ),
             trace: Trace::new(),
-            timer_handles: HashMap::new(),
-            crashed: HashSet::new(),
-            corrupted: HashSet::new(),
-            excluded: HashSet::new(),
+            timer_handles: FastMap::default(),
+            crashed: NodeSet::with_capacity(self.cfg.n),
+            corrupted: NodeSet::with_capacity(self.cfg.n),
+            excluded: NodeSet::with_capacity(self.cfg.n),
             next_timer_id: 0,
             node_actions: Vec::new(),
             adv_actions: Vec::new(),
@@ -212,7 +215,10 @@ impl SimulationBuilder {
             replay: self.replay,
             replay_diverged: false,
             observer: self.observer,
-            obs: self.obs.map(|cfg| ObsRecorder::new(self.cfg.n, cfg)),
+            obs: match self.obs {
+                Some(cfg) => Some(ObsRecorder::new(self.cfg.n, cfg)?),
+                None => None,
+            },
             completed: 0,
             queue_high_water: 0,
             cfg: self.cfg,
@@ -244,12 +250,13 @@ pub struct Simulation {
     /// Scheduler handle of every timer currently pending in the queue;
     /// entries leave the map when the timer fires or is cancelled, so the
     /// map stays bounded by in-flight timers and cancelling an already-fired
-    /// (or never-armed) timer is naturally a no-op.
-    timer_handles: HashMap<TimerId, EventHandle>,
-    crashed: HashSet<NodeId>,
-    corrupted: HashSet<NodeId>,
+    /// (or never-armed) timer is naturally a no-op. Timer ids are sequential
+    /// `u64`s, so the cheap multiplicative hash is collision-free enough.
+    timer_handles: FastMap<TimerId, EventHandle>,
+    crashed: NodeSet,
+    corrupted: NodeSet,
     /// `crashed ∪ corrupted`, maintained incrementally.
-    excluded: HashSet<NodeId>,
+    excluded: NodeSet,
     next_timer_id: u64,
     node_actions: Vec<Action>,
     adv_actions: Vec<AdvAction>,
@@ -307,7 +314,7 @@ impl Simulation {
         self.apply_adv_actions();
 
         for id in NodeId::all(self.cfg.n) {
-            if self.excluded.contains(&id) {
+            if self.excluded.contains(id) {
                 continue;
             }
             self.dispatch_node(id, |node, ctx| node.init(ctx));
@@ -360,7 +367,7 @@ impl Simulation {
             match ev.kind {
                 EventKind::Deliver(msg) => {
                     let dst = msg.dst();
-                    if self.excluded.contains(&dst) {
+                    if self.excluded.contains(dst) {
                         self.metrics.count_skipped_excluded();
                         continue;
                     }
@@ -397,7 +404,7 @@ impl Simulation {
                 }
                 EventKind::NodeTimer { node, timer } => {
                     self.timer_handles.remove(&timer.id);
-                    if self.excluded.contains(&node) {
+                    if self.excluded.contains(node) {
                         self.metrics.count_skipped_excluded();
                         continue;
                     }
@@ -1001,7 +1008,7 @@ mod tests {
         // No classifier configured: all flows land in the fallback phase.
         assert_eq!(obs.flows.len(), 1);
         assert_eq!(obs.flows[0].phase, crate::obs::UNCLASSIFIED_PHASE);
-        assert_eq!(obs.flows[0].matrix.iter().sum::<u64>(), 6);
+        assert_eq!(obs.flows[0].total(), 6);
         // One decision per live node.
         let decisions: u64 = obs.decision_interval.iter().map(|h| h.count()).sum();
         assert_eq!(decisions, 3);

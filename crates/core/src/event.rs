@@ -15,31 +15,37 @@
 
 use crate::ids::{NodeId, TimerId};
 use crate::message::Message;
-use crate::payload::Payload;
+use crate::payload::{Payload, PayloadCell};
 use crate::time::SimTime;
 
 /// A timer registered by a node, waiting in the queue.
+///
+/// The payload rides in a [`PayloadCell`], so small timer payloads (view
+/// numbers, round markers — in practice all of them) cost no allocation.
 #[derive(Debug)]
 pub struct Timer {
     /// Unique id, used for cancellation.
     pub id: TimerId,
     /// The protocol-defined payload attached at registration.
-    payload: Box<dyn Payload>,
+    payload: PayloadCell,
 }
 
 impl Timer {
-    pub(crate) fn new(id: TimerId, payload: Box<dyn Payload>) -> Self {
-        Timer { id, payload }
+    pub(crate) fn new(id: TimerId, payload: impl Into<PayloadCell>) -> Self {
+        Timer {
+            id,
+            payload: payload.into(),
+        }
     }
 
     /// Borrows the type-erased payload.
     pub fn payload(&self) -> &dyn Payload {
-        self.payload.as_ref()
+        self.payload.as_dyn()
     }
 
     /// Attempts to view the payload as concrete type `T`.
     pub fn downcast_ref<T: core::any::Any>(&self) -> Option<&T> {
-        self.payload.as_any().downcast_ref::<T>()
+        self.payload.as_dyn().as_any().downcast_ref::<T>()
     }
 }
 

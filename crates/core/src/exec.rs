@@ -7,7 +7,7 @@
 //! [`Dispatcher`] that runs one protocol callback and returns the resulting
 //! [`Effect`]s for the host executor to interpret.
 
-use std::sync::Arc;
+use std::borrow::Cow;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -16,14 +16,15 @@ use crate::context::{Action, Context};
 use crate::event::Timer;
 use crate::ids::{NodeId, TimerId};
 use crate::message::Message;
-use crate::payload::Payload;
+use crate::payload::PayloadCell;
 use crate::protocol::Protocol;
+use crate::smallstr::SmallStr;
 use crate::time::{SimDuration, SimTime};
 use crate::value::Value;
 
 /// Reconstructs a [`Timer`] for delivery from an external executor that
 /// stored the id and payload of an [`Effect::SetTimer`].
-pub fn timer_from_parts(id: TimerId, payload: Box<dyn Payload>) -> Timer {
+pub fn timer_from_parts(id: TimerId, payload: impl Into<PayloadCell>) -> Timer {
     Timer::new(id, payload)
 }
 
@@ -42,15 +43,18 @@ impl Protocol for NullProtocol {
 }
 
 /// One externally visible effect of a protocol callback.
+///
+/// Payloads ride in [`PayloadCell`]s, mirroring the engine's own action
+/// plumbing: the sends of one broadcast share a single refcounted
+/// allocation, and small payloads are stored inline.
 #[derive(Debug)]
 pub enum Effect {
-    /// Send `payload` to `dst` over the network. The payload is shared by
-    /// refcount across the sends of one broadcast.
+    /// Send `payload` to `dst` over the network.
     Send {
         /// Destination.
         dst: NodeId,
         /// The payload.
-        payload: Arc<dyn Payload>,
+        payload: PayloadCell,
     },
     /// Deliver `payload` back to the node itself after `delay`, without
     /// touching the network (not a transmitted message).
@@ -58,7 +62,7 @@ pub enum Effect {
         /// Local delivery delay.
         delay: SimDuration,
         /// The payload.
-        payload: Arc<dyn Payload>,
+        payload: PayloadCell,
     },
     /// Arm a timer.
     SetTimer {
@@ -67,7 +71,7 @@ pub enum Effect {
         /// Delay from now.
         delay: SimDuration,
         /// Payload handed back on expiry.
-        payload: Box<dyn Payload>,
+        payload: PayloadCell,
     },
     /// Cancel a previously armed timer.
     CancelTimer(TimerId),
@@ -78,9 +82,9 @@ pub enum Effect {
     /// A protocol-defined trace event.
     Custom {
         /// Event label.
-        label: String,
+        label: Cow<'static, str>,
         /// Event detail.
-        detail: String,
+        detail: SmallStr,
     },
 }
 
@@ -144,13 +148,13 @@ impl Dispatcher {
                         }
                         effects.push(Effect::Send {
                             dst,
-                            payload: Arc::clone(&payload),
+                            payload: PayloadCell::from(std::sync::Arc::clone(&payload)),
                         });
                     }
                     if include_self {
                         effects.push(Effect::SendSelf {
                             delay: SimDuration::ZERO,
-                            payload,
+                            payload: PayloadCell::from(payload),
                         });
                     }
                 }

@@ -80,6 +80,111 @@ impl fmt::Display for TimerId {
     }
 }
 
+/// A dense set of node ids, stored as a bitmap.
+///
+/// The engine tracks crashed, corrupted and excluded nodes for every run;
+/// with dense ids (`0..n`) a bitmap gives O(1) membership at two machine
+/// words per 128 nodes, where a `HashSet<NodeId>` costs a heap bucket per
+/// member and hashes on every lookup — the difference matters on the
+/// delivery hot path at n = 1000+. Iteration is always in ascending id
+/// order, so anything that walks the set is deterministic by construction.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl NodeSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        NodeSet::default()
+    }
+
+    /// Creates an empty set with capacity for ids `0..n` (no growth on
+    /// insert below `n`).
+    pub fn with_capacity(n: usize) -> Self {
+        NodeSet {
+            words: vec![0; n.div_ceil(64)],
+            len: 0,
+        }
+    }
+
+    /// Inserts a node; returns `true` if it was not already present.
+    pub fn insert(&mut self, node: NodeId) -> bool {
+        let (word, bit) = (node.index() / 64, node.index() % 64);
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let mask = 1u64 << bit;
+        let newly = self.words[word] & mask == 0;
+        self.words[word] |= mask;
+        self.len += newly as usize;
+        newly
+    }
+
+    /// Removes a node; returns `true` if it was present.
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        let (word, bit) = (node.index() / 64, node.index() % 64);
+        let Some(w) = self.words.get_mut(word) else {
+            return false;
+        };
+        let mask = 1u64 << bit;
+        let was = *w & mask != 0;
+        *w &= !mask;
+        self.len -= was as usize;
+        was
+    }
+
+    /// Whether the set contains `node`.
+    pub fn contains(&self, node: NodeId) -> bool {
+        let (word, bit) = (node.index() / 64, node.index() % 64);
+        self.words.get(word).is_some_and(|w| w & (1 << bit) != 0)
+    }
+
+    /// Number of nodes in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes every node.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.len = 0;
+    }
+
+    /// Iterates over the member node ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64)
+                .filter(move |b| w & (1 << b) != 0)
+                .map(move |b| NodeId::new((wi * 64 + b) as u32))
+        })
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        let mut s = NodeSet::new();
+        for id in iter {
+            s.insert(id);
+        }
+        s
+    }
+}
+
+impl Extend<NodeId> for NodeSet {
+    fn extend<I: IntoIterator<Item = NodeId>>(&mut self, iter: I) {
+        for id in iter {
+            self.insert(id);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,5 +203,46 @@ mod tests {
         assert_eq!(NodeId::all(0).count(), 0);
         let ids: Vec<_> = NodeId::all(4).map(|i| i.index()).collect();
         assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn node_set_insert_remove_contains() {
+        let mut s = NodeSet::with_capacity(1024);
+        assert!(s.is_empty());
+        assert!(s.insert(NodeId::new(3)));
+        assert!(!s.insert(NodeId::new(3)), "duplicate rejected");
+        assert!(s.insert(NodeId::new(1000)), "large ids supported");
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(NodeId::new(3)));
+        assert!(!s.contains(NodeId::new(4)));
+        assert!(s.remove(NodeId::new(3)));
+        assert!(!s.remove(NodeId::new(3)), "double remove is a no-op");
+        assert_eq!(s.len(), 1);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(NodeId::new(1000)));
+    }
+
+    #[test]
+    fn node_set_iterates_in_ascending_order() {
+        let s: NodeSet = [
+            NodeId::new(200),
+            NodeId::new(5),
+            NodeId::new(63),
+            NodeId::new(64),
+        ]
+        .into_iter()
+        .collect();
+        let ids: Vec<u32> = s.iter().map(NodeId::as_u32).collect();
+        assert_eq!(ids, vec![5, 63, 64, 200]);
+    }
+
+    #[test]
+    fn node_set_grows_beyond_initial_capacity() {
+        let mut s = NodeSet::new();
+        assert!(!s.remove(NodeId::new(9)), "remove on empty set");
+        assert!(s.insert(NodeId::new(130)));
+        assert!(s.contains(NodeId::new(130)));
+        assert_eq!(s.iter().count(), 1);
     }
 }

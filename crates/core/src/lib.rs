@@ -60,6 +60,7 @@ pub mod engine;
 pub mod error;
 pub mod event;
 pub mod exec;
+pub mod fasthash;
 pub mod ids;
 pub mod json;
 pub mod message;
@@ -70,6 +71,7 @@ pub mod oracle;
 pub mod payload;
 pub mod protocol;
 pub mod scheduler;
+pub mod smallstr;
 pub mod sweep;
 pub mod time;
 pub mod trace;

@@ -5,7 +5,7 @@ use core::fmt;
 use std::sync::Arc;
 
 use crate::ids::NodeId;
-use crate::payload::Payload;
+use crate::payload::{Payload, PayloadCell};
 use crate::time::SimTime;
 
 /// A point-to-point message in flight between two nodes.
@@ -16,32 +16,32 @@ use crate::time::SimTime;
 /// may observe, drop, delay, modify or replace them) before delivery — see
 /// §III-A of the paper.
 ///
-/// The payload is an `Arc<dyn Payload>`: cloning a message (as broadcast
-/// fan-out does, once per destination) bumps a refcount instead of
-/// deep-cloning the payload. Mutation via [`Message::downcast_mut`] is
-/// copy-on-write, so tampering with one delivery never aliases into another
-/// destination's copy.
+/// The payload is a [`PayloadCell`]: broadcast fan-out shares one `Arc`
+/// allocation across all destinations (cloning bumps a refcount), while
+/// small point-to-point payloads ride inline and never touch the heap.
+/// Mutation via [`Message::downcast_mut`] is copy-on-write, so tampering
+/// with one delivery never aliases into another destination's copy.
 #[derive(Debug, Clone)]
 pub struct Message {
     src: NodeId,
     dst: NodeId,
     sent_at: SimTime,
     injected: bool,
-    payload: Arc<dyn Payload>,
+    payload: PayloadCell,
 }
 
 impl Message {
     /// Creates a new honest message. Library users normally go through
     /// [`Context::send`](crate::context::Context::send) instead.
     ///
-    /// Accepts either a `Box<dyn Payload>` (e.g. from
+    /// Accepts a [`PayloadCell`], a `Box<dyn Payload>` (e.g. from
     /// [`boxed`](crate::payload::boxed)) or an `Arc<dyn Payload>` (e.g. from
     /// [`shared`](crate::payload::shared)); boxes convert without copying.
     pub fn new(
         src: NodeId,
         dst: NodeId,
         sent_at: SimTime,
-        payload: impl Into<Arc<dyn Payload>>,
+        payload: impl Into<PayloadCell>,
     ) -> Self {
         Message {
             src,
@@ -59,7 +59,7 @@ impl Message {
         src: NodeId,
         dst: NodeId,
         sent_at: SimTime,
-        payload: impl Into<Arc<dyn Payload>>,
+        payload: impl Into<PayloadCell>,
     ) -> Self {
         Message {
             src,
@@ -94,13 +94,21 @@ impl Message {
 
     /// Borrows the type-erased payload.
     pub fn payload(&self) -> &dyn Payload {
-        self.payload.as_ref()
+        self.payload.as_dyn()
     }
 
-    /// Borrows the shared payload handle. Mainly useful for asserting
-    /// zero-copy fan-out (`Arc::ptr_eq`) in tests and tooling.
-    pub fn payload_arc(&self) -> &Arc<dyn Payload> {
-        &self.payload
+    /// Borrows the shared payload handle, if the payload is `Arc`-backed
+    /// (broadcasts always are; small point-to-point payloads are inline and
+    /// return `None`). Mainly useful for asserting zero-copy fan-out
+    /// (`Arc::ptr_eq`) in tests and tooling.
+    pub fn payload_arc(&self) -> Option<&Arc<dyn Payload>> {
+        self.payload.arc()
+    }
+
+    /// A shared handle to the payload: a refcount bump when it is already
+    /// `Arc`-backed, a deep clone into a fresh allocation when inline.
+    pub fn clone_payload_arc(&self) -> Arc<dyn Payload> {
+        self.payload.clone_arc()
     }
 
     /// Attempts to view the payload as concrete type `T`.
@@ -117,7 +125,7 @@ impl Message {
     /// assert_eq!(m.downcast_ref::<Vote>(), Some(&Vote(3)));
     /// ```
     pub fn downcast_ref<T: Any>(&self) -> Option<&T> {
-        self.payload.as_ref().as_any().downcast_ref::<T>()
+        self.payload.as_dyn().as_any().downcast_ref::<T>()
     }
 
     /// Attempts to view the payload mutably as concrete type `T`. Used by
@@ -125,21 +133,16 @@ impl Message {
     ///
     /// Copy-on-write: if the payload is still shared with other deliveries
     /// of the same broadcast, it is deep-cloned first, so the mutation is
-    /// confined to this message. The type check happens *before* the clone,
-    /// so a failed downcast costs nothing.
+    /// confined to this message (inline payloads are uniquely owned and
+    /// mutate in place). The type check happens *before* the clone, so a
+    /// failed downcast costs nothing.
     pub fn downcast_mut<T: Any>(&mut self) -> Option<&mut T> {
-        self.payload.as_ref().as_any().downcast_ref::<T>()?;
-        if Arc::get_mut(&mut self.payload).is_none() {
-            self.payload = self.payload.as_ref().clone_arc();
-        }
-        Arc::get_mut(&mut self.payload)
-            .expect("freshly cloned payload arc is unique")
-            .as_any_mut()
-            .downcast_mut::<T>()
+        self.payload.as_dyn().as_any().downcast_ref::<T>()?;
+        self.payload.as_dyn_mut().as_any_mut().downcast_mut::<T>()
     }
 
     /// Replaces the payload wholesale (attacker capability).
-    pub fn replace_payload(&mut self, payload: impl Into<Arc<dyn Payload>>) {
+    pub fn replace_payload(&mut self, payload: impl Into<PayloadCell>) {
         self.payload = payload.into();
     }
 
@@ -158,7 +161,7 @@ impl fmt::Display for Message {
             self.src,
             self.dst,
             self.sent_at,
-            self.payload.as_ref().payload_type()
+            self.payload.as_dyn().payload_type()
         )
     }
 }
@@ -207,7 +210,10 @@ mod tests {
     fn clone_shares_payload_allocation() {
         let m = Message::new(NodeId::new(0), NodeId::new(1), SimTime::ZERO, shared(P(5)));
         let c = m.clone();
-        assert!(Arc::ptr_eq(m.payload_arc(), c.payload_arc()));
+        assert!(Arc::ptr_eq(
+            m.payload_arc().unwrap(),
+            c.payload_arc().unwrap()
+        ));
     }
 
     #[test]
@@ -218,7 +224,10 @@ mod tests {
         // The original delivery is unaffected and no longer aliased.
         assert_eq!(m.downcast_ref::<P>(), Some(&P(5)));
         assert_eq!(tampered.downcast_ref::<P>(), Some(&P(99)));
-        assert!(!Arc::ptr_eq(m.payload_arc(), tampered.payload_arc()));
+        assert!(!Arc::ptr_eq(
+            m.payload_arc().unwrap(),
+            tampered.payload_arc().unwrap()
+        ));
     }
 
     #[test]
@@ -226,15 +235,38 @@ mod tests {
         let m = Message::new(NodeId::new(0), NodeId::new(1), SimTime::ZERO, shared(P(5)));
         let mut c = m.clone();
         assert!(c.downcast_mut::<String>().is_none());
-        assert!(Arc::ptr_eq(m.payload_arc(), c.payload_arc()));
+        assert!(Arc::ptr_eq(
+            m.payload_arc().unwrap(),
+            c.payload_arc().unwrap()
+        ));
     }
 
     #[test]
     fn unique_downcast_mut_mutates_in_place() {
         let mut m = Message::new(NodeId::new(0), NodeId::new(1), SimTime::ZERO, shared(P(1)));
-        let before = Arc::as_ptr(m.payload_arc());
+        let before = Arc::as_ptr(m.payload_arc().unwrap());
         m.downcast_mut::<P>().unwrap().0 = 2;
-        assert_eq!(Arc::as_ptr(m.payload_arc()), before);
+        assert_eq!(Arc::as_ptr(m.payload_arc().unwrap()), before);
         assert_eq!(m.downcast_ref::<P>(), Some(&P(2)));
+    }
+
+    #[test]
+    fn inline_payloads_have_no_arc_and_mutate_in_place() {
+        use crate::payload::PayloadCell;
+        let mut m = Message::new(
+            NodeId::new(0),
+            NodeId::new(1),
+            SimTime::ZERO,
+            PayloadCell::of(P(5)),
+        );
+        assert!(
+            m.payload_arc().is_none(),
+            "inline payload is not Arc-backed"
+        );
+        m.downcast_mut::<P>().unwrap().0 = 6;
+        assert_eq!(m.downcast_ref::<P>(), Some(&P(6)));
+        // Promotion yields a real shared handle carrying the same value.
+        let arc = m.clone_payload_arc();
+        assert_eq!(arc.as_ref().as_any().downcast_ref::<P>(), Some(&P(6)));
     }
 }

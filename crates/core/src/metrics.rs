@@ -1,9 +1,7 @@
 //! Performance metrics: time usage and message usage (§II-C), decision
 //! tracking and the safety checker.
 
-use std::collections::HashSet;
-
-use crate::ids::NodeId;
+use crate::ids::{NodeId, NodeSet};
 use crate::obs::Observability;
 use crate::scheduler::SchedulerStats;
 use crate::time::{SimDuration, SimTime};
@@ -32,10 +30,26 @@ pub(crate) struct MetricsCollector {
 }
 
 impl MetricsCollector {
+    /// Creates a collector with no decision-count hint (tests only; the
+    /// engine always knows its target and calls
+    /// [`with_expected_decisions`](Self::with_expected_decisions)).
+    #[cfg(test)]
     pub fn new(n: usize) -> Self {
+        MetricsCollector::with_expected_decisions(n, 0)
+    }
+
+    /// Like `new`, but pre-sizes the per-node decision
+    /// sequences and the completion log for `expected` slots, so runs with
+    /// a known `target_decisions` never grow them mid-simulation. The
+    /// expectation is a capacity hint only — runs may decide more or fewer
+    /// slots.
+    pub fn with_expected_decisions(n: usize, expected: u64) -> Self {
+        // Decision targets are small (tens); cap the hint so a pathological
+        // config cannot pre-reserve unbounded memory.
+        let cap = expected.min(1024) as usize;
         MetricsCollector {
-            decided: vec![Vec::new(); n],
-            completions: Vec::new(),
+            decided: (0..n).map(|_| Vec::with_capacity(cap)).collect(),
+            completions: Vec::with_capacity(cap),
             honest_messages: 0,
             adversary_messages: 0,
             dropped_messages: 0,
@@ -95,7 +109,7 @@ impl MetricsCollector {
 
     /// Cross-checks `node`'s newest decision against every other honest
     /// node's decision for the same slot; records the first violation.
-    pub fn check_safety(&mut self, node: NodeId, excluded: &HashSet<NodeId>) {
+    pub fn check_safety(&mut self, node: NodeId, excluded: &NodeSet) {
         if self.safety_violation.is_some() {
             return;
         }
@@ -104,7 +118,7 @@ impl MetricsCollector {
         let (_, value) = seq[slot];
         for (other_idx, other_seq) in self.decided.iter().enumerate() {
             let other = NodeId::new(other_idx as u32);
-            if other == node || excluded.contains(&other) {
+            if other == node || excluded.contains(other) {
                 continue;
             }
             if let Some(&(_, other_value)) = other_seq.get(slot) {
@@ -121,13 +135,13 @@ impl MetricsCollector {
     /// Re-derives completion times given the current live-honest set; returns
     /// the number of fully completed slots. Called after every decision and
     /// after crash/corruption changes.
-    pub fn update_completions(&mut self, now: SimTime, excluded: &HashSet<NodeId>) -> u64 {
+    pub fn update_completions(&mut self, now: SimTime, excluded: &NodeSet) -> u64 {
         loop {
             let k = self.completions.len();
             let mut all = true;
             let mut any_live = false;
             for (idx, seq) in self.decided.iter().enumerate() {
-                if excluded.contains(&NodeId::new(idx as u32)) {
+                if excluded.contains(NodeId::new(idx as u32)) {
                     continue;
                 }
                 any_live = true;
@@ -364,7 +378,7 @@ mod tests {
     #[test]
     fn completions_require_all_live_honest_nodes() {
         let mut m = MetricsCollector::new(3);
-        let excluded = HashSet::new();
+        let excluded = NodeSet::new();
         m.record_decision(NodeId::new(0), SimTime::from_millis(10), Value::ONE);
         assert_eq!(m.update_completions(SimTime::from_millis(10), &excluded), 0);
         m.record_decision(NodeId::new(1), SimTime::from_millis(12), Value::ONE);
@@ -376,7 +390,7 @@ mod tests {
     #[test]
     fn excluded_nodes_do_not_block_completion() {
         let mut m = MetricsCollector::new(3);
-        let excluded: HashSet<NodeId> = [NodeId::new(2)].into_iter().collect();
+        let excluded: NodeSet = [NodeId::new(2)].into_iter().collect();
         m.record_decision(NodeId::new(0), SimTime::from_millis(10), Value::ONE);
         m.record_decision(NodeId::new(1), SimTime::from_millis(11), Value::ONE);
         assert_eq!(m.update_completions(SimTime::from_millis(11), &excluded), 1);
@@ -385,7 +399,7 @@ mod tests {
     #[test]
     fn safety_checker_flags_conflicts() {
         let mut m = MetricsCollector::new(2);
-        let excluded = HashSet::new();
+        let excluded = NodeSet::new();
         m.record_decision(NodeId::new(0), SimTime::from_millis(1), Value::ZERO);
         m.check_safety(NodeId::new(0), &excluded);
         assert!(m.safety_violation.is_none());
@@ -397,7 +411,7 @@ mod tests {
     #[test]
     fn safety_checker_ignores_excluded_nodes() {
         let mut m = MetricsCollector::new(2);
-        let excluded: HashSet<NodeId> = [NodeId::new(0)].into_iter().collect();
+        let excluded: NodeSet = [NodeId::new(0)].into_iter().collect();
         m.record_decision(NodeId::new(0), SimTime::from_millis(1), Value::ZERO);
         m.record_decision(NodeId::new(1), SimTime::from_millis(2), Value::ONE);
         m.check_safety(NodeId::new(1), &excluded);
@@ -407,7 +421,7 @@ mod tests {
     #[test]
     fn latency_metrics() {
         let mut m = MetricsCollector::new(1);
-        let excluded = HashSet::new();
+        let excluded = NodeSet::new();
         for k in 0..10u64 {
             m.record_decision(
                 NodeId::new(0),
@@ -437,7 +451,7 @@ mod tests {
     #[test]
     fn avg_latency_rounds_instead_of_truncating() {
         let mut m = MetricsCollector::new(1);
-        let excluded = HashSet::new();
+        let excluded = NodeSet::new();
         // Three completions; the last at 1000 µs. 1000 / 3 = 333.33…, which
         // integer division used to truncate to 333 µs; rounding keeps 333 but
         // a total of 1001 µs must give 334, not 333.

@@ -29,6 +29,8 @@
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
+use crate::error::SimError;
+use crate::fasthash::FastMap;
 use crate::ids::NodeId;
 use crate::json::Json;
 use crate::message::Message;
@@ -36,17 +38,76 @@ use crate::payload::Payload;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::TraceEvent;
 
-/// Maps a message payload to a protocol-phase label, or `None` when the
-/// payload is not one the classifier understands (it is then counted under
-/// [`UNCLASSIFIED_PHASE`]).
+/// Maps message payloads to protocol phases.
 ///
-/// Classifiers are plain `fn` pointers so an [`ObsConfig`] stays `Clone` and
-/// cheap to move across threads.
-pub type PhaseClassifier = fn(&dyn Payload) -> Option<&'static str>;
+/// A classifier is a static table of phase labels plus a function mapping a
+/// payload to an *index* into that table (`None` for payloads it does not
+/// understand — those are counted under [`UNCLASSIFIED_PHASE`]). Returning a
+/// small integer instead of a label lets the recorder index its per-phase
+/// flow accumulators directly — one array index per delivered message —
+/// instead of linearly scanning a label list on the hot path.
+///
+/// Classifiers are `Copy` (a static slice and a plain `fn` pointer), so an
+/// [`ObsConfig`] stays `Clone` and cheap to move across threads.
+///
+/// # Examples
+///
+/// ```
+/// use bft_sim_core::obs::PhaseClassifier;
+/// use bft_sim_core::payload::Payload;
+///
+/// const PHASES: &[&str] = &["proposal", "vote"];
+/// fn classify(p: &dyn Payload) -> Option<u8> {
+///     if p.as_any().is::<u64>() {
+///         Some(1) // index into PHASES: "vote"
+///     } else {
+///         None
+///     }
+/// }
+/// const CLASSIFIER: PhaseClassifier = PhaseClassifier::new(PHASES, classify);
+/// assert_eq!(CLASSIFIER.phases()[1], "vote");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseClassifier {
+    phases: &'static [&'static str],
+    classify: fn(&dyn Payload) -> Option<u8>,
+}
+
+impl PhaseClassifier {
+    /// Builds a classifier from a phase-label table and an indexing function.
+    /// Usable in `const` contexts, so protocols can expose their classifier
+    /// as a constant.
+    pub const fn new(
+        phases: &'static [&'static str],
+        classify: fn(&dyn Payload) -> Option<u8>,
+    ) -> Self {
+        PhaseClassifier { phases, classify }
+    }
+
+    /// The phase-label table; classification indices point into this slice.
+    pub fn phases(&self) -> &'static [&'static str] {
+        self.phases
+    }
+
+    /// Classifies `payload`, returning a valid index into
+    /// [`phases`](PhaseClassifier::phases) or `None` (unclassified). An
+    /// out-of-table index from the classify function is treated as
+    /// unclassified rather than trusted.
+    pub fn classify(&self, payload: &dyn Payload) -> Option<u8> {
+        (self.classify)(payload).filter(|&i| (i as usize) < self.phases.len())
+    }
+}
 
 /// Phase label used for payloads the [`PhaseClassifier`] does not recognise
 /// (or when no classifier is configured at all).
 pub const UNCLASSIFIED_PHASE: &str = "unclassified";
+
+/// Largest node count for which per-phase flows keep a dense n×n matrix.
+/// Above this the recorder switches to a sparse representation — at n = 1024
+/// a *single* dense phase matrix would be 8 MiB, and protocols track several
+/// phases. The JSON emitted for dense flows is unchanged, so reports for
+/// runs at or below this size are byte-identical to earlier versions.
+pub const DENSE_FLOW_MAX_NODES: usize = 64;
 
 /// Number of log-2 buckets in a [`Histogram`].
 ///
@@ -314,30 +375,138 @@ impl ViewTiming {
     }
 }
 
+/// One nonzero cell of a message-flow matrix: `count` wire messages from
+/// `src` delivered to `dst`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowCell {
+    /// Source node index.
+    pub src: u32,
+    /// Destination node index.
+    pub dst: u32,
+    /// Deliveries observed on this edge.
+    pub count: u64,
+}
+
+/// How a [`PhaseFlow`] stores its counts.
+///
+/// Dense keeps the familiar row-major n×n matrix; sparse keeps only the
+/// nonzero cells, sorted by `(src, dst)`. Protocols at n = 1024 touch a few
+/// edges per phase out of the ~10⁶ possible, so the sparse form is what makes
+/// observability affordable at scale.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum FlowRepr {
+    /// Row-major n×n delivery counts (`matrix[src * nodes + dst]`).
+    Dense(Vec<u64>),
+    /// Nonzero cells only, ascending by `(src, dst)`.
+    Sparse(Vec<FlowCell>),
+}
+
 /// An n×n message-flow matrix for one protocol phase.
 ///
-/// `matrix` is row-major: `matrix[src * nodes + dst]` counts wire messages
-/// from `src` delivered to `dst` whose payload classified into `phase`.
+/// The storage is dense (row-major `Vec`) for runs of up to
+/// [`DENSE_FLOW_MAX_NODES`] nodes and sparse (sorted nonzero cells) above
+/// that; the accessors hide the difference. The JSON form of a dense flow is
+/// unchanged from when `PhaseFlow` exposed the matrix directly, so reports
+/// for small runs stay byte-identical.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PhaseFlow {
     /// The phase label (from the protocol's [`PhaseClassifier`], or
     /// [`UNCLASSIFIED_PHASE`]).
     pub phase: String,
-    /// Row-major n×n delivery counts.
-    pub matrix: Vec<u64>,
+    nodes: usize,
+    total: u64,
+    repr: FlowRepr,
 }
 
 impl PhaseFlow {
+    /// The matrix dimension (number of nodes in the run).
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Total deliveries recorded in this phase (the sum over all cells).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether the flow is stored as a dense matrix.
+    pub fn is_dense(&self) -> bool {
+        matches!(self.repr, FlowRepr::Dense(_))
+    }
+
+    /// Deliveries from `src` to `dst`; 0 when out of range.
+    pub fn get(&self, src: usize, dst: usize) -> u64 {
+        if src >= self.nodes || dst >= self.nodes {
+            return 0;
+        }
+        match &self.repr {
+            FlowRepr::Dense(matrix) => matrix[src * self.nodes + dst],
+            FlowRepr::Sparse(cells) => {
+                let key = (src as u32, dst as u32);
+                match cells.binary_search_by_key(&key, |c| (c.src, c.dst)) {
+                    Ok(i) => cells[i].count,
+                    Err(_) => 0,
+                }
+            }
+        }
+    }
+
+    /// The nonzero cells, ascending by `(src, dst)` regardless of storage.
+    pub fn cells(&self) -> Vec<FlowCell> {
+        match &self.repr {
+            FlowRepr::Dense(matrix) => matrix
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &count)| FlowCell {
+                    src: (i / self.nodes) as u32,
+                    dst: (i % self.nodes) as u32,
+                    count,
+                })
+                .collect(),
+            FlowRepr::Sparse(cells) => cells.clone(),
+        }
+    }
+
+    /// The row-major matrix when stored densely; `None` for sparse flows
+    /// (materialising an n×n matrix at large n is exactly what the sparse
+    /// form exists to avoid).
+    pub fn dense(&self) -> Option<&[u64]> {
+        match &self.repr {
+            FlowRepr::Dense(matrix) => Some(matrix),
+            FlowRepr::Sparse(_) => None,
+        }
+    }
+
     fn to_json(&self, n: usize) -> Json {
-        let rows: Vec<Json> = self
-            .matrix
-            .chunks(n.max(1))
-            .map(|row| Json::Arr(row.iter().map(|&c| Json::UInt(c)).collect()))
-            .collect();
-        Json::obj([
-            ("phase", Json::Str(self.phase.clone())),
-            ("matrix", Json::Arr(rows)),
-        ])
+        match &self.repr {
+            FlowRepr::Dense(matrix) => {
+                let rows: Vec<Json> = matrix
+                    .chunks(n.max(1))
+                    .map(|row| Json::Arr(row.iter().map(|&c| Json::UInt(c)).collect()))
+                    .collect();
+                Json::obj([
+                    ("phase", Json::Str(self.phase.clone())),
+                    ("matrix", Json::Arr(rows)),
+                ])
+            }
+            FlowRepr::Sparse(cells) => {
+                let arr: Vec<Json> = cells
+                    .iter()
+                    .map(|c| {
+                        Json::Arr(vec![
+                            Json::UInt(c.src as u64),
+                            Json::UInt(c.dst as u64),
+                            Json::UInt(c.count),
+                        ])
+                    })
+                    .collect();
+                Json::obj([
+                    ("phase", Json::Str(self.phase.clone())),
+                    ("cells", Json::Arr(arr)),
+                ])
+            }
+        }
     }
 }
 
@@ -398,8 +567,64 @@ impl Observability {
         self.flows
             .iter()
             .filter(|f| f.phase == phase)
-            .flat_map(|f| f.matrix.iter())
+            .map(|f| f.total())
             .sum()
+    }
+}
+
+/// Accumulating storage for one phase's flow counts while a run executes.
+///
+/// Dense accumulators are allocated upfront (n ≤ [`DENSE_FLOW_MAX_NODES`],
+/// so at most a 32 KiB matrix per phase); sparse ones start as an empty map
+/// and grow with the edges actually seen. `total` doubles as the emptiness
+/// check at [`ObsRecorder::finish`] — phases never delivered into produce no
+/// [`PhaseFlow`], exactly as when flows were created lazily per label.
+#[derive(Debug)]
+enum FlowAccum {
+    /// Row-major n×n counts.
+    Dense(Vec<u64>),
+    /// `(src << 32 | dst)` → count.
+    Sparse(FastMap<u64, u64>),
+}
+
+impl FlowAccum {
+    fn record(&mut self, n: usize, src: usize, dst: usize) {
+        match self {
+            FlowAccum::Dense(matrix) => matrix[src * n + dst] += 1,
+            FlowAccum::Sparse(map) => {
+                let key = ((src as u64) << 32) | dst as u64;
+                *map.entry(key).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Folds the accumulator into its immutable snapshot form.
+    fn finish(self, phase: &str, nodes: usize) -> PhaseFlow {
+        match self {
+            FlowAccum::Dense(matrix) => PhaseFlow {
+                phase: phase.to_string(),
+                nodes,
+                total: matrix.iter().sum(),
+                repr: FlowRepr::Dense(matrix),
+            },
+            FlowAccum::Sparse(map) => {
+                let mut cells: Vec<FlowCell> = map
+                    .into_iter()
+                    .map(|(key, count)| FlowCell {
+                        src: (key >> 32) as u32,
+                        dst: key as u32,
+                        count,
+                    })
+                    .collect();
+                cells.sort_unstable_by_key(|c| (c.src, c.dst));
+                PhaseFlow {
+                    phase: phase.to_string(),
+                    nodes,
+                    total: cells.iter().map(|c| c.count).sum(),
+                    repr: FlowRepr::Sparse(cells),
+                }
+            }
+        }
     }
 }
 
@@ -413,27 +638,59 @@ pub(crate) struct ObsRecorder {
     delivery: Vec<Histogram>,
     decision: Vec<Histogram>,
     last_decision: Vec<Option<SimTime>>,
-    /// Phase label → row-major n×n delivery counts. A handful of phases per
-    /// protocol, so a linear scan beats a hash map here.
-    flows: Vec<(&'static str, Vec<u64>)>,
+    /// Per-phase flow accumulators, indexed by the classifier's phase id;
+    /// the extra last slot collects unclassified deliveries. Recording is a
+    /// direct index — no per-message label scan.
+    flows: Vec<FlowAccum>,
+    /// Count of deliveries recorded into each accumulator, same indexing.
+    flow_totals: Vec<u64>,
     /// View number → timing, kept sorted by view number.
     views: Vec<ViewTiming>,
     ring: ObsRing,
 }
 
 impl ObsRecorder {
-    pub(crate) fn new(n: usize, cfg: ObsConfig) -> Self {
-        ObsRecorder {
+    /// Builds the recorder, validating that the flow bookkeeping for `n`
+    /// nodes is representable.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] when node indices would not fit the sparse
+    /// cell key (n above `u32` range) or a dense matrix's `n * n` length
+    /// would overflow `usize` — both structured errors where the previous
+    /// dense-only code would have aborted on arithmetic overflow.
+    pub(crate) fn new(n: usize, cfg: ObsConfig) -> Result<Self, SimError> {
+        if n > u32::MAX as usize {
+            return Err(SimError::invalid_config(format!(
+                "observability supports at most {} nodes, got {n}",
+                u32::MAX
+            )));
+        }
+        let phase_slots = cfg.classifier.map_or(0, |c| c.phases().len()) + 1;
+        let flows: Vec<FlowAccum> = if n <= DENSE_FLOW_MAX_NODES {
+            let cells = n.checked_mul(n).ok_or_else(|| {
+                SimError::invalid_config(format!("flow matrix size n*n overflows for n={n}"))
+            })?;
+            (0..phase_slots)
+                .map(|_| FlowAccum::Dense(vec![0u64; cells]))
+                .collect()
+        } else {
+            (0..phase_slots)
+                .map(|_| FlowAccum::Sparse(FastMap::default()))
+                .collect()
+        };
+        Ok(ObsRecorder {
             n,
             last_k: cfg.last_k,
             classifier: cfg.classifier,
             delivery: vec![Histogram::new(); n],
             decision: vec![Histogram::new(); n],
             last_decision: vec![None; n],
-            flows: Vec::new(),
+            flow_totals: vec![0; phase_slots],
+            flows,
             views: Vec::new(),
             ring: cfg.ring,
-        }
+        })
     }
 
     pub(crate) fn push_event(&self, event: TraceEvent) {
@@ -446,21 +703,16 @@ impl ObsRecorder {
         if let Some(h) = self.delivery.get_mut(dst) {
             h.record(now.saturating_since(msg.sent_at()));
         }
-        let phase = self
-            .classifier
-            .and_then(|c| c(msg.payload()))
-            .unwrap_or(UNCLASSIFIED_PHASE);
+        let unclassified = self.flows.len() - 1;
+        let id = match &self.classifier {
+            Some(c) => c
+                .classify(msg.payload())
+                .map_or(unclassified, |i| i as usize),
+            None => unclassified,
+        };
         let src = msg.src().index();
-        let cell = src * self.n + dst;
-        let n2 = self.n * self.n;
-        match self.flows.iter_mut().find(|(p, _)| *p == phase) {
-            Some((_, matrix)) => matrix[cell] += 1,
-            None => {
-                let mut matrix = vec![0u64; n2];
-                matrix[cell] += 1;
-                self.flows.push((phase, matrix));
-            }
-        }
+        self.flows[id].record(self.n, src, dst);
+        self.flow_totals[id] += 1;
     }
 
     /// `node` decided at `now`.
@@ -500,13 +752,22 @@ impl ObsRecorder {
 
     /// Freeze the recorder into its final snapshot.
     pub(crate) fn finish(self) -> Observability {
+        let phase_name = |id: usize| -> &'static str {
+            match self.classifier {
+                Some(c) if id < c.phases().len() => c.phases()[id],
+                _ => UNCLASSIFIED_PHASE,
+            }
+        };
+        let n = self.n;
+        let totals = self.flow_totals;
+        // Phases never delivered into are dropped, matching the lazy per-label
+        // allocation the recorder used before accumulators were pre-sized.
         let mut flows: Vec<PhaseFlow> = self
             .flows
             .into_iter()
-            .map(|(phase, matrix)| PhaseFlow {
-                phase: phase.to_string(),
-                matrix,
-            })
+            .enumerate()
+            .filter(|(id, _)| totals[*id] > 0)
+            .map(|(id, accum)| accum.finish(phase_name(id), n))
             .collect();
         flows.sort_by(|a, b| a.phase.cmp(&b.phase));
         Observability {
@@ -571,6 +832,68 @@ mod tests {
     }
 
     #[test]
+    fn histogram_extreme_durations_land_in_first_and_last_buckets() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::ZERO);
+        h.record(SimDuration::MAX);
+        // The zero duration occupies the dedicated first bucket and the
+        // saturating maximum the last — never a panic, never an off-by-one
+        // into a neighbouring bucket.
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[HISTOGRAM_BUCKETS - 1], 1);
+        assert_eq!(
+            h.buckets().iter().sum::<u64>(),
+            2,
+            "no other bucket was touched"
+        );
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min_micros(), 0);
+        assert_eq!(h.max_micros(), SimDuration::MAX.as_micros());
+        // The sum saturates instead of wrapping.
+        assert_eq!(h.sum_micros(), SimDuration::MAX.as_micros());
+        h.record(SimDuration::MAX);
+        assert_eq!(
+            h.sum_micros(),
+            u64::MAX.min(SimDuration::MAX.as_micros().saturating_mul(2))
+        );
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_around_powers_of_two() {
+        // 2^k goes to bucket k+1; 2^k - 1 stays in bucket k (for k >= 1).
+        for k in 1..(HISTOGRAM_BUCKETS - 2) {
+            let lo = 1u64 << k;
+            assert_eq!(Histogram::bucket_index(lo), k + 1, "2^{k}");
+            assert_eq!(Histogram::bucket_index(lo - 1), k, "2^{k} - 1");
+        }
+        // At and beyond 2^39 everything saturates into the last bucket.
+        assert_eq!(
+            Histogram::bucket_index(1u64 << (HISTOGRAM_BUCKETS - 2)),
+            HISTOGRAM_BUCKETS - 1
+        );
+        assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_merge_preserves_totals_with_extremes() {
+        let mut a = Histogram::new();
+        a.record(SimDuration::ZERO);
+        a.record(SimDuration::from_micros(17));
+        let mut b = Histogram::new();
+        b.record(SimDuration::MAX);
+        let (ca, cb) = (a.count(), b.count());
+        let (sa, sb) = (a.sum_micros(), b.sum_micros());
+        a.merge(&b);
+        assert_eq!(a.count(), ca + cb);
+        assert_eq!(a.sum_micros(), sa.saturating_add(sb));
+        assert_eq!(a.min_micros(), 0);
+        assert_eq!(a.max_micros(), SimDuration::MAX.as_micros());
+        assert_eq!(a.buckets().iter().sum::<u64>(), ca + cb);
+        assert_eq!(a.buckets()[0], 1);
+        assert_eq!(a.buckets()[HISTOGRAM_BUCKETS - 1], 1);
+    }
+
+    #[test]
     fn histogram_merge_matches_recording_everything_in_one() {
         let values_a = [3u64, 0, 99, 12_345];
         let values_b = [7u64, 7, 2];
@@ -624,7 +947,7 @@ mod tests {
 
     #[test]
     fn recorder_decision_intervals_measure_gaps_per_node() {
-        let mut rec = ObsRecorder::new(2, ObsConfig::new(8));
+        let mut rec = ObsRecorder::new(2, ObsConfig::new(8)).unwrap();
         rec.on_decided(SimTime::from_micros(100), NodeId::new(0));
         rec.on_decided(SimTime::from_micros(250), NodeId::new(0));
         rec.on_decided(SimTime::from_micros(400), NodeId::new(1));
@@ -640,7 +963,7 @@ mod tests {
 
     #[test]
     fn recorder_view_timings_fold_entries() {
-        let mut rec = ObsRecorder::new(1, ObsConfig::new(8));
+        let mut rec = ObsRecorder::new(1, ObsConfig::new(8)).unwrap();
         rec.on_view(SimTime::from_micros(50), 3);
         rec.on_view(SimTime::from_micros(10), 3);
         rec.on_view(SimTime::from_micros(99), 3);
@@ -654,12 +977,16 @@ mod tests {
         assert_eq!(obs.views[1].entries, 3);
     }
 
+    const TEST_PHASES: &[&str] = &["vote"];
+    fn classify_votes(p: &dyn Payload) -> Option<u8> {
+        p.as_any().downcast_ref::<u32>().map(|_| 0)
+    }
+    const TEST_CLASSIFIER: PhaseClassifier = PhaseClassifier::new(TEST_PHASES, classify_votes);
+
     #[test]
     fn recorder_flows_classify_and_fall_back() {
-        fn classify(p: &dyn Payload) -> Option<&'static str> {
-            p.as_any().downcast_ref::<u32>().map(|_| "vote")
-        }
-        let mut rec = ObsRecorder::new(2, ObsConfig::new(8).with_classifier(classify));
+        let mut rec =
+            ObsRecorder::new(2, ObsConfig::new(8).with_classifier(TEST_CLASSIFIER)).unwrap();
         let vote = Message::new(
             NodeId::new(0),
             NodeId::new(1),
@@ -679,9 +1006,21 @@ mod tests {
         // Sorted by phase label.
         assert_eq!(obs.flows.len(), 2);
         assert_eq!(obs.flows[0].phase, UNCLASSIFIED_PHASE);
-        assert_eq!(obs.flows[0].matrix, vec![0, 0, 1, 0]);
+        assert!(obs.flows[0].is_dense());
+        assert_eq!(obs.flows[0].dense().unwrap(), &[0, 0, 1, 0]);
         assert_eq!(obs.flows[1].phase, "vote");
-        assert_eq!(obs.flows[1].matrix, vec![0, 2, 0, 0]);
+        assert_eq!(obs.flows[1].dense().unwrap(), &[0, 2, 0, 0]);
+        assert_eq!(obs.flows[1].get(0, 1), 2);
+        assert_eq!(obs.flows[1].get(1, 0), 0);
+        assert_eq!(obs.flows[1].total(), 2);
+        assert_eq!(
+            obs.flows[1].cells(),
+            vec![FlowCell {
+                src: 0,
+                dst: 1,
+                count: 2
+            }]
+        );
         assert_eq!(obs.phase_total("vote"), 2);
         // Latency = now - sent_at, recorded against the destination.
         assert_eq!(obs.delivery_latency[1].count(), 2);
@@ -691,8 +1030,85 @@ mod tests {
     }
 
     #[test]
+    fn large_runs_use_sparse_flows_with_identical_semantics() {
+        let n = DENSE_FLOW_MAX_NODES + 1;
+        let mut rec =
+            ObsRecorder::new(n, ObsConfig::new(8).with_classifier(TEST_CLASSIFIER)).unwrap();
+        // Deliver votes on a few scattered edges, out of sorted order.
+        let edges = [(64u32, 3u32), (0, 1), (64, 3), (7, 64), (0, 1), (0, 1)];
+        for &(src, dst) in &edges {
+            let m = Message::new(
+                NodeId::new(src),
+                NodeId::new(dst),
+                SimTime::from_micros(10),
+                crate::payload::shared(7u32),
+            );
+            rec.on_delivered(SimTime::from_micros(30), &m);
+        }
+        let obs = rec.finish();
+        assert_eq!(obs.flows.len(), 1, "only the vote phase saw traffic");
+        let flow = &obs.flows[0];
+        assert!(!flow.is_dense());
+        assert!(flow.dense().is_none());
+        assert_eq!(flow.nodes(), n);
+        assert_eq!(flow.total(), edges.len() as u64);
+        assert_eq!(flow.get(0, 1), 3);
+        assert_eq!(flow.get(64, 3), 2);
+        assert_eq!(flow.get(7, 64), 1);
+        assert_eq!(flow.get(1, 0), 0);
+        assert_eq!(flow.get(n, 0), 0, "out of range reads 0");
+        // Cells come out sorted by (src, dst) no matter the arrival order.
+        let cells = flow.cells();
+        let mut sorted = cells.clone();
+        sorted.sort_unstable_by_key(|c| (c.src, c.dst));
+        assert_eq!(cells, sorted);
+        assert_eq!(cells.len(), 3);
+        // JSON uses the sparse "cells" form, not an n×n matrix.
+        let json = flow.to_json(n).dump_pretty();
+        assert!(json.contains("\"cells\""), "{json}");
+        assert!(!json.contains("\"matrix\""), "{json}");
+    }
+
+    #[test]
+    fn dense_threshold_is_exact() {
+        let at = ObsRecorder::new(DENSE_FLOW_MAX_NODES, ObsConfig::new(2)).unwrap();
+        assert!(matches!(at.flows[0], FlowAccum::Dense(_)));
+        let above = ObsRecorder::new(DENSE_FLOW_MAX_NODES + 1, ObsConfig::new(2)).unwrap();
+        assert!(matches!(above.flows[0], FlowAccum::Sparse(_)));
+    }
+
+    #[test]
+    fn out_of_table_phase_ids_fall_back_to_unclassified() {
+        fn bogus(_p: &dyn Payload) -> Option<u8> {
+            Some(200) // far beyond the table
+        }
+        const BOGUS: PhaseClassifier = PhaseClassifier::new(TEST_PHASES, bogus);
+        assert_eq!(BOGUS.classify(&7u32), None);
+        let mut rec = ObsRecorder::new(2, ObsConfig::new(8).with_classifier(BOGUS)).unwrap();
+        let m = Message::new(
+            NodeId::new(0),
+            NodeId::new(1),
+            SimTime::from_micros(10),
+            crate::payload::shared(7u32),
+        );
+        rec.on_delivered(SimTime::from_micros(30), &m);
+        let obs = rec.finish();
+        assert_eq!(obs.flows.len(), 1);
+        assert_eq!(obs.flows[0].phase, UNCLASSIFIED_PHASE);
+    }
+
+    #[test]
+    fn recorder_rejects_unrepresentable_node_counts() {
+        // Only checkable on 64-bit targets, where usize can exceed u32.
+        if usize::BITS > 32 {
+            let err = ObsRecorder::new(u32::MAX as usize + 1, ObsConfig::new(2));
+            assert!(matches!(err, Err(SimError::InvalidConfig(_))));
+        }
+    }
+
+    #[test]
     fn observability_json_shape_is_stable() {
-        let mut rec = ObsRecorder::new(1, ObsConfig::new(2));
+        let mut rec = ObsRecorder::new(1, ObsConfig::new(2)).unwrap();
         rec.on_decided(SimTime::from_micros(7), NodeId::new(0));
         rec.on_view(SimTime::from_micros(3), 1);
         rec.push_event(TraceEvent {

@@ -90,6 +90,248 @@ pub fn shared<P: Payload + 'static>(payload: P) -> Arc<dyn Payload> {
     Arc::new(payload)
 }
 
+/// Number of `u64` words in the inline payload buffer.
+const INLINE_WORDS: usize = 12;
+
+/// Maximum payload size (bytes) stored inline by [`PayloadCell`] — sized so
+/// every built-in protocol's wire enum fits (enums are as large as their
+/// largest variant; HotStuff's `Proposal` is the current high-water mark).
+pub const INLINE_PAYLOAD_BYTES: usize = INLINE_WORDS * 8;
+
+/// Whether values of type `T` are stored inline by [`PayloadCell::of`].
+pub const fn fits_inline<T>() -> bool {
+    core::mem::size_of::<T>() <= INLINE_PAYLOAD_BYTES && core::mem::align_of::<T>() <= 8
+}
+
+type InlineBuf = [u64; INLINE_WORDS];
+
+/// Hand-rolled vtable for payloads stored inline: plain fn pointers over
+/// the raw buffer, monomorphised per concrete type by [`VtFor`].
+struct InlineVt {
+    as_dyn: unsafe fn(&InlineBuf) -> &dyn Payload,
+    as_dyn_mut: unsafe fn(&mut InlineBuf) -> &mut dyn Payload,
+    clone_into: unsafe fn(&InlineBuf, &mut InlineBuf),
+    clone_arc: unsafe fn(&InlineBuf) -> Arc<dyn Payload>,
+    drop_in_place: unsafe fn(&mut InlineBuf),
+}
+
+// SAFETY (all five): callers guarantee `buf` holds a valid, initialised `T`
+// written by `InlinePayload::new::<T>` with `fits_inline::<T>()` true, so
+// the buffer is large enough and sufficiently aligned for `T`.
+unsafe fn as_dyn_impl<T: Payload + 'static>(buf: &InlineBuf) -> &dyn Payload {
+    unsafe { &*(buf.as_ptr() as *const T) }
+}
+
+unsafe fn as_dyn_mut_impl<T: Payload + 'static>(buf: &mut InlineBuf) -> &mut dyn Payload {
+    unsafe { &mut *(buf.as_mut_ptr() as *mut T) }
+}
+
+unsafe fn clone_into_impl<T: Payload + Clone + 'static>(src: &InlineBuf, dst: &mut InlineBuf) {
+    let value = unsafe { (*(src.as_ptr() as *const T)).clone() };
+    unsafe { core::ptr::write(dst.as_mut_ptr() as *mut T, value) };
+}
+
+unsafe fn clone_arc_impl<T: Payload + Clone + 'static>(buf: &InlineBuf) -> Arc<dyn Payload> {
+    Arc::new(unsafe { (*(buf.as_ptr() as *const T)).clone() })
+}
+
+unsafe fn drop_in_place_impl<T: Payload + 'static>(buf: &mut InlineBuf) {
+    unsafe { core::ptr::drop_in_place(buf.as_mut_ptr() as *mut T) };
+}
+
+/// Const holder that promotes one [`InlineVt`] per concrete payload type.
+struct VtFor<T>(core::marker::PhantomData<T>);
+
+impl<T: Payload + Clone + 'static> VtFor<T> {
+    const VT: InlineVt = InlineVt {
+        as_dyn: as_dyn_impl::<T>,
+        as_dyn_mut: as_dyn_mut_impl::<T>,
+        clone_into: clone_into_impl::<T>,
+        clone_arc: clone_arc_impl::<T>,
+        drop_in_place: drop_in_place_impl::<T>,
+    };
+}
+
+/// A payload stored inline in a fixed buffer — no heap allocation for the
+/// value, no refcount. Cloning deep-copies into a fresh buffer (still no
+/// allocation unless the payload itself owns heap data).
+pub struct InlinePayload {
+    vt: &'static InlineVt,
+    buf: InlineBuf,
+}
+
+impl InlinePayload {
+    fn new<T: Payload + Clone + 'static>(value: T) -> Self {
+        debug_assert!(fits_inline::<T>());
+        let mut buf = [0u64; INLINE_WORDS];
+        // SAFETY: `fits_inline::<T>()` holds (checked by the only caller,
+        // `PayloadCell::of`), so the buffer is large and aligned enough.
+        unsafe { core::ptr::write(buf.as_mut_ptr() as *mut T, value) };
+        InlinePayload {
+            vt: &VtFor::<T>::VT,
+            buf,
+        }
+    }
+
+    /// Borrows the payload as a trait object.
+    pub fn as_dyn(&self) -> &dyn Payload {
+        // SAFETY: `buf` holds the `T` the vtable was monomorphised for.
+        unsafe { (self.vt.as_dyn)(&self.buf) }
+    }
+
+    /// Mutably borrows the payload as a trait object.
+    pub fn as_dyn_mut(&mut self) -> &mut dyn Payload {
+        // SAFETY: as above; the cell owns the value exclusively.
+        unsafe { (self.vt.as_dyn_mut)(&mut self.buf) }
+    }
+
+    /// Deep-clones the payload into a fresh shared allocation.
+    pub fn clone_arc(&self) -> Arc<dyn Payload> {
+        // SAFETY: as above.
+        unsafe { (self.vt.clone_arc)(&self.buf) }
+    }
+}
+
+// SAFETY: the stored value is `Send + Sync` (every `Payload` is), and the
+// vtable is a `'static` shared reference to plain fn pointers.
+unsafe impl Send for InlinePayload {}
+unsafe impl Sync for InlinePayload {}
+
+impl Clone for InlinePayload {
+    fn clone(&self) -> Self {
+        let mut buf = [0u64; INLINE_WORDS];
+        // SAFETY: `self.buf` holds the vtable's `T`; `buf` is uninitialised
+        // destination space of the same size and alignment.
+        unsafe { (self.vt.clone_into)(&self.buf, &mut buf) };
+        InlinePayload { vt: self.vt, buf }
+    }
+}
+
+impl Drop for InlinePayload {
+    fn drop(&mut self) {
+        // SAFETY: `buf` holds the vtable's `T`, dropped exactly once here.
+        unsafe { (self.vt.drop_in_place)(&mut self.buf) };
+    }
+}
+
+impl fmt::Debug for InlinePayload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_dyn().fmt(f)
+    }
+}
+
+enum CellRepr {
+    Inline(InlinePayload),
+    Shared(Arc<dyn Payload>),
+}
+
+/// The engine's unified payload slot: small payloads live inline (zero
+/// allocations on the point-to-point send and timer hot paths), large or
+/// broadcast payloads stay behind an `Arc` (one allocation shared by every
+/// destination).
+///
+/// Cloning is always cheap: an inline byte copy or a refcount bump.
+#[derive(Debug, Clone)]
+pub struct PayloadCell {
+    repr: CellRepr,
+}
+
+impl fmt::Debug for CellRepr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellRepr::Inline(p) => p.fmt(f),
+            CellRepr::Shared(p) => p.as_ref().fmt(f),
+        }
+    }
+}
+
+impl Clone for CellRepr {
+    fn clone(&self) -> Self {
+        match self {
+            CellRepr::Inline(p) => CellRepr::Inline(p.clone()),
+            CellRepr::Shared(p) => CellRepr::Shared(Arc::clone(p)),
+        }
+    }
+}
+
+impl PayloadCell {
+    /// Wraps a concrete payload, choosing inline storage when it fits (see
+    /// [`fits_inline`]) and a shared allocation otherwise.
+    pub fn of<P: Payload + Clone + 'static>(payload: P) -> Self {
+        if fits_inline::<P>() {
+            PayloadCell {
+                repr: CellRepr::Inline(InlinePayload::new(payload)),
+            }
+        } else {
+            PayloadCell {
+                repr: CellRepr::Shared(Arc::new(payload)),
+            }
+        }
+    }
+
+    /// Borrows the payload as a trait object.
+    pub fn as_dyn(&self) -> &dyn Payload {
+        match &self.repr {
+            CellRepr::Inline(p) => p.as_dyn(),
+            CellRepr::Shared(p) => p.as_ref(),
+        }
+    }
+
+    /// Mutably borrows the payload. Inline payloads are uniquely owned and
+    /// mutate in place; shared payloads are copy-on-write (deep-cloned first
+    /// if other handles alias the allocation).
+    pub fn as_dyn_mut(&mut self) -> &mut dyn Payload {
+        match &mut self.repr {
+            CellRepr::Inline(p) => p.as_dyn_mut(),
+            CellRepr::Shared(p) => {
+                if Arc::get_mut(p).is_none() {
+                    *p = p.as_ref().clone_arc();
+                }
+                Arc::get_mut(p).expect("freshly cloned payload arc is unique")
+            }
+        }
+    }
+
+    /// The shared handle, if the payload is `Arc`-backed. Inline payloads
+    /// return `None`; promote them with [`PayloadCell::clone_arc`].
+    pub fn arc(&self) -> Option<&Arc<dyn Payload>> {
+        match &self.repr {
+            CellRepr::Inline(_) => None,
+            CellRepr::Shared(p) => Some(p),
+        }
+    }
+
+    /// A shared handle to the payload: a refcount bump for `Arc`-backed
+    /// payloads, a deep clone into a fresh allocation for inline ones.
+    pub fn clone_arc(&self) -> Arc<dyn Payload> {
+        match &self.repr {
+            CellRepr::Inline(p) => p.clone_arc(),
+            CellRepr::Shared(p) => Arc::clone(p),
+        }
+    }
+
+    /// Whether the payload is stored inline (no allocation, no refcount).
+    pub fn is_inline(&self) -> bool {
+        matches!(self.repr, CellRepr::Inline(_))
+    }
+}
+
+impl From<Arc<dyn Payload>> for PayloadCell {
+    fn from(p: Arc<dyn Payload>) -> Self {
+        PayloadCell {
+            repr: CellRepr::Shared(p),
+        }
+    }
+}
+
+impl From<Box<dyn Payload>> for PayloadCell {
+    fn from(p: Box<dyn Payload>) -> Self {
+        PayloadCell {
+            repr: CellRepr::Shared(Arc::from(p)),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,5 +379,96 @@ mod tests {
     fn payload_type_names_concrete_type() {
         let b = boxed(Dummy(0));
         assert!(b.payload_type().contains("Dummy"));
+    }
+
+    #[test]
+    fn cell_inlines_small_payloads_and_spills_large_ones() {
+        #[derive(Debug, Clone, PartialEq)]
+        struct Big([u64; INLINE_WORDS + 1]);
+        assert!(fits_inline::<Dummy>());
+        assert!(!fits_inline::<Big>());
+        let small = PayloadCell::of(Dummy(7));
+        assert!(small.is_inline());
+        assert!(small.arc().is_none());
+        assert_eq!(
+            small.as_dyn().as_any().downcast_ref::<Dummy>(),
+            Some(&Dummy(7))
+        );
+        let big = PayloadCell::of(Big([3; INLINE_WORDS + 1]));
+        assert!(!big.is_inline());
+        assert!(big.arc().is_some());
+        assert!(big.as_dyn().as_any().downcast_ref::<Big>().is_some());
+    }
+
+    #[test]
+    fn inline_cell_clone_is_deep_and_drop_runs() {
+        // A payload that owns heap data: clone must deep-copy it, and both
+        // copies must drop without leaking or double-freeing.
+        #[derive(Debug, Clone, PartialEq)]
+        struct Owned(Vec<u64>);
+        assert!(fits_inline::<Owned>());
+        let a = PayloadCell::of(Owned(vec![1, 2, 3]));
+        assert!(a.is_inline());
+        let mut b = a.clone();
+        b.as_dyn_mut()
+            .as_any_mut()
+            .downcast_mut::<Owned>()
+            .unwrap()
+            .0
+            .push(4);
+        assert_eq!(
+            a.as_dyn().as_any().downcast_ref::<Owned>(),
+            Some(&Owned(vec![1, 2, 3]))
+        );
+        assert_eq!(
+            b.as_dyn().as_any().downcast_ref::<Owned>(),
+            Some(&Owned(vec![1, 2, 3, 4]))
+        );
+        drop(a);
+        drop(b);
+    }
+
+    #[test]
+    fn inline_cell_promotes_to_arc_on_demand() {
+        let cell = PayloadCell::of(Dummy(9));
+        let arc = cell.clone_arc();
+        assert_eq!(
+            arc.as_ref().as_any().downcast_ref::<Dummy>(),
+            Some(&Dummy(9))
+        );
+        // Promoting again yields an independent allocation.
+        assert!(!Arc::ptr_eq(&arc, &cell.clone_arc()));
+    }
+
+    #[test]
+    fn shared_cell_mutation_is_copy_on_write() {
+        let arc: Arc<dyn Payload> = shared(Dummy(1));
+        let mut cell = PayloadCell::from(Arc::clone(&arc));
+        cell.as_dyn_mut()
+            .as_any_mut()
+            .downcast_mut::<Dummy>()
+            .unwrap()
+            .0 = 2;
+        // The original handle is untouched; the cell re-homed the payload.
+        assert_eq!(
+            arc.as_ref().as_any().downcast_ref::<Dummy>(),
+            Some(&Dummy(1))
+        );
+        assert_eq!(
+            cell.as_dyn().as_any().downcast_ref::<Dummy>(),
+            Some(&Dummy(2))
+        );
+    }
+
+    #[test]
+    fn cell_from_box_and_arc() {
+        let from_box = PayloadCell::from(boxed(Dummy(3)));
+        assert_eq!(
+            from_box.as_dyn().as_any().downcast_ref::<Dummy>(),
+            Some(&Dummy(3))
+        );
+        let a = shared(Dummy(4));
+        let from_arc = PayloadCell::from(Arc::clone(&a));
+        assert!(Arc::ptr_eq(from_arc.arc().unwrap(), &a));
     }
 }

@@ -5,7 +5,8 @@
 //! [`Scheduler`] trait so the backend can be swapped without touching the
 //! engine: [`HeapScheduler`] is the reference binary-heap backend, and
 //! [`WheelScheduler`] is a hierarchical timing wheel with slot-level
-//! bucketing and true O(1) in-place timer cancellation.
+//! bucketing, O(1) in-place cancellation for bucketed timers, and a binary
+//! min-heap working buffer for the slot being served.
 //!
 //! # The determinism contract
 //!
@@ -35,9 +36,10 @@
 //! [`SchedulerStats`] and surface in `BENCH_baseline.json`; they never feed
 //! back into simulation results.
 
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::BinaryHeap;
 
 use crate::event::{EventKind, ScheduledEvent};
+use crate::fasthash::{FastMap, FastSet};
 use crate::time::SimTime;
 
 /// An opaque handle to a scheduled event, returned by
@@ -73,11 +75,13 @@ pub struct SchedulerStats {
     /// Peak number of entries resident in the backend at once, *including*
     /// any cancelled entries still awaiting lazy removal.
     pub peak_resident: usize,
-    /// Cancelled entries that were discarded lazily at pop time (the heap's
-    /// tombstone filter). Always 0 on the wheel backend.
+    /// Cancelled entries that were discarded lazily at pop time. The heap
+    /// cancels exclusively this way; the wheel only uses tombstones for
+    /// timers that already sit in its working buffer (the slot being
+    /// served) when cancelled.
     pub tombstones_popped: u64,
-    /// Cancelled entries that were removed in place at cancel time, in O(1).
-    /// Always 0 on the heap backend.
+    /// Cancelled entries that were removed in place at cancel time, in O(1)
+    /// (the wheel's bucketed timers). Always 0 on the heap backend.
     pub cancelled_in_place: u64,
     /// Cancelled entries still resident when the snapshot was taken.
     pub pending_tombstones: usize,
@@ -178,7 +182,7 @@ impl core::fmt::Display for SchedulerKind {
 pub struct HeapScheduler {
     heap: BinaryHeap<ScheduledEvent>,
     next_seq: u64,
-    cancelled: HashSet<u64>,
+    cancelled: FastSet<u64>,
     peak: usize,
     tombstones_popped: u64,
 }
@@ -239,11 +243,11 @@ const SLOTS: usize = 1 << LEVEL_BITS;
 /// timestamp maps to some slot, so no separate overflow list is needed.
 const LEVELS: usize = 9;
 
-/// Where a pending wheel entry currently lives (for O(1) cancellation).
+/// Where a pending wheel entry currently lives (for cancellation).
 #[derive(Debug, Clone, Copy)]
 enum Loc {
-    /// In the sorted working buffer; `at` lets `cancel` binary-search it.
-    Current { at: u64 },
+    /// In the working-buffer heap; cancellation tombstones it.
+    Current,
     /// In bucket `bucket` (level * SLOTS + slot) at index `pos`.
     Bucket { bucket: u32, pos: u32 },
 }
@@ -256,12 +260,19 @@ enum Loc {
 /// Varghese & Lauck). When the cursor advances into a coarse slot, the
 /// slot's bucket cascades: entries are re-placed against the new cursor and
 /// land in finer slots (or the working buffer). The earliest base slot's
-/// entries are drained into a working buffer sorted by `(timestamp, seq)`,
-/// which preserves the exact total order of the reference heap.
+/// entries are drained into the working buffer — a binary min-heap over
+/// `(timestamp, seq)` — which preserves the exact total order of the
+/// reference heap. A heap (rather than a sorted vector) keeps the buffer
+/// O(log k) per operation even when one 8 ms slot holds tens of thousands
+/// of near-simultaneous events, as large-n broadcast rounds routinely do; a
+/// sorted-insert buffer degraded quadratically there (two *billion* element
+/// shifts in one n = 256 fuzz scenario).
 ///
-/// Cancellation is O(1) and in place: a side index maps a timer's sequence
-/// number to its bucket and position, so `cancel` `swap_remove`s the entry
-/// immediately — no tombstones are ever created, popped or filtered. The
+/// Cancellation of *bucketed* timers is O(1) and in place: a side index
+/// maps a timer's sequence number to its bucket and position, so `cancel`
+/// `swap_remove`s the entry immediately. Timers already in the working
+/// buffer cannot be removed from the middle of a heap, so those few are
+/// tombstoned and filtered at pop, exactly like the reference backend. The
 /// index is maintained only for [`EventKind::NodeTimer`] entries, keeping
 /// the message hot path free of hash-map traffic (messages are never
 /// cancelled).
@@ -271,9 +282,9 @@ pub struct WheelScheduler {
     buckets: Vec<Vec<ScheduledEvent>>,
     /// One occupancy bit per slot, per level.
     occupancy: [u64; LEVELS],
-    /// The slot currently being served, sorted *descending* by
-    /// `(at, seq)` so `pop` is a `Vec::pop` from the back.
-    current: Vec<ScheduledEvent>,
+    /// The slot currently being served: a min-heap over `(at, seq)`
+    /// (via [`ScheduledEvent`]'s reversed `Ord`), popped earliest-first.
+    current: BinaryHeap<ScheduledEvent>,
     /// Lower bound (µs) on every pending timestamp; slot-aligned advances.
     cursor: u64,
     next_seq: u64,
@@ -283,8 +294,21 @@ pub struct WheelScheduler {
     peak: usize,
     cancelled_in_place: u64,
     /// `seq -> location`, maintained for timer entries only.
-    index: HashMap<u64, Loc>,
+    index: FastMap<u64, Loc>,
+    /// Seqs of cancelled timers still resident in the working buffer,
+    /// discarded when they surface at pop.
+    current_tombstones: FastSet<u64>,
+    /// Tombstones discarded so far (see [`SchedulerStats`]).
+    tombstones_popped: u64,
+    /// Recycled bucket allocations. Cascading a coarse slot used to drop the
+    /// drained `Vec` and re-grow its replacement from scratch on the next
+    /// placement; keeping a bounded free list instead makes steady-state
+    /// cascades allocation-free.
+    spare: Vec<Vec<ScheduledEvent>>,
 }
+
+/// Upper bound on recycled bucket vectors kept in [`WheelScheduler::spare`].
+const SPARE_BUCKETS_MAX: usize = 64;
 
 impl Default for WheelScheduler {
     fn default() -> Self {
@@ -298,13 +322,16 @@ impl WheelScheduler {
         WheelScheduler {
             buckets: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
             occupancy: [0; LEVELS],
-            current: Vec::new(),
+            current: BinaryHeap::new(),
             cursor: 0,
             next_seq: 0,
             live: 0,
             peak: 0,
             cancelled_in_place: 0,
-            index: HashMap::new(),
+            index: FastMap::default(),
+            current_tombstones: FastSet::default(),
+            tombstones_popped: 0,
+            spare: Vec::new(),
         }
     }
 
@@ -331,15 +358,11 @@ impl WheelScheduler {
         let is_timer = matches!(e.kind, EventKind::NodeTimer { .. });
         match self.locate(at) {
             None => {
-                // Belongs to the slot being served: sorted insert into the
-                // descending working buffer.
-                let pos = self
-                    .current
-                    .partition_point(|x| (x.at.as_micros(), x.seq) > (at, e.seq));
+                // Belongs to the slot being served: O(log k) heap push.
                 if is_timer {
-                    self.index.insert(e.seq, Loc::Current { at });
+                    self.index.insert(e.seq, Loc::Current);
                 }
-                self.current.insert(pos, e);
+                self.current.push(e);
             }
             Some((level, slot)) => {
                 let b = level * SLOTS + slot;
@@ -385,30 +408,40 @@ impl WheelScheduler {
                 };
                 self.cursor = window_base | (u64::from(slot) << shift);
                 let b = level * SLOTS + slot as usize;
-                let entries = std::mem::take(&mut self.buckets[b]);
                 self.occupancy[level] &= !(1u64 << slot);
                 if level == 0 {
-                    // The earliest base slot: sort it into the working
-                    // buffer (descending, popped from the back).
-                    self.current = entries;
-                    self.current
-                        .sort_unstable_by_key(|e| std::cmp::Reverse((e.at, e.seq)));
+                    // The earliest base slot: heapify it into the working
+                    // buffer (O(k), cheaper than a sort). `current` is empty
+                    // here, so its spent allocation cycles back through the
+                    // free list for bucket reuse.
+                    let bucket = std::mem::replace(
+                        &mut self.buckets[b],
+                        self.spare.pop().unwrap_or_default(),
+                    );
+                    let mut drained =
+                        std::mem::replace(&mut self.current, BinaryHeap::from(bucket)).into_vec();
+                    drained.clear();
+                    if self.spare.len() < SPARE_BUCKETS_MAX {
+                        self.spare.push(drained);
+                    }
                     for e in &self.current {
                         if matches!(e.kind, EventKind::NodeTimer { .. }) {
-                            self.index.insert(
-                                e.seq,
-                                Loc::Current {
-                                    at: e.at.as_micros(),
-                                },
-                            );
+                            self.index.insert(e.seq, Loc::Current);
                         }
                     }
                     return;
                 }
                 // A coarse slot: cascade its entries against the new cursor;
                 // each lands at a strictly finer level (or in the buffer).
-                for e in entries {
+                // The bucket is replaced by a recycled vector and its own
+                // allocation returns to the free list once drained.
+                let mut entries =
+                    std::mem::replace(&mut self.buckets[b], self.spare.pop().unwrap_or_default());
+                for e in entries.drain(..) {
                     self.place(e);
+                }
+                if self.spare.len() < SPARE_BUCKETS_MAX {
+                    self.spare.push(entries);
                 }
                 if !self.current.is_empty() {
                     return;
@@ -426,7 +459,7 @@ impl Scheduler for WheelScheduler {
         self.next_seq += 1;
         self.place(ScheduledEvent { at, seq, kind });
         self.live += 1;
-        self.peak = self.peak.max(self.live);
+        self.peak = self.peak.max(self.live + self.current_tombstones.len());
         EventHandle(seq)
     }
 
@@ -435,12 +468,13 @@ impl Scheduler for WheelScheduler {
             return false;
         };
         match loc {
-            Loc::Current { at } => {
-                let pos = self
-                    .current
-                    .partition_point(|x| (x.at.as_micros(), x.seq) > (at, handle.0));
-                debug_assert!(self.current[pos].seq == handle.0);
-                self.current.remove(pos);
+            Loc::Current => {
+                // Mid-heap removal is impossible; tombstone and let pop
+                // discard it when it surfaces (the reference backend's
+                // strategy, scoped to the one slot being served).
+                self.current_tombstones.insert(handle.0);
+                self.live -= 1;
+                return true;
             }
             Loc::Bucket { bucket, pos } => {
                 let b = bucket as usize;
@@ -467,7 +501,11 @@ impl Scheduler for WheelScheduler {
 
     fn pop(&mut self) -> Option<ScheduledEvent> {
         loop {
-            if let Some(e) = self.current.pop() {
+            while let Some(e) = self.current.pop() {
+                if self.current_tombstones.remove(&e.seq) {
+                    self.tombstones_popped += 1;
+                    continue;
+                }
                 self.live -= 1;
                 if matches!(e.kind, EventKind::NodeTimer { .. }) {
                     self.index.remove(&e.seq);
@@ -489,9 +527,9 @@ impl Scheduler for WheelScheduler {
         SchedulerStats {
             scheduler: "wheel",
             peak_resident: self.peak,
-            tombstones_popped: 0,
+            tombstones_popped: self.tombstones_popped,
             cancelled_in_place: self.cancelled_in_place,
-            pending_tombstones: 0,
+            pending_tombstones: self.current_tombstones.len(),
         }
     }
 }
@@ -639,6 +677,88 @@ mod tests {
         assert_eq!(popped, sorted);
     }
 
+    /// Satellite of the n=1024 scaling work: a full large-run round of
+    /// timers — one per node, spread to the far edges of the 64-bit horizon
+    /// (including `u64::MAX` µs, which must map to the top wheel level
+    /// without overflowing the level computation) — pops in exactly the
+    /// reference heap's order, with cancellations interleaved.
+    #[test]
+    fn heap_and_wheel_agree_on_large_far_future_rounds() {
+        const N: u64 = 1024;
+        let mut heap = HeapScheduler::new();
+        let mut wheel = WheelScheduler::new();
+        let mut rng = SmallRng::seed_from_u64(1024);
+        let mut handles = Vec::new();
+        for node in 0..N {
+            // Deterministic spread: near, hour-scale, year-scale and the
+            // extreme horizon, plus exact ties every fourth node.
+            let at = match node % 8 {
+                0 => SimTime::from_micros(node),
+                1 => SimTime::from_micros(3_600_000_000 + node),
+                2 => SimTime::from_micros(31_536_000_000_000 + node),
+                3 => SimTime::from_micros(u64::MAX - node),
+                4 => SimTime::from_micros(u64::MAX),
+                _ => SimTime::from_micros(rng.gen_range(0..u64::MAX / 2)),
+            };
+            let h1 = heap.schedule(at, timer_event(node));
+            let h2 = wheel.schedule(at, timer_event(node));
+            assert_eq!(h1, h2);
+            handles.push(h1);
+        }
+        // Cancel a deterministic third of the round on both backends.
+        for h in handles.iter().filter(|h| h.seq() % 3 == 0) {
+            assert!(heap.cancel(*h));
+            assert!(wheel.cancel(*h));
+        }
+        assert_eq!(heap.len(), wheel.len());
+        let mut popped = 0u64;
+        let mut last = (SimTime::ZERO, 0u64);
+        loop {
+            match (heap.pop(), wheel.pop()) {
+                (None, None) => break,
+                (Some(x), Some(y)) => {
+                    assert_eq!((x.at, x.seq), (y.at, y.seq));
+                    assert!((x.at, x.seq) >= last, "pop order must be ascending");
+                    last = (x.at, x.seq);
+                    assert!(x.seq % 3 != 0, "cancelled timers must never fire");
+                    popped += 1;
+                }
+                _ => panic!("one backend drained before the other"),
+            }
+        }
+        assert_eq!(popped, N - N.div_ceil(3));
+        // Every cancellation was honoured one way or the other: bucketed
+        // timers in place, working-buffer timers via tombstones.
+        let stats = wheel.stats();
+        assert_eq!(
+            stats.cancelled_in_place + stats.tombstones_popped,
+            N.div_ceil(3)
+        );
+        assert_eq!(
+            stats.pending_tombstones, 0,
+            "drained wheel keeps no tombstones"
+        );
+    }
+
+    /// Steady-state cascading recycles bucket allocations through the
+    /// bounded free list instead of growing fresh vectors each slot.
+    #[test]
+    fn wheel_spare_list_stays_bounded() {
+        let mut q = WheelScheduler::new();
+        // Many batches far enough apart that each advance cascades coarse
+        // slots repeatedly.
+        for batch in 0..200u64 {
+            for i in 0..16u64 {
+                q.schedule(
+                    SimTime::from_micros(batch * 40_000_000 + i * 1_000),
+                    timer_event(batch * 16 + i),
+                );
+            }
+        }
+        while q.pop().is_some() {}
+        assert!(q.spare.len() <= SPARE_BUCKETS_MAX);
+    }
+
     #[test]
     fn wheel_cancels_from_buckets_and_working_buffer() {
         let mut q = WheelScheduler::new();
@@ -649,9 +769,14 @@ mod tests {
         assert!(q.cancel(a)); // from the working buffer (slot 0 is current)
         assert!(q.cancel(far)); // from a coarse bucket
         assert_eq!(q.len(), 1);
+        // The working-buffer cancel is a pending tombstone; the bucket
+        // cancel was removed in place.
+        assert_eq!(q.stats().cancelled_in_place, 1);
+        assert_eq!(q.stats().pending_tombstones, 1);
         assert_eq!(q.pop().map(|e| e.seq), Some(b.seq()));
         assert!(q.pop().is_none());
-        assert_eq!(q.stats().cancelled_in_place, 2);
+        assert_eq!(q.stats().tombstones_popped, 1);
+        assert_eq!(q.stats().pending_tombstones, 0);
     }
 
     #[test]
@@ -746,7 +871,9 @@ mod tests {
                     _ => panic!("one backend drained before the other"),
                 }
             }
-            assert_eq!(wheel.stats().tombstones_popped, 0);
+            // A fully drained wheel retains no tombstones, whichever path
+            // each cancellation took.
+            assert_eq!(wheel.stats().pending_tombstones, 0, "seed {seed}");
         }
     }
 }

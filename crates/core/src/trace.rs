@@ -9,6 +9,7 @@ use std::borrow::Cow;
 
 use crate::ids::NodeId;
 use crate::json::Json;
+use crate::smallstr::SmallStr;
 use crate::time::SimTime;
 use crate::value::Value;
 
@@ -61,10 +62,13 @@ pub enum TraceKind {
     /// Protocol-defined event, e.g. `commit` / `pre-prepare` markers used for
     /// cross-validation against ground-truth traces.
     Custom {
-        /// Event label, e.g. `"pre-prepare"`.
-        label: String,
-        /// Free-form detail.
-        detail: String,
+        /// Event label, e.g. `"pre-prepare"`. Borrowed (`&'static str`) when
+        /// recorded live — the hot path allocates nothing — and owned when
+        /// parsed from JSON.
+        label: Cow<'static, str>,
+        /// Free-form detail; short details (`"view=3"` and friends) are
+        /// stored inline without allocating.
+        detail: SmallStr,
     },
 }
 
@@ -229,7 +233,7 @@ impl TraceKind {
             TraceKind::Custom { label, detail } => Json::obj([(
                 "Custom",
                 Json::obj([
-                    ("label", Json::from(label.as_str())),
+                    ("label", Json::from(label.as_ref())),
                     ("detail", Json::from(detail.as_str())),
                 ]),
             )]),
@@ -278,8 +282,8 @@ impl TraceKind {
                 payload_type: Cow::Owned(text("payload_type")?),
             }),
             "Custom" => Ok(TraceKind::Custom {
-                label: text("label")?,
-                detail: text("detail")?,
+                label: Cow::Owned(text("label")?),
+                detail: SmallStr::from(text("detail")?),
             }),
             other => Err(format!("trace kind: unknown variant \"{other}\"")),
         }
@@ -424,8 +428,8 @@ mod tests {
                 SimTime::from_micros(i as u64),
                 NodeId::new(i as u32),
                 TraceKind::Custom {
-                    label: s.clone(),
-                    detail: nasty_strings[(i + 1) % nasty_strings.len()].clone(),
+                    label: s.clone().into(),
+                    detail: nasty_strings[(i + 1) % nasty_strings.len()].clone().into(),
                 },
             );
         }

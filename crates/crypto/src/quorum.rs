@@ -11,10 +11,39 @@ use bft_sim_core::ids::NodeId;
 use crate::hash::Digest;
 use crate::signature::Signature;
 
+/// Words held inline before a [`SignerSet`] spills to the heap — enough for
+/// node ids 0..128, i.e. every signer in runs up to n = 128.
+const INLINE_WORDS: usize = 2;
+
+/// Bitmap storage for [`SignerSet`].
+///
+/// Canonical by construction: a set whose members all fit in the inline
+/// words is *always* `Inline` (the heap variant only ever appears once a
+/// node id ≥ 128 is inserted, and sets never shrink), so the derived
+/// `PartialEq`/`Hash` impls remain semantic equality.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    Inline([u64; INLINE_WORDS]),
+    Heap(Vec<u64>),
+}
+
 /// A compact set of node ids, stored as a bitmap.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+///
+/// Votes in runs up to n = 128 — including every certificate the bundled
+/// protocols form at the paper's scales — stay in two inline words, so
+/// cloning a `SignerSet` into a [`QuorumCert`] costs no allocation; larger
+/// ids spill to a heap vector transparently.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SignerSet {
-    words: Vec<u64>,
+    repr: Repr,
+}
+
+impl Default for SignerSet {
+    fn default() -> Self {
+        SignerSet {
+            repr: Repr::Inline([0; INLINE_WORDS]),
+        }
+    }
 }
 
 impl SignerSet {
@@ -23,37 +52,58 @@ impl SignerSet {
         SignerSet::default()
     }
 
+    fn words(&self) -> &[u64] {
+        match &self.repr {
+            Repr::Inline(words) => words,
+            Repr::Heap(words) => words,
+        }
+    }
+
     /// Inserts a node; returns `true` if it was not already present.
     pub fn insert(&mut self, node: NodeId) -> bool {
         let (word, bit) = (node.index() / 64, node.index() % 64);
-        if word >= self.words.len() {
-            self.words.resize(word + 1, 0);
+        if let Repr::Inline(words) = &self.repr {
+            if word >= INLINE_WORDS {
+                self.repr = Repr::Heap(words.to_vec());
+            }
         }
         let mask = 1u64 << bit;
-        let newly = self.words[word] & mask == 0;
-        self.words[word] |= mask;
-        newly
+        match &mut self.repr {
+            Repr::Inline(words) => {
+                let newly = words[word] & mask == 0;
+                words[word] |= mask;
+                newly
+            }
+            Repr::Heap(words) => {
+                if word >= words.len() {
+                    words.resize(word + 1, 0);
+                }
+                let newly = words[word] & mask == 0;
+                words[word] |= mask;
+                newly
+            }
+        }
     }
 
     /// Whether the set contains `node`.
     pub fn contains(&self, node: NodeId) -> bool {
         let (word, bit) = (node.index() / 64, node.index() % 64);
-        self.words.get(word).is_some_and(|w| w & (1 << bit) != 0)
+        self.words().get(word).is_some_and(|w| w & (1 << bit) != 0)
     }
 
     /// Number of nodes in the set.
     pub fn len(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        self.words().iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Whether the set is empty.
     pub fn is_empty(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
+        self.words().iter().all(|&w| w == 0)
     }
 
     /// Iterates over the member node ids in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+        self.words().iter().enumerate().flat_map(|(wi, &w)| {
             (0..64)
                 .filter(move |b| w & (1 << b) != 0)
                 .map(move |b| NodeId::new((wi * 64 + b) as u32))
@@ -126,10 +176,13 @@ pub struct VoteTracker {
 impl VoteTracker {
     /// Creates a tracker with the given quorum threshold.
     pub fn new(threshold: usize) -> Self {
+        // Protocols prune old views as they advance, so the candidate maps
+        // stay small; pre-sizing them here keeps the vote hot path free of
+        // rehash allocations.
         VoteTracker {
             threshold,
-            votes: HashMap::new(),
-            formed: HashMap::new(),
+            votes: HashMap::with_capacity(16),
+            formed: HashMap::with_capacity(16),
         }
     }
 
@@ -195,6 +248,26 @@ mod tests {
         assert!(!s.contains(NodeId::new(4)));
         let members: Vec<NodeId> = s.iter().collect();
         assert_eq!(members, vec![NodeId::new(3), NodeId::new(200)]);
+    }
+
+    #[test]
+    fn signer_set_spills_at_the_inline_boundary() {
+        // 127 is the last id the inline words hold; 128 forces the heap.
+        let mut small = SignerSet::new();
+        assert!(small.insert(NodeId::new(127)));
+        assert!(small.contains(NodeId::new(127)));
+
+        let mut spilled = SignerSet::new();
+        assert!(spilled.insert(NodeId::new(128)));
+        assert!(spilled.insert(NodeId::new(0)));
+        assert!(!spilled.insert(NodeId::new(128)), "duplicate after spill");
+        assert_eq!(spilled.len(), 2);
+        let members: Vec<NodeId> = spilled.iter().collect();
+        assert_eq!(members, vec![NodeId::new(0), NodeId::new(128)]);
+
+        // Equality is order-independent across the spill.
+        let reordered: SignerSet = [NodeId::new(0), NodeId::new(128)].into_iter().collect();
+        assert_eq!(spilled, reordered);
     }
 
     #[test]

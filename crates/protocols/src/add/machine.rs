@@ -289,7 +289,7 @@ impl AddBa {
                             .unwrap_or_else(|| self.candidate(iter)),
                         _ => self.candidate(iter),
                     };
-                    ctx.report("add-propose", format!("iter={iter}"));
+                    ctx.report_fmt("add-propose", format_args!("iter={iter}"));
                     self.iters
                         .entry(iter)
                         .or_default()
@@ -354,7 +354,7 @@ impl AddBa {
     fn decide(&mut self, value: Digest, ctx: &mut Context<'_>) {
         if !self.decided {
             self.decided = true;
-            ctx.report("add-decide", format!("iter={}", self.iteration()));
+            ctx.report_fmt("add-decide", format_args!("iter={}", self.iteration()));
             ctx.decide(Value::new(value.as_u64()));
         }
     }
@@ -455,18 +455,20 @@ pub fn factory(
 ) -> impl Fn(NodeId) -> Box<dyn Protocol> {
     move |id| Box::new(AddBa::new(params, variant, id)) as Box<dyn Protocol>
 }
+/// ADD+ phase labels, indexed by [`phase_of`]'s return value.
+pub const PHASES: &[&str] = &["status", "prepare", "reveal", "propose", "commit", "notify"];
 
-/// Classifies a payload into the ADD phase label for the observability
+/// Classifies a payload into the ADD index of [`PHASES`] for the observability
 /// message-flow matrix (see [`bft_sim_core::obs`]). Shared by every
 /// [`AddVariant`], which all speak the same [`AddMsg`] wire format.
-pub fn phase_of(payload: &dyn bft_sim_core::payload::Payload) -> Option<&'static str> {
+pub fn phase_of(payload: &dyn bft_sim_core::payload::Payload) -> Option<u8> {
     payload.as_any().downcast_ref::<AddMsg>().map(|m| match m {
-        AddMsg::Status { .. } => "status",
-        AddMsg::Prepare { .. } => "prepare",
-        AddMsg::Reveal { .. } => "reveal",
-        AddMsg::Propose { .. } => "propose",
-        AddMsg::Commit { .. } => "commit",
-        AddMsg::Notify { .. } => "notify",
+        AddMsg::Status { .. } => 0,
+        AddMsg::Prepare { .. } => 1,
+        AddMsg::Reveal { .. } => 2,
+        AddMsg::Propose { .. } => 3,
+        AddMsg::Commit { .. } => 4,
+        AddMsg::Notify { .. } => 5,
     })
 }
 

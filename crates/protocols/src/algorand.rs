@@ -215,7 +215,7 @@ impl Algorand {
         st.cert.entry(value).or_default().insert(from);
         if st.cert[&value].len() >= q && !self.decided {
             self.decided = true;
-            ctx.report("algo-decide", format!("period={period}"));
+            ctx.report_fmt("algo-decide", format_args!("period={period}"));
             ctx.decide(Value::new(value.as_u64()));
         }
     }
@@ -286,7 +286,7 @@ impl Algorand {
             if value != bot() {
                 self.locked = Some(value);
             }
-            ctx.report("algo-advance", format!("from={period}"));
+            ctx.report_fmt("algo-advance", format_args!("from={period}"));
             self.enter_period(period + 1, ctx);
         }
     }
@@ -336,15 +336,17 @@ impl Protocol for Algorand {
 pub fn factory(params: ProtocolParams) -> impl Fn(NodeId) -> Box<dyn Protocol> {
     move |id| Box::new(Algorand::new(params, id)) as Box<dyn Protocol>
 }
+/// Algorand's phase labels, indexed by [`phase_of`]'s return value.
+pub const PHASES: &[&str] = &["proposal", "soft", "cert", "next"];
 
-/// Classifies a payload into Algorand's phase label for the observability
+/// Classifies a payload into Algorand's index of [`PHASES`] for the observability
 /// message-flow matrix (see [`bft_sim_core::obs`]).
-pub fn phase_of(payload: &dyn bft_sim_core::payload::Payload) -> Option<&'static str> {
+pub fn phase_of(payload: &dyn bft_sim_core::payload::Payload) -> Option<u8> {
     payload.as_any().downcast_ref::<AlgoMsg>().map(|m| match m {
-        AlgoMsg::Proposal { .. } => "proposal",
-        AlgoMsg::Soft { .. } => "soft",
-        AlgoMsg::Cert { .. } => "cert",
-        AlgoMsg::Next { .. } => "next",
+        AlgoMsg::Proposal { .. } => 0,
+        AlgoMsg::Soft { .. } => 1,
+        AlgoMsg::Cert { .. } => 2,
+        AlgoMsg::Next { .. } => 3,
     })
 }
 

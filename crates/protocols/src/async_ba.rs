@@ -195,7 +195,7 @@ impl AsyncBa {
             self.est = winner;
             if !self.decided {
                 self.decided = true;
-                ctx.report("ba-decide", format!("round={round} bit={winner}"));
+                ctx.report_fmt("ba-decide", format_args!("round={round} bit={winner}"));
                 ctx.decide(Value::from_bit(winner));
             }
         } else if count >= adopt {
@@ -250,12 +250,15 @@ pub fn unanimous_factory(
     move |_id| Box::new(AsyncBa::new(params, input)) as Box<dyn Protocol>
 }
 
-/// Classifies a payload into the async-BA phase label for the observability
+/// Async-BA's phase labels, indexed by [`phase_of`]'s return value.
+pub const PHASES: &[&str] = &["phase1", "phase2"];
+
+/// Classifies a payload into an index of [`PHASES`] for the observability
 /// message-flow matrix (see [`bft_sim_core::obs`]).
-pub fn phase_of(payload: &dyn bft_sim_core::payload::Payload) -> Option<&'static str> {
+pub fn phase_of(payload: &dyn bft_sim_core::payload::Payload) -> Option<u8> {
     payload.as_any().downcast_ref::<BaMsg>().map(|m| match m {
-        BaMsg::Phase1 { .. } => "phase1",
-        BaMsg::Phase2 { .. } => "phase2",
+        BaMsg::Phase1 { .. } => 0,
+        BaMsg::Phase2 { .. } => 1,
     })
 }
 

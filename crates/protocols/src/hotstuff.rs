@@ -153,6 +153,9 @@ pub struct HotStuffNs {
     /// Committed tips whose ancestor chain is still incomplete locally.
     pending_decides: Vec<Digest>,
     fetch_in_flight: HashSet<Digest>,
+    /// Reusable buffer for [`Self::try_decide_chain`]'s commit walk; kept on
+    /// the replica so the per-view decide path allocates nothing.
+    decide_scratch: Vec<(u64, Digest)>,
     timer: Option<TimerId>,
     /// View of the newest committed block; the view-doubling duration keys
     /// to the distance from it (Naor's doubling is defined per consensus
@@ -163,7 +166,10 @@ pub struct HotStuffNs {
 impl HotStuffNs {
     /// Creates a replica.
     pub fn new(params: ProtocolParams) -> Self {
-        let mut blocks = HashMap::new();
+        // Reserve the per-node maps up front: replicas insert one block per
+        // view and a few tracked views, so pre-sizing at construction keeps
+        // the steady-state hot path free of rehash allocations.
+        let mut blocks = HashMap::with_capacity(64);
         blocks.insert(
             genesis_digest(),
             BlockInfo {
@@ -189,6 +195,7 @@ impl HotStuffNs {
             proposed_views: HashSet::new(),
             pending_decides: Vec::new(),
             fetch_in_flight: HashSet::new(),
+            decide_scratch: Vec::with_capacity(8),
             timer: None,
             last_committed_view: 0,
         }
@@ -282,7 +289,10 @@ impl HotStuffNs {
             parent,
             height,
         };
-        ctx.report("propose", format!("view={} height={height}", self.view));
+        ctx.report_fmt(
+            "propose",
+            format_args!("view={} height={height}", self.view),
+        );
         let justify = self.high_qc.clone();
         ctx.broadcast(HsMsg::Proposal {
             block,
@@ -352,8 +362,13 @@ impl HotStuffNs {
     /// Decides every undecided ancestor of `tip` (inclusive), fetching
     /// missing blocks from `src` when the local store has gaps.
     fn try_decide_chain(&mut self, tip: Digest, src: NodeId, ctx: &mut Context<'_>) {
-        let mut path = Vec::new();
+        // Reuse the replica-owned scratch buffer: this runs once per view on
+        // every node, so a fresh Vec here would dominate the steady-state
+        // allocation count.
+        let mut path = std::mem::take(&mut self.decide_scratch);
+        debug_assert!(path.is_empty());
         let mut cursor = tip;
+        let mut complete = true;
         loop {
             let Some(info) = self.blocks.get(&cursor).copied() else {
                 // Gap: ask the peer that showed us this chain, retry later.
@@ -363,7 +378,8 @@ impl HotStuffNs {
                 if !self.pending_decides.contains(&tip) {
                     self.pending_decides.push(tip);
                 }
-                return;
+                complete = false;
+                break;
             };
             if info.height <= self.decided_height {
                 break;
@@ -371,18 +387,22 @@ impl HotStuffNs {
             path.push((info.height, cursor));
             cursor = info.parent;
         }
-        path.sort_by_key(|&(h, _)| h);
-        for (height, digest) in path {
-            // Heights must be contiguous: a stale pending tip may replay
-            // already-decided heights, which the check above filtered.
-            debug_assert_eq!(height, self.decided_height + 1);
-            self.decided_height = height;
-            if let Some(info) = self.blocks.get(&digest) {
-                self.last_committed_view = self.last_committed_view.max(info.view);
+        if complete {
+            path.sort_by_key(|&(h, _)| h);
+            for &(height, digest) in &path {
+                // Heights must be contiguous: a stale pending tip may replay
+                // already-decided heights, which the check above filtered.
+                debug_assert_eq!(height, self.decided_height + 1);
+                self.decided_height = height;
+                if let Some(info) = self.blocks.get(&digest) {
+                    self.last_committed_view = self.last_committed_view.max(info.view);
+                }
+                ctx.report_fmt("commit", format_args!("height={height}"));
+                ctx.decide(Value::new(digest.as_u64()));
             }
-            ctx.report("commit", format!("height={height}"));
-            ctx.decide(Value::new(digest.as_u64()));
         }
+        path.clear();
+        self.decide_scratch = path;
     }
 
     fn handle_proposal(
@@ -481,7 +501,7 @@ impl HotStuffNs {
                 digest,
                 signers: qc.signers,
             };
-            ctx.report("qc", format!("view={view}"));
+            ctx.report_fmt("qc", format_args!("view={view}"));
             let me = ctx.id();
             self.absorb_qc(&qc, me, ctx);
             if qc.view >= self.view {
@@ -561,9 +581,9 @@ impl Protocol for HotStuffNs {
         // on expiry move on and tell the new leader our highest QC. There
         // is no other synchronisation — which is why views drift apart
         // under mis-estimated λ (Fig. 9).
-        ctx.report(
+        ctx.report_fmt(
             "timeout",
-            format!(
+            format_args!(
                 "view={} duration={}",
                 self.view,
                 Self::view_duration(ctx.lambda(), self.view, self.last_committed_view)
@@ -593,15 +613,17 @@ impl Protocol for HotStuffNs {
 pub fn factory(params: ProtocolParams) -> impl Fn(NodeId) -> Box<dyn Protocol> {
     move |_id| Box::new(HotStuffNs::new(params)) as Box<dyn Protocol>
 }
+/// HotStuff's phase labels, indexed by [`phase_of`]'s return value.
+pub const PHASES: &[&str] = &["proposal", "vote", "new-view", "sync"];
 
-/// Classifies a payload into HotStuff's phase label for the observability
+/// Classifies a payload into HotStuff's index of [`PHASES`] for the observability
 /// message-flow matrix (see [`bft_sim_core::obs`]).
-pub fn phase_of(payload: &dyn bft_sim_core::payload::Payload) -> Option<&'static str> {
+pub fn phase_of(payload: &dyn bft_sim_core::payload::Payload) -> Option<u8> {
     payload.as_any().downcast_ref::<HsMsg>().map(|m| match m {
-        HsMsg::Proposal { .. } => "proposal",
-        HsMsg::Vote { .. } => "vote",
-        HsMsg::NewView { .. } => "new-view",
-        HsMsg::SyncReq { .. } | HsMsg::SyncResp { .. } => "sync",
+        HsMsg::Proposal { .. } => 0,
+        HsMsg::Vote { .. } => 1,
+        HsMsg::NewView { .. } => 2,
+        HsMsg::SyncReq { .. } | HsMsg::SyncResp { .. } => 3,
     })
 }
 

@@ -243,7 +243,10 @@ impl LibraBft {
             parent,
             height,
         };
-        ctx.report("propose", format!("round={} height={height}", self.round));
+        ctx.report_fmt(
+            "propose",
+            format_args!("round={} height={height}", self.round),
+        );
         let justify = self.high_qc.clone();
         ctx.broadcast(LibraMsg::Proposal {
             block,
@@ -329,7 +332,7 @@ impl LibraBft {
             if let Some(info) = self.blocks.get(&digest) {
                 self.last_committed_round = self.last_committed_round.max(info.view);
             }
-            ctx.report("commit", format!("height={height}"));
+            ctx.report_fmt("commit", format_args!("height={height}"));
             ctx.decide(Value::new(digest.as_u64()));
         }
     }
@@ -418,7 +421,7 @@ impl LibraBft {
                 digest,
                 signers: qc.signers,
             };
-            ctx.report("qc", format!("round={round}"));
+            ctx.report_fmt("qc", format_args!("round={round}"));
             let me = ctx.id();
             self.process_qc(&qc, me, ctx);
         }
@@ -433,7 +436,7 @@ impl LibraBft {
         if !self.timeout_voted.insert(round) && !force {
             return;
         }
-        ctx.report("timeout-vote", format!("round={round}"));
+        ctx.report_fmt("timeout-vote", format_args!("round={round}"));
         let vd = vote_digest(PHASE_LIBRA_TIMEOUT, round, 0, Digest::default());
         let sig = sign(ctx.id(), vd);
         ctx.broadcast(LibraMsg::TimeoutVote {
@@ -468,7 +471,7 @@ impl LibraBft {
 
         if tc_formed && round >= self.round {
             // Timeout certificate: everyone observing it enters round + 1.
-            ctx.report("tc", format!("round={round}"));
+            ctx.report_fmt("tc", format_args!("round={round}"));
             self.enter_round(round + 1, ctx);
         }
     }
@@ -552,18 +555,20 @@ impl Protocol for LibraBft {
 pub fn factory(params: ProtocolParams) -> impl Fn(NodeId) -> Box<dyn Protocol> {
     move |_id| Box::new(LibraBft::new(params)) as Box<dyn Protocol>
 }
+/// LibraBFT's phase labels, indexed by [`phase_of`]'s return value.
+pub const PHASES: &[&str] = &["proposal", "vote", "timeout", "sync"];
 
-/// Classifies a payload into LibraBFT's phase label for the observability
+/// Classifies a payload into LibraBFT's index of [`PHASES`] for the observability
 /// message-flow matrix (see [`bft_sim_core::obs`]).
-pub fn phase_of(payload: &dyn bft_sim_core::payload::Payload) -> Option<&'static str> {
+pub fn phase_of(payload: &dyn bft_sim_core::payload::Payload) -> Option<u8> {
     payload
         .as_any()
         .downcast_ref::<LibraMsg>()
         .map(|m| match m {
-            LibraMsg::Proposal { .. } => "proposal",
-            LibraMsg::Vote { .. } => "vote",
-            LibraMsg::TimeoutVote { .. } => "timeout",
-            LibraMsg::SyncReq { .. } | LibraMsg::SyncResp { .. } => "sync",
+            LibraMsg::Proposal { .. } => 0,
+            LibraMsg::Vote { .. } => 1,
+            LibraMsg::TimeoutVote { .. } => 2,
+            LibraMsg::SyncReq { .. } | LibraMsg::SyncResp { .. } => 3,
         })
 }
 

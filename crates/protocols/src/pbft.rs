@@ -198,9 +198,9 @@ impl Pbft {
     /// Leader proposes the current slot (fresh digest).
     fn propose(&mut self, ctx: &mut Context<'_>) {
         let digest = proposal_digest(self.view, self.slot);
-        ctx.report(
+        ctx.report_fmt(
             "pre-prepare",
-            format!("view={} slot={}", self.view, self.slot),
+            format_args!("view={} slot={}", self.view, self.slot),
         );
         ctx.broadcast(PbftMsg::PrePrepare {
             view: self.view,
@@ -249,7 +249,7 @@ impl Pbft {
             self.prepared_cert = Some(PreparedCert { view, slot, digest });
             self.sent_commit = true;
             self.restart_timer(ctx); // phase progress
-            ctx.report("prepared", format!("view={view} slot={slot}"));
+            ctx.report_fmt("prepared", format_args!("view={view} slot={slot}"));
             let cd = vote_digest(PHASE_COMMIT, view, slot, digest);
             let csig = sign(ctx.id(), cd);
             ctx.broadcast(PbftMsg::Commit {
@@ -299,7 +299,7 @@ impl Pbft {
             let Some((view, digest)) = found else {
                 return;
             };
-            ctx.report("commit", format!("view={view} slot={slot}"));
+            ctx.report_fmt("commit", format_args!("view={view} slot={slot}"));
             ctx.decide(Value::new(digest.as_u64()));
             self.advance_slot(ctx);
         }
@@ -329,7 +329,7 @@ impl Pbft {
             return;
         }
         self.vc_voted.insert(target, true);
-        ctx.report("view-change", format!("target={target}"));
+        ctx.report_fmt("view-change", format_args!("target={target}"));
         self.broadcast_view_change(target, ctx);
         ctx.set_timer(ctx.lambda(), RetransmitVc { target });
         let vd = vote_digest(PHASE_VIEW_CHANGE, target, 0, Digest::default());
@@ -387,7 +387,7 @@ impl Pbft {
             if target > self.view {
                 self.enter_view(target, ctx);
             }
-            ctx.report("new-view", format!("view={target} slot={}", self.slot));
+            ctx.report_fmt("new-view", format_args!("view={target} slot={}", self.slot));
             ctx.broadcast(PbftMsg::NewView {
                 view: target,
                 slot: self.slot,
@@ -482,16 +482,24 @@ impl Protocol for Pbft {
 pub fn factory(params: ProtocolParams) -> impl Fn(NodeId) -> Box<dyn Protocol> {
     move |_id| Box::new(Pbft::new(params)) as Box<dyn Protocol>
 }
+/// PBFT's phase labels, indexed by [`phase_of`]'s return value.
+pub const PHASES: &[&str] = &[
+    "pre-prepare",
+    "prepare",
+    "commit",
+    "view-change",
+    "new-view",
+];
 
-/// Classifies a payload into PBFT's phase label for the observability
+/// Classifies a payload into PBFT's index of [`PHASES`] for the observability
 /// message-flow matrix (see [`bft_sim_core::obs`]).
-pub fn phase_of(payload: &dyn bft_sim_core::payload::Payload) -> Option<&'static str> {
+pub fn phase_of(payload: &dyn bft_sim_core::payload::Payload) -> Option<u8> {
     payload.as_any().downcast_ref::<PbftMsg>().map(|m| match m {
-        PbftMsg::PrePrepare { .. } => "pre-prepare",
-        PbftMsg::Prepare { .. } => "prepare",
-        PbftMsg::Commit { .. } => "commit",
-        PbftMsg::ViewChange { .. } => "view-change",
-        PbftMsg::NewView { .. } => "new-view",
+        PbftMsg::PrePrepare { .. } => 0,
+        PbftMsg::Prepare { .. } => 1,
+        PbftMsg::Commit { .. } => 2,
+        PbftMsg::ViewChange { .. } => 3,
+        PbftMsg::NewView { .. } => 4,
     })
 }
 

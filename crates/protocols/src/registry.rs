@@ -205,17 +205,30 @@ impl ProtocolKind {
     /// (injected or cross-protocol traffic) fall back to
     /// [`bft_sim_core::obs::UNCLASSIFIED_PHASE`].
     pub fn phase_classifier(self) -> bft_sim_core::obs::PhaseClassifier {
+        use bft_sim_core::obs::PhaseClassifier;
         match self {
             ProtocolKind::AddV1 | ProtocolKind::AddV2 | ProtocolKind::AddV3 => {
-                crate::add::machine::phase_of
+                PhaseClassifier::new(crate::add::machine::PHASES, crate::add::machine::phase_of)
             }
-            ProtocolKind::Algorand => crate::algorand::phase_of,
-            ProtocolKind::AsyncBa => crate::async_ba::phase_of,
-            ProtocolKind::Pbft => crate::pbft::phase_of,
-            ProtocolKind::HotStuffNs => crate::hotstuff::phase_of,
-            ProtocolKind::LibraBft => crate::librabft::phase_of,
-            ProtocolKind::Tendermint => crate::tendermint::phase_of,
-            ProtocolKind::SyncHotStuff => crate::sync_hotstuff::phase_of,
+            ProtocolKind::Algorand => {
+                PhaseClassifier::new(crate::algorand::PHASES, crate::algorand::phase_of)
+            }
+            ProtocolKind::AsyncBa => {
+                PhaseClassifier::new(crate::async_ba::PHASES, crate::async_ba::phase_of)
+            }
+            ProtocolKind::Pbft => PhaseClassifier::new(crate::pbft::PHASES, crate::pbft::phase_of),
+            ProtocolKind::HotStuffNs => {
+                PhaseClassifier::new(crate::hotstuff::PHASES, crate::hotstuff::phase_of)
+            }
+            ProtocolKind::LibraBft => {
+                PhaseClassifier::new(crate::librabft::PHASES, crate::librabft::phase_of)
+            }
+            ProtocolKind::Tendermint => {
+                PhaseClassifier::new(crate::tendermint::PHASES, crate::tendermint::phase_of)
+            }
+            ProtocolKind::SyncHotStuff => {
+                PhaseClassifier::new(crate::sync_hotstuff::PHASES, crate::sync_hotstuff::phase_of)
+            }
         }
     }
 

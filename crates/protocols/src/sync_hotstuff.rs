@@ -125,7 +125,7 @@ impl SyncHotStuff {
     fn propose(&mut self, ctx: &mut Context<'_>) {
         let (view, height) = (self.view, self.height);
         let digest = self.proposal_digest(view, height);
-        ctx.report("shs-propose", format!("view={view} height={height}"));
+        ctx.report_fmt("shs-propose", format_args!("view={view} height={height}"));
         let me = ctx.id();
         self.on_propose(me, view, height, digest, ctx);
         ctx.broadcast(ShsMsg::Propose {
@@ -154,7 +154,7 @@ impl SyncHotStuff {
                 // Equivocation: two conflicting proposals signed by the
                 // leader. Cancel pending commits for this view and blame.
                 self.equivocated.insert(view, true);
-                ctx.report("shs-equivocation", format!("view={view}"));
+                ctx.report_fmt("shs-equivocation", format_args!("view={view}"));
                 self.cast_blame(view, ctx);
                 return;
             }
@@ -204,7 +204,7 @@ impl SyncHotStuff {
         match self.proposals.get(&(view, height)) {
             Some(&seen) if seen != digest => {
                 self.equivocated.insert(view, true);
-                ctx.report("shs-equivocation", format!("view={view}"));
+                ctx.report_fmt("shs-equivocation", format_args!("view={view}"));
                 self.cast_blame(view, ctx);
             }
             None => {
@@ -245,7 +245,7 @@ impl SyncHotStuff {
     fn enter_view(&mut self, view: u64, ctx: &mut Context<'_>) {
         self.view = view;
         ctx.enter_view(view);
-        ctx.report("shs-view-change", format!("view={view}"));
+        ctx.report_fmt("shs-view-change", format_args!("view={view}"));
         // Housekeeping: past views' bookkeeping can go.
         self.blames.retain(|&v, _| v >= view);
         self.equivocated.retain(|&v, _| v >= view);
@@ -253,7 +253,7 @@ impl SyncHotStuff {
         if self.leader(view) == ctx.id() {
             let (v, h) = (view, self.height);
             let digest = self.proposal_digest(v, h);
-            ctx.report("shs-propose", format!("view={v} height={h}"));
+            ctx.report_fmt("shs-propose", format_args!("view={v} height={h}"));
             let me = ctx.id();
             self.on_propose(me, v, h, digest, ctx);
             ctx.broadcast(ShsMsg::Propose {
@@ -319,7 +319,7 @@ impl Protocol for SyncHotStuff {
                     && height == self.height
                     && !*self.equivocated.get(&view).unwrap_or(&false)
                 {
-                    ctx.report("shs-commit", format!("view={view} height={height}"));
+                    ctx.report_fmt("shs-commit", format_args!("view={view} height={height}"));
                     ctx.decide(Value::new(digest.as_u64()));
                     self.height = height + 1;
                     if self.leader(view) == ctx.id() {
@@ -339,7 +339,7 @@ impl Protocol for SyncHotStuff {
                     && height == self.height
                     && !self.proposals.contains_key(&(view, height))
                 {
-                    ctx.report("shs-silence", format!("view={view}"));
+                    ctx.report_fmt("shs-silence", format_args!("view={view}"));
                     self.cast_blame(view, ctx);
                 }
             }
@@ -355,14 +355,16 @@ impl Protocol for SyncHotStuff {
 pub fn factory(params: ProtocolParams) -> impl Fn(NodeId) -> Box<dyn Protocol> {
     move |_id| Box::new(SyncHotStuff::new(params)) as Box<dyn Protocol>
 }
+/// Sync HotStuff's phase labels, indexed by [`phase_of`]'s return value.
+pub const PHASES: &[&str] = &["propose", "vote", "blame"];
 
 /// Classifies a payload into Sync HotStuff's phase label for the
 /// observability message-flow matrix (see [`bft_sim_core::obs`]).
-pub fn phase_of(payload: &dyn bft_sim_core::payload::Payload) -> Option<&'static str> {
+pub fn phase_of(payload: &dyn bft_sim_core::payload::Payload) -> Option<u8> {
     payload.as_any().downcast_ref::<ShsMsg>().map(|m| match m {
-        ShsMsg::Propose { .. } => "propose",
-        ShsMsg::Vote { .. } => "vote",
-        ShsMsg::Blame { .. } => "blame",
+        ShsMsg::Propose { .. } => 0,
+        ShsMsg::Vote { .. } => 1,
+        ShsMsg::Blame { .. } => 2,
     })
 }
 

@@ -162,7 +162,7 @@ impl Tendermint {
                 Some((v, r)) => (v, r),
                 None => (self.fresh_value(height, round), u64::MAX),
             };
-            ctx.report("tm-propose", format!("h={height} r={round}"));
+            ctx.report_fmt("tm-propose", format_args!("h={height} r={round}"));
             let msg = TmMsg::Proposal {
                 height,
                 round,
@@ -185,7 +185,7 @@ impl Tendermint {
         // f + 1 distinct voices from a higher round: skip ahead (the
         // Tendermint catch-up rule).
         if set.len() >= self.params.one_honest() {
-            ctx.report("tm-skip", format!("to={round}"));
+            ctx.report_fmt("tm-skip", format_args!("to={round}"));
             self.start_round(round, ctx);
             self.recheck(height, round, ctx);
         }
@@ -303,7 +303,7 @@ impl Tendermint {
                 if self.locked.is_none_or(|(_, r)| round >= r) {
                     self.locked = Some((value, round));
                 }
-                ctx.report("tm-polka", format!("h={height} r={round}"));
+                ctx.report_fmt("tm-polka", format_args!("h={height} r={round}"));
                 self.precommit(value, ctx);
             }
         }
@@ -335,7 +335,7 @@ impl Tendermint {
         let any_quorum = tally.precommit_total.len() >= q;
 
         if committed {
-            ctx.report("tm-commit", format!("h={height} r={round}"));
+            ctx.report_fmt("tm-commit", format_args!("h={height} r={round}"));
             ctx.decide(Value::new(value.as_u64()));
             self.decided_height = height;
             // Next height: clear per-height state.
@@ -473,13 +473,16 @@ pub fn factory(params: ProtocolParams) -> impl Fn(NodeId) -> Box<dyn Protocol> {
     move |_id| Box::new(Tendermint::new(params)) as Box<dyn Protocol>
 }
 
-/// Classifies a payload into Tendermint's phase label for the observability
+/// Tendermint's phase labels, indexed by [`phase_of`]'s return value.
+pub const PHASES: &[&str] = &["proposal", "prevote", "precommit"];
+
+/// Classifies a payload into an index of [`PHASES`] for the observability
 /// message-flow matrix (see [`bft_sim_core::obs`]).
-pub fn phase_of(payload: &dyn bft_sim_core::payload::Payload) -> Option<&'static str> {
+pub fn phase_of(payload: &dyn bft_sim_core::payload::Payload) -> Option<u8> {
     payload.as_any().downcast_ref::<TmMsg>().map(|m| match m {
-        TmMsg::Proposal { .. } => "proposal",
-        TmMsg::Prevote { .. } => "prevote",
-        TmMsg::Precommit { .. } => "precommit",
+        TmMsg::Proposal { .. } => 0,
+        TmMsg::Prevote { .. } => 1,
+        TmMsg::Precommit { .. } => 2,
     })
 }
 

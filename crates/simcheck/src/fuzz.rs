@@ -42,6 +42,11 @@ pub struct FuzzOptions {
     /// on additionally salvages its event ring into
     /// [`FuzzFailure::last_events`].
     pub observability: bool,
+    /// Forces every generated scenario to this node count instead of the
+    /// generator's small-biased scales — the large-n smoke knob (`--n`).
+    /// Everything else about the scenario (delays, partition, adversary
+    /// budget) still derives from the seed as usual.
+    pub n_override: Option<usize>,
 }
 
 impl Default for FuzzOptions {
@@ -54,6 +59,7 @@ impl Default for FuzzOptions {
             threads: 0,
             scheduler: SchedulerKind::default(),
             observability: false,
+            n_override: None,
         }
     }
 }
@@ -111,8 +117,7 @@ impl FuzzObservability {
             self.decision_interval.merge(h);
         }
         for flow in &obs.flows {
-            *self.phase_totals.entry(flow.phase.clone()).or_insert(0) +=
-                flow.matrix.iter().sum::<u64>();
+            *self.phase_totals.entry(flow.phase.clone()).or_insert(0) += flow.total();
         }
         self.view_entries += obs.views.iter().map(|v| v.entries).sum::<u64>();
     }
@@ -210,13 +215,16 @@ pub fn fuzz_many(
         opts.threads,
         |i| -> Result<SeedResult, String> {
             let seed = seeds[i];
-            let spec = ScenarioSpec::generate(
+            let mut spec = ScenarioSpec::generate(
                 seed,
                 &opts.protocols,
                 opts.intensity_permille,
                 opts.max_actions,
                 opts.inject_bug,
             );
+            if let Some(n) = opts.n_override {
+                spec.n = n;
+            }
             let run = if opts.observability {
                 // Catch the panic here (inside the sweep's own isolation)
                 // so the pre-cloned ring handle can salvage the last events

@@ -796,6 +796,63 @@ mod tests {
     }
 
     #[test]
+    fn large_n_runs_agree_across_backends_and_sweep_threads() {
+        // The determinism contract must survive the n = 256 regime, where the
+        // scheduler queues are three orders of magnitude deeper and the flow
+        // matrices switch to the sparse representation.
+        let spec = ScenarioSpec {
+            n: 256,
+            target_decisions: 2,
+            delay: DelaySpec::Normal {
+                mean_micros: 250_000,
+                std_micros: 50_000,
+            },
+            ..ScenarioSpec::baseline(ProtocolKind::HotStuffNs)
+        };
+        let heap = spec
+            .run_observed(
+                RunMode::Generate,
+                SchedulerKind::Heap,
+                Some(spec.obs_config(32)),
+            )
+            .unwrap();
+        let mut wheel = spec
+            .run_observed(
+                RunMode::Generate,
+                SchedulerKind::Wheel,
+                Some(spec.obs_config(32)),
+            )
+            .unwrap();
+        wheel.result.scheduler = heap.result.scheduler.clone();
+        assert_eq!(heap.result, wheel.result);
+        assert_eq!(heap.schedule, wheel.schedule);
+        assert_eq!(heap.violations, wheel.violations);
+        let heap_obs = heap.result.observability.as_ref().unwrap();
+        let wheel_obs = wheel.result.observability.as_ref().unwrap();
+        let heap_json = heap_obs.to_json().dump_pretty();
+        assert_eq!(heap_json, wheel_obs.to_json().dump_pretty());
+        assert!(
+            heap_json.contains("\"cells\""),
+            "n = 256 flows must serialise in the sparse form"
+        );
+        // The thread axis composes with scale: sweeping the same large spec
+        // in parallel yields runs bit-identical to the serial heap run
+        // (modulo the instrumentation block the sweep runs don't enable).
+        let mut plain = heap.result.clone();
+        plain.observability = None;
+        let swept = bft_sim_core::sweep::sweep(4, 4, |_| {
+            spec.run_with(RunMode::Generate, SchedulerKind::Wheel)
+                .unwrap()
+        });
+        for slot in swept {
+            let mut run = slot.expect("no sweep panic");
+            run.result.scheduler = heap.result.scheduler.clone();
+            assert_eq!(plain, run.result);
+            assert_eq!(heap.schedule, run.schedule);
+        }
+    }
+
+    #[test]
     fn partitioned_pbft_stays_safe() {
         let spec = ScenarioSpec {
             partition: Some(PartitionSpec {

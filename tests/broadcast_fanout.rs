@@ -93,7 +93,13 @@ impl Adversary for FanOutObserver {
         if per_src.len() <= src {
             per_src.resize_with(src + 1, Vec::new);
         }
-        per_src[src].push((msg.dst(), Arc::clone(msg.payload_arc())));
+        per_src[src].push((
+            msg.dst(),
+            Arc::clone(
+                msg.payload_arc()
+                    .expect("broadcast payloads are Arc-backed"),
+            ),
+        ));
         Fate::Deliver(proposed)
     }
 }
