@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+use bft_sim_core::buggify::FaultPreset;
 use bft_sim_core::dist::Dist;
 use bft_sim_core::json::Json;
 use bft_sim_core::scheduler::SchedulerKind;
@@ -190,6 +191,16 @@ pub struct FuzzSpec {
     /// `--n N`: force every generated scenario to `N` nodes instead of the
     /// generator's small-biased scales. The large-n smoke knob.
     pub n_override: Option<usize>,
+    /// `--preset calm|moderate|chaos`: fault-catalog preset armed in every
+    /// generated scenario (calm = no injection, the default).
+    pub fault_preset: FaultPreset,
+    /// `--coverage`: run the coverage-guided corpus search instead of the
+    /// per-seed sweep. `--seeds A..B` then means master seed `A` with a
+    /// budget of `B − A` runs, and the report gains a `coverage` block.
+    pub coverage: bool,
+    /// `--blind` (with `--coverage`): same budget and coverage accounting,
+    /// but the corpus loop stays off — the comparison baseline.
+    pub blind: bool,
 }
 
 impl Default for FuzzSpec {
@@ -206,6 +217,9 @@ impl Default for FuzzSpec {
             scheduler: SchedulerKind::default(),
             observability: false,
             n_override: None,
+            fault_preset: FaultPreset::Calm,
+            coverage: false,
+            blind: false,
         }
     }
 }
@@ -528,8 +542,19 @@ fn parse_fuzz_spec(args: &[String]) -> Result<FuzzSpec, CliError> {
                     CliError::usage(format!("bad --scheduler '{s}' (use heap or wheel)"))
                 })?
             }
+            "--preset" => {
+                let s = value("--preset")?;
+                spec.fault_preset = FaultPreset::parse(&s).map_err(|_| {
+                    CliError::usage(format!("bad --preset '{s}' (use calm, moderate, or chaos)"))
+                })?
+            }
+            "--coverage" => spec.coverage = true,
+            "--blind" => spec.blind = true,
             other => return Err(CliError::usage(format!("unknown flag '{other}'"))),
         }
+    }
+    if spec.blind && !spec.coverage {
+        return Err(CliError::usage("--blind only applies to --coverage runs"));
     }
     Ok(spec)
 }
@@ -965,6 +990,15 @@ pub fn fuzz_report_json(
         ),
         ("failures".to_string(), Json::Arr(failures)),
     ];
+    if spec.fault_preset != FaultPreset::Calm {
+        pairs.push((
+            "fault_preset".to_string(),
+            Json::from(spec.fault_preset.name()),
+        ));
+    }
+    if let Some(coverage) = &report.coverage {
+        pairs.push(("coverage".to_string(), coverage.to_json()));
+    }
     if let Some(obs) = &report.observability {
         pairs.push(("observability".to_string(), obs.to_json()));
     }
@@ -985,10 +1019,17 @@ fn run_fuzz(spec: &FuzzSpec) -> Result<(), CliError> {
         scheduler: spec.scheduler,
         observability: spec.observability,
         n_override: spec.n_override,
+        fault_preset: spec.fault_preset,
+        latent_bug: false,
     };
     let start = std::time::Instant::now();
-    let report = bft_sim_simcheck::fuzz_many(spec.seeds.0..spec.seeds.1, &opts)
-        .map_err(CliError::runtime)?;
+    let report = if spec.coverage {
+        let budget = spec.seeds.1.saturating_sub(spec.seeds.0);
+        bft_sim_simcheck::fuzz_coverage(spec.seeds.0, budget, !spec.blind, &opts)
+            .map_err(CliError::runtime)?
+    } else {
+        bft_sim_simcheck::fuzz_many(spec.seeds.0..spec.seeds.1, &opts).map_err(CliError::runtime)?
+    };
     let wall = start.elapsed().as_secs_f64();
     let mut repro_paths = Vec::new();
     for outcome in &report.outcomes {
@@ -1020,6 +1061,29 @@ fn run_fuzz(spec: &FuzzSpec) -> Result<(), CliError> {
                 "seed {}: PANICKED: {}",
                 failure.scenario_seed, failure.message
             );
+        }
+        if let Some(coverage) = &report.coverage {
+            println!(
+                "coverage [{}]: {} distinct fingerprints over {} runs \
+                 ({} mutated, {} fresh, corpus {}, {} new/1k)",
+                if coverage.corpus_mode {
+                    "corpus"
+                } else {
+                    "blind"
+                },
+                coverage.distinct_fingerprints,
+                coverage.runs,
+                coverage.mutated_runs,
+                coverage.fresh_runs,
+                coverage.corpus_size,
+                coverage.new_per_1k(),
+            );
+            let curve: Vec<String> = coverage
+                .curve
+                .iter()
+                .map(|&(runs, distinct)| format!("{runs}:{distinct}"))
+                .collect();
+            println!("coverage curve: {}", curve.join(" "));
         }
         println!(
             "fuzz: {} scenarios ({} violating, {} panicked), {} events, {:.1} ms",
@@ -1307,6 +1371,7 @@ USAGE:
                      [--intensity PERMILLE] [--max-actions K] [--inject-bug]
                      [--out DIR] [--json] [--obs] [--threads N]
                      [--scheduler heap|wheel] [--n NODES]
+                     [--preset calm|moderate|chaos] [--coverage [--blind]]
                      sweep deterministic fuzz scenarios across N worker
                      threads (0 = all cores; output is byte-identical at any
                      thread count and under either scheduler backend),
@@ -1316,7 +1381,14 @@ USAGE:
                      an observability block and repros/failures carry their
                      last trace events, with everything else byte-identical;
                      --n forces every scenario to NODES nodes (≥ 4) for
-                     large-n smoke sweeps
+                     large-n smoke sweeps; --preset arms the buggify fault
+                     catalog (timer skew, duplicates, reorders, targeted
+                     drops, torn writes) in every scenario; --coverage runs
+                     the corpus-driven coverage search instead of the
+                     per-seed sweep (--seeds A..B = master seed A, budget
+                     B−A; the report gains a coverage block), and --blind
+                     keeps its accounting but disables the corpus loop (the
+                     comparison baseline)
     bft-sim repro FILE.json
                      replay a bft-sim-repro-v1 file and confirm its oracle
                      still fires
@@ -1449,6 +1521,10 @@ mod tests {
             "4",
             "--scheduler",
             "wheel",
+            "--preset",
+            "chaos",
+            "--coverage",
+            "--blind",
         ]))
         .unwrap();
         let Command::Fuzz(spec) = cmd else {
@@ -1463,6 +1539,14 @@ mod tests {
         assert!(spec.json);
         assert_eq!(spec.threads, 4);
         assert_eq!(spec.scheduler, SchedulerKind::Wheel);
+        assert_eq!(spec.fault_preset, FaultPreset::Chaos);
+        assert!(spec.coverage);
+        assert!(spec.blind);
+        assert!(parse_args(&args(&["fuzz", "--preset", "wild"])).is_err());
+        assert!(
+            parse_args(&args(&["fuzz", "--blind"])).is_err(),
+            "--blind without --coverage must be a usage error"
+        );
         assert_eq!(
             parse_args(&args(&["fuzz"])).unwrap(),
             Command::Fuzz(FuzzSpec::default())

@@ -9,7 +9,7 @@
 
 use bft_sim_cli::{fuzz_report_json, FuzzSpec};
 use bft_sim_protocols::registry::ProtocolKind;
-use bft_sim_simcheck::{fuzz_many, FuzzOptions, FuzzReport};
+use bft_sim_simcheck::{fuzz_coverage, fuzz_many, FuzzOptions, FuzzReport};
 
 fn sweep_json(spec: &FuzzSpec, threads: usize) -> String {
     let opts = FuzzOptions {
@@ -21,8 +21,22 @@ fn sweep_json(spec: &FuzzSpec, threads: usize) -> String {
         scheduler: spec.scheduler,
         observability: spec.observability,
         n_override: spec.n_override,
+        fault_preset: spec.fault_preset,
+        latent_bug: false,
     };
-    let report: FuzzReport = fuzz_many(spec.seeds.0..spec.seeds.1, &opts).expect("sweep builds");
+    // Mirror `bft-sim fuzz`'s dispatch: `--coverage` runs the corpus search
+    // with `--seeds A..B` meaning master seed A and budget B − A.
+    let report: FuzzReport = if spec.coverage {
+        fuzz_coverage(
+            spec.seeds.0,
+            spec.seeds.1.saturating_sub(spec.seeds.0),
+            !spec.blind,
+            &opts,
+        )
+        .expect("coverage search builds")
+    } else {
+        fuzz_many(spec.seeds.0..spec.seeds.1, &opts).expect("sweep builds")
+    };
     // Derive the repro paths the CLI would write, purely from the report, so
     // the comparison covers them without touching the filesystem.
     let repro_paths: Vec<String> = report
@@ -81,5 +95,42 @@ fn observed_fuzz_json_is_byte_identical_across_thread_counts() {
     assert!(
         parsed.get("observability").is_some(),
         "--obs adds an observability block"
+    );
+}
+
+#[test]
+fn chaos_coverage_json_is_byte_identical_across_thread_counts() {
+    // The fault catalog and the corpus loop must not reintroduce thread
+    // dependence: a chaos-preset coverage search — fault injection in every
+    // run, fingerprinting, corpus mutation, adaptive rates — serialises
+    // byte-identically at any worker count, coverage block included.
+    let spec = FuzzSpec {
+        seeds: (7, 7 + 48),
+        fault_preset: bft_sim_core::buggify::FaultPreset::Chaos,
+        coverage: true,
+        ..FuzzSpec::default()
+    };
+    let serial = sweep_json(&spec, 1);
+    let parallel = sweep_json(&spec, 4);
+    assert_eq!(
+        serial, parallel,
+        "--coverage --preset chaos --threads 4 must match --threads 1"
+    );
+    let parsed = bft_sim_core::json::Json::parse(&serial).expect("report is valid JSON");
+    assert_eq!(
+        parsed.get("fault_preset").and_then(|p| p.as_str()),
+        Some("chaos")
+    );
+    let coverage = parsed.get("coverage").expect("--coverage adds a block");
+    assert_eq!(
+        coverage.get("mode").and_then(|m| m.as_str()),
+        Some("corpus")
+    );
+    assert_eq!(coverage.get("runs").and_then(|r| r.as_u64()), Some(48));
+    assert!(
+        coverage
+            .get("distinct_fingerprints")
+            .and_then(|d| d.as_u64())
+            > Some(1)
     );
 }

@@ -13,7 +13,7 @@
 use bft_sim_cli::{fuzz_report_json, FuzzSpec};
 use bft_sim_core::scheduler::SchedulerKind;
 use bft_sim_protocols::registry::ProtocolKind;
-use bft_sim_simcheck::{fuzz_many, FuzzOptions, FuzzReport};
+use bft_sim_simcheck::{fuzz_coverage, fuzz_many, FuzzOptions, FuzzReport};
 
 fn sweep_json(spec: &FuzzSpec, scheduler: SchedulerKind, threads: usize) -> String {
     let opts = FuzzOptions {
@@ -25,8 +25,22 @@ fn sweep_json(spec: &FuzzSpec, scheduler: SchedulerKind, threads: usize) -> Stri
         scheduler,
         observability: spec.observability,
         n_override: spec.n_override,
+        fault_preset: spec.fault_preset,
+        latent_bug: false,
     };
-    let report: FuzzReport = fuzz_many(spec.seeds.0..spec.seeds.1, &opts).expect("sweep builds");
+    // Mirror `bft-sim fuzz`'s dispatch: `--coverage` runs the corpus search
+    // with `--seeds A..B` meaning master seed A and budget B − A.
+    let report: FuzzReport = if spec.coverage {
+        fuzz_coverage(
+            spec.seeds.0,
+            spec.seeds.1.saturating_sub(spec.seeds.0),
+            !spec.blind,
+            &opts,
+        )
+        .expect("coverage search builds")
+    } else {
+        fuzz_many(spec.seeds.0..spec.seeds.1, &opts).expect("sweep builds")
+    };
     // Derive the repro paths the CLI would write, purely from the report, so
     // the comparison covers them without touching the filesystem.
     let repro_paths: Vec<String> = report
@@ -92,4 +106,38 @@ fn observed_fuzz_json_is_byte_identical_across_scheduler_backends() {
         .expect("--obs adds an observability block");
     assert!(obs.get("delivery_latency").is_some());
     assert!(obs.get("phase_totals").is_some());
+}
+
+#[test]
+fn chaos_coverage_json_is_byte_identical_across_scheduler_backends() {
+    // The fault injector sits between the scheduler and the protocols
+    // (skewed timers, duplicated/reordered deliveries are *scheduled*
+    // events), so this is the sharpest place a backend could leak into
+    // behavior. A chaos-preset coverage search must serialise
+    // byte-identically under heap and wheel — and the parallel-wheel
+    // variant closes the loop on both determinism axes at once.
+    let spec = FuzzSpec {
+        seeds: (7, 7 + 48),
+        fault_preset: bft_sim_core::buggify::FaultPreset::Chaos,
+        coverage: true,
+        ..FuzzSpec::default()
+    };
+    let heap = sweep_json(&spec, SchedulerKind::Heap, 1);
+    let wheel = sweep_json(&spec, SchedulerKind::Wheel, 1);
+    assert_eq!(
+        heap, wheel,
+        "--coverage --preset chaos under wheel must match heap"
+    );
+    let wheel_parallel = sweep_json(&spec, SchedulerKind::Wheel, 4);
+    assert_eq!(
+        heap, wheel_parallel,
+        "--coverage --preset chaos --scheduler wheel --threads 4 must match serial heap"
+    );
+    let parsed = bft_sim_core::json::Json::parse(&heap).expect("report is valid JSON");
+    let coverage = parsed.get("coverage").expect("--coverage adds a block");
+    assert_eq!(
+        coverage.get("mode").and_then(|m| m.as_str()),
+        Some("corpus")
+    );
+    assert_eq!(coverage.get("runs").and_then(|r| r.as_u64()), Some(48));
 }

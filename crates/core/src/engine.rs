@@ -20,6 +20,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::adversary::{AdvAction, Adversary, AdversaryApi, Fate, NullAdversary};
+use crate::buggify::{FaultInjector, WireFault};
 use crate::config::RunConfig;
 use crate::context::{Action, Context};
 use crate::error::SimError;
@@ -90,6 +91,7 @@ pub struct SimulationBuilder {
     observer: Option<Box<dyn StepObserver>>,
     scheduler: SchedulerKind,
     obs: Option<ObsConfig>,
+    faults: Option<FaultInjector>,
 }
 
 impl SimulationBuilder {
@@ -105,6 +107,7 @@ impl SimulationBuilder {
             observer: None,
             scheduler: SchedulerKind::default(),
             obs: None,
+            faults: None,
         }
     }
 
@@ -169,6 +172,17 @@ impl SimulationBuilder {
         self
     }
 
+    /// Installs a buggify fault injector (see [`crate::buggify`]). When this
+    /// method is *not* called, every injection site is a single `Option`
+    /// check and the run is bit-identical to one built without the catalog.
+    /// Do not combine with [`replay_schedule`](Self::replay_schedule):
+    /// validator mode replays recorded fates, which already embody any wire
+    /// faults, and timer/dispatch faults would double-apply.
+    pub fn faults(mut self, injector: FaultInjector) -> Self {
+        self.faults = Some(injector);
+        self
+    }
+
     /// Validates the configuration and constructs the simulation.
     ///
     /// # Errors
@@ -219,6 +233,7 @@ impl SimulationBuilder {
                 Some(cfg) => Some(ObsRecorder::new(self.cfg.n, cfg)?),
                 None => None,
             },
+            faults: self.faults,
             completed: 0,
             queue_high_water: 0,
             cfg: self.cfg,
@@ -267,6 +282,9 @@ pub struct Simulation {
     /// Run-level instrumentation (histograms, flow matrix, event ring); None
     /// keeps every hook down to one discriminant check.
     obs: Option<ObsRecorder>,
+    /// Buggify fault injector (see [`crate::buggify`]); None keeps every
+    /// injection site down to one discriminant check.
+    faults: Option<FaultInjector>,
     completed: u64,
     queue_high_water: usize,
 }
@@ -456,6 +474,25 @@ impl Simulation {
             f(&mut node, &mut ctx);
         }
         self.nodes[id.index()] = node;
+        // Torn-write injection: the node's state already advanced inside
+        // `f`, but only a prefix of its buffered output is applied — the
+        // simulated analogue of a partial state write. Only *outputs*
+        // (messages and timer ops) are tearable: Decide / EnterView /
+        // Custom are oracle reports of state the node already committed
+        // internally, and tearing them would blind the safety checker with
+        // false disagreements rather than perturb the protocol.
+        if let Some(fi) = &mut self.faults {
+            if let Some(keep) = fi.on_dispatch(actions.len()) {
+                let mut seen = 0usize;
+                actions.retain(|action| match action {
+                    Action::Decide(_) | Action::EnterView(_) | Action::Custom { .. } => true,
+                    _ => {
+                        seen += 1;
+                        seen <= keep
+                    }
+                });
+            }
+        }
         self.apply_node_actions(id, &mut actions);
         actions.clear();
         self.node_actions = actions;
@@ -495,6 +532,10 @@ impl Simulation {
                     );
                 }
                 Action::SetTimer { id, delay, payload } => {
+                    let delay = match &mut self.faults {
+                        Some(fi) => fi.on_timer(delay),
+                        None => delay,
+                    };
                     let handle = self.queue.schedule(
                         self.clock + delay,
                         EventKind::NodeTimer {
@@ -627,9 +668,33 @@ impl Simulation {
             fate
         };
 
+        // Wire-site fault injection, applied after the adversary but before
+        // the recorder so targeted drops and reorder delays land in the
+        // recorded schedule (keeping schedule-replay repros exact).
+        // Duplicates live outside the fate stream: a second copy is
+        // scheduled below and accounted as an adversary message, so the
+        // metrics-sanity invariant `delivered <= sent` keeps holding.
+        let mut duplicate = None;
+        let fate = match &mut self.faults {
+            Some(fi) if self.replay.is_none() => match fi.on_wire(msg.dst()) {
+                WireFault::None => fate,
+                WireFault::Drop => Fate::Drop,
+                WireFault::Delay(extra) => match fate {
+                    Fate::Deliver(delay) => Fate::Deliver(delay + extra),
+                    Fate::Drop => Fate::Drop,
+                },
+                WireFault::Duplicate(extra) => {
+                    duplicate = Some(extra);
+                    fate
+                }
+            },
+            _ => fate,
+        };
+
         if let Some(rec) = &mut self.recorder {
             rec.push(fate);
         }
+        let dup_msg = duplicate.map(|extra| (msg.clone(), extra));
         match fate {
             Fate::Deliver(delay) => {
                 self.queue
@@ -638,6 +703,11 @@ impl Simulation {
             Fate::Drop => {
                 self.metrics.count_dropped_message();
             }
+        }
+        if let Some((copy, extra)) = dup_msg {
+            self.metrics.count_adversary_message();
+            self.queue
+                .schedule(self.clock + extra, EventKind::Deliver(copy));
         }
     }
 

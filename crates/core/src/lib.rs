@@ -53,6 +53,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod adversary;
+pub mod buggify;
 pub mod config;
 pub mod context;
 pub mod dist;
@@ -81,6 +82,7 @@ pub mod value;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use crate::adversary::{Adversary, AdversaryApi, Fate, NullAdversary};
+    pub use crate::buggify::{FaultAction, FaultInjector, FaultKind, FaultPreset, FaultStats};
     pub use crate::config::RunConfig;
     pub use crate::context::Context;
     pub use crate::dist::Dist;

@@ -468,6 +468,14 @@ impl PhaseFlow {
         }
     }
 
+    /// Number of nonzero cells, without materialising them.
+    pub fn nonzero_cells(&self) -> usize {
+        match &self.repr {
+            FlowRepr::Dense(matrix) => matrix.iter().filter(|&&c| c > 0).count(),
+            FlowRepr::Sparse(cells) => cells.len(),
+        }
+    }
+
     /// The row-major matrix when stored densely; `None` for sparse flows
     /// (materialising an n×n matrix at large n is exactly what the sparse
     /// form exists to avoid).
@@ -560,6 +568,56 @@ impl Observability {
                 Json::Arr(self.recent_events.iter().map(|e| e.to_json()).collect()),
             ),
         ])
+    }
+
+    /// A compact behavior fingerprint of the run, hashed with the
+    /// deterministic [`FastHasher`](crate::fasthash::FastHasher).
+    ///
+    /// The fingerprint is a *shape* signature, deliberately quantized:
+    /// continuous quantities (latency sums, view-entry instants) enter only
+    /// through their floor-log₂ bucket, so two runs that differ merely in
+    /// sampled delays collapse to the same key, while structural differences
+    /// — per-phase message totals and edge counts, which views were entered
+    /// and by how many nodes, per-node delivery and decision counts — each
+    /// produce a new one. `recent_events` and `last_k` are excluded: the
+    /// ring is an execution option, not behavior. Everything hashed is a
+    /// simulated quantity, so the fingerprint is identical across scheduler
+    /// backends and `--threads` settings by construction.
+    pub fn fingerprint(&self) -> u64 {
+        use core::hash::Hasher;
+        /// Floor-log₂ bucket (0 for 0, else `floor(log2(v)) + 1`).
+        fn bucket(v: u64) -> u64 {
+            64 - v.leading_zeros() as u64
+        }
+        let mut h = crate::fasthash::FastHasher::default();
+        h.write_u64(self.nodes as u64);
+        // Per-phase flow signature.
+        h.write_u64(self.flows.len() as u64);
+        for f in &self.flows {
+            h.write(f.phase.as_bytes());
+            h.write_u64(bucket(f.total()));
+            h.write_u64(f.nonzero_cells() as u64);
+        }
+        // View-timeline shape.
+        h.write_u64(self.views.len() as u64);
+        for v in &self.views {
+            h.write_u64(v.view);
+            h.write_u64(v.entries);
+            h.write_u64(bucket(v.first_entry.as_micros()));
+            h.write_u64(bucket(
+                v.last_entry.saturating_since(v.first_entry).as_micros(),
+            ));
+        }
+        // Per-node delivery and decision shape.
+        for hist in &self.delivery_latency {
+            h.write_u64(bucket(hist.count()));
+            h.write_u64(bucket(hist.mean_micros() as u64));
+        }
+        for hist in &self.decision_interval {
+            h.write_u64(hist.count());
+            h.write_u64(bucket(hist.mean_micros() as u64));
+        }
+        h.finish()
     }
 
     /// Total wire messages recorded in the flow matrices for `phase`.
@@ -1134,5 +1192,56 @@ mod tests {
         }
         // Identical snapshots serialise identically.
         assert_eq!(json, obs.clone().to_json().dump_pretty());
+    }
+
+    /// Builds a small snapshot with one delivery, one decision and one view.
+    fn fingerprint_fixture(latency_micros: u64, view: u64) -> Observability {
+        let mut rec = ObsRecorder::new(2, ObsConfig::new(4)).unwrap();
+        let m = Message::new(
+            NodeId::new(0),
+            NodeId::new(1),
+            SimTime::from_micros(10),
+            crate::payload::shared(7u32),
+        );
+        rec.on_delivered(SimTime::from_micros(10 + latency_micros), &m);
+        rec.on_decided(SimTime::from_micros(500), NodeId::new(1));
+        rec.on_view(SimTime::from_micros(40), view);
+        rec.finish()
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_ignores_the_ring() {
+        let a = fingerprint_fixture(100, 1);
+        let mut b = fingerprint_fixture(100, 1);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // The event ring and its capacity are execution options, not
+        // behavior; the fingerprint must not see them.
+        b.last_k = 99;
+        b.recent_events.push(TraceEvent {
+            time: SimTime::from_micros(1),
+            node: NodeId::new(0),
+            kind: TraceKind::Crashed,
+        });
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_quantizes_timing_but_sees_structure() {
+        let base = fingerprint_fixture(100, 1);
+        // Same log2 latency bucket -> same key.
+        assert_eq!(
+            base.fingerprint(),
+            fingerprint_fixture(101, 1).fingerprint()
+        );
+        // A different view timeline is structural -> new key.
+        assert_ne!(
+            base.fingerprint(),
+            fingerprint_fixture(100, 2).fingerprint()
+        );
+        // A wildly different latency crosses buckets -> new key.
+        assert_ne!(
+            base.fingerprint(),
+            fingerprint_fixture(100_000, 1).fingerprint()
+        );
     }
 }

@@ -4,6 +4,7 @@
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
+use bft_sim_core::buggify::FaultPreset;
 use bft_sim_core::json::Json;
 use bft_sim_core::obs::{Histogram, Observability, DEFAULT_LAST_K};
 use bft_sim_core::scheduler::SchedulerKind;
@@ -47,6 +48,18 @@ pub struct FuzzOptions {
     /// Everything else about the scenario (delays, partition, adversary
     /// budget) still derives from the seed as usual.
     pub n_override: Option<usize>,
+    /// Fault-catalog preset for generated scenarios ([`FaultPreset::Calm`]
+    /// disables injection entirely). Non-calm presets arm the buggify
+    /// injector with a per-scenario fault seed drawn from the scenario seed,
+    /// so the sweep stays deterministic.
+    pub fault_preset: FaultPreset,
+    /// Coverage-search benchmark knob (needs the `testbug` feature): instead
+    /// of arming the seeded bug everywhere (`inject_bug`), arm it only in
+    /// scenarios whose drawn knobs hit a narrow conjunction window — see
+    /// [`fuzz_coverage`](crate::corpus::fuzz_coverage). Measures how fast a
+    /// search strategy *discovers* a rare bug rather than whether it can
+    /// shrink an omnipresent one. Ignored by [`fuzz_many`].
+    pub latent_bug: bool,
 }
 
 impl Default for FuzzOptions {
@@ -60,6 +73,8 @@ impl Default for FuzzOptions {
             scheduler: SchedulerKind::default(),
             observability: false,
             n_override: None,
+            fault_preset: FaultPreset::Calm,
+            latent_bug: false,
         }
     }
 }
@@ -109,7 +124,7 @@ pub struct FuzzObservability {
 
 impl FuzzObservability {
     /// Folds one run's snapshot into the sweep-wide aggregate.
-    fn absorb(&mut self, obs: &Observability) {
+    pub(crate) fn absorb(&mut self, obs: &Observability) {
         for h in &obs.delivery_latency {
             self.delivery_latency.merge(h);
         }
@@ -163,6 +178,10 @@ pub struct FuzzReport {
     /// Sweep-wide observability aggregate; `Some` exactly when
     /// [`FuzzOptions::observability`] was on.
     pub observability: Option<FuzzObservability>,
+    /// Coverage accounting; `Some` exactly when the report came from
+    /// [`fuzz_coverage`](crate::corpus::fuzz_coverage). Blind seed sweeps
+    /// ([`fuzz_many`]) leave it `None`.
+    pub coverage: Option<crate::corpus::CoverageStats>,
 }
 
 impl FuzzReport {
@@ -221,6 +240,7 @@ pub fn fuzz_many(
                 opts.intensity_permille,
                 opts.max_actions,
                 opts.inject_bug,
+                opts.fault_preset,
             );
             if let Some(n) = opts.n_override {
                 spec.n = n;

@@ -8,6 +8,10 @@
 //!   scripted / schedule-replay modes;
 //! - [`fuzz`] — the sweep driver ([`fuzz_many`]): one scenario per seed,
 //!   every violation shrunk to a reproducer;
+//! - [`corpus`] — coverage-guided search ([`fuzz_coverage`]): behavior
+//!   fingerprints ([`run_fingerprint`]) feed a seen-set and a corpus of
+//!   novelty-producing scenarios, which the loop mutates in preference to
+//!   fresh draws;
 //! - [`shrink`] — minimisation: decision target, partition, ddmin over the
 //!   adversary action list, node count, then delivery-schedule bisection;
 //! - [`repro`] — the `bft-sim-repro-v1` JSON format written by
@@ -23,6 +27,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod corpus;
 pub mod fuzz;
 pub mod repro;
 pub mod scenario;
@@ -30,6 +35,7 @@ pub mod shrink;
 #[cfg(feature = "testbug")]
 pub mod testbug;
 
+pub use corpus::{fuzz_coverage, run_fingerprint, CoverageStats};
 pub use fuzz::{fuzz_many, FuzzFailure, FuzzObservability, FuzzOptions, FuzzOutcome, FuzzReport};
 pub use repro::{Repro, FORMAT};
 pub use scenario::{CheckedRun, DelaySpec, PartitionSpec, RunMode, ScenarioSpec};

@@ -8,6 +8,7 @@
 //! permanent regression test.
 
 use bft_sim_attacks::{actions_from_json, actions_to_json, FuzzAction};
+use bft_sim_core::buggify::{fault_actions_from_json, fault_actions_to_json, FaultAction};
 use bft_sim_core::json::Json;
 use bft_sim_core::oracle::OracleViolation;
 use bft_sim_core::trace::TraceEvent;
@@ -25,6 +26,12 @@ pub struct Repro {
     pub spec: ScenarioSpec,
     /// The residual adversary script, applied in [`RunMode::Scripted`].
     pub actions: Vec<FuzzAction>,
+    /// The residual fault-catalog script (buggify actions), replayed by a
+    /// scripted [`bft_sim_core::buggify::FaultInjector`]. Empty for repros
+    /// minted before the fault catalog existed, or when the violation does
+    /// not depend on injected faults; omitted from the JSON form then, so
+    /// older `bft-sim-repro-v1` files parse unchanged.
+    pub fault_actions: Vec<FaultAction>,
     /// When present, the violation reproduces through a pure schedule
     /// replay ([`RunMode::Replay`]) — no adversary involved at all.
     pub schedule: Option<DeliverySchedule>,
@@ -51,7 +58,10 @@ impl Repro {
     pub fn check(&self) -> Result<OracleViolation, String> {
         let run = match &self.schedule {
             Some(schedule) => self.spec.run(RunMode::Replay(schedule))?,
-            None => self.spec.run(RunMode::Scripted(&self.actions))?,
+            None => self.spec.run(RunMode::Scripted {
+                actions: &self.actions,
+                faults: &self.fault_actions,
+            })?,
         };
         run.violations
             .into_iter()
@@ -74,6 +84,12 @@ impl Repro {
         ];
         if !self.actions.is_empty() {
             pairs.push(("actions".to_string(), actions_to_json(&self.actions)));
+        }
+        if !self.fault_actions.is_empty() {
+            pairs.push((
+                "fault_actions".to_string(),
+                fault_actions_to_json(&self.fault_actions),
+            ));
         }
         if let Some(schedule) = &self.schedule {
             pairs.push(("schedule".to_string(), schedule.to_json()));
@@ -117,6 +133,10 @@ impl Repro {
             Some(a) => actions_from_json(a)?,
             None => Vec::new(),
         };
+        let fault_actions = match json.get("fault_actions") {
+            Some(a) => fault_actions_from_json(a)?,
+            None => Vec::new(),
+        };
         let schedule = match json.get("schedule") {
             Some(s) => Some(DeliverySchedule::from_json(s)?),
             None => None,
@@ -132,6 +152,7 @@ impl Repro {
         Ok(Repro {
             spec,
             actions,
+            fault_actions,
             schedule,
             oracle,
             detail,
@@ -163,6 +184,7 @@ mod tests {
                     },
                 },
             ],
+            fault_actions: Vec::new(),
             schedule: None,
             oracle: "agreement".to_string(),
             detail: "slot 0: n1 decided v0x1 but n2 decided v0x2".to_string(),
@@ -178,6 +200,38 @@ mod tests {
             !text.contains("last_events"),
             "an empty event dump must stay out of the JSON"
         );
+        assert!(
+            !text.contains("fault_actions"),
+            "an empty fault script must stay out of the JSON"
+        );
+        let back = Repro::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, repro);
+        assert_eq!(back.to_json().dump_pretty(), text);
+    }
+
+    #[test]
+    fn json_round_trips_with_fault_actions() {
+        use bft_sim_core::buggify::{FaultAction, FaultKind};
+
+        let repro = Repro {
+            fault_actions: vec![
+                FaultAction {
+                    index: 4,
+                    kind: FaultKind::TargetedDrop {
+                        dst: NodeId::new(3),
+                    },
+                },
+                FaultAction {
+                    index: 9,
+                    kind: FaultKind::TimerSkew {
+                        factor_permille: 2_500,
+                    },
+                },
+            ],
+            ..sample()
+        };
+        let text = repro.to_json().dump_pretty();
+        assert!(text.contains("fault_actions"), "{text}");
         let back = Repro::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, repro);
         assert_eq!(back.to_json().dump_pretty(), text);

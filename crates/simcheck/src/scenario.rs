@@ -16,6 +16,7 @@
 
 use bft_sim_attacks::{FuzzAction, FuzzBudget, PartitionAttack, RandomizedAdversary};
 use bft_sim_core::adversary::{Adversary, AdversaryApi, Fate};
+use bft_sim_core::buggify::{FaultAction, FaultInjector, FaultLog, FaultPreset, FaultStats};
 use bft_sim_core::config::RunConfig;
 use bft_sim_core::dist::Dist;
 use bft_sim_core::engine::SimulationBuilder;
@@ -208,17 +209,44 @@ pub struct ScenarioSpec {
     pub time_cap_secs: u64,
     /// Arms the feature-gated seeded safety bug (`testbug`).
     pub inject_bug: bool,
+    /// Injection delay of the seeded bug's forged certificate, microseconds.
+    /// Only meaningful with `inject_bug`; the default (1 ms) rushes the
+    /// forgery in long before any honest quorum can form.
+    pub bug_delay_micros: u64,
+    /// Buggify fault-catalog intensity (see [`bft_sim_core::buggify`]).
+    pub fault_preset: FaultPreset,
+    /// Seed for the fault injector's own RNG (independent of `seed` and
+    /// `adversary_seed`); irrelevant under [`FaultPreset::Calm`].
+    pub fault_seed: u64,
 }
 
 /// How [`ScenarioSpec::run`] drives the adversary.
 #[derive(Debug, Clone, Copy)]
 pub enum RunMode<'a> {
-    /// Roll fresh adversary actions from the scenario's budget, logging them.
+    /// Roll fresh adversary actions and fault-catalog faults from the
+    /// scenario's budget and preset, logging both.
     Generate,
-    /// Re-apply exactly these previously logged actions.
-    Scripted(&'a [FuzzAction]),
-    /// Replay a recorded delivery schedule; the adversary is bypassed.
+    /// Re-apply exactly these previously logged adversary actions and fault
+    /// actions.
+    Scripted {
+        /// The adversary actions to re-apply, by message index.
+        actions: &'a [FuzzAction],
+        /// The fault-catalog actions to re-apply, by site index.
+        faults: &'a [FaultAction],
+    },
+    /// Replay a recorded delivery schedule; the adversary and the fault
+    /// injector are bypassed (the recorded fates already embody wire faults).
     Replay(&'a DeliverySchedule),
+}
+
+impl<'a> RunMode<'a> {
+    /// Scripted mode with adversary actions only (no fault-catalog faults).
+    pub fn scripted(actions: &'a [FuzzAction]) -> RunMode<'a> {
+        RunMode::Scripted {
+            actions,
+            faults: &[],
+        }
+    }
 }
 
 /// A finished, oracle-checked run.
@@ -230,6 +258,11 @@ pub struct CheckedRun {
     pub schedule: DeliverySchedule,
     /// The adversary actions that were applied (empty in replay mode).
     pub actions: Vec<FuzzAction>,
+    /// The fault-catalog actions that were applied (empty in replay mode and
+    /// under [`FaultPreset::Calm`]).
+    pub fault_actions: Vec<FaultAction>,
+    /// Per-kind counters of the applied fault-catalog actions.
+    pub fault_stats: FaultStats,
     /// Every oracle violation the suite found (empty = clean).
     pub violations: Vec<OracleViolation>,
 }
@@ -262,6 +295,9 @@ impl ScenarioSpec {
             target_decisions: protocol.measured_decisions(),
             time_cap_secs: 900,
             inject_bug: false,
+            bug_delay_micros: 1_000,
+            fault_preset: FaultPreset::Calm,
+            fault_seed: 0,
         }
     }
 
@@ -269,13 +305,18 @@ impl ScenarioSpec {
     /// scale from {4, 7, 10, 16} (small-biased), one of three delay
     /// distributions bounded well under λ = 1 s, ~30% fully benign runs,
     /// ~25% of the rest partitioned. `inject_bug` forces PBFT (the seeded
-    /// bug forges PBFT commit certificates).
+    /// bug forges PBFT commit certificates). `fault_preset` selects the
+    /// buggify catalog intensity; benign draws stay [`FaultPreset::Calm`]
+    /// (a benign run with injected faults would not be benign). The fault
+    /// seed is drawn last, so every earlier field is unchanged from what the
+    /// same `scenario_seed` drew before the catalog existed.
     pub fn generate(
         scenario_seed: u64,
         protocols: &[ProtocolKind],
         intensity_permille: u64,
         max_actions: u64,
         inject_bug: bool,
+        fault_preset: FaultPreset,
     ) -> ScenarioSpec {
         assert!(
             !protocols.is_empty(),
@@ -313,6 +354,12 @@ impl ScenarioSpec {
                 drop: rng.gen_bool(0.5),
             }
         });
+        let fault_seed = rng.gen_range(0..u64::MAX);
+        let fault_preset = if benign {
+            FaultPreset::Calm
+        } else {
+            fault_preset
+        };
         ScenarioSpec {
             protocol,
             n,
@@ -327,6 +374,16 @@ impl ScenarioSpec {
             target_decisions: protocol.measured_decisions(),
             time_cap_secs: 900,
             inject_bug,
+            bug_delay_micros: 1_000,
+            fault_preset,
+            // A calm spec never builds an injector, and its JSON form omits
+            // the faults block entirely — zero the seed so the omission
+            // round-trips exactly.
+            fault_seed: if fault_preset == FaultPreset::Calm {
+                0
+            } else {
+                fault_seed
+            },
         }
     }
 
@@ -334,7 +391,10 @@ impl ScenarioSpec {
     /// inside the protocol's fault and network model, so the termination
     /// oracle is owed a decision.
     pub fn is_benign(&self) -> bool {
-        self.partition.is_none() && self.max_actions == 0 && !self.inject_bug
+        self.partition.is_none()
+            && self.max_actions == 0
+            && !self.inject_bug
+            && self.fault_preset == FaultPreset::Calm
     }
 
     fn config(&self) -> RunConfig {
@@ -365,9 +425,11 @@ impl ScenarioSpec {
 
     #[cfg(feature = "testbug")]
     fn extra_adversary(&self) -> Result<Option<Box<dyn Adversary>>, String> {
-        Ok(self
-            .inject_bug
-            .then(|| Box::new(crate::testbug::QuorumForgeAdversary::new()) as Box<dyn Adversary>))
+        Ok(self.inject_bug.then(|| {
+            Box::new(crate::testbug::QuorumForgeAdversary::with_delay_micros(
+                self.bug_delay_micros,
+            )) as Box<dyn Adversary>
+        }))
     }
 
     #[cfg(not(feature = "testbug"))]
@@ -436,7 +498,12 @@ impl ScenarioSpec {
         let cfg = self.config();
         let benign = match mode {
             RunMode::Generate => self.is_benign(),
-            RunMode::Scripted(a) => a.is_empty() && self.partition.is_none() && !self.inject_bug,
+            RunMode::Scripted { actions, faults } => {
+                actions.is_empty()
+                    && faults.is_empty()
+                    && self.partition.is_none()
+                    && !self.inject_bug
+            }
             // A replayed schedule may embody drops; liveness is never owed.
             RunMode::Replay(_) => false,
         };
@@ -446,7 +513,7 @@ impl ScenarioSpec {
         let probe = observer.clone();
         let network = SampledNetwork::new(self.delay.to_dist());
 
-        let (result, schedule, actions) = match mode {
+        let (result, schedule, actions, fault_log) = match mode {
             RunMode::Replay(schedule) => {
                 let mut replay = schedule.clone();
                 replay.rewind();
@@ -462,9 +529,9 @@ impl ScenarioSpec {
                 let sim = builder
                     .build()
                     .map_err(|e| format!("replay build failed: {e}"))?;
-                (sim.run(), schedule.clone(), Vec::new())
+                (sim.run(), schedule.clone(), Vec::new(), None)
             }
-            RunMode::Generate | RunMode::Scripted(_) => {
+            RunMode::Generate | RunMode::Scripted { .. } => {
                 let fuzz = match mode {
                     RunMode::Generate => RandomizedAdversary::generate(
                         self.adversary_seed,
@@ -473,10 +540,20 @@ impl ScenarioSpec {
                             self.max_actions,
                         ),
                     ),
-                    RunMode::Scripted(a) => RandomizedAdversary::scripted(a),
+                    RunMode::Scripted { actions, .. } => RandomizedAdversary::scripted(actions),
+                    RunMode::Replay(_) => unreachable!("handled above"),
+                };
+                let injector = match mode {
+                    RunMode::Generate => (self.fault_preset != FaultPreset::Calm).then(|| {
+                        FaultInjector::generate(self.fault_seed, self.fault_preset.config(), self.n)
+                    }),
+                    RunMode::Scripted { faults, .. } => {
+                        (!faults.is_empty()).then(|| FaultInjector::scripted(faults))
+                    }
                     RunMode::Replay(_) => unreachable!("handled above"),
                 };
                 let log = fuzz.log_handle();
+                let fault_log: Option<FaultLog> = injector.as_ref().map(FaultInjector::log_handle);
                 let stack = Stack {
                     partition: self.partition_attack(),
                     fuzz,
@@ -491,9 +568,12 @@ impl ScenarioSpec {
                 if let Some(obs) = obs {
                     builder = builder.observability(obs);
                 }
+                if let Some(injector) = injector {
+                    builder = builder.faults(injector);
+                }
                 let sim = builder.build().map_err(|e| format!("build failed: {e}"))?;
                 let (result, schedule) = sim.run_recorded();
-                (result, schedule, log.snapshot())
+                (result, schedule, log.snapshot(), fault_log)
             }
         };
 
@@ -502,10 +582,16 @@ impl ScenarioSpec {
             Some(probe.snapshot()),
             expect,
         ));
+        let (fault_actions, fault_stats) = match fault_log {
+            Some(log) => (log.snapshot(), log.stats()),
+            None => (Vec::new(), FaultStats::default()),
+        };
         Ok(CheckedRun {
             result,
             schedule,
             actions,
+            fault_actions,
+            fault_stats,
             violations,
         })
     }
@@ -540,6 +626,23 @@ impl ScenarioSpec {
             ("time_cap_secs".to_string(), Json::from(self.time_cap_secs)),
             ("inject_bug".to_string(), Json::from(self.inject_bug)),
         ]);
+        if self.bug_delay_micros != 1_000 {
+            pairs.push((
+                "bug_delay_micros".to_string(),
+                Json::from(self.bug_delay_micros),
+            ));
+        }
+        // The faults block is omitted for calm specs, so pre-catalog repro
+        // files and calm specs serialise byte-identically to the old format.
+        if self.fault_preset != FaultPreset::Calm {
+            pairs.push((
+                "faults".to_string(),
+                Json::obj([
+                    ("preset", Json::from(self.fault_preset.name())),
+                    ("seed", Json::from(self.fault_seed)),
+                ]),
+            ));
+        }
         Json::Obj(pairs)
     }
 
@@ -581,6 +684,31 @@ impl ScenarioSpec {
                 }
                 "time_cap_secs" => spec.time_cap_secs = value.as_u64().ok_or_else(bad)?,
                 "inject_bug" => spec.inject_bug = value.as_bool().ok_or_else(bad)?,
+                "bug_delay_micros" => spec.bug_delay_micros = value.as_u64().ok_or_else(bad)?,
+                "faults" => {
+                    let Json::Obj(fields) = value else {
+                        return Err("scenario: \"faults\" must be an object".into());
+                    };
+                    for (fkey, fvalue) in fields {
+                        match fkey.as_str() {
+                            "preset" => {
+                                let name = fvalue
+                                    .as_str()
+                                    .ok_or("scenario: bad value for \"faults.preset\"")?;
+                                spec.fault_preset = FaultPreset::parse(name)
+                                    .map_err(|e| format!("scenario: {e}"))?;
+                            }
+                            "seed" => {
+                                spec.fault_seed = fvalue
+                                    .as_u64()
+                                    .ok_or("scenario: bad value for \"faults.seed\"")?;
+                            }
+                            other => {
+                                return Err(format!("scenario: unknown field \"faults.{other}\""))
+                            }
+                        }
+                    }
+                }
                 other => return Err(format!("scenario: unknown field \"{other}\"")),
             }
         }
@@ -656,16 +784,18 @@ mod tests {
     #[test]
     fn generation_is_deterministic_and_varied() {
         let kinds = ProtocolKind::extended();
-        let a = ScenarioSpec::generate(42, &kinds, 500, 48, false);
-        let b = ScenarioSpec::generate(42, &kinds, 500, 48, false);
+        let a = ScenarioSpec::generate(42, &kinds, 500, 48, false, FaultPreset::Calm);
+        let b = ScenarioSpec::generate(42, &kinds, 500, 48, false, FaultPreset::Calm);
         assert_eq!(a, b, "same seed must draw the same scenario");
 
         let scales: std::collections::HashSet<usize> = (0..64)
-            .map(|s| ScenarioSpec::generate(s, &kinds, 500, 48, false).n)
+            .map(|s| ScenarioSpec::generate(s, &kinds, 500, 48, false, FaultPreset::Calm).n)
             .collect();
         assert!(scales.len() > 1, "64 seeds must cover several scales");
         let benign = (0..64)
-            .filter(|&s| ScenarioSpec::generate(s, &kinds, 500, 48, false).is_benign())
+            .filter(|&s| {
+                ScenarioSpec::generate(s, &kinds, 500, 48, false, FaultPreset::Calm).is_benign()
+            })
             .count();
         assert!((5..60).contains(&benign), "benign mix off: {benign}/64");
     }
@@ -673,7 +803,7 @@ mod tests {
     #[test]
     fn runs_are_reproducible() {
         let kinds = [ProtocolKind::Pbft, ProtocolKind::HotStuffNs];
-        let spec = ScenarioSpec::generate(7, &kinds, 500, 48, false);
+        let spec = ScenarioSpec::generate(7, &kinds, 500, 48, false, FaultPreset::Calm);
         let a = spec.run(RunMode::Generate).unwrap();
         let b = spec.run(RunMode::Generate).unwrap();
         assert_eq!(a.result, b.result);
@@ -691,7 +821,7 @@ mod tests {
         };
         let generated = spec.run(RunMode::Generate).unwrap();
         assert!(!generated.actions.is_empty(), "budget must act on PBFT");
-        let scripted = spec.run(RunMode::Scripted(&generated.actions)).unwrap();
+        let scripted = spec.run(RunMode::scripted(&generated.actions)).unwrap();
         assert_eq!(scripted.result, generated.result);
         assert_eq!(scripted.actions, generated.actions);
     }
@@ -713,7 +843,14 @@ mod tests {
 
     #[test]
     fn scheduler_backend_does_not_change_a_checked_run() {
-        let spec = ScenarioSpec::generate(5, &ProtocolKind::extended(), 500, 48, false);
+        let spec = ScenarioSpec::generate(
+            5,
+            &ProtocolKind::extended(),
+            500,
+            48,
+            false,
+            FaultPreset::Calm,
+        );
         let heap = spec
             .run_with(RunMode::Generate, SchedulerKind::Heap)
             .unwrap();
@@ -743,7 +880,14 @@ mod tests {
 
     #[test]
     fn observability_does_not_perturb_the_run() {
-        let spec = ScenarioSpec::generate(9, &ProtocolKind::extended(), 500, 48, false);
+        let spec = ScenarioSpec::generate(
+            9,
+            &ProtocolKind::extended(),
+            500,
+            48,
+            false,
+            FaultPreset::Calm,
+        );
         let plain = spec.run(RunMode::Generate).unwrap();
         let observed = spec
             .run_observed(
@@ -771,7 +915,14 @@ mod tests {
 
     #[test]
     fn observed_runs_agree_across_scheduler_backends() {
-        let spec = ScenarioSpec::generate(5, &ProtocolKind::extended(), 500, 48, false);
+        let spec = ScenarioSpec::generate(
+            5,
+            &ProtocolKind::extended(),
+            500,
+            48,
+            false,
+            FaultPreset::Calm,
+        );
         let heap = spec
             .run_observed(
                 RunMode::Generate,
@@ -873,7 +1024,7 @@ mod tests {
     fn spec_json_round_trips() {
         let kinds = ProtocolKind::extended();
         for seed in 0..16 {
-            let spec = ScenarioSpec::generate(seed, &kinds, 500, 48, false);
+            let spec = ScenarioSpec::generate(seed, &kinds, 500, 48, false, FaultPreset::Calm);
             let text = spec.to_json().dump_pretty();
             let back = ScenarioSpec::from_json(&Json::parse(&text).unwrap()).unwrap();
             assert_eq!(back, spec, "seed {seed}");
@@ -892,5 +1043,119 @@ mod tests {
         let err =
             ScenarioSpec::from_json(&Json::parse("{\"protocol\": \"raft\"}").unwrap()).unwrap_err();
         assert!(err.contains("unknown protocol"), "{err}");
+    }
+
+    /// A baseline spec with the chaos catalog armed: no adversary budget, no
+    /// partition — every perturbation comes from the fault injector.
+    fn chaos_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            fault_preset: FaultPreset::Chaos,
+            fault_seed: 0xFA_17,
+            ..ScenarioSpec::baseline(ProtocolKind::Pbft)
+        }
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic_across_backends() {
+        let spec = chaos_spec();
+        assert!(!spec.is_benign(), "an armed catalog ends the liveness debt");
+        let heap = spec
+            .run_with(RunMode::Generate, SchedulerKind::Heap)
+            .unwrap();
+        assert!(
+            heap.fault_stats.total() > 0,
+            "chaos must fire on a full PBFT run: {:?}",
+            heap.fault_stats
+        );
+        assert_eq!(heap.fault_stats.total() as usize, heap.fault_actions.len());
+        assert!(heap.violations.is_empty(), "{:?}", heap.violations);
+        let mut wheel = spec
+            .run_with(RunMode::Generate, SchedulerKind::Wheel)
+            .unwrap();
+        wheel.result.scheduler = heap.result.scheduler.clone();
+        assert_eq!(heap.result, wheel.result);
+        assert_eq!(heap.fault_actions, wheel.fault_actions);
+        assert_eq!(heap.fault_stats, wheel.fault_stats);
+        assert_eq!(heap.violations, wheel.violations);
+    }
+
+    #[test]
+    fn scripted_faults_reproduce_a_faulted_run() {
+        let spec = chaos_spec();
+        let generated = spec.run(RunMode::Generate).unwrap();
+        assert!(!generated.fault_actions.is_empty());
+        // Replaying the fault log verbatim (scripted mode ignores the
+        // preset) must reproduce the run bit for bit — the property the
+        // shrinker's fault ddmin rests on.
+        let calm_replayer = ScenarioSpec {
+            fault_preset: FaultPreset::Calm,
+            fault_seed: 0,
+            ..spec.clone()
+        };
+        let scripted = calm_replayer
+            .run(RunMode::Scripted {
+                actions: &[],
+                faults: &generated.fault_actions,
+            })
+            .unwrap();
+        assert_eq!(scripted.result, generated.result);
+        assert_eq!(scripted.schedule, generated.schedule);
+        assert_eq!(scripted.fault_stats, generated.fault_stats);
+        // Scripted application can interleave kinds differently across
+        // sites; compare as sets keyed by site + index.
+        let key = |a: &bft_sim_core::buggify::FaultAction| (a.kind.site() as u8, a.index);
+        let mut a = generated.fault_actions.clone();
+        let mut b = scripted.fault_actions.clone();
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn calm_preset_is_bit_identical_to_no_injector_and_never_fires() {
+        let plain = ScenarioSpec::baseline(ProtocolKind::Pbft);
+        let calm = ScenarioSpec {
+            fault_preset: FaultPreset::Calm,
+            fault_seed: 999, // must be irrelevant
+            ..plain.clone()
+        };
+        let a = plain.run(RunMode::Generate).unwrap();
+        let b = calm.run(RunMode::Generate).unwrap();
+        assert_eq!(a.result, b.result);
+        assert_eq!(b.fault_stats.total(), 0);
+        assert!(b.fault_actions.is_empty());
+    }
+
+    #[test]
+    fn fault_block_json_round_trips_and_stays_out_of_calm_specs() {
+        let chaos = chaos_spec();
+        let text = chaos.to_json().dump_pretty();
+        assert!(text.contains("\"faults\""), "{text}");
+        assert!(text.contains("\"chaos\""), "{text}");
+        let back = ScenarioSpec::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, chaos);
+
+        // Calm specs serialise byte-identically to the pre-catalog format,
+        // and pre-catalog files (no faults block) parse unchanged.
+        let calm = ScenarioSpec::baseline(ProtocolKind::Pbft);
+        let calm_text = calm.to_json().dump_pretty();
+        assert!(!calm_text.contains("faults"), "{calm_text}");
+        let back = ScenarioSpec::from_json(&Json::parse(&calm_text).unwrap()).unwrap();
+        assert_eq!(back.fault_preset, FaultPreset::Calm);
+        assert_eq!(back.fault_seed, 0);
+
+        let err = ScenarioSpec::from_json(
+            &Json::parse(
+                "{\"protocol\": \"pbft\", \"faults\": {\"preset\": \"chaos\", \"volume\": 9}}",
+            )
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown field \"faults.volume\""), "{err}");
+        let err = ScenarioSpec::from_json(
+            &Json::parse("{\"protocol\": \"pbft\", \"faults\": {\"preset\": \"mayhem\"}}").unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown fault preset"), "{err}");
     }
 }

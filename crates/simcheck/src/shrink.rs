@@ -7,13 +7,16 @@
 //! 1. drop the decision target to 1 (shorter runs);
 //! 2. drop the partition window;
 //! 3. delta-debug the adversary action list (remove chunks, then singles);
-//! 4. shrink `n` down through the generator's scales;
-//! 5. when the residual failure is pure drop/delay (no injected payloads, no
-//!    seeded bug), record the final failing run's [`DeliverySchedule`] and
-//!    bisect it to the shortest violating prefix — the repro then replays
-//!    through the engine's validator path with no adversary at all.
+//! 4. delta-debug the fault-catalog action list the same way;
+//! 5. shrink `n` down through the generator's scales;
+//! 6. when the residual failure is pure drop/delay (no injected payloads, no
+//!    seeded bug, no fault kinds outside the recorded fate stream), record
+//!    the final failing run's [`DeliverySchedule`] and bisect it to the
+//!    shortest violating prefix — the repro then replays through the
+//!    engine's validator path with no adversary at all.
 
 use bft_sim_attacks::{FuzzAction, FuzzActionKind};
+use bft_sim_core::buggify::{FaultAction, FaultKind, FaultPreset};
 use bft_sim_core::validator::DeliverySchedule;
 
 use crate::repro::Repro;
@@ -22,10 +25,15 @@ use crate::scenario::{CheckedRun, RunMode, ScenarioSpec};
 /// The scales [`shrink`] tries, smallest first.
 const SCALES_ASCENDING: [usize; 3] = [4, 7, 10];
 
-/// Probes whether `spec` + `actions` still violate `oracle`; returns the run
-/// when it does.
-fn still_fails(spec: &ScenarioSpec, actions: &[FuzzAction], oracle: &str) -> Option<CheckedRun> {
-    spec.run(RunMode::Scripted(actions))
+/// Probes whether `spec` + `actions` + `faults` still violate `oracle`;
+/// returns the run when it does.
+fn still_fails(
+    spec: &ScenarioSpec,
+    actions: &[FuzzAction],
+    faults: &[FaultAction],
+    oracle: &str,
+) -> Option<CheckedRun> {
+    spec.run(RunMode::Scripted { actions, faults })
         .ok()
         .filter(|run| run.violates(oracle))
 }
@@ -41,15 +49,24 @@ pub fn shrink(spec: &ScenarioSpec, failing: &CheckedRun) -> Repro {
         .oracle;
     let mut spec = spec.clone();
     let mut actions = failing.actions.clone();
+    let mut faults = failing.fault_actions.clone();
+
+    // Every probe replays the fault log as a *script*, so the generated
+    // preset/seed pair is no longer what reproduces the faults — the
+    // explicit action list is. Normalise the spec accordingly: the minted
+    // repro carries `fault_actions`, not a generator preset.
+    spec.fault_preset = FaultPreset::Calm;
+    spec.fault_seed = 0;
 
     // The generated run and its scripted replay must agree before any
     // minimisation is meaningful; if they somehow don't, ship the original
     // scenario un-shrunk rather than a broken reproducer.
-    if still_fails(&spec, &actions, oracle).is_none() {
+    if still_fails(&spec, &actions, &faults, oracle).is_none() {
         let v = &failing.violations[0];
         return Repro {
             spec,
             actions,
+            fault_actions: faults,
             schedule: None,
             oracle: v.oracle.to_string(),
             detail: v.detail.clone(),
@@ -64,7 +81,7 @@ pub fn shrink(spec: &ScenarioSpec, failing: &CheckedRun) -> Repro {
             target_decisions: 1,
             ..spec.clone()
         };
-        if still_fails(&candidate, &actions, oracle).is_some() {
+        if still_fails(&candidate, &actions, &faults, oracle).is_some() {
             spec = candidate;
         }
     }
@@ -75,31 +92,40 @@ pub fn shrink(spec: &ScenarioSpec, failing: &CheckedRun) -> Repro {
             partition: None,
             ..spec.clone()
         };
-        if still_fails(&candidate, &actions, oracle).is_some() {
+        if still_fails(&candidate, &actions, &faults, oracle).is_some() {
             spec = candidate;
         }
     }
 
-    // 3. Delta-debug the action list.
-    actions = ddmin(&spec, actions, oracle);
+    // 3. Delta-debug the adversary action list.
+    actions = ddmin(actions, |candidate| {
+        still_fails(&spec, candidate, &faults, oracle).is_some()
+    });
 
-    // 4. Fewer nodes, smallest first.
+    // 4. Delta-debug the fault-catalog action list the same way: faults that
+    //    do not contribute to the violation are dropped, the rest kept
+    //    verbatim so the repro stays replayable.
+    faults = ddmin(faults, |candidate| {
+        still_fails(&spec, &actions, candidate, oracle).is_some()
+    });
+
+    // 5. Fewer nodes, smallest first.
     for n in SCALES_ASCENDING {
         if n >= spec.n {
             break;
         }
         let candidate = ScenarioSpec { n, ..spec.clone() };
-        if still_fails(&candidate, &actions, oracle).is_some() {
+        if still_fails(&candidate, &actions, &faults, oracle).is_some() {
             spec = candidate;
             break;
         }
     }
 
-    // 5. Re-run the minimised scenario once more for the final schedule and
+    // 6. Re-run the minimised scenario once more for the final schedule and
     //    violation detail, then try to turn it into a pure schedule replay.
-    let fin = still_fails(&spec, &actions, oracle)
+    let fin = still_fails(&spec, &actions, &faults, oracle)
         .expect("minimised scenario must still fail: every kept step was re-verified");
-    let schedule = replay_eligible(&spec, &actions)
+    let schedule = replay_eligible(&spec, &actions, &faults)
         .then(|| {
             bisect_prefix(&fin.schedule, |prefix| {
                 spec.run(RunMode::Replay(prefix))
@@ -116,6 +142,7 @@ pub fn shrink(spec: &ScenarioSpec, failing: &CheckedRun) -> Repro {
     Repro {
         spec,
         actions,
+        fault_actions: faults,
         schedule,
         oracle: v.oracle.to_string(),
         detail: v.detail.clone(),
@@ -124,28 +151,38 @@ pub fn shrink(spec: &ScenarioSpec, failing: &CheckedRun) -> Repro {
 }
 
 /// Whether a recorded schedule can reproduce the failure on its own: replay
-/// mode skips the adversary, so injected payloads (replays, the seeded bug)
-/// are not captured and must stay scripted.
-fn replay_eligible(spec: &ScenarioSpec, actions: &[FuzzAction]) -> bool {
+/// mode skips the adversary and the fault injector, so injected payloads
+/// (replays, the seeded bug) are not captured and must stay scripted. Fault
+/// actions are fine only when their effect lands in the recorded fate
+/// stream — targeted drops and reorder delays do; timer skew, duplicate
+/// deliveries and torn writes act outside it.
+fn replay_eligible(spec: &ScenarioSpec, actions: &[FuzzAction], faults: &[FaultAction]) -> bool {
     !spec.inject_bug
         && !actions
             .iter()
             .any(|a| matches!(a.kind, FuzzActionKind::Replay { .. }))
+        && faults.iter().all(|f| {
+            matches!(
+                f.kind,
+                FaultKind::TargetedDrop { .. } | FaultKind::ReorderDelay { .. }
+            )
+        })
 }
 
 /// One pass of ddmin-style chunk removal: repeatedly try deleting chunks of
-/// halving size, keeping any deletion that preserves the violation.
-fn ddmin(spec: &ScenarioSpec, mut actions: Vec<FuzzAction>, oracle: &str) -> Vec<FuzzAction> {
-    let mut chunk = actions.len().div_ceil(2).max(1);
+/// halving size, keeping any deletion that preserves the violation (as
+/// reported by `keeps_failing` on the candidate list).
+fn ddmin<T: Clone>(mut items: Vec<T>, mut keeps_failing: impl FnMut(&[T]) -> bool) -> Vec<T> {
+    let mut chunk = items.len().div_ceil(2).max(1);
     loop {
         let mut removed_any = false;
         let mut i = 0;
-        while i < actions.len() {
-            let end = (i + chunk).min(actions.len());
-            let mut candidate = actions.clone();
+        while i < items.len() {
+            let end = (i + chunk).min(items.len());
+            let mut candidate = items.clone();
             candidate.drain(i..end);
-            if still_fails(spec, &candidate, oracle).is_some() {
-                actions = candidate;
+            if keeps_failing(&candidate) {
+                items = candidate;
                 removed_any = true;
                 // Re-test at the same index: the next chunk slid into place.
             } else {
@@ -154,13 +191,13 @@ fn ddmin(spec: &ScenarioSpec, mut actions: Vec<FuzzAction>, oracle: &str) -> Vec
         }
         if chunk == 1 {
             if !removed_any {
-                return actions;
+                return items;
             }
         } else {
             chunk = (chunk / 2).max(1);
         }
-        if actions.is_empty() {
-            return actions;
+        if items.is_empty() {
+            return items;
         }
     }
 }
@@ -240,7 +277,96 @@ mod tests {
 mod testbug_tests {
     use super::*;
     use crate::scenario::{PartitionSpec, RunMode, ScenarioSpec};
+    use bft_sim_core::scheduler::SchedulerKind;
     use bft_sim_protocols::registry::ProtocolKind;
+
+    #[test]
+    fn shrink_preserves_fault_actions_the_violation_depends_on() {
+        // A *late* forged certificate (600 ms, long after the honest ~300 ms
+        // decision) is harmless on its own: PBFT's slot guard discards
+        // commits for an already-decided slot. It becomes a violation only
+        // when targeted fault-catalog drops stall the victim past the forge
+        // — so the shrinker must keep (a minimised subset of) those drops.
+        let spec = ScenarioSpec {
+            inject_bug: true,
+            bug_delay_micros: 600_000,
+            ..ScenarioSpec::baseline(ProtocolKind::Pbft)
+        };
+        let victim = crate::testbug::QuorumForgeAdversary::victim(spec.n);
+
+        // Without faults the late forge must be inert.
+        let clean = spec.run(RunMode::scripted(&[])).unwrap();
+        assert!(
+            !clean.violates("agreement"),
+            "late forge fired without faults: {:?}",
+            clean.violations
+        );
+
+        // Blanket-drop every victim-bound wire transmission early in the
+        // run; only the ones that actually hit the victim are applied (and
+        // logged), which is the fault script the shrinker starts from.
+        let blanket: Vec<FaultAction> = (0..2_000)
+            .map(|index| FaultAction {
+                index,
+                kind: FaultKind::TargetedDrop { dst: victim },
+            })
+            .collect();
+        let failing = spec
+            .run(RunMode::Scripted {
+                actions: &[],
+                faults: &blanket,
+            })
+            .unwrap();
+        assert!(
+            failing.violates("agreement"),
+            "stalled victim must decide the forged digest: {:?}",
+            failing.violations
+        );
+        assert!(!failing.fault_actions.is_empty());
+
+        let repro = shrink(&spec, &failing);
+        assert_eq!(repro.oracle, "agreement");
+        assert!(
+            !repro.fault_actions.is_empty(),
+            "the violation depends on the drops; ddmin must not discard them all"
+        );
+        assert!(
+            repro.fault_actions.len() < failing.fault_actions.len(),
+            "ddmin must remove at least the post-forge drops: kept {:?}",
+            repro.fault_actions
+        );
+        assert!(repro
+            .fault_actions
+            .iter()
+            .all(|f| matches!(f.kind, FaultKind::TargetedDrop { dst } if dst == victim)));
+        assert!(
+            repro.schedule.is_none(),
+            "injected payloads cannot replay through a schedule"
+        );
+
+        // The minimised repro reproduces under both scheduler backends.
+        let v = repro.check().unwrap();
+        assert_eq!(v.oracle, "agreement");
+        for scheduler in [SchedulerKind::Heap, SchedulerKind::Wheel] {
+            let run = repro
+                .spec
+                .run_with(
+                    RunMode::Scripted {
+                        actions: &repro.actions,
+                        faults: &repro.fault_actions,
+                    },
+                    scheduler,
+                )
+                .unwrap();
+            assert!(run.violates("agreement"), "{scheduler:?}");
+        }
+
+        // And it survives the disk round trip with its fault script intact.
+        let text = repro.to_json().dump_pretty();
+        assert!(text.contains("fault_actions"), "{text}");
+        let back = Repro::from_json(&bft_sim_core::json::Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, repro);
+    }
 
     #[test]
     fn shrink_minimises_a_seeded_violation() {

@@ -22,14 +22,32 @@ use bft_sim_protocols::pbft::{PbftMsg, PHASE_COMMIT};
 pub const BOGUS_WORD: u64 = 0xBAD_C0DE;
 
 /// Forges a 2f+1-strong PBFT commit certificate for a bogus digest and
-/// injects it into node `n - 1` at time ~1 ms. See the module docs.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct QuorumForgeAdversary;
+/// injects it into node `n - 1` at a configurable delay (~1 ms by default).
+/// See the module docs.
+#[derive(Debug, Clone, Copy)]
+pub struct QuorumForgeAdversary {
+    delay_micros: u64,
+}
+
+impl Default for QuorumForgeAdversary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 impl QuorumForgeAdversary {
-    /// Creates the adversary.
+    /// Creates the adversary with the classic ~1 ms rush.
     pub fn new() -> Self {
-        QuorumForgeAdversary
+        Self::with_delay_micros(1_000)
+    }
+
+    /// Creates the adversary with the forged certificate landing at
+    /// `delay_micros`. A late forge is only dangerous while the victim has
+    /// not yet decided slot 0 legitimately — PBFT's `slot` guard discards
+    /// stale commits — which makes the violation dependent on whatever
+    /// stalls the victim (e.g. targeted fault-catalog drops).
+    pub fn with_delay_micros(delay_micros: u64) -> Self {
+        QuorumForgeAdversary { delay_micros }
     }
 
     /// The digest the victim is tricked into deciding.
@@ -55,7 +73,7 @@ impl Adversary for QuorumForgeAdversary {
             api.inject(
                 signer,
                 victim,
-                SimDuration::from_micros(1_000 + i as u64),
+                SimDuration::from_micros(self.delay_micros + i as u64),
                 PbftMsg::Commit {
                     view: 0,
                     slot: 0,

@@ -38,6 +38,7 @@ fn scenario_specs_round_trip_through_json() {
             opts.intensity_permille,
             opts.max_actions,
             false,
+            opts.fault_preset,
         );
         let back = ScenarioSpec::from_json(&spec.to_json()).unwrap();
         assert_eq!(back, spec, "seed {seed}");
@@ -99,6 +100,7 @@ fn replayed_schedules_reproduce_fuzzed_runs_exactly() {
             opts.intensity_permille,
             opts.max_actions,
             false,
+            opts.fault_preset,
         );
         let original = spec.run(RunMode::Generate).unwrap();
         if original
