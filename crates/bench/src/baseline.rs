@@ -377,6 +377,148 @@ pub fn run_obs_overhead(
     }
 }
 
+/// Measured effect of link-level bandwidth contention — the
+/// `bandwidth_contention` entry of `BENCH_baseline.json`. Two arms run the
+/// identical seeded workload on a full mesh: **unlimited** (no per-link
+/// capacity — reduces exactly to the delay-only baseline network, RNG
+/// draw for RNG draw) and **contended** (every link capped at
+/// `bandwidth_bytes_per_sec`, so serialization and FIFO queueing delays
+/// stack on top of propagation). Everything here derives from simulated
+/// quantities, so the entry is deterministic per seed — a change to it is
+/// a behavior diff in the bandwidth model, not host noise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandwidthContention {
+    /// Protocol short name.
+    pub protocol: &'static str,
+    /// System size.
+    pub n: usize,
+    /// RNG seed both arms ran with.
+    pub seed: u64,
+    /// Decisions reached per arm (the workload target).
+    pub decisions: u64,
+    /// Per-link capacity of the contended arm (bytes per second).
+    pub bandwidth_bytes_per_sec: u64,
+    /// Events processed by the unlimited arm.
+    pub unlimited_events: u64,
+    /// Count-weighted mean delivery latency of the unlimited arm (µs).
+    pub unlimited_mean_delivery_micros: f64,
+    /// Events processed by the contended arm.
+    pub contended_events: u64,
+    /// Count-weighted mean delivery latency of the contended arm (µs).
+    pub contended_mean_delivery_micros: f64,
+    /// Messages that waited for a busy link in the contended arm.
+    pub contended_queue_waits: u64,
+    /// Mean time those messages waited (µs).
+    pub contended_mean_wait_micros: f64,
+    /// `contended_mean_delivery / unlimited_mean_delivery` — how much the
+    /// narrow links stretch end-to-end latency.
+    pub latency_amplification: f64,
+}
+
+/// One arm of the bandwidth-contention workload. Returns
+/// `(events, mean delivery µs, queue waits, mean wait µs)`.
+fn bandwidth_arm(
+    kind: ProtocolKind,
+    n: usize,
+    seed: u64,
+    decisions: u64,
+    bandwidth: Option<u64>,
+) -> (u64, f64, u64, f64) {
+    use bft_sim_net::topology::{BandwidthNetwork, LinkTopology};
+
+    let cfg = kind
+        .configure(
+            RunConfig::new(n)
+                .with_seed(seed)
+                .with_lambda_ms(1000.0)
+                .with_time_cap(SimDuration::from_secs(3600.0)),
+        )
+        .with_target_decisions(decisions);
+    let factory = kind.factory(&cfg, 7);
+    let topo = LinkTopology::full_mesh(n, Dist::normal(250.0, 50.0), bandwidth)
+        .expect("full-mesh workload topology is valid");
+    let sim = SimulationBuilder::new(cfg)
+        .network(BandwidthNetwork::new(topo))
+        .observability(ObsConfig::new(16))
+        .protocols(factory)
+        .build()
+        .expect("bandwidth workload configuration is valid");
+    let result = sim.run();
+    assert!(result.is_clean(), "bandwidth workload violated safety");
+    let obs = result
+        .observability
+        .expect("bandwidth workload runs instrumented");
+    let (sum, count) = obs.delivery_latency.iter().fold((0u64, 0u64), |(s, c), h| {
+        (s + h.sum_micros(), c + h.count())
+    });
+    (
+        result.events_processed,
+        sum as f64 / count.max(1) as f64,
+        obs.link_queue_delay.count(),
+        obs.link_queue_delay.mean_micros(),
+    )
+}
+
+/// Runs both arms of the bandwidth-contention workload (see
+/// [`BandwidthContention`]).
+pub fn run_bandwidth_contention(
+    kind: ProtocolKind,
+    n: usize,
+    seed: u64,
+    decisions: u64,
+    bandwidth_bytes_per_sec: u64,
+) -> BandwidthContention {
+    let (unlimited_events, unlimited_mean, _, _) = bandwidth_arm(kind, n, seed, decisions, None);
+    let (contended_events, contended_mean, waits, mean_wait) =
+        bandwidth_arm(kind, n, seed, decisions, Some(bandwidth_bytes_per_sec));
+    BandwidthContention {
+        protocol: kind.name(),
+        n,
+        seed,
+        decisions,
+        bandwidth_bytes_per_sec,
+        unlimited_events,
+        unlimited_mean_delivery_micros: unlimited_mean,
+        contended_events,
+        contended_mean_delivery_micros: contended_mean,
+        contended_queue_waits: waits,
+        contended_mean_wait_micros: mean_wait,
+        latency_amplification: contended_mean / unlimited_mean.max(1e-9),
+    }
+}
+
+fn bandwidth_contention_json(b: &BandwidthContention) -> Json {
+    Json::obj([
+        ("protocol", Json::from(b.protocol)),
+        ("n", Json::from(b.n)),
+        ("seed", Json::from(b.seed)),
+        ("decisions", Json::from(b.decisions)),
+        (
+            "bandwidth_bytes_per_sec",
+            Json::from(b.bandwidth_bytes_per_sec),
+        ),
+        ("unlimited_events", Json::from(b.unlimited_events)),
+        (
+            "unlimited_mean_delivery_micros",
+            Json::from(round3(b.unlimited_mean_delivery_micros)),
+        ),
+        ("contended_events", Json::from(b.contended_events)),
+        (
+            "contended_mean_delivery_micros",
+            Json::from(round3(b.contended_mean_delivery_micros)),
+        ),
+        ("contended_queue_waits", Json::from(b.contended_queue_waits)),
+        (
+            "contended_mean_wait_micros",
+            Json::from(round3(b.contended_mean_wait_micros)),
+        ),
+        (
+            "latency_amplification",
+            Json::from(round3(b.latency_amplification)),
+        ),
+    ])
+}
+
 fn obs_overhead_json(o: &ObsOverhead) -> Json {
     Json::obj([
         ("protocol", Json::from(o.protocol)),
@@ -430,16 +572,18 @@ fn fuzz_stat_json(f: &FuzzStat) -> Json {
 }
 
 /// Serialises case results (and, when measured, the per-backend fuzz
-/// throughput stats, the thread-scaling comparison and the observability
-/// overhead measurement) as the `BENCH_baseline.json` document. `fuzz`
-/// carries one entry per scheduler backend measured; an empty slice omits
-/// the `"fuzz"` key, and `None` omits `"thread_scaling"` /
-/// `"obs_overhead"`.
+/// throughput stats, the thread-scaling comparison, the observability
+/// overhead measurement and the bandwidth-contention comparison) as the
+/// `BENCH_baseline.json` document. `fuzz` carries one entry per scheduler
+/// backend measured; an empty slice omits the `"fuzz"` key, and `None`
+/// omits `"thread_scaling"` / `"obs_overhead"` /
+/// `"bandwidth_contention"`.
 pub fn to_json(
     results: &[CaseResult],
     fuzz: &[FuzzStat],
     scaling: Option<&ThreadScaling>,
     obs: Option<&ObsOverhead>,
+    bandwidth: Option<&BandwidthContention>,
 ) -> Json {
     let cases = results
         .iter()
@@ -525,6 +669,12 @@ pub fn to_json(
     }
     if let Some(o) = obs {
         pairs.push(("obs_overhead".to_string(), obs_overhead_json(o)));
+    }
+    if let Some(b) = bandwidth {
+        pairs.push((
+            "bandwidth_contention".to_string(),
+            bandwidth_contention_json(b),
+        ));
     }
     Json::Obj(pairs)
 }
@@ -619,7 +769,7 @@ mod tests {
         assert!(o.baseline_events_per_sec > 0.0);
         assert!(o.disabled_events_per_sec > 0.0);
         assert!(o.enabled_events_per_sec > 0.0);
-        let json = to_json(&[], &[], None, Some(&o));
+        let json = to_json(&[], &[], None, Some(&o), None);
         let obs = json.get("obs_overhead").expect("obs_overhead entry");
         for key in [
             "protocol",
@@ -635,6 +785,43 @@ mod tests {
             "enabled_overhead_percent",
         ] {
             assert!(obs.get(key).is_some(), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn bandwidth_contention_shifts_latency_deterministically() {
+        let b = run_bandwidth_contention(ProtocolKind::Pbft, 7, 42, 2, 2_000);
+        assert_eq!(b.protocol, "pbft");
+        assert!(
+            b.contended_queue_waits > 0,
+            "2 kB/s links must queue a PBFT broadcast: {b:?}"
+        );
+        assert!(
+            b.latency_amplification > 1.0,
+            "contention must stretch delivery latency: {b:?}"
+        );
+        // Deterministic: the entry is simulated work, not wall clock.
+        let again = run_bandwidth_contention(ProtocolKind::Pbft, 7, 42, 2, 2_000);
+        assert_eq!(b, again);
+        let json = to_json(&[], &[], None, None, Some(&b));
+        let entry = json
+            .get("bandwidth_contention")
+            .expect("bandwidth_contention entry");
+        for key in [
+            "protocol",
+            "n",
+            "seed",
+            "decisions",
+            "bandwidth_bytes_per_sec",
+            "unlimited_events",
+            "unlimited_mean_delivery_micros",
+            "contended_events",
+            "contended_mean_delivery_micros",
+            "contended_queue_waits",
+            "contended_mean_wait_micros",
+            "latency_amplification",
+        ] {
+            assert!(entry.get(key).is_some(), "missing {key}");
         }
     }
 
@@ -670,7 +857,7 @@ mod tests {
             },
             speedup: 2.0,
         };
-        let json = to_json(&results, &fuzz, Some(&scaling), None);
+        let json = to_json(&results, &fuzz, Some(&scaling), None, None);
         let fuzz_arr = json.get("fuzz").and_then(Json::as_arr).unwrap();
         assert_eq!(fuzz_arr.len(), 2);
         assert_eq!(
@@ -701,10 +888,11 @@ mod tests {
             Some(2.0)
         );
         assert!(json.get("alloc_note").is_some());
-        let bare = to_json(&results, &[], None, None);
+        let bare = to_json(&results, &[], None, None, None);
         assert!(bare.get("fuzz").is_none());
         assert!(bare.get("thread_scaling").is_none());
         assert!(bare.get("obs_overhead").is_none());
+        assert!(bare.get("bandwidth_contention").is_none());
         let cases = json.get("cases").and_then(Json::as_arr).unwrap();
         assert_eq!(cases.len(), 1);
         for key in [

@@ -201,6 +201,15 @@ pub struct FuzzSpec {
     /// `--blind` (with `--coverage`): same budget and coverage accounting,
     /// but the corpus loop stays off — the comparison baseline.
     pub blind: bool,
+    /// `--corpus-dir DIR` (with `--coverage`): persist the search corpus in
+    /// `DIR/corpus.json` — loaded before the search starts (a cold directory
+    /// starts empty) and written back after it, so successive invocations
+    /// (e.g. cached CI jobs) resume from the previous frontier.
+    pub corpus_dir: Option<String>,
+    /// `--net-preset SPEC`: pin every scenario's link-level network block
+    /// (topology, bandwidth cap, churn) to one shape — see the usage string
+    /// for the spec grammar.
+    pub net_preset: Option<String>,
 }
 
 impl Default for FuzzSpec {
@@ -220,6 +229,8 @@ impl Default for FuzzSpec {
             fault_preset: FaultPreset::Calm,
             coverage: false,
             blind: false,
+            corpus_dir: None,
+            net_preset: None,
         }
     }
 }
@@ -550,13 +561,93 @@ fn parse_fuzz_spec(args: &[String]) -> Result<FuzzSpec, CliError> {
             }
             "--coverage" => spec.coverage = true,
             "--blind" => spec.blind = true,
+            "--corpus-dir" => spec.corpus_dir = Some(value("--corpus-dir")?),
+            "--net-preset" => {
+                let s = value("--net-preset")?;
+                parse_net_preset(&s)?; // reject malformed specs at parse time
+                spec.net_preset = Some(s);
+            }
             other => return Err(CliError::usage(format!("unknown flag '{other}'"))),
         }
     }
     if spec.blind && !spec.coverage {
         return Err(CliError::usage("--blind only applies to --coverage runs"));
     }
+    if spec.corpus_dir.is_some() && !spec.coverage {
+        return Err(CliError::usage(
+            "--corpus-dir only applies to --coverage runs",
+        ));
+    }
     Ok(spec)
+}
+
+/// Parses a `--net-preset` spec:
+/// `TOPOLOGY[:bw=BYTES_PER_SEC][:seed=S][:churn=SEED,CRASHES,MIN_MS,MAX_MS]`
+/// — e.g. `ring_gradient:bw=200000:seed=7:churn=5,2,500,4000`.
+fn parse_net_preset(s: &str) -> Result<bft_sim_simcheck::NetSpec, CliError> {
+    use bft_sim_simcheck::{ChurnSpec, NetSpec, TopologyKind};
+
+    let mut parts = s.split(':');
+    let topo = parts.next().unwrap_or("");
+    let topology = TopologyKind::parse(topo).ok_or_else(|| {
+        CliError::usage(format!(
+            "bad --net-preset topology '{topo}' \
+             (use full_mesh, ring, ring_gradient, or clustered)"
+        ))
+    })?;
+    let mut net = NetSpec {
+        topology,
+        bandwidth: None,
+        topology_seed: 0,
+        churn: None,
+    };
+    for part in parts {
+        let (key, val) = part.split_once('=').ok_or_else(|| {
+            CliError::usage(format!(
+                "bad --net-preset part '{part}' (expected key=value)"
+            ))
+        })?;
+        match key {
+            "bw" => {
+                net.bandwidth = Some(val.parse().map_err(|_| {
+                    CliError::usage("bad --net-preset bw (bytes per second)".to_string())
+                })?)
+            }
+            "seed" => {
+                net.topology_seed = val
+                    .parse()
+                    .map_err(|_| CliError::usage("bad --net-preset seed".to_string()))?
+            }
+            "churn" => {
+                let nums: Vec<u64> = val
+                    .split(',')
+                    .map(|v| v.parse::<u64>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| {
+                        CliError::usage(
+                            "bad --net-preset churn (SEED,CRASHES,MIN_MS,MAX_MS)".to_string(),
+                        )
+                    })?;
+                let [seed, crashes, min_down_ms, max_down_ms] = nums[..] else {
+                    return Err(CliError::usage(
+                        "bad --net-preset churn (SEED,CRASHES,MIN_MS,MAX_MS)".to_string(),
+                    ));
+                };
+                net.churn = Some(ChurnSpec {
+                    seed,
+                    crashes,
+                    min_down_ms,
+                    max_down_ms,
+                });
+            }
+            other => {
+                return Err(CliError::usage(format!(
+                    "unknown --net-preset key '{other}' (use bw, seed, or churn)"
+                )))
+            }
+        }
+    }
+    Ok(net)
 }
 
 fn parse_trace_spec(args: &[String]) -> Result<TraceSpec, CliError> {
@@ -830,9 +921,21 @@ pub fn execute(cmd: Command) -> Result<(), CliError> {
                 50,
                 5,
             );
-            let json =
-                bft_sim_bench::baseline::to_json(&results, &fuzz, Some(&scaling), Some(&obs))
-                    .dump_pretty();
+            let bandwidth = bft_sim_bench::baseline::run_bandwidth_contention(
+                bft_sim_protocols::registry::ProtocolKind::Pbft,
+                16,
+                1,
+                10,
+                2_000,
+            );
+            let json = bft_sim_bench::baseline::to_json(
+                &results,
+                &fuzz,
+                Some(&scaling),
+                Some(&obs),
+                Some(&bandwidth),
+            )
+            .dump_pretty();
             std::fs::write(&out, &json)
                 .map_err(|e| CliError::runtime(format!("cannot write {out}: {e}")))?;
             println!(
@@ -1010,6 +1113,11 @@ pub fn fuzz_report_json(
 /// violation.
 fn run_fuzz(spec: &FuzzSpec) -> Result<(), CliError> {
     let protocols = parse_protocol_list(&spec.protocols)?;
+    let net_override = spec
+        .net_preset
+        .as_deref()
+        .map(parse_net_preset)
+        .transpose()?;
     let opts = bft_sim_simcheck::FuzzOptions {
         protocols,
         intensity_permille: spec.intensity_permille,
@@ -1019,13 +1127,15 @@ fn run_fuzz(spec: &FuzzSpec) -> Result<(), CliError> {
         scheduler: spec.scheduler,
         observability: spec.observability,
         n_override: spec.n_override,
+        net_override,
         fault_preset: spec.fault_preset,
         latent_bug: false,
     };
     let start = std::time::Instant::now();
     let report = if spec.coverage {
         let budget = spec.seeds.1.saturating_sub(spec.seeds.0);
-        bft_sim_simcheck::fuzz_coverage(spec.seeds.0, budget, !spec.blind, &opts)
+        let dir = spec.corpus_dir.as_ref().map(std::path::Path::new);
+        bft_sim_simcheck::fuzz_coverage_in_dir(spec.seeds.0, budget, !spec.blind, &opts, dir)
             .map_err(CliError::runtime)?
     } else {
         bft_sim_simcheck::fuzz_many(spec.seeds.0..spec.seeds.1, &opts).map_err(CliError::runtime)?
@@ -1078,6 +1188,12 @@ fn run_fuzz(spec: &FuzzSpec) -> Result<(), CliError> {
                 coverage.corpus_size,
                 coverage.new_per_1k(),
             );
+            if coverage.loaded_corpus > 0 {
+                println!(
+                    "corpus dir: {} entries loaded from a previous search",
+                    coverage.loaded_corpus
+                );
+            }
             let curve: Vec<String> = coverage
                 .curve
                 .iter()
@@ -1221,6 +1337,39 @@ fn run_trace(spec: &TraceSpec) -> Result<(), CliError> {
             h.mean_micros(),
             h.min_micros(),
             h.max_micros()
+        );
+    }
+    if !obs.link_queues.is_empty() {
+        println!();
+        println!("link queueing (µs) — hottest links first:");
+        println!(
+            "{:<12} {:>8} {:>10} {:>10} {:>10}",
+            "link", "waits", "mean wait", "max wait", "peak depth"
+        );
+        let mut links: Vec<_> = obs.link_queues.iter().collect();
+        // Hottest first: total time spent waiting on the link, then the
+        // (src, dst) order for a deterministic tie-break.
+        links.sort_by(|a, b| {
+            b.queued
+                .sum_micros()
+                .cmp(&a.queued.sum_micros())
+                .then((a.src, a.dst).cmp(&(b.src, b.dst)))
+        });
+        for l in links {
+            println!(
+                "n{} -> n{:<5} {:>8} {:>10.1} {:>10} {:>10}",
+                l.src,
+                l.dst,
+                l.queued.count(),
+                l.queued.mean_micros(),
+                l.queued.max_micros(),
+                l.peak_depth
+            );
+        }
+        println!(
+            "  total: {} waits, mean {:.1} µs",
+            obs.link_queue_delay.count(),
+            obs.link_queue_delay.mean_micros()
         );
     }
     println!();
@@ -1371,7 +1520,8 @@ USAGE:
                      [--intensity PERMILLE] [--max-actions K] [--inject-bug]
                      [--out DIR] [--json] [--obs] [--threads N]
                      [--scheduler heap|wheel] [--n NODES]
-                     [--preset calm|moderate|chaos] [--coverage [--blind]]
+                     [--preset calm|moderate|chaos] [--net-preset SPEC]
+                     [--coverage [--blind] [--corpus-dir DIR]]
                      sweep deterministic fuzz scenarios across N worker
                      threads (0 = all cores; output is byte-identical at any
                      thread count and under either scheduler backend),
@@ -1386,9 +1536,17 @@ USAGE:
                      drops, torn writes) in every scenario; --coverage runs
                      the corpus-driven coverage search instead of the
                      per-seed sweep (--seeds A..B = master seed A, budget
-                     B−A; the report gains a coverage block), and --blind
+                     B−A; the report gains a coverage block), --blind
                      keeps its accounting but disables the corpus loop (the
-                     comparison baseline)
+                     comparison baseline), and --corpus-dir persists the
+                     corpus in DIR/corpus.json across invocations (loaded
+                     before the search, written back after — the CI cache
+                     knob); --net-preset pins every scenario's link-level
+                     network block to one shape:
+                     TOPOLOGY[:bw=BYTES_PER_SEC][:seed=S]
+                     [:churn=SEED,CRASHES,MIN_MS,MAX_MS] with topologies
+                     full_mesh | ring | ring_gradient | clustered, e.g.
+                     ring_gradient:bw=200000:churn=5,2,500,4000
     bft-sim repro FILE.json
                      replay a bft-sim-repro-v1 file and confirm its oracle
                      still fires
@@ -1397,8 +1555,10 @@ USAGE:
                      run one scenario (a protocol short name, or a scenario
                      JSON file as embedded in repro files) with full
                      observability and print per-node latency/decision
-                     histograms, the per-phase message-flow matrix, view
-                     timings and the last-K trace events
+                     histograms, per-link queueing stats (hottest bottleneck
+                     links first, for scenarios with a bandwidth-capped net
+                     block), the per-phase message-flow matrix, view timings
+                     and the last-K trace events
     bft-sim list     list protocols
 
 ATTACK SPECS:
@@ -1525,6 +1685,10 @@ mod tests {
             "chaos",
             "--coverage",
             "--blind",
+            "--corpus-dir",
+            "corpus",
+            "--net-preset",
+            "ring_gradient:bw=200000:churn=5,2,500,4000",
         ]))
         .unwrap();
         let Command::Fuzz(spec) = cmd else {
@@ -1542,10 +1706,23 @@ mod tests {
         assert_eq!(spec.fault_preset, FaultPreset::Chaos);
         assert!(spec.coverage);
         assert!(spec.blind);
+        assert_eq!(spec.corpus_dir.as_deref(), Some("corpus"));
+        assert_eq!(
+            spec.net_preset.as_deref(),
+            Some("ring_gradient:bw=200000:churn=5,2,500,4000")
+        );
         assert!(parse_args(&args(&["fuzz", "--preset", "wild"])).is_err());
         assert!(
             parse_args(&args(&["fuzz", "--blind"])).is_err(),
             "--blind without --coverage must be a usage error"
+        );
+        assert!(
+            parse_args(&args(&["fuzz", "--corpus-dir", "c"])).is_err(),
+            "--corpus-dir without --coverage must be a usage error"
+        );
+        assert!(
+            parse_args(&args(&["fuzz", "--net-preset", "torus"])).is_err(),
+            "an unknown topology must be rejected at parse time"
         );
         assert_eq!(
             parse_args(&args(&["fuzz"])).unwrap(),
@@ -1560,6 +1737,45 @@ mod tests {
             panic!("expected fuzz");
         };
         assert!(spec.observability);
+    }
+
+    #[test]
+    fn parses_net_presets() {
+        use bft_sim_simcheck::{ChurnSpec, NetSpec, TopologyKind};
+
+        assert_eq!(
+            parse_net_preset("full_mesh").unwrap(),
+            NetSpec {
+                topology: TopologyKind::FullMesh,
+                bandwidth: None,
+                topology_seed: 0,
+                churn: None,
+            }
+        );
+        assert_eq!(
+            parse_net_preset("ring_gradient:bw=200000:seed=7:churn=5,2,500,4000").unwrap(),
+            NetSpec {
+                topology: TopologyKind::RingGradient,
+                bandwidth: Some(200_000),
+                topology_seed: 7,
+                churn: Some(ChurnSpec {
+                    seed: 5,
+                    crashes: 2,
+                    min_down_ms: 500,
+                    max_down_ms: 4_000,
+                }),
+            }
+        );
+        for bad in [
+            "",
+            "torus",
+            "ring:bw",
+            "ring:bw=fast",
+            "ring:churn=5,2",
+            "ring:lanes=4",
+        ] {
+            assert!(parse_net_preset(bad).is_err(), "{bad:?} must be rejected");
+        }
     }
 
     #[test]
@@ -1718,6 +1934,7 @@ mod tests {
         let repro = bft_sim_simcheck::Repro {
             spec: bft_sim_simcheck::ScenarioSpec::baseline(ProtocolKind::Pbft),
             actions: Vec::new(),
+            fault_actions: Vec::new(),
             schedule: None,
             oracle: "agreement".into(),
             detail: "synthetic".into(),

@@ -21,6 +21,7 @@ fn sweep_json(spec: &FuzzSpec, threads: usize) -> String {
         scheduler: spec.scheduler,
         observability: spec.observability,
         n_override: spec.n_override,
+        net_override: None,
         fault_preset: spec.fault_preset,
         latent_bug: false,
     };

@@ -25,6 +25,7 @@ fn sweep_json(spec: &FuzzSpec, scheduler: SchedulerKind, threads: usize) -> Stri
         scheduler,
         observability: spec.observability,
         n_override: spec.n_override,
+        net_override: None,
         fault_preset: spec.fault_preset,
         latent_bug: false,
     };

@@ -29,7 +29,7 @@ use crate::fasthash::FastMap;
 use crate::ids::{NodeId, NodeSet, TimerId};
 use crate::message::Message;
 use crate::metrics::{MetricsCollector, RunResult};
-use crate::network::NetworkModel;
+use crate::network::{LinkDecision, NetworkModel};
 use crate::obs::{ObsConfig, ObsRecorder};
 use crate::protocol::{Protocol, ProtocolFactory, Vacant};
 use crate::scheduler::{EventHandle, Scheduler, SchedulerKind};
@@ -647,25 +647,47 @@ impl Simulation {
                 }
             }
         } else {
-            let proposed = self
-                .network
-                .delay(msg.src(), msg.dst(), self.clock, &mut self.rng);
-            let mut adv_actions = mem::take(&mut self.adv_actions);
-            let fate = {
-                let mut api = AdversaryApi::new(
-                    self.clock,
-                    self.cfg.n,
-                    self.cfg.f,
-                    self.cfg.lambda,
-                    &self.corrupted,
-                    &self.crashed,
-                    &mut self.rng,
-                    &mut adv_actions,
-                );
-                self.adversary.attack(&mut msg, proposed, &mut api)
-            };
-            self.adv_actions = adv_actions;
-            fate
+            match self.network.decide(
+                msg.src(),
+                msg.dst(),
+                self.clock,
+                msg.wire_size(),
+                &mut self.rng,
+            ) {
+                // A link-level drop (severed topology, node down) never
+                // reaches the adversary: the network refused the message
+                // before the attacker could see it. The fate is still
+                // recorded below, so schedule replay stays exact.
+                LinkDecision::Drop => Fate::Drop,
+                LinkDecision::Deliver(delivery) => {
+                    if delivery.queued > crate::time::SimDuration::ZERO {
+                        if let Some(obs) = &mut self.obs {
+                            obs.on_link_queued(
+                                msg.src(),
+                                msg.dst(),
+                                delivery.queued,
+                                delivery.depth,
+                            );
+                        }
+                    }
+                    let mut adv_actions = mem::take(&mut self.adv_actions);
+                    let fate = {
+                        let mut api = AdversaryApi::new(
+                            self.clock,
+                            self.cfg.n,
+                            self.cfg.f,
+                            self.cfg.lambda,
+                            &self.corrupted,
+                            &self.crashed,
+                            &mut self.rng,
+                            &mut adv_actions,
+                        );
+                        self.adversary.attack(&mut msg, delivery.delay, &mut api)
+                    };
+                    self.adv_actions = adv_actions;
+                    fate
+                }
+            }
         };
 
         // Wire-site fault injection, applied after the adversary but before

@@ -97,6 +97,13 @@ impl Message {
         self.payload.as_dyn()
     }
 
+    /// The payload's wire size in bytes (see
+    /// [`Payload::wire_size`](crate::payload::Payload::wire_size)); what the
+    /// network model charges against link bandwidth.
+    pub fn wire_size(&self) -> u64 {
+        self.payload.wire_size() as u64
+    }
+
     /// Borrows the shared payload handle, if the payload is `Arc`-backed
     /// (broadcasts always are; small point-to-point payloads are inline and
     /// return `None`). Mainly useful for asserting zero-copy fan-out
@@ -187,6 +194,7 @@ mod tests {
         assert_eq!(m.sent_at(), SimTime::from_millis(5));
         assert!(!m.is_injected());
         assert_eq!(m.downcast_ref::<P>(), Some(&P(9)));
+        assert_eq!(m.wire_size(), core::mem::size_of::<P>() as u64);
     }
 
     #[test]

@@ -375,6 +375,34 @@ impl ViewTiming {
     }
 }
 
+/// Queueing statistics for one directed link that saw contention: how long
+/// messages waited for the link to free up, and the deepest backlog
+/// observed. Links that never queued produce no entry, so the list stays
+/// proportional to actual bottlenecks — `bft-sim trace` sorts it to surface
+/// the hottest links.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkQueueStat {
+    /// Source node index.
+    pub src: u32,
+    /// Destination node index.
+    pub dst: u32,
+    /// Queueing-delay histogram for messages that waited on this link.
+    pub queued: Histogram,
+    /// Deepest backlog (transmissions already serializing) seen on this link.
+    pub peak_depth: u32,
+}
+
+impl LinkQueueStat {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("src", Json::UInt(self.src as u64)),
+            ("dst", Json::UInt(self.dst as u64)),
+            ("queued", self.queued.to_json()),
+            ("peak_depth", Json::UInt(self.peak_depth as u64)),
+        ])
+    }
+}
+
 /// One nonzero cell of a message-flow matrix: `count` wire messages from
 /// `src` delivered to `dst`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -534,6 +562,12 @@ pub struct Observability {
     pub flows: Vec<PhaseFlow>,
     /// Per-view timing breakdowns, sorted by view number.
     pub views: Vec<ViewTiming>,
+    /// Queueing delays across all links that saw contention (bandwidth
+    /// models only; empty under delay-only models).
+    pub link_queue_delay: Histogram,
+    /// Per-link queueing stats, sorted by `(src, dst)`; only links that
+    /// actually queued appear.
+    pub link_queues: Vec<LinkQueueStat>,
     /// The last-K trace events of the run, oldest first.
     pub recent_events: Vec<TraceEvent>,
 }
@@ -562,6 +596,11 @@ impl Observability {
             (
                 "views",
                 Json::Arr(self.views.iter().map(|v| v.to_json()).collect()),
+            ),
+            ("link_queue_delay", self.link_queue_delay.to_json()),
+            (
+                "link_queues",
+                Json::Arr(self.link_queues.iter().map(|l| l.to_json()).collect()),
             ),
             (
                 "recent_events",
@@ -616,6 +655,17 @@ impl Observability {
         for hist in &self.decision_interval {
             h.write_u64(hist.count());
             h.write_u64(bucket(hist.mean_micros() as u64));
+        }
+        // Link-contention shape: which links queued, how deep, how long.
+        // Delay-only runs contribute a constant (0, empty) here, so their
+        // fingerprints are unchanged relative to each other.
+        h.write_u64(bucket(self.link_queue_delay.count()));
+        h.write_u64(self.link_queues.len() as u64);
+        for l in &self.link_queues {
+            h.write_u64((l.src as u64) << 32 | l.dst as u64);
+            h.write_u64(bucket(l.queued.count()));
+            h.write_u64(bucket(l.queued.mean_micros() as u64));
+            h.write_u64(l.peak_depth as u64);
         }
         h.finish()
     }
@@ -704,6 +754,11 @@ pub(crate) struct ObsRecorder {
     flow_totals: Vec<u64>,
     /// View number → timing, kept sorted by view number.
     views: Vec<ViewTiming>,
+    /// All queueing events across all links.
+    link_queue_delay: Histogram,
+    /// `(src << 32 | dst)` → (queue histogram, peak depth); populated only
+    /// by links that actually queued, so delay-only runs keep it empty.
+    link_queues: FastMap<u64, (Histogram, u32)>,
     ring: ObsRing,
 }
 
@@ -747,6 +802,8 @@ impl ObsRecorder {
             flow_totals: vec![0; phase_slots],
             flows,
             views: Vec::new(),
+            link_queue_delay: Histogram::new(),
+            link_queues: FastMap::default(),
             ring: cfg.ring,
         })
     }
@@ -781,6 +838,26 @@ impl ObsRecorder {
             h.record(now.saturating_since(since));
             self.last_decision[idx] = Some(now);
         }
+    }
+
+    /// A message queued for `queued` behind `depth` earlier transmissions on
+    /// the link `src → dst`. Called by the engine only when the network
+    /// model reports actual queueing (`queued > 0`).
+    pub(crate) fn on_link_queued(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        queued: SimDuration,
+        depth: u32,
+    ) {
+        self.link_queue_delay.record(queued);
+        let key = ((src.index() as u64) << 32) | dst.index() as u64;
+        let entry = self
+            .link_queues
+            .entry(key)
+            .or_insert_with(|| (Histogram::new(), 0));
+        entry.0.record(queued);
+        entry.1 = entry.1.max(depth);
     }
 
     /// `node` entered `view` at `now`.
@@ -828,6 +905,17 @@ impl ObsRecorder {
             .map(|(id, accum)| accum.finish(phase_name(id), n))
             .collect();
         flows.sort_by(|a, b| a.phase.cmp(&b.phase));
+        let mut link_queues: Vec<LinkQueueStat> = self
+            .link_queues
+            .into_iter()
+            .map(|(key, (queued, peak_depth))| LinkQueueStat {
+                src: (key >> 32) as u32,
+                dst: key as u32,
+                queued,
+                peak_depth,
+            })
+            .collect();
+        link_queues.sort_unstable_by_key(|l| (l.src, l.dst));
         Observability {
             nodes: self.n,
             last_k: self.last_k,
@@ -835,6 +923,8 @@ impl ObsRecorder {
             decision_interval: self.decision,
             flows,
             views: self.views,
+            link_queue_delay: self.link_queue_delay,
+            link_queues,
             recent_events: self.ring.snapshot(),
         }
     }
@@ -1186,12 +1276,36 @@ mod tests {
             "\"decision_interval\"",
             "\"flows\"",
             "\"views\"",
+            "\"link_queue_delay\"",
+            "\"link_queues\"",
             "\"recent_events\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         // Identical snapshots serialise identically.
         assert_eq!(json, obs.clone().to_json().dump_pretty());
+    }
+
+    #[test]
+    fn recorder_link_queues_fold_per_link_and_globally() {
+        let mut rec = ObsRecorder::new(3, ObsConfig::new(4)).unwrap();
+        let (a, b, c) = (NodeId::new(0), NodeId::new(1), NodeId::new(2));
+        rec.on_link_queued(a, b, SimDuration::from_micros(100), 1);
+        rec.on_link_queued(a, b, SimDuration::from_micros(300), 2);
+        rec.on_link_queued(c, b, SimDuration::from_micros(50), 1);
+        let obs = rec.finish();
+        assert_eq!(obs.link_queue_delay.count(), 3);
+        assert_eq!(obs.link_queue_delay.sum_micros(), 450);
+        // Sorted by (src, dst); only links that queued appear.
+        assert_eq!(obs.link_queues.len(), 2);
+        assert_eq!((obs.link_queues[0].src, obs.link_queues[0].dst), (0, 1));
+        assert_eq!(obs.link_queues[0].queued.count(), 2);
+        assert_eq!(obs.link_queues[0].peak_depth, 2);
+        assert_eq!((obs.link_queues[1].src, obs.link_queues[1].dst), (2, 1));
+        assert_eq!(obs.link_queues[1].peak_depth, 1);
+        // Contention is part of the behavior fingerprint.
+        let quiet = ObsRecorder::new(3, ObsConfig::new(4)).unwrap().finish();
+        assert_ne!(obs.fingerprint(), quiet.fingerprint());
     }
 
     /// Builds a small snapshot with one delivery, one decision and one view.

@@ -46,6 +46,15 @@ pub trait Payload: fmt::Debug + Send + Sync {
 
     /// Name of the concrete payload type, for traces and debugging.
     fn payload_type(&self) -> &'static str;
+
+    /// Approximate size of the payload on the wire, in bytes.
+    ///
+    /// The network model charges serialization time for these bytes against
+    /// per-link bandwidth. The blanket impl reports the in-memory size of
+    /// the concrete type — a deterministic, allocation-free proxy for a real
+    /// encoding (protocol enums are as large as their largest variant, which
+    /// is exactly the conservative bound a capacity model wants).
+    fn wire_size(&self) -> usize;
 }
 
 impl<T> Payload for T
@@ -70,6 +79,10 @@ where
 
     fn payload_type(&self) -> &'static str {
         core::any::type_name::<T>()
+    }
+
+    fn wire_size(&self) -> usize {
+        core::mem::size_of::<T>()
     }
 }
 
@@ -314,6 +327,12 @@ impl PayloadCell {
     pub fn is_inline(&self) -> bool {
         matches!(self.repr, CellRepr::Inline(_))
     }
+
+    /// The payload's wire size in bytes (see [`Payload::wire_size`]).
+    /// Dispatches through the trait object — no allocation, no copy.
+    pub fn wire_size(&self) -> usize {
+        self.as_dyn().wire_size()
+    }
 }
 
 impl From<Arc<dyn Payload>> for PayloadCell {
@@ -379,6 +398,20 @@ mod tests {
     fn payload_type_names_concrete_type() {
         let b = boxed(Dummy(0));
         assert!(b.payload_type().contains("Dummy"));
+    }
+
+    #[test]
+    fn wire_size_reports_concrete_size_for_both_cell_shapes() {
+        #[derive(Debug, Clone, PartialEq)]
+        struct Big([u64; INLINE_WORDS + 1]);
+        let small = PayloadCell::of(Dummy(7));
+        assert!(small.is_inline());
+        assert_eq!(small.wire_size(), core::mem::size_of::<Dummy>());
+        let big = PayloadCell::of(Big([0; INLINE_WORDS + 1]));
+        assert!(!big.is_inline());
+        assert_eq!(big.wire_size(), core::mem::size_of::<Big>());
+        // The trait-object path agrees with the cell accessor.
+        assert_eq!(small.as_dyn().wire_size(), small.wire_size());
     }
 
     #[test]

@@ -2,8 +2,9 @@
 //!
 //! Network models for the BFT simulator: bounded (synchronous /
 //! partially-synchronous), GST-based partially-synchronous, per-link
-//! matrices, and timed partitions — the network module of §III-A4, factored
-//! into its own crate.
+//! matrices, timed partitions, link-level topologies with bandwidth/FIFO
+//! queueing, and node churn — the network module of §III-A4, factored into
+//! its own crate.
 //!
 //! ```
 //! use bft_sim_net::models::BoundedNetwork;
@@ -17,9 +18,13 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod churn;
 pub mod models;
 pub mod partition;
 pub mod scenarios;
+pub mod topology;
 
+pub use churn::{ChurnPlan, ChurnedNetwork, DownWindow};
 pub use models::{BoundedNetwork, GstNetwork, LinkMatrixNetwork};
 pub use partition::{CrossTraffic, PartitionPlan, PartitionedNetwork};
+pub use topology::{BandwidthNetwork, LinkProfile, LinkTopology};

@@ -11,7 +11,7 @@
 
 use bft_sim_core::dist::Dist;
 use bft_sim_core::ids::NodeId;
-use bft_sim_core::network::NetworkModel;
+use bft_sim_core::network::{LinkDecision, NetworkModel};
 use bft_sim_core::time::{SimDuration, SimTime};
 use rand::rngs::SmallRng;
 
@@ -31,7 +31,10 @@ use rand::rngs::SmallRng;
 ///
 /// let mut net = BoundedNetwork::new(Dist::normal(250.0, 50.0), 1000.0);
 /// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
-/// let d = net.delay(NodeId::new(0), NodeId::new(1), SimTime::ZERO, &mut rng);
+/// let d = net
+///     .decide(NodeId::new(0), NodeId::new(1), SimTime::ZERO, 64, &mut rng)
+///     .delay()
+///     .unwrap();
 /// assert!(d.as_millis_f64() <= 1000.0);
 /// ```
 #[derive(Debug, Clone)]
@@ -61,14 +64,15 @@ impl BoundedNetwork {
 }
 
 impl NetworkModel for BoundedNetwork {
-    fn delay(
+    fn decide(
         &mut self,
         _src: NodeId,
         _dst: NodeId,
         _now: SimTime,
+        _wire_bytes: u64,
         rng: &mut SmallRng,
-    ) -> SimDuration {
-        self.dist.sample_delay(rng).min(self.bound)
+    ) -> LinkDecision {
+        LinkDecision::deliver(self.dist.sample_delay(rng).min(self.bound))
     }
 
     fn name(&self) -> &'static str {
@@ -109,21 +113,22 @@ impl GstNetwork {
 }
 
 impl NetworkModel for GstNetwork {
-    fn delay(
+    fn decide(
         &mut self,
         _src: NodeId,
         _dst: NodeId,
         now: SimTime,
+        _wire_bytes: u64,
         rng: &mut SmallRng,
-    ) -> SimDuration {
-        if now >= self.gst {
+    ) -> LinkDecision {
+        LinkDecision::deliver(if now >= self.gst {
             self.post.sample_delay(rng).min(self.post_bound)
         } else {
             // Pre-GST delay, but delivery may not exceed GST + post_bound.
             let raw = self.pre.sample_delay(rng);
             let latest = (self.gst + self.post_bound) - now;
             raw.min(latest)
-        }
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -178,14 +183,15 @@ impl LinkMatrixNetwork {
 }
 
 impl NetworkModel for LinkMatrixNetwork {
-    fn delay(
+    fn decide(
         &mut self,
         src: NodeId,
         dst: NodeId,
         _now: SimTime,
+        _wire_bytes: u64,
         rng: &mut SmallRng,
-    ) -> SimDuration {
-        self.links[src.index() * self.n + dst.index()].sample_delay(rng)
+    ) -> LinkDecision {
+        LinkDecision::deliver(self.links[src.index() * self.n + dst.index()].sample_delay(rng))
     }
 
     fn name(&self) -> &'static str {
@@ -202,12 +208,25 @@ mod tests {
         SmallRng::seed_from_u64(7)
     }
 
+    /// Drives a delay-only model and unwraps the delivery delay.
+    fn sample<N: NetworkModel>(
+        net: &mut N,
+        src: u32,
+        dst: u32,
+        now: SimTime,
+        rng: &mut SmallRng,
+    ) -> SimDuration {
+        net.decide(NodeId::new(src), NodeId::new(dst), now, 64, rng)
+            .delay()
+            .expect("delay-only models always deliver")
+    }
+
     #[test]
     fn bounded_clamps_to_bound() {
         let mut net = BoundedNetwork::new(Dist::normal(1000.0, 1000.0), 500.0);
         let mut rng = rng();
         for _ in 0..1000 {
-            let d = net.delay(NodeId::new(0), NodeId::new(1), SimTime::ZERO, &mut rng);
+            let d = sample(&mut net, 0, 1, SimTime::ZERO, &mut rng);
             assert!(d.as_millis_f64() <= 500.0);
         }
     }
@@ -217,23 +236,13 @@ mod tests {
         let mut net = GstNetwork::new(Dist::constant(5000.0), Dist::constant(100.0), 1000.0, 250.0);
         let mut rng = rng();
         // Before GST: raw 5000 ms but delivery capped at GST + bound.
-        let d = net.delay(NodeId::new(0), NodeId::new(1), SimTime::ZERO, &mut rng);
+        let d = sample(&mut net, 0, 1, SimTime::ZERO, &mut rng);
         assert_eq!(d.as_millis_f64(), 1250.0);
         // Just before GST the cap shrinks accordingly.
-        let d = net.delay(
-            NodeId::new(0),
-            NodeId::new(1),
-            SimTime::from_millis(900),
-            &mut rng,
-        );
+        let d = sample(&mut net, 0, 1, SimTime::from_millis(900), &mut rng);
         assert_eq!(d.as_millis_f64(), 350.0);
         // After GST: post distribution, clamped by post bound.
-        let d = net.delay(
-            NodeId::new(0),
-            NodeId::new(1),
-            SimTime::from_millis(1000),
-            &mut rng,
-        );
+        let d = sample(&mut net, 0, 1, SimTime::from_millis(1000), &mut rng);
         assert_eq!(d.as_millis_f64(), 100.0);
     }
 
@@ -241,12 +250,7 @@ mod tests {
     fn gst_post_bound_clamps_post_samples() {
         let mut net = GstNetwork::new(Dist::constant(0.0), Dist::constant(900.0), 0.0, 250.0);
         let mut rng = rng();
-        let d = net.delay(
-            NodeId::new(0),
-            NodeId::new(1),
-            SimTime::from_millis(5),
-            &mut rng,
-        );
+        let d = sample(&mut net, 0, 1, SimTime::from_millis(5), &mut rng);
         assert_eq!(d.as_millis_f64(), 250.0);
     }
 
@@ -255,9 +259,9 @@ mod tests {
         let mut net = LinkMatrixNetwork::uniform(3, Dist::constant(10.0));
         net.set_link(NodeId::new(0), NodeId::new(2), Dist::constant(99.0));
         let mut rng = rng();
-        let fast = net.delay(NodeId::new(0), NodeId::new(1), SimTime::ZERO, &mut rng);
-        let slow = net.delay(NodeId::new(0), NodeId::new(2), SimTime::ZERO, &mut rng);
-        let back = net.delay(NodeId::new(2), NodeId::new(0), SimTime::ZERO, &mut rng);
+        let fast = sample(&mut net, 0, 1, SimTime::ZERO, &mut rng);
+        let slow = sample(&mut net, 0, 2, SimTime::ZERO, &mut rng);
+        let back = sample(&mut net, 2, 0, SimTime::ZERO, &mut rng);
         assert_eq!(fast.as_millis_f64(), 10.0);
         assert_eq!(slow.as_millis_f64(), 99.0);
         assert_eq!(back.as_millis_f64(), 10.0, "override is directional");

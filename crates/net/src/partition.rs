@@ -12,7 +12,7 @@
 //! the attack variant exists because the paper implements partitions there.
 
 use bft_sim_core::ids::NodeId;
-use bft_sim_core::network::NetworkModel;
+use bft_sim_core::network::{LinkDecision, NetworkModel};
 use bft_sim_core::time::{SimDuration, SimTime};
 use rand::rngs::SmallRng;
 
@@ -140,14 +140,32 @@ impl<N: NetworkModel> PartitionedNetwork<N> {
 }
 
 impl<N: NetworkModel> NetworkModel for PartitionedNetwork<N> {
-    fn delay(&mut self, src: NodeId, dst: NodeId, now: SimTime, rng: &mut SmallRng) -> SimDuration {
-        let base = self.inner.delay(src, dst, now, rng);
+    fn decide(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        now: SimTime,
+        wire_bytes: u64,
+        rng: &mut SmallRng,
+    ) -> LinkDecision {
+        // Always consult the inner model first, so the RNG stream is
+        // independent of the partition window (determinism across plans).
+        let base = self.inner.decide(src, dst, now, wire_bytes, rng);
         if !self.plan.severs(src, dst, now) {
             return base;
         }
         match self.plan.cross_traffic() {
-            CrossTraffic::Drop => SimDuration::MAX, // never delivered within the cap
-            CrossTraffic::HoldUntilResolve => (self.plan.end() - now) + base,
+            // Delivered at SimDuration::MAX, which in practice never lands
+            // within the run's time cap — keeps the engine's drop accounting
+            // identical to the historical delay-only behaviour.
+            CrossTraffic::Drop => LinkDecision::deliver(SimDuration::MAX),
+            CrossTraffic::HoldUntilResolve => match base {
+                LinkDecision::Deliver(mut d) => {
+                    d.delay = (self.plan.end() - now) + d.delay;
+                    LinkDecision::Deliver(d)
+                }
+                LinkDecision::Drop => LinkDecision::Drop,
+            },
         }
     }
 
@@ -196,20 +214,28 @@ mod tests {
         let net = ConstantNetwork::new(SimDuration::from_millis(10.0));
         let mut pn = PartitionedNetwork::new(net, plan(CrossTraffic::HoldUntilResolve));
         let mut rng = SmallRng::seed_from_u64(0);
-        let d = pn.delay(
-            NodeId::new(0),
-            NodeId::new(2),
-            SimTime::from_millis(200),
-            &mut rng,
-        );
+        let d = pn
+            .decide(
+                NodeId::new(0),
+                NodeId::new(2),
+                SimTime::from_millis(200),
+                64,
+                &mut rng,
+            )
+            .delay()
+            .unwrap();
         // Held for 300 ms (until 500 ms) plus the 10 ms base delay.
         assert_eq!(d.as_millis_f64(), 310.0);
-        let d_same = pn.delay(
-            NodeId::new(0),
-            NodeId::new(1),
-            SimTime::from_millis(200),
-            &mut rng,
-        );
+        let d_same = pn
+            .decide(
+                NodeId::new(0),
+                NodeId::new(1),
+                SimTime::from_millis(200),
+                64,
+                &mut rng,
+            )
+            .delay()
+            .unwrap();
         assert_eq!(d_same.as_millis_f64(), 10.0);
     }
 
@@ -218,12 +244,16 @@ mod tests {
         let net = ConstantNetwork::new(SimDuration::from_millis(10.0));
         let mut pn = PartitionedNetwork::new(net, plan(CrossTraffic::Drop));
         let mut rng = SmallRng::seed_from_u64(0);
-        let d = pn.delay(
-            NodeId::new(0),
-            NodeId::new(3),
-            SimTime::from_millis(200),
-            &mut rng,
-        );
+        let d = pn
+            .decide(
+                NodeId::new(0),
+                NodeId::new(3),
+                SimTime::from_millis(200),
+                64,
+                &mut rng,
+            )
+            .delay()
+            .unwrap();
         assert_eq!(d, SimDuration::MAX);
     }
 

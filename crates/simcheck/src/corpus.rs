@@ -27,6 +27,7 @@
 use std::collections::VecDeque;
 use std::hash::Hasher;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -51,6 +52,60 @@ const BATCH: usize = 32;
 
 /// Upper bound on retained corpus entries; oldest are evicted first.
 const CORPUS_CAP: usize = 256;
+
+/// File name the persisted corpus lives under inside a `--corpus-dir`.
+pub const CORPUS_FILE: &str = "corpus.json";
+
+/// Loads a persisted corpus from `dir/`[`CORPUS_FILE`].
+///
+/// A missing file (or directory) is an empty corpus, not an error — the
+/// first run of a cached CI job starts cold. Entries come back in file
+/// order, oldest first, matching the eviction order they were saved in.
+///
+/// # Errors
+///
+/// Returns a message when the file exists but cannot be read, is not
+/// valid JSON, is not an array, or holds a malformed scenario.
+pub fn load_corpus(dir: &Path) -> Result<Vec<ScenarioSpec>, String> {
+    let path = dir.join(CORPUS_FILE);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("corpus: cannot read {}: {e}", path.display())),
+    };
+    let json = Json::parse(&text).map_err(|e| format!("corpus: {}: {e}", path.display()))?;
+    let Json::Arr(items) = json else {
+        return Err(format!(
+            "corpus: {} must hold a JSON array of scenarios",
+            path.display()
+        ));
+    };
+    items
+        .iter()
+        .map(ScenarioSpec::from_json)
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| format!("corpus: {}: {e}", path.display()))
+}
+
+/// Persists a corpus to `dir/`[`CORPUS_FILE`] (creating `dir` if needed),
+/// oldest entry first so a later [`load_corpus`] restores eviction order.
+///
+/// # Errors
+///
+/// Returns a message when the directory cannot be created or the file
+/// cannot be written.
+pub fn save_corpus<'a>(
+    dir: &Path,
+    corpus: impl IntoIterator<Item = &'a ScenarioSpec>,
+) -> Result<(), String> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| format!("corpus: cannot create {}: {e}", dir.display()))?;
+    let path = dir.join(CORPUS_FILE);
+    let json = Json::Arr(corpus.into_iter().map(ScenarioSpec::to_json).collect());
+    let mut text = json.dump_pretty();
+    text.push('\n');
+    std::fs::write(&path, text).map_err(|e| format!("corpus: cannot write {}: {e}", path.display()))
+}
 
 /// Ceiling on the permille chance that a corpus-mode run mutates a corpus
 /// entry instead of drawing a fresh scenario. The live rate is adaptive —
@@ -178,6 +233,9 @@ pub struct CoverageStats {
     pub distinct_fingerprints: u64,
     /// Corpus entries retained at the end (≤ the cap).
     pub corpus_size: u64,
+    /// Corpus entries seeded from a persisted `--corpus-dir` before the
+    /// search started (0 when none was given or the directory was cold).
+    pub loaded_corpus: u64,
     /// Runs whose scenario was a mutation of a corpus entry.
     pub mutated_runs: u64,
     /// Runs whose scenario was a fresh generator draw.
@@ -193,11 +251,9 @@ impl CoverageStats {
     /// Distinct fingerprints per thousand runs (integer arithmetic, so the
     /// report stays byte-identical everywhere).
     pub fn new_per_1k(&self) -> u64 {
-        if self.runs == 0 {
-            0
-        } else {
-            self.distinct_fingerprints * 1_000 / self.runs
-        }
+        (self.distinct_fingerprints * 1_000)
+            .checked_div(self.runs)
+            .unwrap_or(0)
     }
 
     /// The stats as a JSON object (the report's `coverage` block).
@@ -214,10 +270,16 @@ impl CoverageStats {
                 Json::from(self.distinct_fingerprints),
             ),
             ("corpus_size".to_string(), Json::from(self.corpus_size)),
+        ];
+        // Omitted when zero so pre-persistence reports stay byte-identical.
+        if self.loaded_corpus > 0 {
+            pairs.push(("loaded_corpus".to_string(), Json::from(self.loaded_corpus)));
+        }
+        pairs.extend([
             ("mutated_runs".to_string(), Json::from(self.mutated_runs)),
             ("fresh_runs".to_string(), Json::from(self.fresh_runs)),
             ("new_per_1k".to_string(), Json::from(self.new_per_1k())),
-        ];
+        ]);
         if let Some(first) = self.first_violation_run {
             pairs.push(("first_violation_run".to_string(), Json::from(first)));
         }
@@ -302,7 +364,7 @@ fn mutate(parent: &ScenarioSpec, rng: &mut SmallRng, opts: &FuzzOptions) -> Scen
                     },
                 };
             }
-            6 | 7 | 8 => {
+            6..=8 => {
                 // Walk the delay magnitude one octave — the generator pins
                 // delay parameters, so successive halvings/doublings reach
                 // latency regimes blind sampling never draws.
@@ -446,15 +508,54 @@ pub fn fuzz_coverage(
     corpus_mode: bool,
     opts: &FuzzOptions,
 ) -> Result<FuzzReport, String> {
+    fuzz_coverage_in_dir(master_seed, budget, corpus_mode, opts, None)
+}
+
+/// [`fuzz_coverage`] with corpus persistence: when `corpus_dir` is given,
+/// the corpus is seeded from `dir/`[`CORPUS_FILE`] before the search (a
+/// cold directory starts empty) and written back after it, so successive
+/// invocations — e.g. CI jobs restoring the directory from a cache —
+/// resume the search from the previous frontier instead of re-deriving it
+/// from scratch. Loaded entries act as mutation parents from run one;
+/// their count is reported in [`CoverageStats::loaded_corpus`].
+///
+/// Determinism is unchanged: the search is a pure function of
+/// (`master_seed`, `budget`, `corpus_mode`, `opts`, the loaded file
+/// bytes), still byte-identical at any thread count and under both
+/// scheduler backends.
+///
+/// # Errors
+///
+/// Returns a message when a scenario cannot be built, or when the corpus
+/// file exists but cannot be read/parsed or written back.
+pub fn fuzz_coverage_in_dir(
+    master_seed: u64,
+    budget: u64,
+    corpus_mode: bool,
+    opts: &FuzzOptions,
+    corpus_dir: Option<&Path>,
+) -> Result<FuzzReport, String> {
     let mut master = SmallRng::seed_from_u64(master_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let mut seen: FastSet<u64> = FastSet::default();
     let mut corpus: VecDeque<ScenarioSpec> = VecDeque::new();
+    let mut loaded = 0u64;
+    if let Some(dir) = corpus_dir {
+        for spec in load_corpus(dir)? {
+            corpus.push_back(spec);
+            if corpus.len() > CORPUS_CAP {
+                corpus.pop_front();
+            } else {
+                loaded += 1;
+            }
+        }
+    }
     let mut stats = CoverageStats {
         corpus_mode,
         budget,
         runs: 0,
         distinct_fingerprints: 0,
         corpus_size: 0,
+        loaded_corpus: loaded,
         mutated_runs: 0,
         fresh_runs: 0,
         first_violation_run: None,
@@ -501,6 +602,9 @@ pub fn fuzz_coverage(
                 }
                 spec
             };
+            if opts.net_override.is_some() {
+                spec.net = opts.net_override;
+            }
             if opts.latent_bug {
                 spec.inject_bug = latent_window(&spec);
             }
@@ -638,6 +742,9 @@ pub fn fuzz_coverage(
     if stats.curve.last().map(|&(r, _)| r) != Some(stats.runs) && stats.runs > 0 {
         stats.curve.push((stats.runs, stats.distinct_fingerprints));
     }
+    if let Some(dir) = corpus_dir {
+        save_corpus(dir, &corpus)?;
+    }
     report.coverage = Some(stats);
     Ok(report)
 }
@@ -744,6 +851,49 @@ mod tests {
                 .collect::<Vec<_>>(),
             report.failures
         );
+    }
+
+    #[test]
+    fn corpus_dir_round_trips_and_warm_starts_the_search() {
+        let dir = std::env::temp_dir().join(format!("bft-sim-corpus-warm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = chaos_opts();
+        // Cold start: no file yet — loads empty, saves the corpus it built.
+        let first = fuzz_coverage_in_dir(29, 48, true, &opts, Some(&dir)).unwrap();
+        let cold = first.coverage.unwrap();
+        assert_eq!(cold.loaded_corpus, 0);
+        assert!(cold.corpus_size > 0);
+        assert!(
+            !cold.to_json().dump_pretty().contains("loaded_corpus"),
+            "a cold search must not sprout the loaded_corpus key"
+        );
+        let saved = load_corpus(&dir).unwrap();
+        assert_eq!(saved.len() as u64, cold.corpus_size);
+        // Warm start: the saved file seeds the next search's corpus.
+        let second = fuzz_coverage_in_dir(31, 48, true, &opts, Some(&dir)).unwrap();
+        let warm = second.coverage.unwrap();
+        assert_eq!(warm.loaded_corpus, cold.corpus_size);
+        assert!(warm.to_json().dump_pretty().contains("loaded_corpus"));
+        // The warm run wrote its own corpus back over the file.
+        assert_eq!(load_corpus(&dir).unwrap().len() as u64, warm.corpus_size);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_corpus_files_are_rejected() {
+        let dir =
+            std::env::temp_dir().join(format!("bft-sim-corpus-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(load_corpus(&dir).unwrap(), Vec::new(), "cold dir is empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(CORPUS_FILE);
+        std::fs::write(&path, "not json").unwrap();
+        let err = load_corpus(&dir).unwrap_err();
+        assert!(err.starts_with("corpus:"), "{err}");
+        std::fs::write(&path, "{}").unwrap();
+        let err = load_corpus(&dir).unwrap_err();
+        assert!(err.contains("array"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

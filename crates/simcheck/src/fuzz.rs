@@ -13,7 +13,7 @@ use bft_sim_core::trace::TraceEvent;
 use bft_sim_protocols::registry::ProtocolKind;
 
 use crate::repro::Repro;
-use crate::scenario::{RunMode, ScenarioSpec};
+use crate::scenario::{NetSpec, RunMode, ScenarioSpec};
 use crate::shrink::shrink;
 
 /// Knobs for a fuzzing sweep.
@@ -48,6 +48,12 @@ pub struct FuzzOptions {
     /// Everything else about the scenario (delays, partition, adversary
     /// budget) still derives from the seed as usual.
     pub n_override: Option<usize>,
+    /// Forces every scenario's link-level network block (topology, bandwidth,
+    /// churn) to this spec, overriding whatever the generator drew — the
+    /// `--net-preset` knob. `None` leaves the generator's draw (usually no
+    /// net block) in place. Applied after generation and after corpus
+    /// mutation, so a preset pins the whole search onto one network shape.
+    pub net_override: Option<NetSpec>,
     /// Fault-catalog preset for generated scenarios ([`FaultPreset::Calm`]
     /// disables injection entirely). Non-calm presets arm the buggify
     /// injector with a per-scenario fault seed drawn from the scenario seed,
@@ -73,6 +79,7 @@ impl Default for FuzzOptions {
             scheduler: SchedulerKind::default(),
             observability: false,
             n_override: None,
+            net_override: None,
             fault_preset: FaultPreset::Calm,
             latent_bug: false,
         }
@@ -245,6 +252,9 @@ pub fn fuzz_many(
             if let Some(n) = opts.n_override {
                 spec.n = n;
             }
+            if opts.net_override.is_some() {
+                spec.net = opts.net_override;
+            }
             let run = if opts.observability {
                 // Catch the panic here (inside the sweep's own isolation)
                 // so the pre-cloned ring handle can salvage the last events
@@ -356,6 +366,54 @@ mod tests {
                 .map(|o| (o.scenario_seed, &o.violations))
                 .collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn net_override_pins_every_scenario_to_one_network_shape() {
+        use crate::scenario::{ChurnSpec, TopologyKind};
+        let net = NetSpec {
+            topology: TopologyKind::RingGradient,
+            bandwidth: Some(200_000),
+            topology_seed: 0xBEEF,
+            churn: Some(ChurnSpec {
+                seed: 5,
+                crashes: 2,
+                min_down_ms: 500,
+                max_down_ms: 4_000,
+            }),
+        };
+        let opts = FuzzOptions {
+            protocols: vec![ProtocolKind::Pbft, ProtocolKind::HotStuffNs],
+            net_override: Some(net),
+            ..FuzzOptions::default()
+        };
+        let report = fuzz_many(0..6, &opts).unwrap();
+        assert_eq!(report.runs, 6);
+        // A net block suspends the termination debt, and drops/queueing
+        // never threaten safety — so honest protocols must stay clean even
+        // on a contended, churning ring.
+        assert!(
+            report.clean(),
+            "net-pinned fuzzing found: {:?} / {:?}",
+            report
+                .outcomes
+                .iter()
+                .map(|o| (o.scenario_seed, &o.violations))
+                .collect::<Vec<_>>(),
+            report.failures
+        );
+        // And the pin is real: re-generating any swept seed with the same
+        // options yields a spec carrying exactly the override.
+        let mut spec = ScenarioSpec::generate(
+            3,
+            &opts.protocols,
+            opts.intensity_permille,
+            opts.max_actions,
+            opts.inject_bug,
+            opts.fault_preset,
+        );
+        spec.net = opts.net_override;
+        assert_eq!(spec.net, Some(net));
     }
 
     #[test]

@@ -35,8 +35,13 @@ pub mod shrink;
 #[cfg(feature = "testbug")]
 pub mod testbug;
 
-pub use corpus::{fuzz_coverage, run_fingerprint, CoverageStats};
+pub use corpus::{
+    fuzz_coverage, fuzz_coverage_in_dir, load_corpus, run_fingerprint, save_corpus, CoverageStats,
+    CORPUS_FILE,
+};
 pub use fuzz::{fuzz_many, FuzzFailure, FuzzObservability, FuzzOptions, FuzzOutcome, FuzzReport};
 pub use repro::{Repro, FORMAT};
-pub use scenario::{CheckedRun, DelaySpec, PartitionSpec, RunMode, ScenarioSpec};
+pub use scenario::{
+    CheckedRun, ChurnSpec, DelaySpec, NetSpec, PartitionSpec, RunMode, ScenarioSpec, TopologyKind,
+};
 pub use shrink::{bisect_prefix, shrink};

@@ -271,6 +271,54 @@ mod tests {
     }
 
     #[test]
+    fn golden_pre_net_repro_parses_and_replays_unchanged() {
+        // Byte-for-byte what an older binary wrote, before the scenario
+        // gained its net (topology/bandwidth/churn) block. Forward compat:
+        // the file must parse with the legacy delay-only network, replay to
+        // the same run as an identically-parameterised in-code spec, and
+        // re-serialise without sprouting any of the new keys.
+        let golden = r#"{
+            "format": "bft-sim-repro-v1",
+            "oracle": "termination",
+            "detail": "n0 never decided",
+            "scenario": {
+                "protocol": "pbft",
+                "n": 4,
+                "seed": 0,
+                "genesis_seed": 7,
+                "lambda_micros": 1000000,
+                "delay": {"Constant": {"micros": 100000}},
+                "adversary_seed": 0,
+                "intensity_permille": 0,
+                "max_actions": 0,
+                "target_decisions": 2,
+                "time_cap_secs": 900,
+                "inject_bug": false
+            }
+        }"#;
+        let repro = Repro::from_json(&Json::parse(golden).unwrap()).unwrap();
+        assert!(
+            repro.spec.net.is_none(),
+            "an absent net block means the legacy delay-only network"
+        );
+        let twin = ScenarioSpec {
+            target_decisions: 2,
+            ..ScenarioSpec::baseline(ProtocolKind::Pbft)
+        };
+        assert_eq!(repro.spec, twin);
+
+        let text = repro.to_json().dump_pretty();
+        for new_key in ["\"net\"", "topology", "bandwidth", "churn"] {
+            assert!(!text.contains(new_key), "{new_key} leaked into {text}");
+        }
+
+        let replayed = repro.spec.run(RunMode::Generate).unwrap();
+        let expected = twin.run(RunMode::Generate).unwrap();
+        assert_eq!(replayed.result, expected.result);
+        assert_eq!(replayed.schedule, expected.schedule);
+    }
+
+    #[test]
     fn format_tag_is_enforced() {
         let err =
             Repro::from_json(&Json::parse("{\"oracle\": \"agreement\"}").unwrap()).unwrap_err();

@@ -23,13 +23,15 @@ use bft_sim_core::engine::SimulationBuilder;
 use bft_sim_core::json::Json;
 use bft_sim_core::message::Message;
 use bft_sim_core::metrics::RunResult;
-use bft_sim_core::network::SampledNetwork;
+use bft_sim_core::network::{NetworkModel, SampledNetwork};
 use bft_sim_core::obs::ObsConfig;
 use bft_sim_core::oracle::{OracleInput, OracleObserver, OracleSuite, OracleViolation};
 use bft_sim_core::scheduler::SchedulerKind;
 use bft_sim_core::time::{SimDuration, SimTime};
 use bft_sim_core::validator::DeliverySchedule;
+use bft_sim_net::churn::{ChurnPlan, ChurnedNetwork};
 use bft_sim_net::partition::{CrossTraffic, PartitionPlan};
+use bft_sim_net::topology::{BandwidthNetwork, LinkTopology};
 use bft_sim_protocols::registry::ProtocolKind;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -73,6 +75,19 @@ impl DelaySpec {
                 mean_micros,
                 std_micros,
             } => Dist::normal(ms(mean_micros), ms(std_micros)),
+        }
+    }
+
+    /// The distribution mean in microseconds; ring topologies use it as the
+    /// per-hop latency and the clustered shape scales its WAN links from it.
+    pub fn mean_micros(self) -> u64 {
+        match self {
+            DelaySpec::Constant { micros } => micros,
+            DelaySpec::Uniform {
+                lo_micros,
+                hi_micros,
+            } => lo_micros / 2 + hi_micros / 2,
+            DelaySpec::Normal { mean_micros, .. } => mean_micros,
         }
     }
 
@@ -180,6 +195,177 @@ impl PartitionSpec {
     }
 }
 
+/// The topology shape of a scenario's link-level network block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyKind {
+    /// Every ordered pair connected; latency is the scenario's delay
+    /// distribution on every link.
+    FullMesh,
+    /// Fully connected ring embedding: per-link latency grows with ring
+    /// distance (the delay mean per hop).
+    Ring,
+    /// Partially connected ring: long-range links are pruned by the
+    /// topology seed; immediate neighbours always stay connected.
+    RingGradient,
+    /// Two fast LAN clusters joined by slower WAN links; the bandwidth cap
+    /// applies to the WAN links only.
+    Clustered,
+}
+
+impl TopologyKind {
+    /// The spec-facing name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TopologyKind::FullMesh => "full_mesh",
+            TopologyKind::Ring => "ring",
+            TopologyKind::RingGradient => "ring_gradient",
+            TopologyKind::Clustered => "clustered",
+        }
+    }
+
+    /// Parses [`name`](TopologyKind::name).
+    pub fn parse(name: &str) -> Option<TopologyKind> {
+        match name {
+            "full_mesh" => Some(TopologyKind::FullMesh),
+            "ring" => Some(TopologyKind::Ring),
+            "ring_gradient" => Some(TopologyKind::RingGradient),
+            "clustered" => Some(TopologyKind::Clustered),
+            _ => None,
+        }
+    }
+}
+
+/// A seeded node-churn schedule: `crashes` staggered down-windows drawn
+/// from `seed`, each lasting `[min_down_ms, max_down_ms)`, spread over the
+/// scenario's time cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnSpec {
+    /// Seed of the schedule's own RNG (independent of every other seed).
+    pub seed: u64,
+    /// Number of down-windows to draw.
+    pub crashes: u64,
+    /// Minimum down time (ms, inclusive).
+    pub min_down_ms: u64,
+    /// Maximum down time (ms, exclusive).
+    pub max_down_ms: u64,
+}
+
+impl ChurnSpec {
+    /// The spec as a JSON object.
+    pub fn to_json(self) -> Json {
+        Json::obj([
+            ("seed", Json::from(self.seed)),
+            ("crashes", Json::from(self.crashes)),
+            ("min_down_ms", Json::from(self.min_down_ms)),
+            ("max_down_ms", Json::from(self.max_down_ms)),
+        ])
+    }
+
+    /// Parses the format produced by [`ChurnSpec::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field.
+    pub fn from_json(json: &Json) -> Result<ChurnSpec, String> {
+        let field = |name: &str| -> Result<u64, String> {
+            json.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("churn: bad \"{name}\""))
+        };
+        Ok(ChurnSpec {
+            seed: field("seed")?,
+            crashes: field("crashes")?,
+            min_down_ms: field("min_down_ms")?,
+            max_down_ms: field("max_down_ms")?,
+        })
+    }
+}
+
+/// Link-level network realism: topology shape, per-link bandwidth and node
+/// churn. A spec without this block runs the legacy delay-only sampled
+/// network; a `full_mesh` block with unlimited bandwidth and no churn is
+/// bit-identical to that legacy path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetSpec {
+    /// The topology shape.
+    pub topology: TopologyKind,
+    /// Per-link capacity in bytes per second; `None` = unlimited.
+    pub bandwidth: Option<u64>,
+    /// Shape seed for [`TopologyKind::RingGradient`]; 0 (and omitted from
+    /// JSON) for the deterministic shapes.
+    pub topology_seed: u64,
+    /// Optional node-churn schedule layered over the topology.
+    pub churn: Option<ChurnSpec>,
+}
+
+impl NetSpec {
+    /// A full-mesh block with the given bandwidth cap and no churn — the
+    /// bandwidth-contention building block.
+    pub fn full_mesh(bandwidth: Option<u64>) -> NetSpec {
+        NetSpec {
+            topology: TopologyKind::FullMesh,
+            bandwidth,
+            topology_seed: 0,
+            churn: None,
+        }
+    }
+
+    /// The spec as a JSON object; unset options are omitted so the block
+    /// stays minimal.
+    pub fn to_json(self) -> Json {
+        let mut pairs = vec![("topology".to_string(), Json::from(self.topology.name()))];
+        if let Some(bw) = self.bandwidth {
+            pairs.push(("bandwidth".to_string(), Json::from(bw)));
+        }
+        if self.topology_seed != 0 {
+            pairs.push(("topology_seed".to_string(), Json::from(self.topology_seed)));
+        }
+        if let Some(churn) = self.churn {
+            pairs.push(("churn".to_string(), churn.to_json()));
+        }
+        Json::Obj(pairs)
+    }
+
+    /// Parses the format produced by [`NetSpec::to_json`]. Unknown fields
+    /// are rejected; `"topology"` is required.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed or unknown field.
+    pub fn from_json(json: &Json) -> Result<NetSpec, String> {
+        let Json::Obj(pairs) = json else {
+            return Err("net: expected a JSON object".into());
+        };
+        let mut spec = NetSpec::full_mesh(None);
+        let mut saw_topology = false;
+        for (key, value) in pairs {
+            match key.as_str() {
+                "topology" => {
+                    let name = value.as_str().ok_or("net: bad value for \"topology\"")?;
+                    spec.topology = TopologyKind::parse(name)
+                        .ok_or_else(|| format!("net: unknown topology \"{name}\""))?;
+                    saw_topology = true;
+                }
+                "bandwidth" => {
+                    spec.bandwidth =
+                        Some(value.as_u64().ok_or("net: bad value for \"bandwidth\"")?);
+                }
+                "topology_seed" => {
+                    spec.topology_seed = value
+                        .as_u64()
+                        .ok_or("net: bad value for \"topology_seed\"")?;
+                }
+                "churn" => spec.churn = Some(ChurnSpec::from_json(value)?),
+                other => return Err(format!("net: unknown field \"{other}\"")),
+            }
+        }
+        if !saw_topology {
+            return Err("net: missing \"topology\"".into());
+        }
+        Ok(spec)
+    }
+}
+
 /// One fully pinned fuzz scenario. See the module docs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
@@ -195,6 +381,9 @@ pub struct ScenarioSpec {
     pub lambda_micros: u64,
     /// Network delay distribution.
     pub delay: DelaySpec,
+    /// Optional link-level network block (topology, bandwidth, churn);
+    /// absent = the legacy delay-only network.
+    pub net: Option<NetSpec>,
     /// Optional half/half partition window.
     pub partition: Option<PartitionSpec>,
     /// Seed for the randomized adversary's own RNG (independent of `seed`).
@@ -288,6 +477,7 @@ impl ScenarioSpec {
             genesis_seed: 7,
             lambda_micros: 1_000_000,
             delay: DelaySpec::Constant { micros: 100_000 },
+            net: None,
             partition: None,
             adversary_seed: 0,
             intensity_permille: 0,
@@ -360,6 +550,40 @@ impl ScenarioSpec {
         } else {
             fault_preset
         };
+        // The link-level network block is drawn after every legacy field, so
+        // a given scenario_seed draws the same protocol/scale/seeds/delay it
+        // always has. Benign draws stay on the legacy delay-only network (a
+        // pruned topology or churn window could legitimately stall liveness);
+        // bug-injection runs do too, so the forged certificate always lands.
+        let with_net = rng.gen_bool(0.25) && !benign && !inject_bug;
+        let net = with_net.then(|| {
+            let topology = match rng.gen_range(0..4u64) {
+                0 => TopologyKind::FullMesh,
+                1 => TopologyKind::Ring,
+                2 => TopologyKind::RingGradient,
+                _ => TopologyKind::Clustered,
+            };
+            let bandwidth = rng
+                .gen_bool(0.5)
+                .then(|| rng.gen_range(10_000..1_000_000u64));
+            let topology_seed = if topology == TopologyKind::RingGradient {
+                rng.gen_range(1..u64::MAX)
+            } else {
+                0
+            };
+            let churn = rng.gen_bool(0.3).then(|| ChurnSpec {
+                seed: rng.gen_range(0..u64::MAX),
+                crashes: rng.gen_range(1..4u64),
+                min_down_ms: 500,
+                max_down_ms: 4_000,
+            });
+            NetSpec {
+                topology,
+                bandwidth,
+                topology_seed,
+                churn,
+            }
+        });
         ScenarioSpec {
             protocol,
             n,
@@ -367,6 +591,7 @@ impl ScenarioSpec {
             genesis_seed,
             lambda_micros: 1_000_000,
             delay,
+            net,
             partition,
             adversary_seed,
             intensity_permille,
@@ -391,7 +616,8 @@ impl ScenarioSpec {
     /// inside the protocol's fault and network model, so the termination
     /// oracle is owed a decision.
     pub fn is_benign(&self) -> bool {
-        self.partition.is_none()
+        self.net.is_none()
+            && self.partition.is_none()
             && self.max_actions == 0
             && !self.inject_bug
             && self.fault_preset == FaultPreset::Calm
@@ -406,6 +632,57 @@ impl ScenarioSpec {
                     .with_time_cap(SimDuration::from_secs(self.time_cap_secs as f64)),
             )
             .with_target_decisions(self.target_decisions)
+    }
+
+    /// The engine-facing network stack: the legacy delay-only sampled
+    /// network when no [`NetSpec`] block is present, otherwise a
+    /// bandwidth/topology stack with optional churn layered on top. Ring
+    /// shapes use the delay mean as the per-hop latency; the clustered shape
+    /// uses the delay distribution on LAN links and 4× the mean (with the
+    /// bandwidth cap) on WAN links.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the block describes a degenerate topology or
+    /// churn schedule ([`bft_sim_core::error::SimError::InvalidConfig`]).
+    fn network(&self) -> Result<Box<dyn NetworkModel>, String> {
+        let Some(net) = self.net else {
+            return Ok(Box::new(SampledNetwork::new(self.delay.to_dist())));
+        };
+        let hop_ms = self.delay.mean_micros() as f64 / 1000.0;
+        let topo = match net.topology {
+            TopologyKind::FullMesh => {
+                LinkTopology::full_mesh(self.n, self.delay.to_dist(), net.bandwidth)
+            }
+            TopologyKind::Ring => LinkTopology::ring(self.n, hop_ms, net.bandwidth),
+            TopologyKind::RingGradient => {
+                LinkTopology::ring_gradient(self.n, hop_ms, net.bandwidth, net.topology_seed)
+            }
+            TopologyKind::Clustered => LinkTopology::clustered(
+                self.n,
+                self.delay.to_dist(),
+                None,
+                Dist::constant(hop_ms * 4.0),
+                net.bandwidth,
+            ),
+        }
+        .map_err(|e| format!("scenario net: {e}"))?;
+        let base = BandwidthNetwork::new(topo);
+        match net.churn {
+            None => Ok(Box::new(base)),
+            Some(c) => {
+                let plan = ChurnPlan::staggered(
+                    self.n,
+                    c.seed,
+                    c.crashes as usize,
+                    c.min_down_ms,
+                    c.max_down_ms,
+                    self.time_cap_secs.saturating_mul(1_000),
+                )
+                .map_err(|e| format!("scenario churn: {e}"))?;
+                Ok(Box::new(ChurnedNetwork::new(base, plan)))
+            }
+        }
     }
 
     fn partition_attack(&self) -> Option<PartitionAttack> {
@@ -501,6 +778,7 @@ impl ScenarioSpec {
             RunMode::Scripted { actions, faults } => {
                 actions.is_empty()
                     && faults.is_empty()
+                    && self.net.is_none()
                     && self.partition.is_none()
                     && !self.inject_bug
             }
@@ -511,7 +789,7 @@ impl ScenarioSpec {
         let factory = kind.factory(&cfg, self.genesis_seed);
         let observer = OracleObserver::new();
         let probe = observer.clone();
-        let network = SampledNetwork::new(self.delay.to_dist());
+        let network = self.network()?;
 
         let (result, schedule, actions, fault_log) = match mode {
             RunMode::Replay(schedule) => {
@@ -606,6 +884,11 @@ impl ScenarioSpec {
             ("lambda_micros".to_string(), Json::from(self.lambda_micros)),
             ("delay".to_string(), self.delay.to_json()),
         ];
+        // Like the faults block, the net block is omitted when absent, so
+        // legacy specs serialise byte-identically to the old format.
+        if let Some(net) = self.net {
+            pairs.push(("net".to_string(), net.to_json()));
+        }
         if let Some(p) = self.partition {
             pairs.push(("partition".to_string(), p.to_json()));
         }
@@ -674,6 +957,7 @@ impl ScenarioSpec {
                 "genesis_seed" => spec.genesis_seed = value.as_u64().ok_or_else(bad)?,
                 "lambda_micros" => spec.lambda_micros = value.as_u64().ok_or_else(bad)?,
                 "delay" => spec.delay = DelaySpec::from_json(value)?,
+                "net" => spec.net = Some(NetSpec::from_json(value)?),
                 "partition" => spec.partition = Some(PartitionSpec::from_json(value)?),
                 "adversary_seed" => spec.adversary_seed = value.as_u64().ok_or_else(bad)?,
                 "intensity_permille" => spec.intensity_permille = value.as_u64().ok_or_else(bad)?,
@@ -1157,5 +1441,193 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("unknown fault preset"), "{err}");
+    }
+
+    /// A net block with every option armed, for round-trip tests.
+    fn rich_net() -> NetSpec {
+        NetSpec {
+            topology: TopologyKind::RingGradient,
+            bandwidth: Some(64_000),
+            topology_seed: 0xF00D,
+            churn: Some(ChurnSpec {
+                seed: 11,
+                crashes: 2,
+                min_down_ms: 500,
+                max_down_ms: 4_000,
+            }),
+        }
+    }
+
+    #[test]
+    fn net_block_json_round_trips_and_stays_out_of_legacy_specs() {
+        let spec = ScenarioSpec {
+            net: Some(rich_net()),
+            ..ScenarioSpec::baseline(ProtocolKind::Pbft)
+        };
+        assert!(!spec.is_benign(), "a net block ends the liveness debt");
+        let text = spec.to_json().dump_pretty();
+        assert!(text.contains("\"net\""), "{text}");
+        assert!(text.contains("\"ring_gradient\""), "{text}");
+        let back = ScenarioSpec::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, spec);
+
+        // Minimal block: unset options are omitted.
+        let minimal = ScenarioSpec {
+            net: Some(NetSpec::full_mesh(None)),
+            ..ScenarioSpec::baseline(ProtocolKind::Pbft)
+        };
+        let text = minimal.to_json().dump_pretty();
+        assert!(!text.contains("bandwidth"), "{text}");
+        assert!(!text.contains("topology_seed"), "{text}");
+        assert!(!text.contains("churn"), "{text}");
+        let back = ScenarioSpec::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, minimal);
+
+        // Legacy specs carry no net block at all.
+        let legacy = ScenarioSpec::baseline(ProtocolKind::Pbft);
+        assert!(!legacy.to_json().dump_pretty().contains("\"net\""));
+
+        let err = ScenarioSpec::from_json(
+            &Json::parse("{\"protocol\": \"pbft\", \"net\": {\"topology\": \"torus\"}}").unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown topology"), "{err}");
+        let err = ScenarioSpec::from_json(
+            &Json::parse(
+                "{\"protocol\": \"pbft\", \"net\": {\"topology\": \"ring\", \"mtu\": 1500}}",
+            )
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown field \"mtu\""), "{err}");
+    }
+
+    #[test]
+    fn degenerate_net_blocks_are_rejected_at_run_time() {
+        let spec = ScenarioSpec {
+            net: Some(NetSpec::full_mesh(Some(0))),
+            ..ScenarioSpec::baseline(ProtocolKind::Pbft)
+        };
+        let err = spec.run(RunMode::Generate).unwrap_err();
+        assert!(err.contains("bandwidth must be positive"), "{err}");
+
+        let spec = ScenarioSpec {
+            net: Some(NetSpec {
+                churn: Some(ChurnSpec {
+                    seed: 1,
+                    crashes: 1,
+                    min_down_ms: 5_000,
+                    max_down_ms: 5_000,
+                }),
+                ..NetSpec::full_mesh(None)
+            }),
+            ..ScenarioSpec::baseline(ProtocolKind::Pbft)
+        };
+        let err = spec.run(RunMode::Generate).unwrap_err();
+        assert!(err.contains("down-time range is empty"), "{err}");
+    }
+
+    #[test]
+    fn unlimited_full_mesh_matches_the_delay_only_network() {
+        // The legacy-equivalence acceptance criterion: a full mesh with
+        // unlimited bandwidth and no churn consumes the same RNG stream as
+        // the delay-only sampled network, so the runs are bit-identical.
+        let legacy = ScenarioSpec {
+            delay: DelaySpec::Normal {
+                mean_micros: 250_000,
+                std_micros: 50_000,
+            },
+            ..ScenarioSpec::baseline(ProtocolKind::Pbft)
+        };
+        let meshed = ScenarioSpec {
+            net: Some(NetSpec::full_mesh(None)),
+            ..legacy.clone()
+        };
+        let a = legacy.run(RunMode::Generate).unwrap();
+        let b = meshed.run(RunMode::Generate).unwrap();
+        assert_eq!(a.result, b.result);
+        assert_eq!(a.schedule, b.schedule);
+    }
+
+    #[test]
+    fn narrow_links_shift_the_latency_distribution() {
+        // The contention acceptance criterion: the same scenario over narrow
+        // links queues messages and measurably shifts delivery latencies.
+        let legacy = ScenarioSpec::baseline(ProtocolKind::Pbft);
+        let contended = ScenarioSpec {
+            net: Some(NetSpec::full_mesh(Some(2_000))),
+            ..legacy.clone()
+        };
+        let obs = |spec: &ScenarioSpec| {
+            spec.run_observed(
+                RunMode::Generate,
+                SchedulerKind::default(),
+                Some(spec.obs_config(8)),
+            )
+            .unwrap()
+            .result
+            .observability
+            .unwrap()
+        };
+        let fast = obs(&legacy);
+        let slow = obs(&contended);
+        assert_eq!(
+            fast.link_queue_delay.count(),
+            0,
+            "unlimited links never queue"
+        );
+        assert!(
+            slow.link_queue_delay.count() > 0,
+            "narrow links must queue traffic"
+        );
+        assert!(
+            !slow.link_queues.is_empty(),
+            "per-link queue stats must identify the bottlenecks"
+        );
+        let mean_latency = |o: &bft_sim_core::obs::Observability| {
+            let (sum, n) = o.delivery_latency.iter().fold((0u64, 0u64), |(s, c), h| {
+                (s + h.sum_micros(), c + h.count())
+            });
+            sum as f64 / n.max(1) as f64
+        };
+        assert!(
+            mean_latency(&slow) > mean_latency(&fast),
+            "serialization + queueing must slow deliveries: {} <= {}",
+            mean_latency(&slow),
+            mean_latency(&fast)
+        );
+    }
+
+    #[test]
+    fn bandwidth_and_churn_runs_agree_across_backends_and_threads() {
+        // The full stack — ring-gradient topology, narrow links, churn —
+        // must stay byte-identical across scheduler backends and sweep
+        // thread counts (the determinism acceptance criterion).
+        let spec = ScenarioSpec {
+            net: Some(rich_net()),
+            ..ScenarioSpec::baseline(ProtocolKind::Pbft)
+        };
+        let heap = spec
+            .run_with(RunMode::Generate, SchedulerKind::Heap)
+            .unwrap();
+        let mut wheel = spec
+            .run_with(RunMode::Generate, SchedulerKind::Wheel)
+            .unwrap();
+        wheel.result.scheduler = heap.result.scheduler.clone();
+        assert_eq!(heap.result, wheel.result);
+        assert_eq!(heap.schedule, wheel.schedule);
+        assert_eq!(heap.violations, wheel.violations);
+        for threads in [1, 4] {
+            let swept = bft_sim_core::sweep::sweep(threads, threads, |_| {
+                spec.run_with(RunMode::Generate, SchedulerKind::Wheel)
+                    .unwrap()
+            });
+            for slot in swept {
+                let mut run = slot.expect("no sweep panic");
+                run.result.scheduler = heap.result.scheduler.clone();
+                assert_eq!(heap.result, run.result, "threads={threads}");
+                assert_eq!(heap.schedule, run.schedule, "threads={threads}");
+            }
+        }
     }
 }

@@ -97,6 +97,28 @@ pub fn shrink(spec: &ScenarioSpec, failing: &CheckedRun) -> Repro {
         }
     }
 
+    // 2b. The net block likewise: first try dropping the whole block (back
+    //     to the legacy delay-only network), then just its churn schedule —
+    //     a repro without topology noise is far easier to read.
+    if spec.net.is_some() {
+        let candidate = ScenarioSpec {
+            net: None,
+            ..spec.clone()
+        };
+        if still_fails(&candidate, &actions, &faults, oracle).is_some() {
+            spec = candidate;
+        }
+    }
+    if let Some(net) = spec.net.filter(|net| net.churn.is_some()) {
+        let candidate = ScenarioSpec {
+            net: Some(crate::scenario::NetSpec { churn: None, ..net }),
+            ..spec.clone()
+        };
+        if still_fails(&candidate, &actions, &faults, oracle).is_some() {
+            spec = candidate;
+        }
+    }
+
     // 3. Delta-debug the adversary action list.
     actions = ddmin(actions, |candidate| {
         still_fails(&spec, candidate, &faults, oracle).is_some()

@@ -18,6 +18,7 @@ fn pbft16_chaos() -> FuzzOptions {
     FuzzOptions {
         protocols: vec![ProtocolKind::Pbft],
         n_override: Some(16),
+        net_override: None,
         fault_preset: FaultPreset::Chaos,
         threads: 0,
         ..FuzzOptions::default()
@@ -128,7 +129,7 @@ fn latent_bug_is_discoverable_and_instrumented() {
         let report = fuzz_coverage(master, 256, true, &opts).unwrap();
         let cov = report.coverage.unwrap();
         if let Some(first) = cov.first_violation_run {
-            assert!(first >= 1 && first <= 256);
+            assert!((1..=256).contains(&first));
             assert!(
                 !report.outcomes.is_empty(),
                 "a recorded first_violation_run needs a matching outcome"

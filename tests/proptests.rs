@@ -78,7 +78,10 @@ fn bounded_network_never_exceeds_its_bound() {
             let mut rng = SmallRng::seed_from_u64(seed);
             for sample in 0..64 {
                 let now = SimTime::from_millis(sample * 17);
-                let d = net.delay(NodeId::new(0), NodeId::new(1), now, &mut rng);
+                let d = net
+                    .decide(NodeId::new(0), NodeId::new(1), now, 64, &mut rng)
+                    .delay()
+                    .unwrap();
                 assert!(
                     d <= net.bound(),
                     "case {case}: {dist:?} bound {bound_ms} ms seed {seed} \
@@ -111,7 +114,10 @@ fn gst_network_delays_respect_the_stabilisation_contract() {
             for sample in 0..64 {
                 // Sprinkle send times on both sides of GST.
                 let now = SimTime::from_millis((sample * 131) % (gst_ms as u64 * 2 + 100));
-                let d = net.delay(NodeId::new(0), NodeId::new(1), now, &mut rng);
+                let d = net
+                    .decide(NodeId::new(0), NodeId::new(1), now, 64, &mut rng)
+                    .delay()
+                    .unwrap();
                 if now >= net.gst() {
                     assert!(
                         d <= post_bound,
@@ -130,6 +136,42 @@ fn gst_network_delays_respect_the_stabilisation_contract() {
                     );
                 }
             }
+        }
+    }
+}
+
+/// FIFO per link: with a constant propagation delay, messages queued on one
+/// bandwidth-limited link never reorder — arrival times are non-decreasing
+/// in send order, for arbitrary send times and message sizes.
+#[test]
+fn bandwidth_link_is_fifo() {
+    let mut gen = SmallRng::seed_from_u64(0xF1F0);
+    for case in 0..CASES {
+        let bw = gen.gen_range(100u64..100_000);
+        let prop_ms = gen.gen_range(0.0..500.0);
+        let seed: u64 = gen.gen();
+        let topo = LinkTopology::full_mesh(2, Dist::constant(prop_ms), Some(bw)).unwrap();
+        let mut net = BandwidthNetwork::new(topo);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut now = SimTime::ZERO;
+        let mut last_arrival = SimTime::ZERO;
+        for send in 0..64 {
+            // Non-decreasing send times with random gaps and sizes.
+            now = now.saturating_add(SimDuration::from_micros(gen.gen_range(0..200_000)));
+            let bytes = gen.gen_range(1..50_000);
+            let d = net
+                .decide(NodeId::new(0), NodeId::new(1), now, bytes, &mut rng)
+                .delivery()
+                .unwrap();
+            let arrival = now.saturating_add(d.delay);
+            assert!(
+                arrival >= last_arrival,
+                "case {case}: send {send} (bw {bw} B/s, prop {prop_ms} ms, seed \
+                 {seed}) arrives at {} before its predecessor at {}",
+                arrival.as_millis_f64(),
+                last_arrival.as_millis_f64()
+            );
+            last_arrival = arrival;
         }
     }
 }
