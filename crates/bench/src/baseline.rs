@@ -180,13 +180,22 @@ pub struct FuzzStat {
     pub scenarios_per_sec: f64,
     /// Events per wall-clock second (host-dependent).
     pub events_per_sec: f64,
+    /// Scenarios that panicked mid-run instead of completing. Serialised
+    /// only when nonzero, so clean baselines keep their byte format.
+    pub panicked: u64,
+    /// The first panic message (lowest seed), when any run panicked.
+    pub first_panic: Option<String>,
 }
 
 /// Sweeps fuzz seeds `0..seeds` over PBFT and HotStuff+NS at the default
 /// budget, sharded over `threads` workers (0 = available parallelism) on
-/// the given scheduler backend, and measures throughput. Panics if the sweep finds a violation or a panicked
-/// run: honest protocols fuzzed within their fault model must stay correct,
-/// so a failure here is a real regression, not a perf artifact.
+/// the given scheduler backend, and measures throughput. Panics if the
+/// sweep finds an oracle violation: honest protocols fuzzed within their
+/// fault model must stay correct, so a violation here is a real regression,
+/// not a perf artifact. Scenarios that *panic* mid-run are surfaced in the
+/// stat ([`FuzzStat::panicked`] / [`FuzzStat::first_panic`]) instead of
+/// aborting the bench — a crash in one seed must not silently vanish from
+/// (or take down) a long baseline aggregation.
 pub fn run_fuzz_stat(seeds: u64, threads: usize, scheduler: SchedulerKind) -> FuzzStat {
     use bft_sim_simcheck::{fuzz_many, FuzzOptions};
     let threads = bft_sim_core::sweep::resolve_threads(threads);
@@ -200,10 +209,13 @@ pub fn run_fuzz_stat(seeds: u64, threads: usize, scheduler: SchedulerKind) -> Fu
     let report = fuzz_many(0..seeds, &opts).expect("fuzz sweep cannot need testbug");
     let wall = start.elapsed().as_secs_f64();
     assert!(
-        report.clean(),
-        "fuzz sweep found violations or panics in honest protocols: {:?} {:?}",
-        report.outcomes,
-        report.failures
+        report.outcomes.is_empty(),
+        "fuzz sweep found violations in honest protocols: {:?}",
+        report
+            .outcomes
+            .iter()
+            .map(|o| (o.scenario_seed, &o.violations))
+            .collect::<Vec<_>>()
     );
     FuzzStat {
         scheduler: scheduler.name(),
@@ -216,6 +228,8 @@ pub fn run_fuzz_stat(seeds: u64, threads: usize, scheduler: SchedulerKind) -> Fu
         wall_ms: wall * 1e3,
         scenarios_per_sec: report.runs as f64 / wall.max(1e-9),
         events_per_sec: report.events_processed as f64 / wall.max(1e-9),
+        panicked: report.panicked,
+        first_panic: report.failures.first().map(|f| f.message.clone()),
     }
 }
 
@@ -551,24 +565,43 @@ fn obs_overhead_json(o: &ObsOverhead) -> Json {
 }
 
 fn fuzz_stat_json(f: &FuzzStat) -> Json {
-    Json::obj([
-        ("scheduler", Json::from(f.scheduler)),
-        ("seeds", Json::from(f.seeds)),
-        ("threads", Json::from(f.threads)),
-        ("runs", Json::from(f.runs)),
-        ("events_processed", Json::from(f.events_processed)),
+    let mut pairs = vec![
+        ("scheduler".to_string(), Json::from(f.scheduler)),
+        ("seeds".to_string(), Json::from(f.seeds)),
+        ("threads".to_string(), Json::from(f.threads)),
+        ("runs".to_string(), Json::from(f.runs)),
         (
-            "skipped_cancelled_timers",
+            "events_processed".to_string(),
+            Json::from(f.events_processed),
+        ),
+        (
+            "skipped_cancelled_timers".to_string(),
             Json::from(f.skipped_cancelled_timers),
         ),
         (
-            "skipped_excluded_nodes",
+            "skipped_excluded_nodes".to_string(),
             Json::from(f.skipped_excluded_nodes),
         ),
-        ("wall_ms", Json::from(round3(f.wall_ms))),
-        ("scenarios_per_sec", Json::from(round3(f.scenarios_per_sec))),
-        ("events_per_sec", Json::from(round3(f.events_per_sec))),
-    ])
+        ("wall_ms".to_string(), Json::from(round3(f.wall_ms))),
+        (
+            "scenarios_per_sec".to_string(),
+            Json::from(round3(f.scenarios_per_sec)),
+        ),
+        (
+            "events_per_sec".to_string(),
+            Json::from(round3(f.events_per_sec)),
+        ),
+    ];
+    // Panicked units must surface in the report rather than silently
+    // dropping out of the aggregates; clean sweeps omit the keys so
+    // existing baselines keep their exact byte format.
+    if f.panicked > 0 {
+        pairs.push(("panicked".to_string(), Json::from(f.panicked)));
+        if let Some(msg) = &f.first_panic {
+            pairs.push(("first_panic".to_string(), Json::from(msg.as_str())));
+        }
+    }
+    Json::Obj(pairs)
 }
 
 /// Serialises case results (and, when measured, the per-backend fuzz
@@ -839,6 +872,8 @@ mod tests {
             wall_ms: 1.0,
             scenarios_per_sec: 2000.0,
             events_per_sec: 1_000_000.0,
+            panicked: 0,
+            first_panic: None,
         };
         let wheel_fuzz = FuzzStat {
             scheduler: "wheel",
@@ -888,6 +923,21 @@ mod tests {
             Some(2.0)
         );
         assert!(json.get("alloc_note").is_some());
+        // Clean sweeps omit the panic keys entirely; a sweep with panicked
+        // units surfaces the count and the first message.
+        assert!(fuzz_arr[0].get("panicked").is_none());
+        assert!(fuzz_arr[0].get("first_panic").is_none());
+        let crashed = FuzzStat {
+            panicked: 2,
+            first_panic: Some("index out of bounds".into()),
+            ..fuzz[0].clone()
+        };
+        let crashed_json = fuzz_stat_json(&crashed);
+        assert_eq!(crashed_json.get("panicked").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            crashed_json.get("first_panic").and_then(Json::as_str),
+            Some("index out of bounds")
+        );
         let bare = to_json(&results, &[], None, None, None);
         assert!(bare.get("fuzz").is_none());
         assert!(bare.get("thread_scaling").is_none());

@@ -26,12 +26,19 @@
 //! | 0    | success (for `fuzz`: clean sweep; for `repro`: the oracle fired) |
 //! | 1    | runtime failure — simulation error, I/O error |
 //! | 2    | usage or parse error — bad flags, malformed config file |
-//! | 3    | `fuzz` found oracle violations or panicked runs |
-//! | 4    | repro-file error — unreadable, malformed, or no longer reproducing |
+//! | 3    | `fuzz` / `campaign` found oracle violations or panicked runs |
+//! | 4    | artifact error — an unreadable or malformed repro, manifest, or checkpoint file, or a repro that no longer reproduces |
 //! | 101  | the process itself panicked (Rust's default panic exit) |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+
+pub mod campaign;
+
+pub use campaign::{
+    default_checkpoint_path, emit_report, exec_campaign_merge, exec_campaign_run, load_manifest,
+    CampaignMergeSpec, CampaignRunSpec,
+};
 
 use bft_sim_core::buggify::FaultPreset;
 use bft_sim_core::dist::Dist;
@@ -76,6 +83,10 @@ pub enum Command {
     /// Run one scenario with full observability and print its
     /// instrumentation (histograms, flow matrix, view timings, last events).
     Trace(TraceSpec),
+    /// Run (or resume) a manifest-driven campaign sweep.
+    CampaignRun(CampaignRunSpec),
+    /// Merge shard checkpoints into a campaign's final report.
+    CampaignMerge(CampaignMergeSpec),
     /// List available protocols.
     List,
     /// Print usage.
@@ -342,8 +353,8 @@ impl CliError {
         }
     }
 
-    /// A repro-file error — unreadable, malformed, or no longer
-    /// reproducing. Exit 4.
+    /// An artifact error — an unreadable or malformed repro, manifest, or
+    /// checkpoint file, or a repro that no longer reproduces. Exit 4.
     pub fn repro(message: impl Into<String>) -> CliError {
         CliError {
             message: message.into(),
@@ -487,7 +498,108 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
             Ok(Command::Repro { path })
         }
+        "campaign" => parse_campaign(&args[1..]),
         other => Err(CliError::usage(format!("unknown command '{other}'"))),
+    }
+}
+
+/// Parses `--shard` syntax: `I/M` with `I < M`.
+fn parse_shard(s: &str) -> Result<(u32, u32), CliError> {
+    let bad = || CliError::usage(format!("bad --shard '{s}' (use I/M, e.g. 0/4)"));
+    let (i, m) = s.split_once('/').ok_or_else(bad)?;
+    let shard = (i.parse().map_err(|_| bad())?, m.parse().map_err(|_| bad())?);
+    if shard.1 == 0 || shard.0 >= shard.1 {
+        return Err(CliError::usage(format!(
+            "bad --shard '{s}' (shard index must be below the shard count)"
+        )));
+    }
+    Ok(shard)
+}
+
+fn parse_campaign(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter();
+    let sub = it
+        .next()
+        .ok_or_else(|| CliError::usage("campaign needs a subcommand: run or merge"))?;
+    match sub.as_str() {
+        "run" => {
+            let mut spec = CampaignRunSpec::default();
+            while let Some(arg) = it.next() {
+                let mut value = |name: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| CliError::usage(format!("{name} needs a value")))
+                };
+                match arg.as_str() {
+                    "--checkpoint" => spec.checkpoint = Some(value("--checkpoint")?),
+                    "--resume" => spec.resume = true,
+                    "--shard" => spec.shard = parse_shard(&value("--shard")?)?,
+                    "--threads" => {
+                        spec.threads = value("--threads")?
+                            .parse()
+                            .map_err(|_| CliError::usage("bad --threads"))?
+                    }
+                    "--scheduler" => {
+                        let s = value("--scheduler")?;
+                        spec.scheduler = SchedulerKind::parse(&s).ok_or_else(|| {
+                            CliError::usage(format!("bad --scheduler '{s}' (use heap or wheel)"))
+                        })?
+                    }
+                    "--out" => spec.out_dir = value("--out")?,
+                    "--json" => spec.json = true,
+                    "--report" => spec.report = Some(value("--report")?),
+                    "--max-units" => {
+                        spec.max_units = Some(
+                            value("--max-units")?
+                                .parse()
+                                .map_err(|_| CliError::usage("bad --max-units"))?,
+                        )
+                    }
+                    flag if flag.starts_with("--") => {
+                        return Err(CliError::usage(format!("unknown flag '{flag}'")))
+                    }
+                    manifest if spec.manifest.is_empty() => spec.manifest = manifest.to_string(),
+                    extra => return Err(CliError::usage(format!("unexpected argument '{extra}'"))),
+                }
+            }
+            if spec.manifest.is_empty() {
+                return Err(CliError::usage("campaign run needs a manifest file"));
+            }
+            Ok(Command::CampaignRun(spec))
+        }
+        "merge" => {
+            let mut spec = CampaignMergeSpec {
+                manifest: String::new(),
+                checkpoints: Vec::new(),
+                json: false,
+                report: None,
+            };
+            while let Some(arg) = it.next() {
+                let mut value = |name: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| CliError::usage(format!("{name} needs a value")))
+                };
+                match arg.as_str() {
+                    "--json" => spec.json = true,
+                    "--report" => spec.report = Some(value("--report")?),
+                    flag if flag.starts_with("--") => {
+                        return Err(CliError::usage(format!("unknown flag '{flag}'")))
+                    }
+                    manifest if spec.manifest.is_empty() => spec.manifest = manifest.to_string(),
+                    checkpoint => spec.checkpoints.push(checkpoint.to_string()),
+                }
+            }
+            if spec.manifest.is_empty() || spec.checkpoints.is_empty() {
+                return Err(CliError::usage(
+                    "campaign merge needs a manifest and at least one checkpoint file",
+                ));
+            }
+            Ok(Command::CampaignMerge(spec))
+        }
+        other => Err(CliError::usage(format!(
+            "unknown campaign subcommand '{other}' (use run or merge)"
+        ))),
     }
 }
 
@@ -584,7 +696,7 @@ fn parse_fuzz_spec(args: &[String]) -> Result<FuzzSpec, CliError> {
 /// Parses a `--net-preset` spec:
 /// `TOPOLOGY[:bw=BYTES_PER_SEC][:seed=S][:churn=SEED,CRASHES,MIN_MS,MAX_MS]`
 /// — e.g. `ring_gradient:bw=200000:seed=7:churn=5,2,500,4000`.
-fn parse_net_preset(s: &str) -> Result<bft_sim_simcheck::NetSpec, CliError> {
+pub(crate) fn parse_net_preset(s: &str) -> Result<bft_sim_simcheck::NetSpec, CliError> {
     use bft_sim_simcheck::{ChurnSpec, NetSpec, TopologyKind};
 
     let mut parts = s.split(':');
@@ -996,6 +1108,15 @@ pub fn execute(cmd: Command) -> Result<(), CliError> {
         Command::Fuzz(spec) => run_fuzz(&spec)?,
         Command::Repro { path } => run_repro(&path)?,
         Command::Trace(spec) => run_trace(&spec)?,
+        Command::CampaignRun(spec) => {
+            if let Some(report) = exec_campaign_run(&spec)? {
+                emit_report(&report, spec.json, spec.report.as_deref())?;
+            }
+        }
+        Command::CampaignMerge(spec) => {
+            let report = exec_campaign_merge(&spec)?;
+            emit_report(&report, spec.json, spec.report.as_deref())?;
+        }
         Command::Fig(which) => run_figure(which),
         Command::Table(which) => match which {
             1 => {
@@ -1089,7 +1210,7 @@ pub fn fuzz_report_json(
         ("outcomes".to_string(), Json::Arr(outcomes)),
         (
             "panicked_scenarios".to_string(),
-            Json::from(report.failures.len()),
+            Json::from(report.panicked),
         ),
         ("failures".to_string(), Json::Arr(failures)),
     ];
@@ -1547,6 +1668,23 @@ USAGE:
                      [:churn=SEED,CRASHES,MIN_MS,MAX_MS] with topologies
                      full_mesh | ring | ring_gradient | clustered, e.g.
                      ring_gradient:bw=200000:churn=5,2,500,4000
+    bft-sim campaign run MANIFEST.json [--checkpoint FILE] [--resume]
+                     [--shard I/M] [--threads N] [--scheduler heap|wheel]
+                     [--out DIR] [--json] [--report FILE] [--max-units K]
+                     run a bft-sim-campaign-v1 parameter grid (protocol ×
+                     n × delay × net × attack × seed), checkpointing
+                     atomically every checkpoint_every units so a kill at
+                     any instant loses at most one batch; --resume
+                     continues from the checkpoint (verifying the manifest
+                     hash; a missing checkpoint starts fresh); --shard I/M
+                     runs every M-th unit starting at I, for fan-out
+                     across processes or machines; --max-units pauses
+                     after K units (at a batch boundary); the final report
+                     is byte-identical whether the campaign ran straight
+                     through, was killed and resumed, or was sharded and
+                     merged — at any --threads and under either scheduler
+    bft-sim campaign merge MANIFEST.json CKPT... [--json] [--report FILE]
+                     merge every shard's checkpoint into the final report
     bft-sim repro FILE.json
                      replay a bft-sim-repro-v1 file and confirm its oracle
                      still fires
@@ -1566,7 +1704,8 @@ ATTACK SPECS:
 
 EXIT CODES:
     0 success   1 runtime failure   2 usage/parse error
-    3 fuzz found violations/panics   4 repro-file error   101 panic"
+    3 fuzz/campaign found violations or panicked runs
+    4 artifact error (repro, manifest, or checkpoint file)   101 panic"
 }
 
 #[cfg(test)]

@@ -1,0 +1,1222 @@
+//! Resumable parameter-grid campaigns: the manifest / checkpoint / report
+//! formats and the deterministic expansion, sharding and merge semantics
+//! behind `bft-sim campaign`.
+//!
+//! A **manifest** (`bft-sim-campaign-v1` JSON) describes a parameter grid —
+//! protocol × node count × delay distribution × net preset × attack
+//! intensity × seed range — that [`Manifest::unit`] expands deterministically
+//! into ordered **work units** (seed varies fastest, so the units of one
+//! grid **cell** are contiguous). This module is protocol-agnostic: grid
+//! entries are validated strings, interpreted by the executor in the CLI
+//! crate, so `core` keeps its single-dependency footprint.
+//!
+//! A **checkpoint** (`bft-sim-campaign-checkpoint-v1`) records per-unit
+//! outcomes ([`UnitRecord`]) plus streaming aggregates (bucket-wise-merged
+//! [`Histogram`]s), and is written atomically — to a temporary sibling file,
+//! then renamed — every K completed units, so a SIGKILL at any moment leaves
+//! either the old or the new checkpoint on disk, never a torn one. Resume
+//! verifies the manifest hash ([`Manifest::hash`]) and continues from the
+//! first incomplete unit.
+//!
+//! Because every aggregate either derives from per-unit records (tallies,
+//! per-cell [`Summary`]s, recomputed in unit order) or merges with
+//! commutative-and-associative `u64` arithmetic (histograms), the **final
+//! report** ([`final_report`]) is byte-identical whether the campaign ran
+//! straight through, was killed and resumed, or was sharded with
+//! `--shard i/m` across processes and merged with [`merge_checkpoints`].
+
+use std::collections::BTreeMap;
+use std::hash::Hasher;
+use std::path::Path;
+
+use crate::fasthash::FastHasher;
+use crate::json::Json;
+use crate::metrics::Summary;
+use crate::obs::Histogram;
+
+/// Format tag of a campaign manifest document.
+pub const MANIFEST_FORMAT: &str = "bft-sim-campaign-v1";
+
+/// Format tag of a campaign checkpoint document.
+pub const CHECKPOINT_FORMAT: &str = "bft-sim-campaign-checkpoint-v1";
+
+/// Format tag of a campaign final report document.
+pub const REPORT_FORMAT: &str = "bft-sim-campaign-report-v1";
+
+/// A campaign parameter grid. Axis entries the executor interprets
+/// (protocol names, delay names, net presets) are kept as validated strings
+/// so this module stays protocol-agnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Protocol names (the CLI's protocol grammar, e.g. `"pbft"`).
+    pub protocols: Vec<String>,
+    /// Node counts.
+    pub nodes: Vec<usize>,
+    /// Delay-distribution names: `"constant"`, `"uniform"` or `"normal"`
+    /// (the scenario generator's three parameterizations).
+    pub delays: Vec<String>,
+    /// Net presets in the CLI's `--net-preset` grammar, or `"none"` for the
+    /// legacy delay-only network.
+    pub nets: Vec<String>,
+    /// Adversary intensities in permille; `0` runs the unit benign.
+    pub attacks: Vec<u64>,
+    /// Scenario seed range, half-open: seeds `lo..hi`.
+    pub seeds: (u64, u64),
+    /// Checkpoint interval: the checkpoint file is rewritten atomically
+    /// after every batch of this many completed units.
+    pub checkpoint_every: usize,
+    /// Per-run cap on adversary actions for units with a nonzero attack.
+    pub max_actions: u64,
+}
+
+/// One expanded work unit of a campaign grid: the parameter combination at
+/// a given unit index. Borrowed from the manifest that expanded it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Unit<'a> {
+    /// Position in the campaign's deterministic unit order.
+    pub index: usize,
+    /// The grid cell this unit belongs to (`index / seeds-per-cell`).
+    pub cell: usize,
+    /// Protocol name.
+    pub protocol: &'a str,
+    /// Node count.
+    pub n: usize,
+    /// Delay-distribution name.
+    pub delay: &'a str,
+    /// Net preset (or `"none"`).
+    pub net: &'a str,
+    /// Adversary intensity in permille.
+    pub attack: u64,
+    /// Scenario seed.
+    pub seed: u64,
+}
+
+impl Manifest {
+    /// Validates the grid: every axis non-empty, a non-empty seed range, a
+    /// positive checkpoint interval, and a total unit count that fits in
+    /// `usize`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.protocols.is_empty() {
+            return Err("manifest: protocols must be non-empty".into());
+        }
+        if self.nodes.is_empty() {
+            return Err("manifest: nodes must be non-empty".into());
+        }
+        if self.nodes.contains(&0) {
+            return Err("manifest: node counts must be positive".into());
+        }
+        if self.delays.is_empty() {
+            return Err("manifest: delays must be non-empty".into());
+        }
+        if self.nets.is_empty() {
+            return Err("manifest: nets must be non-empty".into());
+        }
+        if self.attacks.is_empty() {
+            return Err("manifest: attacks must be non-empty".into());
+        }
+        if self.seeds.0 >= self.seeds.1 {
+            return Err(format!(
+                "manifest: seed range [{}, {}) is empty",
+                self.seeds.0, self.seeds.1
+            ));
+        }
+        if self.checkpoint_every == 0 {
+            return Err("manifest: checkpoint_every must be positive".into());
+        }
+        let seeds = usize::try_from(self.seeds.1 - self.seeds.0)
+            .map_err(|_| "manifest: seed range too large".to_string())?;
+        self.protocols
+            .len()
+            .checked_mul(self.nodes.len())
+            .and_then(|t| t.checked_mul(self.delays.len()))
+            .and_then(|t| t.checked_mul(self.nets.len()))
+            .and_then(|t| t.checked_mul(self.attacks.len()))
+            .and_then(|t| t.checked_mul(seeds))
+            .ok_or_else(|| "manifest: grid size overflows".to_string())?;
+        Ok(())
+    }
+
+    /// Number of seeds per grid cell.
+    pub fn seeds_per_cell(&self) -> usize {
+        (self.seeds.1 - self.seeds.0) as usize
+    }
+
+    /// Number of grid cells (parameter combinations excluding the seed).
+    pub fn total_cells(&self) -> usize {
+        self.protocols.len()
+            * self.nodes.len()
+            * self.delays.len()
+            * self.nets.len()
+            * self.attacks.len()
+    }
+
+    /// Total number of work units in the campaign.
+    pub fn total_units(&self) -> usize {
+        self.total_cells() * self.seeds_per_cell()
+    }
+
+    /// The work unit at `index` in the campaign's deterministic order:
+    /// lexicographic over (protocol, n, delay, net, attack, seed), with the
+    /// seed varying fastest — so a grid cell's units are contiguous.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= total_units()` (a caller bug; campaign loops
+    /// iterate an assigned-unit list derived from the same manifest).
+    pub fn unit(&self, index: usize) -> Unit<'_> {
+        assert!(index < self.total_units(), "unit index out of range");
+        let seeds = self.seeds_per_cell();
+        let cell = index / seeds;
+        let seed = self.seeds.0 + (index % seeds) as u64;
+        let mut rest = cell;
+        let attack = self.attacks[rest % self.attacks.len()];
+        rest /= self.attacks.len();
+        let net = &self.nets[rest % self.nets.len()];
+        rest /= self.nets.len();
+        let delay = &self.delays[rest % self.delays.len()];
+        rest /= self.delays.len();
+        let n = self.nodes[rest % self.nodes.len()];
+        rest /= self.nodes.len();
+        let protocol = &self.protocols[rest];
+        Unit {
+            index,
+            cell,
+            protocol,
+            n,
+            delay,
+            net,
+            attack,
+            seed,
+        }
+    }
+
+    /// The canonical JSON form — the form [`hash`](Manifest::hash) digests,
+    /// and the one [`from_json`](Manifest::from_json) round-trips.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("format", Json::from(MANIFEST_FORMAT)),
+            (
+                "protocols",
+                Json::Arr(
+                    self.protocols
+                        .iter()
+                        .map(|p| Json::from(p.as_str()))
+                        .collect(),
+                ),
+            ),
+            (
+                "nodes",
+                Json::Arr(self.nodes.iter().map(|&n| Json::from(n)).collect()),
+            ),
+            (
+                "delays",
+                Json::Arr(self.delays.iter().map(|d| Json::from(d.as_str())).collect()),
+            ),
+            (
+                "nets",
+                Json::Arr(self.nets.iter().map(|n| Json::from(n.as_str())).collect()),
+            ),
+            (
+                "attacks",
+                Json::Arr(self.attacks.iter().map(|&a| Json::from(a)).collect()),
+            ),
+            (
+                "seeds",
+                Json::obj([
+                    ("lo", Json::from(self.seeds.0)),
+                    ("hi", Json::from(self.seeds.1)),
+                ]),
+            ),
+            ("checkpoint_every", Json::from(self.checkpoint_every)),
+            ("max_actions", Json::from(self.max_actions)),
+        ])
+    }
+
+    /// Parses and validates a manifest document. Strict: unknown fields are
+    /// rejected, every field is required.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed field.
+    pub fn from_json(json: &Json) -> Result<Manifest, String> {
+        let fields = expect_obj(json, "manifest")?;
+        let mut format = None;
+        let mut protocols = None;
+        let mut nodes = None;
+        let mut delays = None;
+        let mut nets = None;
+        let mut attacks = None;
+        let mut seeds = None;
+        let mut checkpoint_every = None;
+        let mut max_actions = None;
+        for (key, value) in fields {
+            match key.as_str() {
+                "format" => format = Some(expect_str(value, "manifest format")?),
+                "protocols" => protocols = Some(string_list(value, "protocols")?),
+                "nodes" => {
+                    let list = uint_list(value, "nodes")?;
+                    nodes = Some(list.into_iter().map(|n| n as usize).collect::<Vec<_>>());
+                }
+                "delays" => delays = Some(string_list(value, "delays")?),
+                "nets" => nets = Some(string_list(value, "nets")?),
+                "attacks" => attacks = Some(uint_list(value, "attacks")?),
+                "seeds" => {
+                    let pair = expect_obj(value, "manifest seeds")?;
+                    let mut lo = None;
+                    let mut hi = None;
+                    for (k, v) in pair {
+                        match k.as_str() {
+                            "lo" => lo = Some(expect_u64(v, "seeds.lo")?),
+                            "hi" => hi = Some(expect_u64(v, "seeds.hi")?),
+                            other => return Err(format!("manifest seeds: unknown field {other}")),
+                        }
+                    }
+                    seeds = Some((
+                        lo.ok_or("manifest seeds: missing lo")?,
+                        hi.ok_or("manifest seeds: missing hi")?,
+                    ));
+                }
+                "checkpoint_every" => {
+                    checkpoint_every = Some(expect_u64(value, "checkpoint_every")? as usize)
+                }
+                "max_actions" => max_actions = Some(expect_u64(value, "max_actions")?),
+                other => return Err(format!("manifest: unknown field {other}")),
+            }
+        }
+        match format {
+            Some(f) if f == MANIFEST_FORMAT => {}
+            Some(f) => return Err(format!("manifest: unsupported format \"{f}\"")),
+            None => return Err("manifest: missing field format".into()),
+        }
+        let manifest = Manifest {
+            protocols: protocols.ok_or("manifest: missing field protocols")?,
+            nodes: nodes.ok_or("manifest: missing field nodes")?,
+            delays: delays.ok_or("manifest: missing field delays")?,
+            nets: nets.ok_or("manifest: missing field nets")?,
+            attacks: attacks.ok_or("manifest: missing field attacks")?,
+            seeds: seeds.ok_or("manifest: missing field seeds")?,
+            checkpoint_every: checkpoint_every.ok_or("manifest: missing field checkpoint_every")?,
+            max_actions: max_actions.ok_or("manifest: missing field max_actions")?,
+        };
+        manifest.validate()?;
+        Ok(manifest)
+    }
+
+    /// The manifest's identity hash: a deterministic [`FastHasher`] digest
+    /// of the canonical JSON bytes, hex-encoded. Resume and merge verify it
+    /// so a checkpoint can never be applied to an edited grid.
+    pub fn hash(&self) -> String {
+        let mut hasher = FastHasher::default();
+        hasher.write(self.to_json().dump().as_bytes());
+        format!("{:016x}", hasher.finish())
+    }
+}
+
+/// SplitMix64 over a seed and a stream index: derives the independent
+/// engine / adversary / genesis seed streams of a work unit from its
+/// manifest seed. A pure function with no platform dependence, so unit →
+/// scenario mapping is stable everywhere.
+pub fn mix_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed.wrapping_add(stream.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// How one work unit ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnitOutcome {
+    /// Ran to completion with no oracle violations.
+    Clean,
+    /// Ran to completion and violated at least one oracle.
+    Violated {
+        /// Human-readable `[oracle] detail` lines.
+        violations: Vec<String>,
+        /// Path of the written repro file, when one was produced.
+        repro: Option<String>,
+    },
+    /// Panicked mid-run; isolated and recorded instead of aborting the
+    /// campaign.
+    Panicked {
+        /// The panic message.
+        message: String,
+    },
+}
+
+/// One completed work unit's durable record, as stored in a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitRecord {
+    /// The unit's index in the manifest's deterministic order.
+    pub index: usize,
+    /// How the unit ended.
+    pub outcome: UnitOutcome,
+    /// Engine events dispatched (0 for panicked units).
+    pub events: u64,
+    /// Consensus slots completed by every live honest node.
+    pub decisions: u64,
+    /// Honest wire messages sent.
+    pub honest_messages: u64,
+    /// Time to the first completed decision, in microseconds.
+    pub latency_micros: Option<u64>,
+}
+
+impl UnitRecord {
+    /// Serialise the record.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("index".to_string(), Json::from(self.index)),
+            (
+                "outcome".to_string(),
+                Json::from(match &self.outcome {
+                    UnitOutcome::Clean => "clean",
+                    UnitOutcome::Violated { .. } => "violated",
+                    UnitOutcome::Panicked { .. } => "panicked",
+                }),
+            ),
+            ("events".to_string(), Json::from(self.events)),
+            ("decisions".to_string(), Json::from(self.decisions)),
+            (
+                "honest_messages".to_string(),
+                Json::from(self.honest_messages),
+            ),
+        ];
+        if let Some(latency) = self.latency_micros {
+            pairs.push(("latency_micros".to_string(), Json::from(latency)));
+        }
+        match &self.outcome {
+            UnitOutcome::Clean => {}
+            UnitOutcome::Violated { violations, repro } => {
+                pairs.push((
+                    "violations".to_string(),
+                    Json::Arr(violations.iter().map(|v| Json::from(v.as_str())).collect()),
+                ));
+                if let Some(path) = repro {
+                    pairs.push(("repro".to_string(), Json::from(path.as_str())));
+                }
+            }
+            UnitOutcome::Panicked { message } => {
+                pairs.push(("panic".to_string(), Json::from(message.as_str())));
+            }
+        }
+        Json::Obj(pairs)
+    }
+
+    /// Parses a record. Strict: unknown fields rejected, and the
+    /// outcome-specific fields (`violations`, `repro`, `panic`) must match
+    /// the declared outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed field.
+    pub fn from_json(json: &Json) -> Result<UnitRecord, String> {
+        let fields = expect_obj(json, "unit record")?;
+        let mut index = None;
+        let mut outcome = None;
+        let mut events = None;
+        let mut decisions = None;
+        let mut honest_messages = None;
+        let mut latency_micros = None;
+        let mut violations: Option<Vec<String>> = None;
+        let mut repro = None;
+        let mut panic = None;
+        for (key, value) in fields {
+            match key.as_str() {
+                "index" => index = Some(expect_u64(value, "record index")? as usize),
+                "outcome" => outcome = Some(expect_str(value, "record outcome")?),
+                "events" => events = Some(expect_u64(value, "record events")?),
+                "decisions" => decisions = Some(expect_u64(value, "record decisions")?),
+                "honest_messages" => {
+                    honest_messages = Some(expect_u64(value, "record honest_messages")?)
+                }
+                "latency_micros" => {
+                    latency_micros = Some(expect_u64(value, "record latency_micros")?)
+                }
+                "violations" => violations = Some(string_list(value, "record violations")?),
+                "repro" => repro = Some(expect_str(value, "record repro")?),
+                "panic" => panic = Some(expect_str(value, "record panic")?),
+                other => return Err(format!("unit record: unknown field {other}")),
+            }
+        }
+        let index = index.ok_or("unit record: missing field index")?;
+        let outcome = match outcome.as_deref() {
+            Some("clean") => {
+                if violations.is_some() || repro.is_some() || panic.is_some() {
+                    return Err(format!(
+                        "unit record {index}: clean outcome carries violation/panic fields"
+                    ));
+                }
+                UnitOutcome::Clean
+            }
+            Some("violated") => {
+                let violations = violations.ok_or_else(|| {
+                    format!("unit record {index}: violated outcome without violations")
+                })?;
+                if violations.is_empty() {
+                    return Err(format!(
+                        "unit record {index}: violated outcome with empty violations"
+                    ));
+                }
+                if panic.is_some() {
+                    return Err(format!(
+                        "unit record {index}: violated outcome carries a panic field"
+                    ));
+                }
+                UnitOutcome::Violated { violations, repro }
+            }
+            Some("panicked") => {
+                if violations.is_some() || repro.is_some() {
+                    return Err(format!(
+                        "unit record {index}: panicked outcome carries violation fields"
+                    ));
+                }
+                UnitOutcome::Panicked {
+                    message: panic.ok_or_else(|| {
+                        format!("unit record {index}: panicked outcome without a panic message")
+                    })?,
+                }
+            }
+            Some(other) => return Err(format!("unit record {index}: unknown outcome \"{other}\"")),
+            None => return Err(format!("unit record {index}: missing field outcome")),
+        };
+        Ok(UnitRecord {
+            index,
+            outcome,
+            events: events.ok_or("unit record: missing field events")?,
+            decisions: decisions.ok_or("unit record: missing field decisions")?,
+            honest_messages: honest_messages.ok_or("unit record: missing field honest_messages")?,
+            latency_micros,
+        })
+    }
+}
+
+/// A campaign's durable progress: per-unit records plus streaming
+/// observability aggregates, bound to a manifest by its hash and to a shard
+/// assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// [`Manifest::hash`] of the grid this checkpoint belongs to.
+    pub manifest_hash: String,
+    /// Shard assignment `(index, count)`; `(0, 1)` for unsharded runs and
+    /// merged checkpoints.
+    pub shard: (u32, u32),
+    /// Completed units, sorted by ascending index.
+    pub records: Vec<UnitRecord>,
+    /// Wire-message delivery latencies, merged across all completed units.
+    pub delivery_latency: Histogram,
+    /// Decision intervals, merged across all completed units.
+    pub decision_interval: Histogram,
+}
+
+impl Checkpoint {
+    /// An empty checkpoint for the given manifest hash and shard.
+    pub fn new(manifest_hash: String, shard: (u32, u32)) -> Self {
+        Checkpoint {
+            manifest_hash,
+            shard,
+            records: Vec::new(),
+            delivery_latency: Histogram::new(),
+            decision_interval: Histogram::new(),
+        }
+    }
+
+    /// Serialise the checkpoint.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("format", Json::from(CHECKPOINT_FORMAT)),
+            ("manifest_hash", Json::from(self.manifest_hash.as_str())),
+            (
+                "shard",
+                Json::obj([
+                    ("index", Json::from(self.shard.0)),
+                    ("count", Json::from(self.shard.1)),
+                ]),
+            ),
+            ("completed", Json::from(self.records.len())),
+            (
+                "records",
+                Json::Arr(self.records.iter().map(UnitRecord::to_json).collect()),
+            ),
+            (
+                "aggregates",
+                Json::obj([
+                    ("delivery_latency", self.delivery_latency.to_json()),
+                    ("decision_interval", self.decision_interval.to_json()),
+                ]),
+            ),
+        ])
+    }
+
+    /// Parses a checkpoint document. Strict: unknown fields rejected, the
+    /// `completed` count must match the record list, records must be sorted
+    /// by strictly ascending index, and the embedded histograms must pass
+    /// [`Histogram::from_json`] consistency validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed field.
+    pub fn from_json(json: &Json) -> Result<Checkpoint, String> {
+        let fields = expect_obj(json, "checkpoint")?;
+        let mut format = None;
+        let mut manifest_hash = None;
+        let mut shard = None;
+        let mut completed = None;
+        let mut records: Option<Vec<UnitRecord>> = None;
+        let mut aggregates = None;
+        for (key, value) in fields {
+            match key.as_str() {
+                "format" => format = Some(expect_str(value, "checkpoint format")?),
+                "manifest_hash" => {
+                    manifest_hash = Some(expect_str(value, "checkpoint manifest_hash")?)
+                }
+                "shard" => {
+                    let pair = expect_obj(value, "checkpoint shard")?;
+                    let mut index = None;
+                    let mut count = None;
+                    for (k, v) in pair {
+                        match k.as_str() {
+                            "index" => index = Some(expect_u64(v, "shard.index")? as u32),
+                            "count" => count = Some(expect_u64(v, "shard.count")? as u32),
+                            other => {
+                                return Err(format!("checkpoint shard: unknown field {other}"))
+                            }
+                        }
+                    }
+                    shard = Some((
+                        index.ok_or("checkpoint shard: missing index")?,
+                        count.ok_or("checkpoint shard: missing count")?,
+                    ));
+                }
+                "completed" => completed = Some(expect_u64(value, "checkpoint completed")?),
+                "records" => {
+                    let arr = value
+                        .as_arr()
+                        .ok_or("checkpoint: records is not an array")?;
+                    records = Some(
+                        arr.iter()
+                            .map(UnitRecord::from_json)
+                            .collect::<Result<Vec<_>, _>>()?,
+                    );
+                }
+                "aggregates" => {
+                    let pair = expect_obj(value, "checkpoint aggregates")?;
+                    let mut delivery = None;
+                    let mut interval = None;
+                    for (k, v) in pair {
+                        match k.as_str() {
+                            "delivery_latency" => {
+                                delivery = Some(Histogram::from_json(v).map_err(|e| e.to_string())?)
+                            }
+                            "decision_interval" => {
+                                interval = Some(Histogram::from_json(v).map_err(|e| e.to_string())?)
+                            }
+                            other => {
+                                return Err(format!("checkpoint aggregates: unknown field {other}"))
+                            }
+                        }
+                    }
+                    aggregates = Some((
+                        delivery.ok_or("checkpoint aggregates: missing delivery_latency")?,
+                        interval.ok_or("checkpoint aggregates: missing decision_interval")?,
+                    ));
+                }
+                other => return Err(format!("checkpoint: unknown field {other}")),
+            }
+        }
+        match format {
+            Some(f) if f == CHECKPOINT_FORMAT => {}
+            Some(f) => return Err(format!("checkpoint: unsupported format \"{f}\"")),
+            None => return Err("checkpoint: missing field format".into()),
+        }
+        let records = records.ok_or("checkpoint: missing field records")?;
+        let completed = completed.ok_or("checkpoint: missing field completed")?;
+        if completed != records.len() as u64 {
+            return Err(format!(
+                "checkpoint: completed says {completed} but {} records are present",
+                records.len()
+            ));
+        }
+        for pair in records.windows(2) {
+            if pair[1].index <= pair[0].index {
+                return Err(format!(
+                    "checkpoint: records out of order at index {}",
+                    pair[1].index
+                ));
+            }
+        }
+        let (delivery_latency, decision_interval) =
+            aggregates.ok_or("checkpoint: missing field aggregates")?;
+        let shard = shard.ok_or("checkpoint: missing field shard")?;
+        if shard.1 == 0 || shard.0 >= shard.1 {
+            return Err(format!("checkpoint: invalid shard {}/{}", shard.0, shard.1));
+        }
+        Ok(Checkpoint {
+            manifest_hash: manifest_hash.ok_or("checkpoint: missing field manifest_hash")?,
+            shard,
+            records,
+            delivery_latency,
+            decision_interval,
+        })
+    }
+
+    /// Writes the checkpoint atomically: the JSON goes to a `.tmp` sibling
+    /// in the same directory, then replaces `path` with a rename. A crash
+    /// at any instant leaves either the previous checkpoint or this one on
+    /// disk — never a torn file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on I/O failure.
+    pub fn save_atomic(&self, path: &Path) -> Result<(), String> {
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, self.to_json().dump_pretty())
+            .map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, path)
+            .map_err(|e| format!("cannot rename {} to {}: {e}", tmp.display(), path.display()))?;
+        Ok(())
+    }
+
+    /// Loads and parses a checkpoint file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on I/O or parse failure.
+    pub fn load(path: &Path) -> Result<Checkpoint, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let json =
+            Json::parse(&text).map_err(|e| format!("bad checkpoint {}: {e}", path.display()))?;
+        Self::from_json(&json)
+    }
+}
+
+/// The unit indexes assigned to shard `(index, count)`: every index
+/// congruent to the shard index modulo the shard count, in ascending order.
+/// Round-robin keeps each shard's workload representative of the whole grid
+/// (contiguous block splits would hand one shard all the large-n cells).
+///
+/// # Errors
+///
+/// Returns a message when the shard spec is out of range.
+pub fn shard_units(manifest: &Manifest, shard: (u32, u32)) -> Result<Vec<usize>, String> {
+    if shard.1 == 0 || shard.0 >= shard.1 {
+        return Err(format!("invalid shard {}/{}", shard.0, shard.1));
+    }
+    Ok((0..manifest.total_units())
+        .filter(|i| (i % shard.1 as usize) as u32 == shard.0)
+        .collect())
+}
+
+/// Merges shard checkpoints into a single complete checkpoint: verifies
+/// every part against the manifest hash, unions the records (rejecting
+/// duplicates), and folds the histogram aggregates. Histogram merge is
+/// commutative and associative (`u64` bucket adds, min/max folds), so the
+/// merged aggregates are byte-identical to a straight-through run's.
+///
+/// # Errors
+///
+/// Returns a message on hash mismatch, duplicate units, or incomplete
+/// coverage of `0..total_units`.
+pub fn merge_checkpoints(manifest: &Manifest, parts: &[Checkpoint]) -> Result<Checkpoint, String> {
+    let hash = manifest.hash();
+    let mut merged = Checkpoint::new(hash.clone(), (0, 1));
+    for part in parts {
+        if part.manifest_hash != hash {
+            return Err(format!(
+                "checkpoint manifest hash {} does not match the manifest ({hash}); \
+                 was the grid edited?",
+                part.manifest_hash
+            ));
+        }
+        merged.records.extend(part.records.iter().cloned());
+        merged.delivery_latency.merge(&part.delivery_latency);
+        merged.decision_interval.merge(&part.decision_interval);
+    }
+    merged.records.sort_by_key(|r| r.index);
+    for pair in merged.records.windows(2) {
+        if pair[1].index == pair[0].index {
+            return Err(format!(
+                "merge: unit {} appears in more than one checkpoint",
+                pair[0].index
+            ));
+        }
+    }
+    let total = manifest.total_units();
+    if merged.records.len() != total {
+        return Err(format!(
+            "merge: {}/{total} units completed; run the missing shards to completion first",
+            merged.records.len()
+        ));
+    }
+    Ok(merged)
+}
+
+fn summary_json(s: &Summary) -> Json {
+    Json::obj([
+        ("count", Json::from(s.count)),
+        ("mean", Json::from(s.mean)),
+        ("std_dev", Json::from(s.std_dev)),
+        ("min", Json::from(s.min)),
+        ("max", Json::from(s.max)),
+    ])
+}
+
+/// Builds the campaign's final report from a complete checkpoint. Every
+/// figure derives from the per-unit records in unit order (tallies, the
+/// per-cell [`Summary`]s) or from the order-independent histogram
+/// aggregates, so the report is byte-identical however the units were
+/// executed: straight through, killed-and-resumed, or sharded-and-merged,
+/// at any thread count, under either scheduler backend.
+///
+/// # Errors
+///
+/// Returns a message when the checkpoint does not match the manifest or
+/// does not cover every unit.
+pub fn final_report(manifest: &Manifest, checkpoint: &Checkpoint) -> Result<Json, String> {
+    let hash = manifest.hash();
+    if checkpoint.manifest_hash != hash {
+        return Err(format!(
+            "checkpoint manifest hash {} does not match the manifest ({hash})",
+            checkpoint.manifest_hash
+        ));
+    }
+    let total = manifest.total_units();
+    if checkpoint.records.len() != total {
+        return Err(format!(
+            "campaign incomplete: {}/{total} units recorded",
+            checkpoint.records.len()
+        ));
+    }
+    for (i, record) in checkpoint.records.iter().enumerate() {
+        if record.index != i {
+            return Err(format!(
+                "campaign records skip unit {i} (found {})",
+                record.index
+            ));
+        }
+    }
+
+    let mut clean = 0u64;
+    let mut violated = 0u64;
+    let mut panicked = 0u64;
+    let mut first_panic: Option<(usize, &str)> = None;
+    let mut oracle_tally: BTreeMap<String, u64> = BTreeMap::new();
+    for record in &checkpoint.records {
+        match &record.outcome {
+            UnitOutcome::Clean => clean += 1,
+            UnitOutcome::Violated { violations, .. } => {
+                violated += 1;
+                for line in violations {
+                    // Violation lines are "[oracle] detail".
+                    let oracle = line
+                        .strip_prefix('[')
+                        .and_then(|rest| rest.split_once(']'))
+                        .map(|(name, _)| name)
+                        .unwrap_or("unknown");
+                    *oracle_tally.entry(oracle.to_string()).or_insert(0) += 1;
+                }
+            }
+            UnitOutcome::Panicked { message } => {
+                panicked += 1;
+                if first_panic.is_none() {
+                    first_panic = Some((record.index, message));
+                }
+            }
+        }
+    }
+
+    let seeds = manifest.seeds_per_cell();
+    let cells: Vec<Json> = (0..manifest.total_cells())
+        .map(|cell| {
+            let descriptor = manifest.unit(cell * seeds);
+            let records = &checkpoint.records[cell * seeds..(cell + 1) * seeds];
+            let mut cell_clean = 0u64;
+            let mut cell_violated = 0u64;
+            let mut cell_panicked = 0u64;
+            let mut latencies = Vec::new();
+            let mut events = Vec::new();
+            let mut messages = Vec::new();
+            for record in records {
+                match &record.outcome {
+                    UnitOutcome::Clean => cell_clean += 1,
+                    UnitOutcome::Violated { .. } => cell_violated += 1,
+                    UnitOutcome::Panicked { .. } => {
+                        cell_panicked += 1;
+                        continue; // panicked units carry no metrics
+                    }
+                }
+                if let Some(latency) = record.latency_micros {
+                    latencies.push(latency as f64);
+                }
+                events.push(record.events as f64);
+                messages.push(record.honest_messages as f64);
+            }
+            Json::obj([
+                ("protocol", Json::from(descriptor.protocol)),
+                ("n", Json::from(descriptor.n)),
+                ("delay", Json::from(descriptor.delay)),
+                ("net", Json::from(descriptor.net)),
+                ("attack", Json::from(descriptor.attack)),
+                ("units", Json::from(seeds)),
+                ("clean", Json::from(cell_clean)),
+                ("violated", Json::from(cell_violated)),
+                ("panicked", Json::from(cell_panicked)),
+                ("latency_micros", summary_json(&Summary::of(&latencies))),
+                ("events", summary_json(&Summary::of(&events))),
+                ("honest_messages", summary_json(&Summary::of(&messages))),
+            ])
+        })
+        .collect();
+
+    let mut pairs = vec![
+        ("format".to_string(), Json::from(REPORT_FORMAT)),
+        ("manifest_hash".to_string(), Json::from(hash.as_str())),
+        ("units".to_string(), Json::from(total)),
+        ("clean".to_string(), Json::from(clean)),
+        ("violated".to_string(), Json::from(violated)),
+        ("panicked".to_string(), Json::from(panicked)),
+    ];
+    if let Some((unit, message)) = first_panic {
+        pairs.push((
+            "first_panic".to_string(),
+            Json::obj([("unit", Json::from(unit)), ("message", Json::from(message))]),
+        ));
+    }
+    pairs.push((
+        "violations".to_string(),
+        Json::Obj(
+            oracle_tally
+                .into_iter()
+                .map(|(oracle, count)| (oracle, Json::from(count)))
+                .collect(),
+        ),
+    ));
+    pairs.push(("cells".to_string(), Json::Arr(cells)));
+    pairs.push((
+        "observability".to_string(),
+        Json::obj([
+            ("delivery_latency", checkpoint.delivery_latency.to_json()),
+            ("decision_interval", checkpoint.decision_interval.to_json()),
+        ]),
+    ));
+    Ok(Json::Obj(pairs))
+}
+
+fn expect_obj<'a>(json: &'a Json, what: &str) -> Result<&'a [(String, Json)], String> {
+    match json {
+        Json::Obj(fields) => Ok(fields),
+        _ => Err(format!("{what}: expected an object")),
+    }
+}
+
+fn expect_str(json: &Json, what: &str) -> Result<String, String> {
+    json.as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("{what}: expected a string"))
+}
+
+fn expect_u64(json: &Json, what: &str) -> Result<u64, String> {
+    json.as_u64()
+        .ok_or_else(|| format!("{what}: expected an unsigned integer"))
+}
+
+fn string_list(json: &Json, what: &str) -> Result<Vec<String>, String> {
+    json.as_arr()
+        .ok_or_else(|| format!("{what}: expected an array"))?
+        .iter()
+        .map(|v| expect_str(v, what))
+        .collect()
+}
+
+fn uint_list(json: &Json, what: &str) -> Result<Vec<u64>, String> {
+    json.as_arr()
+        .ok_or_else(|| format!("{what}: expected an array"))?
+        .iter()
+        .map(|v| expect_u64(v, what))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn small_manifest() -> Manifest {
+        Manifest {
+            protocols: vec!["pbft".into(), "hotstuff-ns".into()],
+            nodes: vec![4, 7],
+            delays: vec!["constant".into()],
+            nets: vec!["none".into(), "full_mesh:churn=5,2,500,4000".into()],
+            attacks: vec![0, 500],
+            seeds: (10, 13),
+            checkpoint_every: 4,
+            max_actions: 48,
+        }
+    }
+
+    #[test]
+    fn grid_expands_deterministically_with_seed_fastest() {
+        let m = small_manifest();
+        assert_eq!(m.seeds_per_cell(), 3);
+        assert_eq!(m.total_cells(), 16);
+        assert_eq!(m.total_units(), 48);
+
+        // Seed varies fastest: the first cell's units are contiguous.
+        let u0 = m.unit(0);
+        assert_eq!(
+            (u0.protocol, u0.n, u0.delay, u0.net, u0.attack, u0.seed),
+            ("pbft", 4, "constant", "none", 0, 10)
+        );
+        assert_eq!(u0.cell, 0);
+        assert_eq!(m.unit(1).seed, 11);
+        assert_eq!(m.unit(2).seed, 12);
+        // Then the attack axis, then net, then n, then protocol.
+        let u3 = m.unit(3);
+        assert_eq!((u3.cell, u3.attack, u3.seed), (1, 500, 10));
+        let u6 = m.unit(6);
+        assert_eq!(u6.net, "full_mesh:churn=5,2,500,4000");
+        let last = m.unit(47);
+        assert_eq!(
+            (last.protocol, last.n, last.attack, last.seed),
+            ("hotstuff-ns", 7, 500, 12)
+        );
+        // Every index maps to a distinct combination.
+        let combos: std::collections::HashSet<String> = (0..m.total_units())
+            .map(|i| {
+                let u = m.unit(i);
+                format!(
+                    "{}|{}|{}|{}|{}|{}",
+                    u.protocol, u.n, u.delay, u.net, u.attack, u.seed
+                )
+            })
+            .collect();
+        assert_eq!(combos.len(), m.total_units());
+    }
+
+    #[test]
+    fn manifest_round_trips_and_hash_pins_the_grid() {
+        let m = small_manifest();
+        let json = m.to_json();
+        let back = Manifest::from_json(&json).unwrap();
+        assert_eq!(back, m);
+        let reparsed = Json::parse(&json.dump_pretty()).unwrap();
+        assert_eq!(Manifest::from_json(&reparsed).unwrap(), m);
+
+        assert_eq!(m.hash(), back.hash(), "hash is a pure function");
+        let mut edited = m.clone();
+        edited.seeds = (10, 14);
+        assert_ne!(m.hash(), edited.hash(), "an edited grid must re-hash");
+
+        // Strictness: unknown fields and empty axes are rejected.
+        let mut junk = json.clone();
+        if let Json::Obj(fields) = &mut junk {
+            fields.push(("threads".into(), Json::from(4u64)));
+        }
+        assert!(Manifest::from_json(&junk)
+            .unwrap_err()
+            .contains("unknown field"));
+        let mut empty = m.clone();
+        empty.protocols.clear();
+        assert!(Manifest::from_json(&empty.to_json()).is_err());
+        let mut inverted = m.clone();
+        inverted.seeds = (5, 5);
+        assert!(Manifest::from_json(&inverted.to_json()).is_err());
+    }
+
+    #[test]
+    fn mix_seed_is_stable_and_stream_separated() {
+        // Pinned values: the unit → scenario mapping must never drift.
+        assert_eq!(mix_seed(0, 0), 0xe220_a839_7b1d_cdaf);
+        assert_ne!(mix_seed(7, 0), mix_seed(7, 1));
+        assert_ne!(mix_seed(7, 0), mix_seed(8, 0));
+    }
+
+    fn record(index: usize, latency: Option<u64>) -> UnitRecord {
+        UnitRecord {
+            index,
+            outcome: UnitOutcome::Clean,
+            events: 100 + index as u64,
+            decisions: 10,
+            honest_messages: 50,
+            latency_micros: latency,
+        }
+    }
+
+    #[test]
+    fn unit_record_round_trips_every_outcome() {
+        let clean = record(3, Some(1_000));
+        assert_eq!(UnitRecord::from_json(&clean.to_json()).unwrap(), clean);
+
+        let violated = UnitRecord {
+            outcome: UnitOutcome::Violated {
+                violations: vec!["[agreement] slot 0: n1 decided 2 but n0 decided 1".into()],
+                repro: Some("out/repro-unit7-agreement.json".into()),
+            },
+            ..record(7, None)
+        };
+        assert_eq!(
+            UnitRecord::from_json(&violated.to_json()).unwrap(),
+            violated
+        );
+
+        let panicked = UnitRecord {
+            outcome: UnitOutcome::Panicked {
+                message: "index out of bounds".into(),
+            },
+            events: 0,
+            decisions: 0,
+            honest_messages: 0,
+            latency_micros: None,
+            index: 9,
+        };
+        assert_eq!(
+            UnitRecord::from_json(&panicked.to_json()).unwrap(),
+            panicked
+        );
+
+        // Outcome-specific fields must match the declared outcome.
+        let mut mismatched = clean.to_json();
+        if let Json::Obj(fields) = &mut mismatched {
+            fields.push(("panic".into(), Json::from("boom")));
+        }
+        assert!(UnitRecord::from_json(&mismatched).is_err());
+    }
+
+    #[test]
+    fn checkpoint_round_trips_and_saves_atomically() {
+        let m = small_manifest();
+        let mut ck = Checkpoint::new(m.hash(), (0, 1));
+        ck.records.push(record(0, Some(500)));
+        ck.records.push(record(1, None));
+        ck.delivery_latency.record(SimDuration::from_micros(123));
+        ck.decision_interval.record(SimDuration::from_micros(456));
+        let back = Checkpoint::from_json(&ck.to_json()).unwrap();
+        assert_eq!(back, ck);
+
+        // Records must be strictly ascending.
+        let mut reordered = ck.clone();
+        reordered.records.swap(0, 1);
+        assert!(Checkpoint::from_json(&reordered.to_json())
+            .unwrap_err()
+            .contains("out of order"));
+
+        let dir =
+            std::env::temp_dir().join(format!("bft-sim-campaign-core-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ck.json");
+        ck.save_atomic(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), ck);
+        // Overwriting goes through the same temp-and-rename path.
+        ck.records.push(record(2, Some(900)));
+        ck.save_atomic(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap().records.len(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shards_partition_the_units() {
+        let m = small_manifest();
+        let a = shard_units(&m, (0, 3)).unwrap();
+        let b = shard_units(&m, (1, 3)).unwrap();
+        let c = shard_units(&m, (2, 3)).unwrap();
+        let mut all: Vec<usize> = a.iter().chain(&b).chain(&c).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..m.total_units()).collect::<Vec<_>>());
+        assert!(shard_units(&m, (3, 3)).is_err());
+        assert!(shard_units(&m, (0, 0)).is_err());
+        assert_eq!(shard_units(&m, (0, 1)).unwrap().len(), m.total_units());
+    }
+
+    #[test]
+    fn merged_shards_report_identically_to_a_straight_run() {
+        let m = small_manifest();
+        let hash = m.hash();
+        let total = m.total_units();
+
+        // A synthetic "straight through" checkpoint covering every unit.
+        let mut straight = Checkpoint::new(hash.clone(), (0, 1));
+        for i in 0..total {
+            let mut r = record(i, (i % 3 != 0).then(|| 1_000 + i as u64));
+            if i == 5 {
+                r.outcome = UnitOutcome::Violated {
+                    violations: vec!["[termination] run stopped".into()],
+                    repro: None,
+                };
+            }
+            if i == 9 {
+                r.outcome = UnitOutcome::Panicked {
+                    message: "boom".into(),
+                };
+                r.latency_micros = None;
+            }
+            straight
+                .delivery_latency
+                .record(SimDuration::from_micros(i as u64 * 10));
+            straight.records.push(r);
+        }
+
+        // The same records dealt round-robin onto two shards.
+        let mut shard0 = Checkpoint::new(hash.clone(), (0, 2));
+        let mut shard1 = Checkpoint::new(hash.clone(), (1, 2));
+        for r in &straight.records {
+            let target = if r.index % 2 == 0 {
+                &mut shard0
+            } else {
+                &mut shard1
+            };
+            target.records.push(r.clone());
+            target
+                .delivery_latency
+                .record(SimDuration::from_micros(r.index as u64 * 10));
+        }
+
+        let merged = merge_checkpoints(&m, &[shard0.clone(), shard1.clone()]).unwrap();
+        let a = final_report(&m, &straight).unwrap().dump_pretty();
+        let b = final_report(&m, &merged).unwrap().dump_pretty();
+        assert_eq!(a, b, "sharded+merged report must match the straight run");
+        // Merge order does not matter either.
+        let swapped = merge_checkpoints(&m, &[shard1.clone(), shard0.clone()]).unwrap();
+        assert_eq!(final_report(&m, &swapped).unwrap().dump_pretty(), a);
+
+        // The report carries the tallies and the first panic.
+        let report = final_report(&m, &straight).unwrap();
+        assert_eq!(report.get("violated").and_then(Json::as_u64), Some(1));
+        assert_eq!(report.get("panicked").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            report
+                .get("first_panic")
+                .and_then(|p| p.get("unit"))
+                .and_then(Json::as_u64),
+            Some(9)
+        );
+        assert_eq!(
+            report
+                .get("violations")
+                .and_then(|v| v.get("termination"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            report.get("cells").and_then(Json::as_arr).unwrap().len(),
+            m.total_cells()
+        );
+
+        // Incomplete coverage is an error, not a silent partial report.
+        let incomplete = merge_checkpoints(&m, &[shard0.clone()]);
+        assert!(incomplete.unwrap_err().contains("units completed"));
+        // Duplicate units are rejected.
+        let dup = merge_checkpoints(&m, &[shard0.clone(), shard0.clone(), shard1]);
+        assert!(dup.unwrap_err().contains("more than one checkpoint"));
+        // A checkpoint from an edited grid is rejected by hash.
+        let mut edited = m.clone();
+        edited.max_actions = 99;
+        assert!(final_report(&edited, &straight)
+            .unwrap_err()
+            .contains("does not match"));
+    }
+}

@@ -54,6 +54,7 @@
 
 pub mod adversary;
 pub mod buggify;
+pub mod campaign;
 pub mod config;
 pub mod context;
 pub mod dist;
@@ -96,7 +97,7 @@ pub mod prelude {
     pub use crate::obs::{Histogram, ObsConfig, ObsRing, Observability, PhaseClassifier};
     pub use crate::oracle::{
         Expectations, Oracle, OracleInput, OracleObserver, OracleSuite, OracleViolation,
-        ValueDomain,
+        OutageWindow, ValueDomain,
     };
     pub use crate::protocol::{Protocol, ProtocolFactory};
     pub use crate::scheduler::{Scheduler, SchedulerKind, SchedulerStats};

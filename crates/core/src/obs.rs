@@ -239,7 +239,9 @@ impl Histogram {
     }
 
     /// Serialise to JSON. Buckets are emitted sparsely as `[index, count]`
-    /// pairs so empty histograms stay tiny.
+    /// pairs so empty histograms stay tiny. `min_micros`/`max_micros` are
+    /// omitted when the histogram is empty — a serialized 0 would otherwise
+    /// be indistinguishable from a recorded 0.
     pub fn to_json(&self) -> Json {
         let buckets: Vec<Json> = self
             .buckets
@@ -248,13 +250,160 @@ impl Histogram {
             .filter(|(_, &c)| c > 0)
             .map(|(i, &c)| Json::Arr(vec![Json::UInt(i as u64), Json::UInt(c)]))
             .collect();
-        Json::obj([
-            ("count", Json::UInt(self.count)),
-            ("sum_micros", Json::UInt(self.sum_micros)),
-            ("min_micros", Json::UInt(self.min_micros)),
-            ("max_micros", Json::UInt(self.max_micros)),
-            ("buckets", Json::Arr(buckets)),
-        ])
+        let mut fields = vec![
+            ("count".to_string(), Json::UInt(self.count)),
+            ("sum_micros".to_string(), Json::UInt(self.sum_micros)),
+        ];
+        if self.count > 0 {
+            fields.push(("min_micros".to_string(), Json::UInt(self.min_micros)));
+            fields.push(("max_micros".to_string(), Json::UInt(self.max_micros)));
+        }
+        fields.push(("buckets".to_string(), Json::Arr(buckets)));
+        Json::Obj(fields)
+    }
+
+    /// Deserialise a histogram produced by [`to_json`](Histogram::to_json),
+    /// validating internal consistency. Rejected as
+    /// [`SimError::InvalidConfig`]:
+    ///
+    /// * unknown or missing fields, or non-integer values,
+    /// * bucket entries that are not `[index, count]` pairs with
+    ///   `index < HISTOGRAM_BUCKETS`, strictly ascending indices, and
+    ///   `count > 0`,
+    /// * `count` not equal to the bucket-count total,
+    /// * an empty histogram (`count == 0`) carrying `min_micros`,
+    ///   `max_micros`, a nonzero `sum_micros`, or populated buckets,
+    /// * a populated histogram missing `min_micros`/`max_micros`, with
+    ///   `min > max`, with min/max outside the lowest/highest populated
+    ///   bucket, or with `sum_micros` outside `[count*min, count*max]`.
+    pub fn from_json(json: &Json) -> Result<Histogram, SimError> {
+        let bad = |msg: String| SimError::InvalidConfig(format!("histogram: {msg}"));
+        let obj = match json {
+            Json::Obj(fields) => fields,
+            _ => return Err(bad("expected an object".into())),
+        };
+        let mut count = None;
+        let mut sum_micros = None;
+        let mut min_micros = None;
+        let mut max_micros = None;
+        let mut bucket_arr = None;
+        for (key, value) in obj {
+            match key.as_str() {
+                "count" | "sum_micros" | "min_micros" | "max_micros" => {
+                    let v = value
+                        .as_u64()
+                        .ok_or_else(|| bad(format!("field {key} is not an unsigned integer")))?;
+                    let slot = match key.as_str() {
+                        "count" => &mut count,
+                        "sum_micros" => &mut sum_micros,
+                        "min_micros" => &mut min_micros,
+                        _ => &mut max_micros,
+                    };
+                    if slot.replace(v).is_some() {
+                        return Err(bad(format!("duplicate field {key}")));
+                    }
+                }
+                "buckets" => {
+                    let arr = value
+                        .as_arr()
+                        .ok_or_else(|| bad("buckets is not an array".into()))?;
+                    if bucket_arr.replace(arr).is_some() {
+                        return Err(bad("duplicate field buckets".into()));
+                    }
+                }
+                other => return Err(bad(format!("unknown field {other}"))),
+            }
+        }
+        let count = count.ok_or_else(|| bad("missing field count".into()))?;
+        let sum_micros = sum_micros.ok_or_else(|| bad("missing field sum_micros".into()))?;
+        let bucket_arr = bucket_arr.ok_or_else(|| bad("missing field buckets".into()))?;
+
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        let mut bucket_total = 0u64;
+        let mut last_index: Option<usize> = None;
+        for entry in bucket_arr {
+            let pair = entry
+                .as_arr()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| bad("bucket entry is not an [index, count] pair".into()))?;
+            let index = pair[0]
+                .as_u64()
+                .filter(|&i| i < HISTOGRAM_BUCKETS as u64)
+                .ok_or_else(|| {
+                    bad(format!(
+                        "bucket index out of range (max {})",
+                        HISTOGRAM_BUCKETS - 1
+                    ))
+                })? as usize;
+            if last_index.is_some_and(|prev| index <= prev) {
+                return Err(bad("bucket indices must be strictly ascending".into()));
+            }
+            last_index = Some(index);
+            let c = pair[1]
+                .as_u64()
+                .filter(|&c| c > 0)
+                .ok_or_else(|| bad("bucket count must be a positive integer".into()))?;
+            buckets[index] = c;
+            bucket_total = bucket_total
+                .checked_add(c)
+                .ok_or_else(|| bad("bucket counts overflow u64".into()))?;
+        }
+        if count != bucket_total {
+            return Err(bad(format!(
+                "count {count} does not match bucket total {bucket_total}"
+            )));
+        }
+
+        if count == 0 {
+            if min_micros.is_some() || max_micros.is_some() {
+                return Err(bad("empty histogram must omit min_micros/max_micros".into()));
+            }
+            if sum_micros != 0 {
+                return Err(bad(format!(
+                    "empty histogram has nonzero sum_micros {sum_micros}"
+                )));
+            }
+            return Ok(Histogram::new());
+        }
+
+        let min_micros = min_micros.ok_or_else(|| bad("missing field min_micros".into()))?;
+        let max_micros = max_micros.ok_or_else(|| bad("missing field max_micros".into()))?;
+        if min_micros > max_micros {
+            return Err(bad(format!(
+                "min_micros {min_micros} exceeds max_micros {max_micros}"
+            )));
+        }
+        let lowest = buckets.iter().position(|&c| c > 0).expect("count > 0");
+        let highest = buckets.iter().rposition(|&c| c > 0).expect("count > 0");
+        if Self::bucket_index(min_micros) != lowest {
+            return Err(bad(format!(
+                "min_micros {min_micros} falls outside the lowest populated bucket {lowest}"
+            )));
+        }
+        if Self::bucket_index(max_micros) != highest {
+            return Err(bad(format!(
+                "max_micros {max_micros} falls outside the highest populated bucket {highest}"
+            )));
+        }
+        // `record` saturates the sum, so only flag sums that are impossible
+        // even without saturation: below count*min, or above count*max when
+        // count*max itself does not overflow.
+        let lo = (count as u128) * (min_micros as u128);
+        let hi = (count as u128) * (max_micros as u128);
+        let sum = sum_micros as u128;
+        if sum < lo || (sum > hi && hi <= u64::MAX as u128) {
+            return Err(bad(format!(
+                "sum_micros {sum_micros} inconsistent with count {count} and min/max \
+                 [{min_micros}, {max_micros}]"
+            )));
+        }
+        Ok(Histogram {
+            buckets,
+            count,
+            sum_micros,
+            min_micros,
+            max_micros,
+        })
     }
 }
 
@@ -1002,7 +1151,7 @@ mod tests {
         h.record(SimDuration::MAX);
         assert_eq!(
             h.sum_micros(),
-            u64::MAX.min(SimDuration::MAX.as_micros().saturating_mul(2))
+            SimDuration::MAX.as_micros().saturating_mul(2)
         );
     }
 
@@ -1066,6 +1215,104 @@ mod tests {
         let snapshot = both.clone();
         both.merge(&Histogram::new());
         assert_eq!(both, snapshot);
+    }
+
+    #[test]
+    fn histogram_json_round_trips() {
+        let mut h = Histogram::new();
+        for micros in [0u64, 5, 5, 1000, 1 << 20] {
+            h.record(SimDuration::from_micros(micros));
+        }
+        let json = h.to_json();
+        let back = Histogram::from_json(&json).expect("round-trip");
+        assert_eq!(back, h);
+        // Through text too: dump + parse + from_json.
+        let reparsed = Json::parse(&json.dump()).expect("parse");
+        assert_eq!(Histogram::from_json(&reparsed).expect("round-trip"), h);
+    }
+
+    #[test]
+    fn histogram_empty_json_omits_min_max_and_round_trips() {
+        let h = Histogram::new();
+        let json = h.to_json();
+        assert!(json.get("min_micros").is_none(), "empty omits min");
+        assert!(json.get("max_micros").is_none(), "empty omits max");
+        let back = Histogram::from_json(&json).expect("round-trip");
+        assert!(back.is_empty());
+        assert_eq!(back, h);
+        // A recorded zero, by contrast, serialises min/max explicitly.
+        let mut z = Histogram::new();
+        z.record(SimDuration::ZERO);
+        let zj = z.to_json();
+        assert_eq!(zj.get("min_micros").and_then(Json::as_u64), Some(0));
+        assert_eq!(zj.get("max_micros").and_then(Json::as_u64), Some(0));
+        assert_eq!(Histogram::from_json(&zj).expect("round-trip"), z);
+    }
+
+    #[test]
+    fn histogram_from_json_rejects_inconsistencies() {
+        let mut h = Histogram::new();
+        for micros in [4u64, 5, 900] {
+            h.record(SimDuration::from_micros(micros));
+        }
+        let good = h.to_json();
+        assert!(Histogram::from_json(&good).is_ok());
+
+        let rejects = |mutate: &dyn Fn(&mut Json)| {
+            let mut j = good.clone();
+            mutate(&mut j);
+            assert!(
+                matches!(Histogram::from_json(&j), Err(SimError::InvalidConfig(_))),
+                "expected rejection of {}",
+                j.dump()
+            );
+        };
+        // count disagrees with the bucket total.
+        rejects(&|j| *j.get_mut("count").unwrap() = Json::UInt(7));
+        // sum below count*min / above count*max.
+        rejects(&|j| *j.get_mut("sum_micros").unwrap() = Json::UInt(3));
+        rejects(&|j| *j.get_mut("sum_micros").unwrap() = Json::UInt(10_000));
+        // min/max outside their populated buckets, or inverted.
+        rejects(&|j| *j.get_mut("min_micros").unwrap() = Json::UInt(100));
+        rejects(&|j| *j.get_mut("max_micros").unwrap() = Json::UInt(5));
+        rejects(&|j| {
+            *j.get_mut("min_micros").unwrap() = Json::UInt(901);
+            *j.get_mut("max_micros").unwrap() = Json::UInt(900);
+        });
+        // Unknown field.
+        rejects(&|j| {
+            if let Json::Obj(fields) = j {
+                fields.push(("extra".into(), Json::UInt(1)));
+            }
+        });
+        // Bucket index out of range, non-ascending order, zero count.
+        rejects(&|j| {
+            *j.get_mut("buckets").unwrap() = Json::Arr(vec![Json::Arr(vec![
+                Json::UInt(HISTOGRAM_BUCKETS as u64),
+                Json::UInt(3),
+            ])]);
+        });
+        rejects(&|j| {
+            *j.get_mut("buckets").unwrap() = Json::Arr(vec![
+                Json::Arr(vec![Json::UInt(10), Json::UInt(1)]),
+                Json::Arr(vec![Json::UInt(3), Json::UInt(2)]),
+            ]);
+        });
+        rejects(&|j| {
+            *j.get_mut("buckets").unwrap() = Json::Arr(vec![
+                Json::Arr(vec![Json::UInt(3), Json::UInt(2)]),
+                Json::Arr(vec![Json::UInt(10), Json::UInt(0)]),
+            ]);
+        });
+        // Empty histogram carrying min/max or a nonzero sum.
+        let mut empty = Histogram::new().to_json();
+        if let Json::Obj(fields) = &mut empty {
+            fields.insert(2, ("min_micros".into(), Json::UInt(0)));
+        }
+        assert!(Histogram::from_json(&empty).is_err());
+        let mut empty = Histogram::new().to_json();
+        *empty.get_mut("sum_micros").unwrap() = Json::UInt(9);
+        assert!(Histogram::from_json(&empty).is_err());
     }
 
     #[test]

@@ -69,11 +69,29 @@ impl ValueDomain {
     }
 }
 
+/// One scheduled node-offline interval, as the oracles see it: `node` is
+/// offline (its links drop traffic) during `[start, end)`.
+///
+/// This mirrors the network layer's churn `DownWindow` but lives in core so
+/// [`Expectations`] can carry a churn schedule without core depending on the
+/// network crate. The harness that builds the churned network converts its
+/// plan into these windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutageWindow {
+    /// The node that goes offline.
+    pub node: u32,
+    /// When it goes down (inclusive).
+    pub start: SimTime,
+    /// When it comes back (exclusive).
+    pub end: SimTime,
+}
+
 /// What a particular scenario entitles the oracles to assume.
 ///
 /// Protocol-specific facts come from `ProtocolKind::expectations` in
 /// `bft-sim-protocols`; scenario-specific facts (was the run benign enough
-/// that termination is owed?) are set by the harness driving the run.
+/// that termination is owed? which nodes have scheduled downtime?) are set by
+/// the harness driving the run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Expectations {
     /// The run's decision target (`RunConfig::target_decisions`).
@@ -84,6 +102,13 @@ pub struct Expectations {
     /// benign runs within the protocol's network model, false when the
     /// adversary or the network is allowed to stall it.
     pub must_terminate: bool,
+    /// Scheduled node-offline windows (churn). When non-empty, the
+    /// termination oracle suspends decision debt for nodes with scheduled
+    /// downtime: their deadline extends across their down-windows, so a
+    /// shortfall attributable only to churned nodes is not a violation.
+    /// Empty for churn-free scenarios, where termination keeps its strict
+    /// every-node-owes-the-target reading.
+    pub outages: Vec<OutageWindow>,
 }
 
 impl Expectations {
@@ -93,6 +118,7 @@ impl Expectations {
             target_decisions: 1,
             value_domain: ValueDomain::Any,
             must_terminate: false,
+            outages: Vec::new(),
         }
     }
 }
@@ -357,6 +383,17 @@ impl Oracle for NoRevocationOracle {
 }
 
 /// Termination: when the scenario obliges the protocol to finish, it did.
+///
+/// When [`Expectations::outages`] is non-empty, decision debt is suspended
+/// for nodes with scheduled downtime: a node's decision deadline extends
+/// across its down-windows, and since the run ends at its time cap — before
+/// any extended deadline — residual debt on a churned node is never charged.
+/// Global completion counters stall as soon as *one* live honest node misses
+/// a slot while offline (completion requires every live honest node), so
+/// without this suspension every churn scenario that clipped a decision
+/// round would report a false liveness violation. Nodes with no scheduled
+/// downtime keep the full obligation: a shortfall on them is a real
+/// violation even in a churn scenario.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct TerminationOracle;
 
@@ -370,18 +407,23 @@ impl Oracle for TerminationOracle {
             return Ok(());
         }
         let target = input.expect.target_decisions;
+        let churned: HashSet<u32> = input.expect.outages.iter().map(|w| w.node).collect();
         if let Some(result) = input.result {
-            if result.timed_out {
-                return Err(OracleViolation {
-                    oracle: self.name(),
-                    detail: format!(
-                        "benign run timed out at {} with {}/{target} decisions completed",
-                        result.end_time,
-                        result.decisions_completed()
-                    ),
-                });
+            let stalled = result.timed_out || result.decisions_completed() < target;
+            if !stalled {
+                return Ok(());
             }
-            if result.decisions_completed() < target {
+            if churned.is_empty() {
+                if result.timed_out {
+                    return Err(OracleViolation {
+                        oracle: self.name(),
+                        detail: format!(
+                            "benign run timed out at {} with {}/{target} decisions completed",
+                            result.end_time,
+                            result.decisions_completed()
+                        ),
+                    });
+                }
                 return Err(OracleViolation {
                     oracle: self.name(),
                     detail: format!(
@@ -390,9 +432,29 @@ impl Oracle for TerminationOracle {
                     ),
                 });
             }
+            // Churn-aware: the stall is excused iff every correct node that
+            // fell short of the target has scheduled downtime to blame.
+            for (index, seq) in result.decided.iter().enumerate() {
+                let node = NodeId::new(index as u32);
+                let count = seq.len() as u64;
+                if count >= target
+                    || input.excluded.contains(&node)
+                    || churned.contains(&node.as_u32())
+                {
+                    continue;
+                }
+                return Err(OracleViolation {
+                    oracle: self.name(),
+                    detail: format!(
+                        "{node} decided only {count}/{target} slots with no scheduled \
+                         downtime to excuse it"
+                    ),
+                });
+            }
             return Ok(());
         }
-        // Trace-only: every correct node must have decided `target` slots.
+        // Trace-only: every correct node must have decided `target` slots,
+        // except nodes whose shortfall is covered by scheduled downtime.
         let mut per_node: HashMap<NodeId, u64> = HashMap::new();
         for &(_, node, _, _) in input.correct_decisions() {
             *per_node.entry(node).or_insert(0) += 1;
@@ -403,13 +465,16 @@ impl Oracle for TerminationOracle {
                 detail: "no correct node decided anything".into(),
             });
         }
-        for (node, count) in per_node {
-            if count < target {
-                return Err(OracleViolation {
-                    oracle: self.name(),
-                    detail: format!("{node} decided only {count}/{target} slots"),
-                });
-            }
+        let mut short: Vec<(NodeId, u64)> = per_node
+            .into_iter()
+            .filter(|(node, count)| *count < target && !churned.contains(&node.as_u32()))
+            .collect();
+        short.sort_by_key(|&(node, _)| node.as_u32());
+        if let Some(&(node, count)) = short.first() {
+            return Err(OracleViolation {
+                oracle: self.name(),
+                detail: format!("{node} decided only {count}/{target} slots"),
+            });
         }
         Ok(())
     }
@@ -619,6 +684,103 @@ mod tests {
         partial.expect.target_decisions = 2;
         let v = TerminationOracle.check(&partial).unwrap_err();
         assert!(v.detail.contains("1/2"), "{}", v.detail);
+    }
+
+    /// A minimal timed-out [`RunResult`] whose per-node decision counts are
+    /// given; only the fields the termination oracle reads are meaningful.
+    fn timed_out_result(per_node_decisions: &[u64], completed: u64, end_ms: u64) -> RunResult {
+        let decided: Vec<Vec<(SimTime, Value)>> = per_node_decisions
+            .iter()
+            .map(|&k| (0..k).map(|_| (SimTime::ZERO, Value::new(7))).collect())
+            .collect();
+        let n = decided.len();
+        RunResult {
+            end_time: SimTime::from_millis(end_ms),
+            timed_out: true,
+            completions: (0..completed)
+                .map(|i| SimTime::from_millis(i + 1))
+                .collect(),
+            honest_messages: 0,
+            adversary_messages: 0,
+            dropped_messages: 0,
+            events_processed: 0,
+            skipped_cancelled_timers: 0,
+            skipped_excluded_nodes: 0,
+            broadcasts: 0,
+            sent_per_node: vec![0; n],
+            delivered_per_node: vec![0; n],
+            safety_violation: None,
+            decided,
+            trace: crate::trace::Trace::new(),
+            queue_high_water: 0,
+            scheduler: crate::scheduler::SchedulerStats::default(),
+            observability: None,
+        }
+    }
+
+    fn window(node: u32, start_ms: u64, end_ms: u64) -> OutageWindow {
+        OutageWindow {
+            node,
+            start: SimTime::from_millis(start_ms),
+            end: SimTime::from_millis(end_ms),
+        }
+    }
+
+    #[test]
+    fn termination_suspends_debt_across_down_windows() {
+        // Node 2 misses its second decision because a scheduled down-window
+        // straddles the moment the decision was due (slot 1 completed around
+        // t=2ms on the other nodes; node 2 is offline over [1ms, 5s)).
+        // Global completions stall at 1/2 and the run times out.
+        let result = timed_out_result(&[2, 2, 1], 1, 900_000);
+        let mut owed = OracleInput::from_result(&result, None, Expectations::lenient());
+        owed.expect.must_terminate = true;
+        owed.expect.target_decisions = 2;
+
+        // Churn-blind reading: a false liveness violation.
+        let v = TerminationOracle.check(&owed).unwrap_err();
+        assert!(v.detail.contains("timed out"), "{}", v.detail);
+
+        // The straddling window excuses exactly that node's debt.
+        owed.expect.outages = vec![window(2, 1, 5_000)];
+        assert!(
+            TerminationOracle.check(&owed).is_ok(),
+            "churned node's shortfall must be excused"
+        );
+
+        // A window on some *other* node excuses nothing: node 2 still owes
+        // its decisions and the violation names it.
+        owed.expect.outages = vec![window(1, 1, 5_000)];
+        let v = TerminationOracle.check(&owed).unwrap_err();
+        assert!(v.detail.contains("n2"), "{}", v.detail);
+        assert!(v.detail.contains("1/2"), "{}", v.detail);
+        assert!(v.detail.contains("no scheduled downtime"), "{}", v.detail);
+
+        // Excluded (crashed/corrupted) nodes stay exempt as before.
+        owed.excluded.insert(NodeId::new(2));
+        assert!(TerminationOracle.check(&owed).is_ok());
+    }
+
+    #[test]
+    fn termination_trace_only_respects_down_windows() {
+        let mut short = input(vec![
+            decision(1, 0, 0, 7),
+            decision(2, 0, 1, 7),
+            decision(1, 1, 0, 7),
+        ]);
+        short.expect.must_terminate = true;
+        short.expect.target_decisions = 2;
+        let v = TerminationOracle.check(&short).unwrap_err();
+        assert!(v.detail.contains("n1"), "{}", v.detail);
+
+        short.expect.outages = vec![window(1, 1, 10)];
+        assert!(TerminationOracle.check(&short).is_ok());
+
+        // Outages never excuse a trace where nothing was decided at all.
+        let mut nothing = input(Vec::new());
+        nothing.expect.must_terminate = true;
+        nothing.expect.outages = vec![window(0, 1, 10)];
+        assert!(TerminationOracle.check(&nothing).is_err());
     }
 
     #[test]

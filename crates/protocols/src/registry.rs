@@ -188,6 +188,7 @@ impl ProtocolKind {
             target_decisions: cfg.target_decisions,
             value_domain: self.value_domain(),
             must_terminate: benign,
+            outages: Vec::new(),
         }
     }
 

@@ -180,6 +180,11 @@ pub struct FuzzReport {
     pub skipped_excluded_nodes: u64,
     /// Every violating scenario, in seed order.
     pub outcomes: Vec<FuzzOutcome>,
+    /// Number of panicked scenarios. Always equals `failures.len()` for
+    /// reports built by [`fuzz_many`]; kept as an explicit counter so
+    /// aggregation layers (bench baselines, campaign checkpoints) can carry
+    /// the tally without carrying the failures themselves.
+    pub panicked: u64,
     /// Every panicked scenario, in seed order.
     pub failures: Vec<FuzzFailure>,
     /// Sweep-wide observability aggregate; `Some` exactly when
@@ -328,25 +333,126 @@ pub fn fuzz_many(
             Ok(Ok(SeedResult::Panicked {
                 message,
                 last_events,
-            })) => report.failures.push(FuzzFailure {
-                scenario_seed: seeds[i],
-                message,
-                last_events,
-            }),
+            })) => {
+                report.panicked += 1;
+                report.failures.push(FuzzFailure {
+                    scenario_seed: seeds[i],
+                    message,
+                    last_events,
+                });
+            }
             Ok(Err(build_error)) => return Err(build_error),
-            Err(panic) => report.failures.push(FuzzFailure {
-                scenario_seed: seeds[i],
-                message: panic.message,
-                last_events: Vec::new(),
-            }),
+            Err(panic) => {
+                report.panicked += 1;
+                report.failures.push(FuzzFailure {
+                    scenario_seed: seeds[i],
+                    message: panic.message,
+                    last_events: Vec::new(),
+                });
+            }
         }
     }
     Ok(report)
 }
 
+/// The outcome of one campaign work unit: a single scenario executed with
+/// observability on, oracle-checked, panic-isolated and — on violation —
+/// shrunk to a [`Repro`]. This is the per-unit execution path behind
+/// `bft-sim campaign`; everything in it derives from simulated quantities,
+/// so a unit's outcome is byte-identical under every scheduler backend.
+#[derive(Debug)]
+pub struct UnitRun {
+    /// Engine events dispatched (0 when the run panicked).
+    pub events_processed: u64,
+    /// Consensus slots completed by every live honest node.
+    pub decisions: u64,
+    /// Time to the first completed decision, in microseconds.
+    pub latency_micros: Option<u64>,
+    /// Honest wire messages sent.
+    pub honest_messages: u64,
+    /// Human-readable `[oracle] detail` lines; empty for a clean run.
+    pub violations: Vec<String>,
+    /// The minimised reproducer, when the run violated an oracle.
+    pub repro: Option<Repro>,
+    /// The run's observability snapshot (`None` when the run panicked).
+    pub observability: Option<Box<Observability>>,
+    /// The panic message, when the run panicked instead of completing.
+    pub panic: Option<String>,
+}
+
+/// Executes one campaign work unit: runs `spec` in [`RunMode::Generate`]
+/// with observability on, checks the oracle suite, catches panics (a
+/// panicked unit is an *outcome*, not an abort) and shrinks any violation.
+///
+/// # Errors
+///
+/// Returns a message only when the scenario cannot be *built* — a malformed
+/// spec is a campaign-level configuration error, not a unit outcome.
+pub fn run_unit(spec: &ScenarioSpec, scheduler: SchedulerKind) -> Result<UnitRun, String> {
+    let cfg = spec.obs_config(DEFAULT_LAST_K);
+    let run = match catch_unwind(AssertUnwindSafe(|| {
+        spec.run_observed(RunMode::Generate, scheduler, Some(cfg))
+    })) {
+        Ok(run) => run?,
+        Err(payload) => {
+            return Ok(UnitRun {
+                events_processed: 0,
+                decisions: 0,
+                latency_micros: None,
+                honest_messages: 0,
+                violations: Vec::new(),
+                repro: None,
+                observability: None,
+                panic: Some(panic_message(payload.as_ref())),
+            })
+        }
+    };
+    let observability = run.result.observability.clone().map(Box::new);
+    let (violations, repro) = if run.violations.is_empty() {
+        (Vec::new(), None)
+    } else {
+        let mut repro = shrink(spec, &run);
+        if let Some(obs) = &observability {
+            repro.last_events = obs.recent_events.clone();
+        }
+        (
+            run.violations.iter().map(|v| v.to_string()).collect(),
+            Some(repro),
+        )
+    };
+    Ok(UnitRun {
+        events_processed: run.result.events_processed,
+        decisions: run.result.decisions_completed(),
+        latency_micros: run.result.latency().map(|d| d.as_micros()),
+        honest_messages: run.result.honest_messages,
+        violations,
+        repro,
+        observability,
+        panic: None,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn run_unit_reports_metrics_and_stays_deterministic() {
+        let spec = ScenarioSpec::baseline(ProtocolKind::Pbft);
+        let a = run_unit(&spec, SchedulerKind::Heap).unwrap();
+        assert!(a.panic.is_none());
+        assert!(a.violations.is_empty());
+        assert!(a.repro.is_none());
+        assert!(a.events_processed > 0);
+        assert_eq!(a.decisions, spec.target_decisions);
+        assert!(a.latency_micros.is_some());
+        assert!(a.observability.is_some());
+        let b = run_unit(&spec, SchedulerKind::Wheel).unwrap();
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.decisions, b.decisions);
+        assert_eq!(a.latency_micros, b.latency_micros);
+        assert_eq!(a.honest_messages, b.honest_messages);
+    }
 
     #[test]
     fn honest_protocols_survive_a_sweep() {

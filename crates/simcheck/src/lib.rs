@@ -39,7 +39,10 @@ pub use corpus::{
     fuzz_coverage, fuzz_coverage_in_dir, load_corpus, run_fingerprint, save_corpus, CoverageStats,
     CORPUS_FILE,
 };
-pub use fuzz::{fuzz_many, FuzzFailure, FuzzObservability, FuzzOptions, FuzzOutcome, FuzzReport};
+pub use fuzz::{
+    fuzz_many, run_unit, FuzzFailure, FuzzObservability, FuzzOptions, FuzzOutcome, FuzzReport,
+    UnitRun,
+};
 pub use repro::{Repro, FORMAT};
 pub use scenario::{
     CheckedRun, ChurnSpec, DelaySpec, NetSpec, PartitionSpec, RunMode, ScenarioSpec, TopologyKind,

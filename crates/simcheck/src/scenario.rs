@@ -25,7 +25,9 @@ use bft_sim_core::message::Message;
 use bft_sim_core::metrics::RunResult;
 use bft_sim_core::network::{NetworkModel, SampledNetwork};
 use bft_sim_core::obs::ObsConfig;
-use bft_sim_core::oracle::{OracleInput, OracleObserver, OracleSuite, OracleViolation};
+use bft_sim_core::oracle::{
+    OracleInput, OracleObserver, OracleSuite, OracleViolation, OutageWindow,
+};
 use bft_sim_core::scheduler::SchedulerKind;
 use bft_sim_core::time::{SimDuration, SimTime};
 use bft_sim_core::validator::DeliverySchedule;
@@ -623,6 +625,60 @@ impl ScenarioSpec {
             && self.fault_preset == FaultPreset::Calm
     }
 
+    /// Whether the *only* thing taking a [`RunMode::Generate`] run of this
+    /// spec outside the protocol's model is scheduled churn on an otherwise
+    /// unrestricted network: full-mesh topology, no bandwidth cap, no
+    /// partition, no adversary budget, no seeded bug, calm faults. Such runs
+    /// still owe termination, but with per-node decision debt suspended
+    /// across the scheduled down-windows (the termination oracle's
+    /// churn-aware reading). Restricted topologies and bandwidth caps stay
+    /// exempt — multi-hop latency and queueing can stall progress without
+    /// any protocol bug.
+    pub fn churn_only(&self) -> bool {
+        matches!(
+            self.net,
+            Some(net) if net.churn.is_some()
+                && net.topology == TopologyKind::FullMesh
+                && net.bandwidth.is_none()
+        ) && self.partition.is_none()
+            && self.max_actions == 0
+            && !self.inject_bug
+            && self.fault_preset == FaultPreset::Calm
+    }
+
+    /// The scheduled churn windows of this spec as oracle-facing
+    /// [`OutageWindow`]s (empty without a churn block). Rebuilt
+    /// deterministically from the same seed and horizon the network stack
+    /// uses, so the oracle sees exactly the schedule the run executed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the churn block is degenerate (same conditions
+    /// as [`ChurnPlan::staggered`]).
+    pub fn outage_windows(&self) -> Result<Vec<OutageWindow>, String> {
+        let Some(c) = self.net.and_then(|n| n.churn) else {
+            return Ok(Vec::new());
+        };
+        let plan = ChurnPlan::staggered(
+            self.n,
+            c.seed,
+            c.crashes as usize,
+            c.min_down_ms,
+            c.max_down_ms,
+            self.time_cap_secs.saturating_mul(1_000),
+        )
+        .map_err(|e| format!("scenario churn: {e}"))?;
+        Ok(plan
+            .windows()
+            .iter()
+            .map(|w| OutageWindow {
+                node: w.node,
+                start: w.start,
+                end: w.end,
+            })
+            .collect())
+    }
+
     fn config(&self) -> RunConfig {
         self.protocol
             .configure(
@@ -785,7 +841,19 @@ impl ScenarioSpec {
             // A replayed schedule may embody drops; liveness is never owed.
             RunMode::Replay(_) => false,
         };
-        let expect = kind.expectations(&cfg, benign);
+        // Churn-only specs owe termination too, with decision debt suspended
+        // across the scheduled down-windows.
+        let churn_owed = match mode {
+            RunMode::Generate => self.churn_only(),
+            RunMode::Scripted { actions, faults } => {
+                actions.is_empty() && faults.is_empty() && self.churn_only()
+            }
+            RunMode::Replay(_) => false,
+        };
+        let mut expect = kind.expectations(&cfg, benign || churn_owed);
+        if churn_owed {
+            expect.outages = self.outage_windows()?;
+        }
         let factory = kind.factory(&cfg, self.genesis_seed);
         let observer = OracleObserver::new();
         let probe = observer.clone();
@@ -1063,6 +1131,67 @@ mod tests {
         assert!(run.actions.is_empty());
         assert!(!run.schedule.is_empty());
         assert!(run.result.is_clean());
+    }
+
+    #[test]
+    fn churn_only_runs_owe_no_false_termination_violations() {
+        // Full-mesh + churn with a tight time cap: down-windows land right
+        // on top of the decision rounds, so a down node misses slots, global
+        // completions stall and the run times out — exactly the shape that
+        // used to produce false liveness violations. The churn-aware oracle
+        // must excuse every such stall while still checking safety.
+        let mut stalled = 0;
+        for churn_seed in 0..12u64 {
+            let spec = ScenarioSpec {
+                n: 4,
+                time_cap_secs: 10,
+                net: Some(NetSpec {
+                    topology: TopologyKind::FullMesh,
+                    bandwidth: None,
+                    topology_seed: 0,
+                    churn: Some(ChurnSpec {
+                        seed: churn_seed,
+                        crashes: 3,
+                        min_down_ms: 2_000,
+                        max_down_ms: 4_000,
+                    }),
+                }),
+                ..ScenarioSpec::baseline(ProtocolKind::Pbft)
+            };
+            assert!(spec.churn_only());
+            assert!(!spec.is_benign(), "churn-only is not benign");
+            let run = spec.run(RunMode::Generate).unwrap();
+            assert!(
+                run.violations.is_empty(),
+                "churn seed {churn_seed}: {:?}",
+                run.violations
+            );
+            if run.result.timed_out || run.result.decisions_completed() < spec.target_decisions {
+                stalled += 1;
+            }
+        }
+        assert!(
+            stalled > 0,
+            "no churn schedule clipped a decision round; the regression shape was never exercised"
+        );
+
+        // A bandwidth cap (or non-mesh topology) leaves the old exemption in
+        // place: termination is simply not owed, churn or not.
+        let capped = ScenarioSpec {
+            net: Some(NetSpec {
+                topology: TopologyKind::FullMesh,
+                bandwidth: Some(64_000),
+                topology_seed: 0,
+                churn: Some(ChurnSpec {
+                    seed: 1,
+                    crashes: 1,
+                    min_down_ms: 500,
+                    max_down_ms: 4_000,
+                }),
+            }),
+            ..ScenarioSpec::baseline(ProtocolKind::Pbft)
+        };
+        assert!(!capped.churn_only());
     }
 
     #[test]
